@@ -1,0 +1,126 @@
+//! Criterion micro-benchmarks for the simulation substrate: these guard the
+//! throughput that makes the figure harnesses (minutes of simulated time at
+//! 20 µs steps) tractable.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use edc_harvest::{EnergySource, GustProfile, Photovoltaic, SignalGenerator, Waveform, WindTurbine};
+use edc_mcu::Mcu;
+use edc_mpsoc::XuPlatform;
+use edc_neutral::PnGovernor;
+use edc_sim::SupplyNode;
+use edc_transient::{Hibernus, RunOutcome, TransientRunner};
+use edc_units::{Amps, Farads, Hertz, Ohms, Seconds, Volts, Watts};
+use edc_workloads::{Crc16, Fourier, Workload};
+
+fn bench_supply_node(c: &mut Criterion) {
+    c.bench_function("supply_node_step", |b| {
+        let mut node = SupplyNode::new(Farads::from_micro(10.0), Volts(2.5))
+            .with_clamp(Volts(3.6));
+        b.iter(|| {
+            node.step(
+                Amps::from_milli(1.0),
+                Amps::from_micro(500.0),
+                Seconds(20e-6),
+            )
+        });
+    });
+}
+
+fn bench_vm(c: &mut Criterion) {
+    c.bench_function("vm_run_10k_cycles", |b| {
+        let program = Crc16::new(1024).program();
+        b.iter_batched(
+            || Mcu::new(program.clone()),
+            |mut mcu| mcu.run(10_000, false),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    c.bench_function("snapshot_take_restore", |b| {
+        let mut mcu = Mcu::new(Fourier::new(16).program());
+        mcu.run(1000, false);
+        b.iter(|| {
+            mcu.take_snapshot(None);
+            mcu.restore_snapshot()
+        });
+    });
+}
+
+fn bench_sources(c: &mut Criterion) {
+    let mut group = c.benchmark_group("source_sampling");
+    group.bench_function("wind", |b| {
+        let mut w = WindTurbine::new(Volts(5.0), Hertz(8.0), GustProfile::fig1a());
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 2e-5;
+            w.current_into(Volts(2.5), Seconds(t))
+        });
+    });
+    group.bench_function("photovoltaic", |b| {
+        let mut pv = Photovoltaic::indoor(3);
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 60.0;
+            pv.current_into(Volts(1.5), Seconds(t))
+        });
+    });
+    group.bench_function("signal_generator", |b| {
+        let mut sg = SignalGenerator::new(Waveform::HalfRectifiedSine, Volts(4.0), Hertz(2.0))
+            .with_resistance(Ohms(100.0));
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 2e-5;
+            sg.current_into(Volts(2.5), Seconds(t))
+        });
+    });
+    group.finish();
+}
+
+fn bench_governor(c: &mut Criterion) {
+    c.bench_function("pn_governor_step", |b| {
+        let mut platform = XuPlatform::odroid_xu4();
+        let mut governor = PnGovernor::new();
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t += 0.01;
+            let p = Watts(8.0 + 6.0 * (t * 0.7).sin());
+            governor.step(&mut platform, p, Seconds(0.01));
+        });
+    });
+}
+
+fn bench_full_transient_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_end_to_end");
+    group.sample_size(10);
+    group.bench_function("hibernus_fourier64_50hz", |b| {
+        b.iter(|| {
+            let workload = Fourier::new(64);
+            let mut runner = TransientRunner::builder()
+                .strategy(Box::new(Hibernus::new()))
+                .program(workload.program())
+                .source(|v: Volts, t: Seconds| {
+                    let v_oc =
+                        (4.0 * (std::f64::consts::TAU * 50.0 * t.0).sin()).max(0.0);
+                    Amps(((v_oc - v.0) / 100.0).max(0.0))
+                })
+                .build();
+            let out = runner.run_until_complete(Seconds(2.0));
+            assert_eq!(out, RunOutcome::Completed);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_supply_node,
+    bench_vm,
+    bench_snapshot,
+    bench_sources,
+    bench_governor,
+    bench_full_transient_run
+);
+criterion_main!(benches);

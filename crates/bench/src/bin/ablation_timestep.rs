@@ -1,0 +1,94 @@
+//! Numerical ablation: does the forward-Euler timestep affect the physics
+//! conclusions?
+//!
+//! The Fig. 7 experiment is repeated at halved and doubled timesteps; the
+//! *events* that constitute the result (completion cycle, snapshot count,
+//! restore count, calibrated thresholds) must be invariant, and completion
+//! time must converge. This bounds the integrator error the DESIGN.md
+//! fidelity note claims.
+//!
+//! Run: `cargo run --release -p edc-bench --bin ablation_timestep`
+
+use edc_bench::{banner, TextTable};
+use edc_core::scenarios::fig7_supply;
+use edc_core::system::SystemBuilder;
+use edc_transient::{Hibernus, TransientRunner};
+use edc_units::{Hertz, Ohms, Seconds};
+use edc_workloads::Fourier;
+
+struct Run {
+    dt_us: f64,
+    completed: Option<Seconds>,
+    cycle: Option<u64>,
+    snapshots: u64,
+    restores: u64,
+    verified: bool,
+}
+
+fn run(dt: Seconds) -> Run {
+    let supply_hz = Hertz(2.0);
+    let (mut runner, workload): (TransientRunner, _) = SystemBuilder::new()
+        .source(fig7_supply(supply_hz))
+        .leakage(Ohms(100_000.0))
+        .timestep(dt)
+        .strategy(Box::new(Hibernus::new()))
+        .workload(Box::new(Fourier::new(256)))
+        .build();
+    let _ = runner.run_until_complete(Seconds(3.0));
+    let stats = runner.stats();
+    Run {
+        dt_us: dt.0 * 1e6,
+        completed: stats.completed_at,
+        cycle: stats
+            .completed_at
+            .map(|t| (t.0 * supply_hz.0).floor() as u64 + 1),
+        snapshots: stats.snapshots,
+        restores: stats.restores,
+        verified: workload.verify(runner.mcu()).is_ok(),
+    }
+}
+
+fn main() {
+    banner("Timestep ablation on the Fig. 7 experiment");
+    let runs: Vec<Run> = [5e-6, 10e-6, 20e-6, 40e-6]
+        .into_iter()
+        .map(|dt| run(Seconds(dt)))
+        .collect();
+
+    let mut t = TextTable::new(&[
+        "dt (µs)",
+        "completed (s)",
+        "supply cycle",
+        "snapshots",
+        "restores",
+        "verified",
+    ]);
+    for r in &runs {
+        t.row(&[
+            format!("{:.0}", r.dt_us),
+            r.completed
+                .map(|s| format!("{:.4}", s.0))
+                .unwrap_or_else(|| "DNF".to_string()),
+            r.cycle.map(|c| c.to_string()).unwrap_or_default(),
+            r.snapshots.to_string(),
+            r.restores.to_string(),
+            r.verified.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let cycles: Vec<_> = runs.iter().filter_map(|r| r.cycle).collect();
+    let invariant = cycles.windows(2).all(|w| w[0] == w[1]);
+    println!(
+        "\nevent-level conclusions timestep-invariant: {invariant} \
+         (completion cycle {:?} at every dt)",
+        cycles.first()
+    );
+    let times: Vec<f64> = runs.iter().filter_map(|r| r.completed.map(|s| s.0)).collect();
+    if times.len() >= 2 {
+        let spread = (times.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - times.iter().cloned().fold(f64::INFINITY, f64::min))
+            / times[0];
+        println!("completion-time spread across 8× dt range: {:.2}%", spread * 100.0);
+    }
+}

@@ -1,0 +1,23 @@
+use edc_core::scenarios::fig8_turbine;
+use edc_core::system::SystemBuilder;
+use edc_power::{Rectifier, RectifierKind};
+use edc_transient::{HibernusPn, TransientRunner};
+use edc_units::{Seconds, Volts};
+use edc_workloads::BusyLoop;
+fn main() {
+    let (mut runner, _): (TransientRunner, _) = SystemBuilder::new()
+        .source(fig8_turbine())
+        .rectifier(Rectifier::new(RectifierKind::HalfWave, Volts(0.2)))
+        .strategy(Box::new(HibernusPn::new()))
+        .workload(Box::new(BusyLoop::new(65_000)))
+        .trace(100)
+        .build();
+    println!("thresholds {:?}", runner.thresholds());
+    runner.run_for(Seconds(9.0));
+    print!("{}", runner.log().to_lines());
+    if let Some(tr) = runner.vcc_trace() {
+        for (i, (t, v)) in tr.points().iter().enumerate() {
+            if i % 250 == 0 { println!("{:.2}\t{:.3}", t.0, v); }
+        }
+    }
+}

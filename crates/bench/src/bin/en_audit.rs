@@ -1,0 +1,112 @@
+//! Eq. (1)/(2) demonstration: energy-neutral operation and its failure.
+//!
+//! Simulates the paper's Section II.A narrative on a two-day photovoltaic
+//! profile: a correctly-sized, duty-cycle-adaptive WSN node stays
+//! energy-neutral (Eq. 1 balances over `T` = 24 h and Eq. 2 never fails);
+//! an over-greedy or under-buffered configuration depletes its battery —
+//! "expression (2) is violated and the system fails".
+//!
+//! Run: `cargo run --release -p edc-bench --bin en_audit`
+
+use edc_bench::{banner, TextTable};
+use edc_harvest::Photovoltaic;
+use edc_neutral::{EwmaPredictor, WsnController, WsnNode};
+use edc_power::Battery;
+use edc_units::{Joules, Seconds, Volts, Watts};
+
+fn pv_power(seed: u64) -> impl Fn(Seconds) -> Watts {
+    let pv = Photovoltaic::outdoor(seed);
+    move |t| {
+        // Harvested power at the cell's MPP-ish operating point (2 V).
+        pv.current_at(t) * Volts(2.0)
+    }
+}
+
+fn run_node(duty_max: f64, battery_j: f64, days: f64) -> (f64, u64, f64, f64) {
+    let predictor = EwmaPredictor::new(48, 0.3);
+    let ctrl = WsnController::new(predictor, Watts(12e-3), Watts(60e-6))
+        .with_duty_bounds(0.005, duty_max);
+    let battery = Battery::new(Joules(battery_j)).with_soc(0.6);
+    let mut node = WsnNode::new(ctrl, battery);
+    node.run(pv_power(7), Seconds::from_hours(24.0 * days));
+    let audit = node.audit();
+    let duties: Vec<f64> = node.reports().iter().map(|r| r.duty).collect();
+    let mean_duty = duties.iter().sum::<f64>() / duties.len() as f64;
+    (
+        audit.neutrality_error(),
+        audit.depletion_events,
+        mean_duty,
+        node.soc(),
+    )
+}
+
+fn main() {
+    banner("Eq. 1/2: energy-neutral WSN on a two-day+ PV profile");
+    println!("node: 12 mW active, 60 µW sleep; Kansal-style EWMA duty control\n");
+
+    let mut t = TextTable::new(&[
+        "configuration",
+        "Eq.1 error",
+        "Eq.2 failures",
+        "mean duty",
+        "final SoC",
+        "verdict",
+    ]);
+    let cases = [
+        ("well-sized (60 J, duty ≤ 0.9)", 0.9, 60.0),
+        ("greedy (60 J, duty ≥ forced high)", 0.0, 60.0), // placeholder, fixed below
+        ("under-buffered (1.5 J)", 0.9, 1.5),
+    ];
+    // Case 1: well-sized.
+    {
+        let (err, dep, duty, soc) = run_node(cases[0].1, cases[0].2, 7.0);
+        t.row(&[
+            cases[0].0.to_string(),
+            format!("{:.3}", err),
+            dep.to_string(),
+            format!("{duty:.3}"),
+            format!("{soc:.2}"),
+            if dep == 0 { "energy-neutral" } else { "FAILS" }.to_string(),
+        ]);
+    }
+    // Case 2: greedy — duty floor pinned high (refuses to sleep at night).
+    {
+        let predictor = EwmaPredictor::new(48, 0.3);
+        let ctrl = WsnController::new(predictor, Watts(12e-3), Watts(60e-6))
+            .with_duty_bounds(0.6, 1.0);
+        let battery = Battery::new(Joules(60.0)).with_soc(0.6);
+        let mut node = WsnNode::new(ctrl, battery);
+        node.run(pv_power(7), Seconds::from_hours(24.0 * 7.0));
+        let audit = node.audit();
+        t.row(&[
+            "greedy (duty ≥ 0.6)".to_string(),
+            format!("{:.3}", audit.neutrality_error()),
+            audit.depletion_events.to_string(),
+            "≥0.600".to_string(),
+            format!("{:.2}", node.soc()),
+            if audit.depletion_events == 0 {
+                "energy-neutral"
+            } else {
+                "FAILS (Eq. 2)"
+            }
+            .to_string(),
+        ]);
+    }
+    // Case 3: under-buffered.
+    {
+        let (err, dep, duty, soc) = run_node(cases[2].1, cases[2].2, 7.0);
+        t.row(&[
+            cases[2].0.to_string(),
+            format!("{:.3}", err),
+            dep.to_string(),
+            format!("{duty:.3}"),
+            format!("{soc:.2}"),
+            if dep == 0 { "energy-neutral" } else { "FAILS (Eq. 2)" }.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nexpected shape: the adaptive, well-buffered node balances Eq. 1 \
+         with zero Eq. 2 failures; the greedy and under-buffered ones fail."
+    );
+}

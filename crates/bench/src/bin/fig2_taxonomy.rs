@@ -1,0 +1,36 @@
+//! Fig. 2 regeneration: the taxonomy of energy-neutral, transient,
+//! energy-driven and power-neutral computing systems.
+//!
+//! Prints every exemplar system the paper annotates on the figure, its
+//! storage-axis coordinate (`log10` of equivalent stored energy) and its
+//! class memberships, ordered along the storage axis as in the figure.
+//!
+//! Run: `cargo run --release -p edc-bench --bin fig2_taxonomy`
+
+use edc_bench::banner;
+use edc_core::taxonomy::{catalog, classify, render_table};
+
+fn main() {
+    banner("Fig. 2: taxonomy of computing systems");
+    println!(
+        "EN = energy-neutral (Eqs. 1+2), TR = transient (survives Eq. 2 \
+         violation),\nPN = power-neutral (Eq. 3), ED = energy-driven (shaded \
+         region of Fig. 2)\n"
+    );
+    print!("{}", render_table(&catalog()));
+
+    banner("Region membership (as shaded in the figure)");
+    let cat = catalog();
+    let energy_driven: Vec<&str> = cat
+        .iter()
+        .filter(|p| classify(p).energy_driven)
+        .map(|p| p.name.as_str())
+        .collect();
+    let traditional: Vec<&str> = cat
+        .iter()
+        .filter(|p| !classify(p).energy_driven)
+        .map(|p| p.name.as_str())
+        .collect();
+    println!("ENERGY-DRIVEN SYSTEMS: {}", energy_driven.join(", "));
+    println!("TRADITIONAL SYSTEMS:   {}", traditional.join(", "));
+}

@@ -1,0 +1,51 @@
+//! Fig. 5 regeneration: raytrace FPS vs. board power across the MPSoC's
+//! DVFS × core-count operating points.
+//!
+//! The paper's claim: "the power consumption can be modulated by an order
+//! of magnitude through this". This harness prints the full scatter (as the
+//! figure plots) plus the Pareto frontier the power-neutral governor
+//! actually uses.
+//!
+//! Run: `cargo run --release -p edc-bench --bin fig5_opp_pareto`
+
+use edc_bench::{banner, TextTable};
+use edc_mpsoc::{full_opp_table, pareto_frontier, XuModel};
+
+fn main() {
+    let model = XuModel::odroid_xu4();
+    let table = full_opp_table();
+
+    banner("Fig. 5: operating-point scatter (power W, raytrace FPS)");
+    println!("points: {}", table.len());
+    let mut p_min = f64::INFINITY;
+    let mut p_max = 0.0f64;
+    let mut f_max = 0.0f64;
+    println!("\nTSV (power_W\tfps\tconfig):");
+    for &op in &table {
+        let p = model.power(op).0;
+        let fps = model.fps(op);
+        p_min = p_min.min(p);
+        p_max = p_max.max(p);
+        f_max = f_max.max(fps);
+        println!("{p:.3}\t{fps:.4}\t{op}");
+    }
+    println!(
+        "\npower range: {p_min:.2}–{p_max:.2} W ({:.0}× modulation; paper: \
+         'an order of magnitude', envelope ≈ 0.5–18 W)",
+        p_max / p_min
+    );
+    println!("peak FPS: {f_max:.3} (paper envelope: ≈ 0.25 FPS)");
+
+    banner("Pareto frontier (the governor's ladder)");
+    let frontier = pareto_frontier(&model, &table);
+    let mut t = TextTable::new(&["level", "config", "power W", "fps"]);
+    for (i, &op) in frontier.iter().enumerate() {
+        t.row(&[
+            i.to_string(),
+            op.to_string(),
+            format!("{:.3}", model.power(op).0),
+            format!("{:.4}", model.fps(op)),
+        ]);
+    }
+    print!("{}", t.render());
+}

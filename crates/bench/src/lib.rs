@@ -1,0 +1,117 @@
+//! Shared helpers for the figure/table regeneration binaries and the
+//! Criterion benches.
+//!
+//! Each binary in `src/bin/` regenerates one figure or claim from the paper
+//! (see DESIGN.md's per-experiment index) and prints its data as aligned
+//! text plus TSV blocks that external plotting tools can consume.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// A minimal aligned-text table builder for harness output.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<D: Display>(&mut self, cells: &[D]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Prints a section banner so multi-part harness output is scannable.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Logarithmically spaced sweep points.
+///
+/// # Panics
+///
+/// Panics unless `0 < lo < hi` and `n ≥ 2`.
+pub fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && n >= 2);
+    (0..n)
+        .map(|i| lo * (hi / lo).powf(i as f64 / (n - 1) as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["a", "1"]);
+        t.row(&["longer", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with("1"));
+        assert!(lines[3].ends_with("22"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn log_space_endpoints() {
+        let v = log_space(1.0, 100.0, 3);
+        assert!((v[0] - 1.0).abs() < 1e-12);
+        assert!((v[1] - 10.0).abs() < 1e-9);
+        assert!((v[2] - 100.0).abs() < 1e-9);
+    }
+}

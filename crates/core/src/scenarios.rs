@@ -1,0 +1,131 @@
+//! Canonical experiment scenarios — one preset per figure/claim, shared by
+//! the examples, the integration tests, and the bench harnesses so that
+//! every consumer reproduces the *same* experiment.
+
+use edc_harvest::{GustProfile, SignalGenerator, Waveform, WindTurbine};
+use edc_transient::{
+    Hibernus, HibernusPP, HibernusPn, Mementos, Nvp, QuickRecall, Restart, Strategy,
+};
+use edc_units::{Hertz, Ohms, Volts};
+
+/// The checkpoint strategies compared throughout the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Recompute-from-scratch baseline.
+    Restart,
+    /// Mementos (compile-time sites + voltage poll).
+    Mementos,
+    /// Hibernus (Eq. 4 voltage interrupt).
+    Hibernus,
+    /// Hibernus++ (self-calibrating).
+    HibernusPP,
+    /// Hibernus-PN (power-neutral DFS governor on top of Hibernus).
+    HibernusPn,
+    /// QuickRecall (unified FRAM).
+    QuickRecall,
+    /// Non-volatile processor.
+    Nvp,
+}
+
+impl StrategyKind {
+    /// Every strategy, in presentation order.
+    pub const ALL: [StrategyKind; 7] = [
+        StrategyKind::Restart,
+        StrategyKind::Mementos,
+        StrategyKind::Hibernus,
+        StrategyKind::HibernusPP,
+        StrategyKind::HibernusPn,
+        StrategyKind::QuickRecall,
+        StrategyKind::Nvp,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Restart => "restart",
+            StrategyKind::Mementos => "mementos",
+            StrategyKind::Hibernus => "hibernus",
+            StrategyKind::HibernusPP => "hibernus++",
+            StrategyKind::HibernusPn => "hibernus-pn",
+            StrategyKind::QuickRecall => "quickrecall",
+            StrategyKind::Nvp => "nvp",
+        }
+    }
+
+    /// Instantiates the strategy with its default calibration.
+    pub fn make(self) -> Box<dyn Strategy> {
+        match self {
+            StrategyKind::Restart => Box::new(Restart::new()),
+            StrategyKind::Mementos => Box::new(Mementos::new()),
+            StrategyKind::Hibernus => Box::new(Hibernus::new()),
+            StrategyKind::HibernusPP => Box::new(HibernusPP::new()),
+            StrategyKind::HibernusPn => Box::new(HibernusPn::new()),
+            StrategyKind::QuickRecall => Box::new(QuickRecall::new()),
+            StrategyKind::Nvp => Box::new(Nvp::new()),
+        }
+    }
+}
+
+/// The Fig. 7 supply: a half-wave rectified sine from a signal generator
+/// (4 V peak behind 100 Ω). The frequency is a parameter because the figure
+/// is defined by *cycles*, not absolute time.
+pub fn fig7_supply(frequency: Hertz) -> SignalGenerator {
+    SignalGenerator::new(Waveform::HalfRectifiedSine, Volts(4.0), frequency)
+        .with_resistance(Ohms(100.0))
+}
+
+/// The Fig. 8 supply: a micro wind turbine's output during a gust,
+/// half-wave rectified at the system input (the rectifier is applied by the
+/// system builder). 5 V peak, 8 Hz electrical frequency.
+pub fn fig8_turbine() -> WindTurbine {
+    WindTurbine::new(Volts(5.0), Hertz(8.0), GustProfile::fig1a()).with_resistance(Ohms(150.0))
+}
+
+/// A square-wave interrupted supply with the given interruption frequency
+/// and 50% availability — the stimulus of the Eq. (5) crossover sweep
+/// (outages at a controlled rate).
+pub fn interrupted_supply(interruptions: Hertz) -> SignalGenerator {
+    SignalGenerator::new(Waveform::Pulse { duty: 0.5 }, Volts(3.4), interruptions)
+        .with_resistance(Ohms(15.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edc_harvest::EnergySource;
+    use edc_units::Seconds;
+
+    #[test]
+    fn all_strategies_instantiate() {
+        for kind in StrategyKind::ALL {
+            let s = kind.make();
+            assert_eq!(s.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn fig7_supply_is_rectified() {
+        let g = fig7_supply(Hertz(2.0));
+        assert_eq!(g.voltage_at(Seconds(0.375)), Volts(0.0));
+        assert!(g.voltage_at(Seconds(0.125)).0 > 3.9);
+    }
+
+    #[test]
+    fn fig8_turbine_has_gust_window() {
+        let mut t = fig8_turbine();
+        assert_eq!(t.sample(Seconds(0.0)).current_into(Volts(0.5)).0, 0.0);
+        let mid_gust: f64 = (0..100)
+            .map(|i| {
+                t.output_voltage(Seconds(3.0 + i as f64 * 0.01)).0.abs()
+            })
+            .fold(0.0, f64::max);
+        assert!(mid_gust > 4.0);
+    }
+
+    #[test]
+    fn interrupted_supply_has_outages() {
+        let g = interrupted_supply(Hertz(10.0));
+        assert!(g.voltage_at(Seconds(0.01)).0 > 3.0);
+        assert_eq!(g.voltage_at(Seconds(0.06)), Volts(0.0));
+    }
+}

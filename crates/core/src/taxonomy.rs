@@ -1,0 +1,397 @@
+//! The energy-based taxonomy of computing systems — Section II / Fig. 2 of
+//! the paper, as executable predicates.
+//!
+//! The taxonomy classifies a system along two aspects:
+//!
+//! 1. *How much energy storage it contains* (the distance-from-origin axis,
+//!    [`StorageSpec`]);
+//! 2. *Whether operation survives an intermittent supply* once that storage
+//!    is exhausted (the energy-neutral and transient axes).
+//!
+//! [`classify`] derives the four overlapping classes from a
+//! [`SystemProfile`]:
+//!
+//! - **energy-neutral** — Eqs. (1)+(2) hold via buffering/adaptation;
+//! - **transient** — Eq. (2) may be violated yet the system still operates
+//!   correctly;
+//! - **power-neutral** — Eq. (3): consumption tracks harvested power
+//!   instant-by-instant;
+//! - **energy-driven** — the energy environment was a driving factor of the
+//!   design (the shaded region of Fig. 2).
+
+use std::fmt;
+
+use edc_power::StorageSpec;
+
+/// What ultimately powers the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupplyKind {
+    /// Mains-connected (desktop PC).
+    Mains,
+    /// A primary or externally recharged battery (smartphone, laptop).
+    Battery,
+    /// An energy harvester.
+    Harvester,
+}
+
+/// How the load adapts its consumption to the energy environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adaptation {
+    /// None: consumption is whatever the application demands.
+    None,
+    /// Task-based: buffer energy, execute an atomic task, repeat (right of
+    /// the arc in Fig. 2 — WISPCam, Gomez, Monjolo).
+    TaskBased,
+    /// Continuous: checkpointing and/or performance modulation at machine
+    /// timescales (left of the arc — Mementos, Hibernus, power-neutral).
+    Continuous,
+}
+
+/// A system description sufficient for taxonomy placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemProfile {
+    /// Display name (as annotated in Fig. 2).
+    pub name: String,
+    /// Contained energy storage.
+    pub storage: StorageSpec,
+    /// Supply class.
+    pub supply: SupplyKind,
+    /// `true` when the system keeps operating *correctly* (per its own
+    /// application semantics) across a complete loss of supply.
+    pub survives_interruption: bool,
+    /// Consumption-adaptation style.
+    pub adaptation: Adaptation,
+    /// `true` when the system modulates instantaneous consumption to match
+    /// instantaneous harvested power (DVFS/hot-plug against `P_h(t)`).
+    pub modulates_power: bool,
+}
+
+/// The derived Fig. 2 placement of a system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Classification {
+    /// Eqs. (1)+(2) hold during normal operation.
+    pub energy_neutral: bool,
+    /// Operation survives Eq. (2) violations.
+    pub transient: bool,
+    /// Eq. (3): instantaneous consumption tracks harvest.
+    pub power_neutral: bool,
+    /// The energy subsystem drove the design (the shaded Fig. 2 region).
+    pub energy_driven: bool,
+    /// `log10` of equivalent stored energy in joules (the storage axis).
+    pub storage_decade: f64,
+}
+
+/// Places a profile in the taxonomy.
+pub fn classify(profile: &SystemProfile) -> Classification {
+    // Every correctly-sized buffered system meets Eq. (1)/(2) while its
+    // storage lasts; that is the energy-neutral *mode of operation*. A
+    // power-neutral system is the degenerate T→0 case and is therefore also
+    // on the energy-neutral axis (as the paper places the PN-MPSoC).
+    let energy_neutral = !profile.survives_interruption || profile.modulates_power;
+    let transient = profile.survives_interruption;
+    let power_neutral = profile.modulates_power;
+    // Energy-driven: harvesting-supplied and designed around interruption
+    // or instantaneous-power tracking — the paper's shaded region. A classic
+    // energy-neutral WSN makes the harvester "appear like a battery" and so
+    // stays on the traditional side.
+    let energy_driven =
+        profile.supply == SupplyKind::Harvester && (transient || power_neutral);
+    Classification {
+        energy_neutral,
+        transient,
+        power_neutral,
+        energy_driven,
+        storage_decade: profile.storage.energy_decade(),
+    }
+}
+
+impl fmt::Display for Classification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut tags: Vec<&str> = Vec::new();
+        if self.energy_neutral {
+            tags.push("energy-neutral");
+        }
+        if self.transient {
+            tags.push("transient");
+        }
+        if self.power_neutral {
+            tags.push("power-neutral");
+        }
+        if self.energy_driven {
+            tags.push("ENERGY-DRIVEN");
+        }
+        if tags.is_empty() {
+            tags.push("unclassified");
+        }
+        write!(f, "{}", tags.join(" + "))
+    }
+}
+
+/// The Fig. 2 exemplar systems, with the parameters the paper cites
+/// (WISPCam's 6 mF, Gomez's 80 µF, Monjolo's 500 µF, …).
+pub fn catalog() -> Vec<SystemProfile> {
+    use edc_units::{Farads, Joules};
+    let profile = |name: &str,
+                   storage: StorageSpec,
+                   supply: SupplyKind,
+                   survives: bool,
+                   adaptation: Adaptation,
+                   modulates: bool| SystemProfile {
+        name: name.to_string(),
+        storage,
+        supply,
+        survives_interruption: survives,
+        adaptation,
+        modulates_power: modulates,
+    };
+    vec![
+        profile(
+            "Desktop PC",
+            StorageSpec::Mains,
+            SupplyKind::Mains,
+            false,
+            Adaptation::None,
+            false,
+        ),
+        profile(
+            "Smartphone",
+            StorageSpec::Battery(Joules(40_000.0)),
+            SupplyKind::Battery,
+            false,
+            Adaptation::None,
+            false,
+        ),
+        profile(
+            "Laptop (hibernation)",
+            StorageSpec::Battery(Joules(200_000.0)),
+            SupplyKind::Battery,
+            true,
+            Adaptation::None,
+            false,
+        ),
+        profile(
+            "Energy-neutral WSN [3]",
+            StorageSpec::Supercapacitor(Farads(25.0)),
+            SupplyKind::Harvester,
+            false,
+            Adaptation::TaskBased,
+            false,
+        ),
+        profile(
+            "WISPCam [4]",
+            StorageSpec::Capacitor(Farads::from_milli(6.0)),
+            SupplyKind::Harvester,
+            true,
+            Adaptation::TaskBased,
+            false,
+        ),
+        profile(
+            "Gomez et al. [5]",
+            StorageSpec::Capacitor(Farads::from_micro(80.0)),
+            SupplyKind::Harvester,
+            true,
+            Adaptation::TaskBased,
+            false,
+        ),
+        profile(
+            "Monjolo [6]",
+            StorageSpec::Capacitor(Farads::from_micro(500.0)),
+            SupplyKind::Harvester,
+            true,
+            Adaptation::TaskBased,
+            false,
+        ),
+        profile(
+            "Mementos [7]",
+            StorageSpec::Decoupling(Farads::from_micro(10.0)),
+            SupplyKind::Harvester,
+            true,
+            Adaptation::Continuous,
+            false,
+        ),
+        profile(
+            "QuickRecall [8]",
+            StorageSpec::Decoupling(Farads::from_micro(10.0)),
+            SupplyKind::Harvester,
+            true,
+            Adaptation::Continuous,
+            false,
+        ),
+        profile(
+            "Hibernus [9]",
+            StorageSpec::Decoupling(Farads::from_micro(10.0)),
+            SupplyKind::Harvester,
+            true,
+            Adaptation::Continuous,
+            false,
+        ),
+        profile(
+            "Power-neutral MPSoC [11]",
+            StorageSpec::Decoupling(Farads::from_micro(2200.0)),
+            SupplyKind::Harvester,
+            false,
+            Adaptation::Continuous,
+            true,
+        ),
+        profile(
+            "Hibernus-PN [14]",
+            StorageSpec::Decoupling(Farads::from_micro(10.0)),
+            SupplyKind::Harvester,
+            true,
+            Adaptation::Continuous,
+            true,
+        ),
+    ]
+}
+
+/// Renders the catalogue's classification as an aligned text table — the
+/// Fig. 2 regeneration used by the `fig2_taxonomy` binary.
+pub fn render_table(profiles: &[SystemProfile]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:>9} {:>3} {:>3} {:>3} {:>3}  {}\n",
+        "system", "log10(E)", "EN", "TR", "PN", "ED", "storage"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(78)));
+    let mut sorted = profiles.to_vec();
+    sorted.sort_by(|a, b| {
+        a.storage
+            .energy_decade()
+            .total_cmp(&b.storage.energy_decade())
+    });
+    for p in &sorted {
+        let c = classify(p);
+        let mark = |b: bool| if b { "✓" } else { "·" };
+        let decade = if c.storage_decade.is_finite() {
+            format!("{:+.1}", c.storage_decade)
+        } else {
+            "∞".to_string()
+        };
+        out.push_str(&format!(
+            "{:<26} {:>9} {:>3} {:>3} {:>3} {:>3}  {}\n",
+            p.name,
+            decade,
+            mark(c.energy_neutral),
+            mark(c.transient),
+            mark(c.power_neutral),
+            mark(c.energy_driven),
+            p.storage,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find(name: &str) -> Classification {
+        let cat = catalog();
+        let p = cat
+            .iter()
+            .find(|p| p.name.contains(name))
+            .unwrap_or_else(|| panic!("{name} not in catalogue"));
+        classify(p)
+    }
+
+    #[test]
+    fn traditional_systems_are_energy_neutral_only() {
+        for name in ["Desktop", "Smartphone"] {
+            let c = find(name);
+            assert!(c.energy_neutral, "{name} must be energy-neutral");
+            assert!(!c.transient, "{name} fails on outage");
+            assert!(!c.power_neutral);
+            assert!(!c.energy_driven, "{name} is a traditional system");
+        }
+    }
+
+    #[test]
+    fn laptop_is_transient_but_not_energy_driven() {
+        let c = find("Laptop");
+        assert!(c.transient, "hibernation survives Eq. 2 violation");
+        assert!(!c.energy_driven, "battery-powered: not energy-driven");
+    }
+
+    #[test]
+    fn wsn_is_energy_neutral_not_energy_driven() {
+        // The paper: energy-neutral WSNs make the harvester "appear like a
+        // battery" — harvesting supply, but a traditional design.
+        let c = find("WSN");
+        assert!(c.energy_neutral);
+        assert!(!c.transient);
+        assert!(!c.energy_driven);
+    }
+
+    #[test]
+    fn task_based_systems_are_transient_and_energy_driven() {
+        for name in ["WISPCam", "Gomez", "Monjolo"] {
+            let c = find(name);
+            assert!(c.transient, "{name}");
+            assert!(c.energy_driven, "{name}");
+            assert!(!c.power_neutral, "{name}");
+        }
+    }
+
+    #[test]
+    fn checkpointing_systems_are_transient_and_energy_driven() {
+        for name in ["Mementos", "QuickRecall", "Hibernus [9]"] {
+            let c = find(name);
+            assert!(c.transient, "{name}");
+            assert!(c.energy_driven, "{name}");
+        }
+    }
+
+    #[test]
+    fn pn_mpsoc_is_power_neutral_on_the_energy_neutral_axis() {
+        // The paper: "this particular point is on the Energy-Neutral axis as
+        // it is not equipped with transient functionality".
+        let c = find("Power-neutral MPSoC");
+        assert!(c.power_neutral);
+        assert!(c.energy_neutral);
+        assert!(!c.transient);
+        assert!(c.energy_driven);
+    }
+
+    #[test]
+    fn hibernus_pn_is_all_three() {
+        let c = find("Hibernus-PN");
+        assert!(c.transient && c.power_neutral && c.energy_driven);
+    }
+
+    #[test]
+    fn storage_axis_orders_catalogue_as_fig2() {
+        // Gomez (80 µF) < Monjolo (500 µF) < WISPCam (6 mF) < WSN supercap
+        // < smartphone battery < laptop < mains.
+        let cat = catalog();
+        let decade = |name: &str| {
+            cat.iter()
+                .find(|p| p.name.contains(name))
+                .unwrap()
+                .storage
+                .energy_decade()
+        };
+        assert!(decade("Hibernus [9]") < decade("Gomez"));
+        assert!(decade("Gomez") < decade("Monjolo"));
+        assert!(decade("Monjolo") < decade("WISPCam"));
+        assert!(decade("WISPCam") < decade("WSN"));
+        assert!(decade("WSN") < decade("Smartphone"));
+        assert!(decade("Smartphone") < decade("Laptop"));
+        assert!(decade("Laptop") < decade("Desktop"));
+    }
+
+    #[test]
+    fn table_renders_every_system() {
+        let table = render_table(&catalog());
+        for p in catalog() {
+            assert!(table.contains(&p.name), "missing {}", p.name);
+        }
+        assert!(table.contains("ED"));
+    }
+
+    #[test]
+    fn classification_display() {
+        let c = find("Hibernus-PN");
+        let s = c.to_string();
+        assert!(s.contains("transient") && s.contains("power-neutral"));
+    }
+}

@@ -1,0 +1,266 @@
+//! Trace playback — replays recorded `P_h(t)` or `V(t)` series.
+//!
+//! The paper's experimental data is published as time-series traces (DOI
+//! 10.5258/SOTON/404058). Those files are not available offline, so the
+//! workspace generates synthetic equivalents; [`TracePlayback`] is the
+//! common mechanism that replays either kind of series as an
+//! [`EnergySource`], with linear interpolation and optional looping.
+
+use edc_units::{Ohms, Seconds, Volts, Watts};
+
+use crate::{EnergySource, SourceSample};
+
+/// What the trace samples represent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TraceKind {
+    /// Open-circuit voltage behind the given source resistance.
+    Voltage(Ohms),
+    /// Regulated harvested power.
+    Power,
+}
+
+/// Replays a recorded time series as an energy source.
+///
+/// # Examples
+///
+/// ```
+/// use edc_harvest::{EnergySource, TracePlayback};
+/// use edc_units::{Seconds, Volts, Watts};
+///
+/// let trace = TracePlayback::from_power_series(
+///     "bench",
+///     vec![(Seconds(0.0), Watts(0.001)), (Seconds(1.0), Watts(0.003))],
+/// ).looping();
+/// let mid = trace.power_at(Seconds(0.5));
+/// assert!((mid.0 - 0.002).abs() < 1e-12); // linear interpolation
+/// ```
+#[derive(Debug, Clone)]
+pub struct TracePlayback {
+    name: String,
+    /// Monotonically increasing sample times with their values.
+    samples: Vec<(Seconds, f64)>,
+    kind: TraceKind,
+    looping: bool,
+}
+
+impl TracePlayback {
+    /// Creates a playback source from a voltage series behind `r_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is shorter than two samples or not strictly
+    /// increasing in time.
+    pub fn from_voltage_series(
+        name: impl Into<String>,
+        series: Vec<(Seconds, Volts)>,
+        r_s: Ohms,
+    ) -> Self {
+        assert!(r_s.is_positive(), "source resistance must be > 0");
+        let samples: Vec<_> = series.into_iter().map(|(t, v)| (t, v.0)).collect();
+        Self::validated(name.into(), samples, TraceKind::Voltage(r_s))
+    }
+
+    /// Creates a playback source from a harvested-power series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is shorter than two samples or not strictly
+    /// increasing in time.
+    pub fn from_power_series(name: impl Into<String>, series: Vec<(Seconds, Watts)>) -> Self {
+        let samples: Vec<_> = series.into_iter().map(|(t, p)| (t, p.0)).collect();
+        Self::validated(name.into(), samples, TraceKind::Power)
+    }
+
+    fn validated(name: String, samples: Vec<(Seconds, f64)>, kind: TraceKind) -> Self {
+        assert!(samples.len() >= 2, "trace needs at least two samples");
+        for pair in samples.windows(2) {
+            assert!(
+                pair[0].0 .0 < pair[1].0 .0,
+                "trace times must be strictly increasing"
+            );
+        }
+        Self {
+            name,
+            samples,
+            kind,
+            looping: false,
+        }
+    }
+
+    /// Makes the trace repeat indefinitely instead of holding its last value.
+    pub fn looping(mut self) -> Self {
+        self.looping = true;
+        self
+    }
+
+    /// Duration covered by the underlying samples.
+    pub fn duration(&self) -> Seconds {
+        Seconds(self.samples.last().unwrap().0 .0 - self.samples[0].0 .0)
+    }
+
+    /// Raw interpolated value at `t` (volts or watts depending on the trace
+    /// kind).
+    fn value_at(&self, t: Seconds) -> f64 {
+        let t0 = self.samples[0].0 .0;
+        let t1 = self.samples.last().unwrap().0 .0;
+        let mut q = t.0;
+        if self.looping {
+            let span = t1 - t0;
+            q = t0 + (q - t0).rem_euclid(span);
+        } else if q <= t0 {
+            return self.samples[0].1;
+        } else if q >= t1 {
+            return self.samples.last().unwrap().1;
+        }
+        let idx = self
+            .samples
+            .partition_point(|&(ts, _)| ts.0 <= q)
+            .saturating_sub(1)
+            .min(self.samples.len() - 2);
+        let (ta, va) = self.samples[idx];
+        let (tb, vb) = self.samples[idx + 1];
+        let frac = (q - ta.0) / (tb.0 - ta.0);
+        va + (vb - va) * frac.clamp(0.0, 1.0)
+    }
+
+    /// Interpolated power at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a voltage trace (power is not defined without a
+    /// load operating point).
+    pub fn power_at(&self, t: Seconds) -> Watts {
+        match self.kind {
+            TraceKind::Power => Watts(self.value_at(t)),
+            TraceKind::Voltage(_) => {
+                panic!("power_at is only defined for power traces")
+            }
+        }
+    }
+
+    /// Interpolated open-circuit voltage at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a power trace.
+    pub fn voltage_at(&self, t: Seconds) -> Volts {
+        match self.kind {
+            TraceKind::Voltage(_) => Volts(self.value_at(t)),
+            TraceKind::Power => panic!("voltage_at is only defined for voltage traces"),
+        }
+    }
+}
+
+impl EnergySource for TracePlayback {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn sample(&mut self, t: Seconds) -> SourceSample {
+        match self.kind {
+            TraceKind::Voltage(r_s) => SourceSample::Thevenin {
+                v_oc: Volts(self.value_at(t)),
+                r_s,
+            },
+            TraceKind::Power => SourceSample::Power(Watts(self.value_at(t).max(0.0))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn power_trace() -> TracePlayback {
+        TracePlayback::from_power_series(
+            "t",
+            vec![
+                (Seconds(0.0), Watts(0.0)),
+                (Seconds(1.0), Watts(1.0)),
+                (Seconds(2.0), Watts(0.5)),
+            ],
+        )
+    }
+
+    #[test]
+    fn interpolates_linearly() {
+        let tr = power_trace();
+        assert!((tr.power_at(Seconds(0.5)).0 - 0.5).abs() < 1e-12);
+        assert!((tr.power_at(Seconds(1.5)).0 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn holds_endpoints_when_not_looping() {
+        let tr = power_trace();
+        assert_eq!(tr.power_at(Seconds(-1.0)), Watts(0.0));
+        assert_eq!(tr.power_at(Seconds(10.0)), Watts(0.5));
+    }
+
+    #[test]
+    fn looping_wraps_around() {
+        let tr = power_trace().looping();
+        assert!((tr.power_at(Seconds(2.5)).0 - tr.power_at(Seconds(0.5)).0).abs() < 1e-12);
+        assert_eq!(tr.duration(), Seconds(2.0));
+    }
+
+    #[test]
+    fn voltage_trace_presents_thevenin() {
+        let mut tr = TracePlayback::from_voltage_series(
+            "v",
+            vec![(Seconds(0.0), Volts(0.0)), (Seconds(1.0), Volts(4.0))],
+            Ohms(100.0),
+        );
+        match tr.sample(Seconds(0.5)) {
+            SourceSample::Thevenin { v_oc, r_s } => {
+                assert!((v_oc.0 - 2.0).abs() < 1e-12);
+                assert_eq!(r_s, Ohms(100.0));
+            }
+            other => panic!("unexpected sample {other:?}"),
+        }
+        assert!((tr.voltage_at(Seconds(0.25)).0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_times_rejected() {
+        let _ = TracePlayback::from_power_series(
+            "bad",
+            vec![(Seconds(1.0), Watts(0.0)), (Seconds(0.5), Watts(1.0))],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn single_sample_rejected() {
+        let _ = TracePlayback::from_power_series("bad", vec![(Seconds(0.0), Watts(0.0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "only defined for power traces")]
+    fn power_at_on_voltage_trace_panics() {
+        let tr = TracePlayback::from_voltage_series(
+            "v",
+            vec![(Seconds(0.0), Volts(0.0)), (Seconds(1.0), Volts(1.0))],
+            Ohms(1.0),
+        );
+        let _ = tr.power_at(Seconds(0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_interpolation_bounded_by_samples(t in -5.0f64..10.0) {
+            let tr = power_trace();
+            let p = tr.power_at(Seconds(t)).0;
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn prop_looping_periodic(t in 0.0f64..2.0, k in 1u32..5) {
+            let tr = power_trace().looping();
+            let a = tr.power_at(Seconds(t)).0;
+            let b = tr.power_at(Seconds(t + 2.0 * k as f64)).0;
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The DFS clock ladder.
+//!
+//! Dynamic frequency scaling is the paper's primary power-neutral "hook"
+//! (Section II.C / Fig. 8): the governor moves the core clock up and down
+//! this ladder to modulate consumption against harvested power.
+
+use edc_units::Hertz;
+
+/// A discrete set of selectable core frequencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockLadder {
+    levels: Vec<Hertz>,
+    index: usize,
+}
+
+impl ClockLadder {
+    /// The MSP430FR-class ladder used throughout the workspace:
+    /// 1, 2, 4, 8, 16 and 24 MHz.
+    pub fn msp430() -> Self {
+        Self::new(vec![
+            Hertz::from_mega(1.0),
+            Hertz::from_mega(2.0),
+            Hertz::from_mega(4.0),
+            Hertz::from_mega(8.0),
+            Hertz::from_mega(16.0),
+            Hertz::from_mega(24.0),
+        ])
+    }
+
+    /// Creates a ladder from strictly increasing positive frequencies,
+    /// starting at the highest level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty or not strictly increasing/positive.
+    pub fn new(levels: Vec<Hertz>) -> Self {
+        assert!(!levels.is_empty(), "clock ladder needs at least one level");
+        assert!(levels[0].is_positive(), "frequencies must be > 0");
+        for pair in levels.windows(2) {
+            assert!(pair[0] < pair[1], "ladder must be strictly increasing");
+        }
+        let index = levels.len() - 1;
+        Self { levels, index }
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// `true` when the ladder has no levels (cannot occur after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The current frequency.
+    pub fn frequency(&self) -> Hertz {
+        self.levels[self.index]
+    }
+
+    /// The current level index (0 = slowest).
+    pub fn level(&self) -> usize {
+        self.index
+    }
+
+    /// All levels, slowest first.
+    pub fn levels(&self) -> &[Hertz] {
+        &self.levels
+    }
+
+    /// Selects a level by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn set_level(&mut self, level: usize) {
+        assert!(level < self.levels.len(), "clock level out of range");
+        self.index = level;
+    }
+
+    /// Steps one level up (faster); returns the new frequency.
+    pub fn step_up(&mut self) -> Hertz {
+        if self.index + 1 < self.levels.len() {
+            self.index += 1;
+        }
+        self.frequency()
+    }
+
+    /// Steps one level down (slower); returns the new frequency.
+    pub fn step_down(&mut self) -> Hertz {
+        self.index = self.index.saturating_sub(1);
+        self.frequency()
+    }
+
+    /// `true` when at the slowest level.
+    pub fn at_bottom(&self) -> bool {
+        self.index == 0
+    }
+
+    /// `true` when at the fastest level.
+    pub fn at_top(&self) -> bool {
+        self.index == self.levels.len() - 1
+    }
+}
+
+impl Default for ClockLadder {
+    fn default() -> Self {
+        Self::msp430()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msp430_ladder_shape() {
+        let l = ClockLadder::msp430();
+        assert_eq!(l.len(), 6);
+        assert!(l.at_top());
+        assert_eq!(l.frequency(), Hertz::from_mega(24.0));
+    }
+
+    #[test]
+    fn stepping_clamps_at_ends() {
+        let mut l = ClockLadder::msp430();
+        for _ in 0..10 {
+            l.step_down();
+        }
+        assert!(l.at_bottom());
+        assert_eq!(l.frequency(), Hertz::from_mega(1.0));
+        l.step_down();
+        assert_eq!(l.frequency(), Hertz::from_mega(1.0));
+        for _ in 0..10 {
+            l.step_up();
+        }
+        assert!(l.at_top());
+    }
+
+    #[test]
+    fn set_level_selects_directly() {
+        let mut l = ClockLadder::msp430();
+        l.set_level(3);
+        assert_eq!(l.frequency(), Hertz::from_mega(8.0));
+        assert_eq!(l.level(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_ladder_rejected() {
+        let _ = ClockLadder::new(vec![Hertz(2.0), Hertz(1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_level_rejected() {
+        let mut l = ClockLadder::msp430();
+        l.set_level(6);
+    }
+}

@@ -1,0 +1,56 @@
+//! A simulated low-power microcontroller for intermittent-computing research.
+//!
+//! This crate is the hardware substitute for the MSP430FR5739 boards the
+//! paper's Hibernus line of experiments ran on (see DESIGN.md). It provides:
+//!
+//! - [`isa`] — the EH16 instruction set and a label-resolving assembler;
+//! - [`mem`] — a word-addressed SRAM + FRAM memory with access accounting;
+//! - [`ClockLadder`] — the DFS frequency ladder (the power-neutral "hook");
+//! - [`PowerModel`] — MSP430-datasheet-shaped current/energy figures;
+//! - [`Mcu`] — the machine: cycle-counted execution, brownout semantics
+//!   (volatile state dies, FRAM survives), and a two-phase snapshot engine
+//!   whose torn frames never restore.
+//!
+//! # Examples
+//!
+//! Surviving a power loss through a snapshot:
+//!
+//! ```
+//! use edc_mcu::isa::{regs::*, ProgramBuilder};
+//! use edc_mcu::{Mcu, RunExit};
+//!
+//! let program = ProgramBuilder::new("demo")
+//!     .mov(R0, 0u16)
+//!     .label("loop")
+//!     .add(R0, 1u16)
+//!     .cmp(R0, 1000u16)
+//!     .brn("loop")
+//!     .halt()
+//!     .build()?;
+//! let mut mcu = Mcu::new(program);
+//!
+//! mcu.run(500, false);                  // make some progress
+//! mcu.take_snapshot(None);              // V_H crossed: hibernate
+//! mcu.power_loss();                     // supply dies
+//! mcu.cold_boot();                      // supply returns
+//! mcu.restore_snapshot().expect("sealed snapshot");
+//! assert_eq!(mcu.run(u64::MAX, false).exit, RunExit::Completed);
+//! assert_eq!(mcu.cpu().regs[0], 1000);
+//! # Ok::<(), edc_mcu::isa::BuildProgramError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod isa;
+mod machine;
+pub mod mem;
+mod power;
+
+pub use clock::ClockLadder;
+pub use machine::{
+    Adc, CpuState, MachineError, Mcu, PeripheralPolicy, Radio, RestoreOutcome, RunExit,
+    RunReport, SnapshotOutcome,
+};
+pub use power::{ExecutionResidence, PowerModel, PowerState};

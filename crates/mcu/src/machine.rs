@@ -1,0 +1,1314 @@
+//! The simulated MCU: CPU, memory, clock, peripherals, and the snapshot
+//! engine that makes transient computing possible.
+//!
+//! The machine deliberately exposes the failure semantics the paper's
+//! Section II.B revolves around: on [`Mcu::power_loss`] all volatile state
+//! (SRAM, registers, peripheral state) is destroyed while FRAM survives, and
+//! a snapshot interrupted mid-copy is left unsealed and will not restore —
+//! Mementos' downside #2.
+
+use std::fmt;
+
+use edc_units::{Hertz, Joules, Seconds, Watts};
+
+use crate::clock::ClockLadder;
+use crate::isa::{Addr, Insn, Operand, Program, Reg};
+use crate::mem::{
+    Memory, MemoryFault, Region, SNAPSHOT_BASE, SNAPSHOT_FRAME_WORDS, SRAM_WORDS,
+};
+use crate::power::{ExecutionResidence, PowerModel, PowerState};
+
+/// Valid-snapshot seal word, written last during a snapshot.
+const SEAL_VALID: u16 = 0xA55A;
+
+/// Snapshot frame header length in words (seal, sequence, 16 regs, pc lo/hi,
+/// sp, flags, 2 reserved).
+const HEADER_WORDS: u16 = 24;
+
+/// CPU architectural state — exactly what a snapshot must capture beyond
+/// SRAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuState {
+    /// General registers R0–R15.
+    pub regs: [u16; 16],
+    /// Program counter (instruction index).
+    pub pc: u32,
+    /// Stack pointer (word address; grows down).
+    pub sp: u16,
+    /// Zero flag.
+    pub z: bool,
+    /// Negative flag.
+    pub n: bool,
+}
+
+impl CpuState {
+    fn reset() -> Self {
+        Self {
+            regs: [0; 16],
+            pc: 0,
+            sp: SRAM_WORDS,
+            z: false,
+            n: false,
+        }
+    }
+}
+
+/// Errors the machine can raise while executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineError {
+    /// A load/store touched unmapped memory.
+    Memory(MemoryFault),
+    /// The PC left the program.
+    PcOutOfRange(u32),
+    /// Push with a full stack.
+    StackOverflow,
+    /// Pop/ret with an empty stack.
+    StackUnderflow,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Memory(m) => write!(f, "memory fault: {m}"),
+            MachineError::PcOutOfRange(pc) => write!(f, "pc {pc} outside program"),
+            MachineError::StackOverflow => write!(f, "stack overflow"),
+            MachineError::StackUnderflow => write!(f, "stack underflow"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<MemoryFault> for MachineError {
+    fn from(m: MemoryFault) -> Self {
+        MachineError::Memory(m)
+    }
+}
+
+/// Why a [`Mcu::run`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// The program executed `Halt`.
+    Completed,
+    /// The cycle budget ran out mid-program.
+    BudgetExhausted,
+    /// A `Mark` checkpoint site was crossed (only with `stop_at_markers`).
+    Marker(u16),
+    /// Execution faulted.
+    Fault(MachineError),
+}
+
+/// Result of a [`Mcu::run`] burst.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunReport {
+    /// Cycles consumed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Energy consumed (execution + peripheral events).
+    pub energy: Joules,
+    /// Why the burst ended.
+    pub exit: RunExit,
+}
+
+/// Result of a snapshot attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotOutcome {
+    /// `true` when the frame was fully written and sealed.
+    pub completed: bool,
+    /// Cycles the copy loop consumed (or would have, if truncated).
+    pub cycles: u64,
+    /// Energy actually spent.
+    pub energy: Joules,
+}
+
+/// Result of a successful restore.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RestoreOutcome {
+    /// Cycles the copy-back consumed.
+    pub cycles: u64,
+    /// Energy spent.
+    pub energy: Joules,
+    /// Snapshot sequence number that was restored.
+    pub sequence: u16,
+}
+
+/// How snapshots treat peripheral state — the open problem the paper's
+/// discussion section raises ("work to date has primarily focused on
+/// computation, and not the plethora of peripherals that are typically
+/// present in embedded systems").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PeripheralPolicy {
+    /// Peripherals are re-initialised after every outage (the state of the
+    /// art the paper describes): the ADC's conversion sequence restarts.
+    #[default]
+    Reinit,
+    /// Peripheral registers are included in the snapshot frame (the paper's
+    /// future-work direction), at a small extra frame cost.
+    Checkpointed,
+}
+
+/// A deterministic ADC peripheral: successive conversions sample a slow
+/// sinusoid, as a sensor watching a periodic physical signal would.
+///
+/// Under [`PeripheralPolicy::Reinit`] the conversion index is *volatile* —
+/// power loss resets it and the sampled waveform restarts.
+#[derive(Debug, Clone, Default)]
+pub struct Adc {
+    index: u32,
+}
+
+impl Adc {
+    /// Performs one conversion (12-bit result).
+    pub fn convert(&mut self) -> u16 {
+        let phase = self.index as f64 / 64.0 * std::f64::consts::TAU;
+        self.index = self.index.wrapping_add(1);
+        (2048.0 + 1023.0 * phase.sin()).round() as u16
+    }
+
+    /// Conversions since last reset.
+    pub fn conversions(&self) -> u32 {
+        self.index
+    }
+
+    fn reset(&mut self) {
+        self.index = 0;
+    }
+}
+
+/// A counting radio peripheral.
+#[derive(Debug, Clone, Default)]
+pub struct Radio {
+    words_sent: u64,
+    last_word: u16,
+}
+
+impl Radio {
+    /// Total words transmitted over the machine's lifetime (non-volatile
+    /// counter on the observer's side, like a lab sniffer).
+    pub fn words_sent(&self) -> u64 {
+        self.words_sent
+    }
+
+    /// The most recently transmitted word.
+    pub fn last_word(&self) -> u16 {
+        self.last_word
+    }
+}
+
+/// The simulated microcontroller.
+///
+/// # Examples
+///
+/// ```
+/// use edc_mcu::isa::{regs::*, ProgramBuilder};
+/// use edc_mcu::{Mcu, RunExit};
+///
+/// let program = ProgramBuilder::new("count")
+///     .mov(R0, 0u16)
+///     .mov(R1, 5u16)
+///     .label("loop")
+///     .add(R0, 1u16)
+///     .sub(R1, 1u16)
+///     .brnz("loop")
+///     .halt()
+///     .build()?;
+/// let mut mcu = Mcu::new(program);
+/// let report = mcu.run(1_000_000, false);
+/// assert_eq!(report.exit, RunExit::Completed);
+/// assert_eq!(mcu.cpu().regs[0], 5);
+/// # Ok::<(), edc_mcu::isa::BuildProgramError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mcu {
+    program: Program,
+    mem: Memory,
+    cpu: CpuState,
+    clock: ClockLadder,
+    power: PowerModel,
+    residence: ExecutionResidence,
+    state: PowerState,
+    adc: Adc,
+    radio: Radio,
+    peripheral_policy: PeripheralPolicy,
+    halted: bool,
+    total_cycles: u64,
+    total_instructions: u64,
+    reboots: u64,
+}
+
+impl Mcu {
+    /// Creates a machine running `program` with default (MSP430-shaped)
+    /// power model, SRAM residence, and the standard clock ladder at 8 MHz.
+    pub fn new(program: Program) -> Self {
+        let mut clock = ClockLadder::msp430();
+        clock.set_level(3); // 8 MHz default, as the Hibernus experiments.
+        let mut mcu = Self {
+            program,
+            mem: Memory::new(),
+            cpu: CpuState::reset(),
+            clock,
+            power: PowerModel::msp430fr5739(),
+            residence: ExecutionResidence::Sram,
+            state: PowerState::Active,
+            adc: Adc::default(),
+            radio: Radio::default(),
+            peripheral_policy: PeripheralPolicy::default(),
+            halted: false,
+            total_cycles: 0,
+            total_instructions: 0,
+            reboots: 0,
+        };
+        mcu.load_program_data();
+        mcu
+    }
+
+    /// Switches the execution residence (QuickRecall runs FRAM-resident).
+    pub fn with_residence(mut self, residence: ExecutionResidence) -> Self {
+        self.residence = residence;
+        self
+    }
+
+    /// Replaces the power model.
+    pub fn with_power_model(mut self, power: PowerModel) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Selects how snapshots treat peripheral state.
+    pub fn with_peripheral_policy(mut self, policy: PeripheralPolicy) -> Self {
+        self.peripheral_policy = policy;
+        self
+    }
+
+    /// The active peripheral-snapshot policy.
+    pub fn peripheral_policy(&self) -> PeripheralPolicy {
+        self.peripheral_policy
+    }
+
+    fn load_program_data(&mut self) {
+        for (addr, words) in self.program.data().to_vec() {
+            for (i, w) in words.iter().enumerate() {
+                self.mem
+                    .poke(addr + i as u16, *w)
+                    .expect("program data must target mapped memory");
+            }
+        }
+    }
+
+    // --- accessors ---------------------------------------------------------
+
+    /// The CPU architectural state.
+    pub fn cpu(&self) -> &CpuState {
+        &self.cpu
+    }
+
+    /// The memory system.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable memory access (test setup, workload verification).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The DFS clock.
+    pub fn clock(&self) -> &ClockLadder {
+        &self.clock
+    }
+
+    /// Mutable clock access (the power-neutral governor's hook).
+    pub fn clock_mut(&mut self) -> &mut ClockLadder {
+        &mut self.clock
+    }
+
+    /// The power model.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// Execution residence.
+    pub fn residence(&self) -> ExecutionResidence {
+        self.residence
+    }
+
+    /// Current power state.
+    pub fn state(&self) -> PowerState {
+        self.state
+    }
+
+    /// `true` once the program has executed `Halt` (and not been rebooted).
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Total cycles executed over the machine's lifetime.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Total instructions retired.
+    pub fn total_instructions(&self) -> u64 {
+        self.total_instructions
+    }
+
+    /// Number of power-loss reboots endured.
+    pub fn reboots(&self) -> u64 {
+        self.reboots
+    }
+
+    /// The ADC peripheral.
+    pub fn adc(&self) -> &Adc {
+        &self.adc
+    }
+
+    /// The radio peripheral.
+    pub fn radio(&self) -> &Radio {
+        &self.radio
+    }
+
+    /// Instantaneous supply current in the current state.
+    pub fn supply_current(&self) -> edc_units::Amps {
+        self.power
+            .current(self.state, self.clock.frequency(), self.residence)
+    }
+
+    /// Instantaneous supply power in the current state.
+    pub fn supply_power(&self) -> Watts {
+        self.power
+            .power(self.state, self.clock.frequency(), self.residence)
+    }
+
+    // --- power-state transitions --------------------------------------------
+
+    /// Enters sleep (clock gated, SRAM retained).
+    pub fn sleep(&mut self) {
+        if self.state == PowerState::Active {
+            self.state = PowerState::Sleep;
+        }
+    }
+
+    /// Wakes from sleep.
+    pub fn wake(&mut self) {
+        if self.state == PowerState::Sleep {
+            self.state = PowerState::Active;
+        }
+    }
+
+    /// Supply collapse: volatile state (SRAM, registers, peripherals) is
+    /// destroyed; FRAM — including any sealed snapshot — survives.
+    ///
+    /// Under [`ExecutionResidence::Fram`] (the QuickRecall configuration)
+    /// the low memory region is itself FRAM, so only registers and
+    /// peripherals are lost.
+    pub fn power_loss(&mut self) {
+        self.state = PowerState::Off;
+        if self.residence == ExecutionResidence::Sram {
+            self.mem.corrupt_volatile();
+        }
+        self.cpu = CpuState::reset();
+        self.adc.reset();
+        self.halted = false;
+    }
+
+    /// Cold boot after power returns: PC at entry, clean registers. SRAM
+    /// still holds post-outage garbage — programs must initialise what they
+    /// use, exactly as on real transient hardware.
+    pub fn cold_boot(&mut self) {
+        self.cpu = CpuState::reset();
+        self.state = PowerState::Active;
+        self.halted = false;
+        self.reboots += 1;
+    }
+
+    // --- snapshot engine ----------------------------------------------------
+
+    /// Size of a snapshot frame in words: the full SRAM image plus header
+    /// for SRAM residence, or just the register header for unified-FRAM
+    /// (QuickRecall) machines, where registers are the only volatile state.
+    /// Checkpointing peripherals copies their register bank too.
+    pub fn snapshot_words(&self) -> u64 {
+        let base = match self.residence {
+            ExecutionResidence::Sram => (SRAM_WORDS + HEADER_WORDS) as u64,
+            ExecutionResidence::Fram => HEADER_WORDS as u64,
+        };
+        match self.peripheral_policy {
+            PeripheralPolicy::Reinit => base,
+            // ADC + radio + timer register banks (stored in the header's
+            // reserved words; the cost models the peripheral bus reads).
+            PeripheralPolicy::Checkpointed => base + 4,
+        }
+    }
+
+    /// Energy a full snapshot would cost right now — the `E_S` the Hibernus
+    /// calibration (Eq. 4) must budget for.
+    pub fn snapshot_energy(&self) -> Joules {
+        self.power
+            .snapshot_cost(self.snapshot_words(), self.clock.frequency(), self.residence)
+            .1
+    }
+
+    /// Energy a restore costs.
+    pub fn restore_energy(&self) -> Joules {
+        self.power
+            .restore_cost(self.snapshot_words(), self.clock.frequency(), self.residence)
+            .1
+    }
+
+    /// FRAM-relative offset of frame `i` (0 or 1) in the double-buffered
+    /// snapshot area.
+    fn frame_offset(i: u8) -> u16 {
+        SNAPSHOT_BASE - crate::mem::FRAM_BASE + u16::from(i) * SNAPSHOT_FRAME_WORDS
+    }
+
+    /// `(sealed, sequence)` of frame `i`.
+    fn frame_state(&self, i: u8) -> (bool, u16) {
+        let head = self.mem.fram_slice(Self::frame_offset(i), 2);
+        (head[0] == SEAL_VALID, head[1])
+    }
+
+    /// The sealed frame with the highest sequence number, if any.
+    fn newest_sealed_frame(&self) -> Option<u8> {
+        let (s0, q0) = self.frame_state(0);
+        let (s1, q1) = self.frame_state(1);
+        match (s0, s1) {
+            (true, true) => Some(if q0.wrapping_sub(q1) < 0x8000 { 0 } else { 1 }),
+            (true, false) => Some(0),
+            (false, true) => Some(1),
+            (false, false) => None,
+        }
+    }
+
+    /// Attempts to snapshot all volatile state into the snapshot area.
+    ///
+    /// Frames are double-buffered (as Mementos does): the write targets the
+    /// frame that is *not* the newest sealed one, so a torn attempt never
+    /// destroys the last good snapshot.
+    ///
+    /// With `energy_budget = Some(e)` and `e` below the full cost, the
+    /// target frame is left unsealed, the budget is consumed, and
+    /// `completed: false` is returned — the "snapshot started but not
+    /// completed before the supply was interrupted" failure.
+    pub fn take_snapshot(&mut self, energy_budget: Option<Joules>) -> SnapshotOutcome {
+        let words = self.snapshot_words();
+        let (cycles, full_cost) =
+            self.power
+                .snapshot_cost(words, self.clock.frequency(), self.residence);
+
+        let target = match self.newest_sealed_frame() {
+            Some(newest) => 1 - newest,
+            None => 0,
+        };
+        let next_seq = self
+            .newest_sealed_frame()
+            .map(|f| self.frame_state(f).1.wrapping_add(1))
+            .unwrap_or(1);
+
+        // Invalidate the target first: a torn frame must never look valid.
+        self.mem.fram_slice_mut(Self::frame_offset(target), 1)[0] = 0;
+
+        if let Some(budget) = energy_budget {
+            if budget < full_cost {
+                let spent = budget.max(Joules::ZERO);
+                self.total_cycles += cycles; // the copy loop ran until the lights went out
+                return SnapshotOutcome {
+                    completed: false,
+                    cycles,
+                    energy: spent,
+                };
+            }
+        }
+
+        // Header + SRAM image.
+        let mut frame = Vec::with_capacity(words as usize);
+        frame.push(0); // seal placeholder
+        frame.push(next_seq);
+        frame.extend_from_slice(&self.cpu.regs);
+        frame.push(self.cpu.pc as u16);
+        frame.push((self.cpu.pc >> 16) as u16);
+        frame.push(self.cpu.sp);
+        frame.push((self.cpu.z as u16) | ((self.cpu.n as u16) << 1));
+        if self.peripheral_policy == PeripheralPolicy::Checkpointed {
+            frame.push(self.adc.index as u16);
+            frame.push((self.adc.index >> 16) as u16);
+        }
+        frame.resize(HEADER_WORDS as usize, 0);
+        let saves_sram = self.residence == ExecutionResidence::Sram;
+        if saves_sram {
+            frame.extend_from_slice(self.mem.sram());
+        }
+
+        let dst = self
+            .mem
+            .fram_slice_mut(Self::frame_offset(target), SNAPSHOT_FRAME_WORDS);
+        dst[..frame.len()].copy_from_slice(&frame);
+        dst[0] = SEAL_VALID; // seal last: commit point
+
+        self.mem
+            .add_counts(if saves_sram { SRAM_WORDS as u64 } else { 0 }, 0, 0, words);
+        self.total_cycles += cycles;
+        SnapshotOutcome {
+            completed: true,
+            cycles,
+            energy: full_cost,
+        }
+    }
+
+    /// `true` when a sealed snapshot frame exists.
+    pub fn has_valid_snapshot(&self) -> bool {
+        self.newest_sealed_frame().is_some()
+    }
+
+    /// Erases all snapshots (test setup; also what a `Halt`-aware runner
+    /// does so a completed program is not resurrected).
+    pub fn invalidate_snapshot(&mut self) {
+        for i in 0..2 {
+            self.mem.fram_slice_mut(Self::frame_offset(i), 1)[0] = 0;
+        }
+    }
+
+    /// Restores the newest sealed snapshot, if any: SRAM and CPU state come
+    /// back, execution resumes where the snapshot was taken.
+    pub fn restore_snapshot(&mut self) -> Option<RestoreOutcome> {
+        let newest = self.newest_sealed_frame()?;
+        let words = self.snapshot_words();
+        let (cycles, energy) =
+            self.power
+                .restore_cost(words, self.clock.frequency(), self.residence);
+        let frame: Vec<u16> = self
+            .mem
+            .fram_slice(Self::frame_offset(newest), SNAPSHOT_FRAME_WORDS)
+            .to_vec();
+        let sequence = frame[1];
+        let mut regs = [0u16; 16];
+        regs.copy_from_slice(&frame[2..18]);
+        self.cpu.regs = regs;
+        self.cpu.pc = frame[18] as u32 | ((frame[19] as u32) << 16);
+        self.cpu.sp = frame[20];
+        self.cpu.z = frame[21] & 1 != 0;
+        self.cpu.n = frame[21] & 2 != 0;
+        if self.peripheral_policy == PeripheralPolicy::Checkpointed {
+            self.adc.index = frame[22] as u32 | ((frame[23] as u32) << 16);
+        }
+        if self.residence == ExecutionResidence::Sram {
+            let sram_image =
+                frame[HEADER_WORDS as usize..HEADER_WORDS as usize + SRAM_WORDS as usize].to_vec();
+            self.mem.load_sram(&sram_image);
+            self.mem.add_counts(0, SRAM_WORDS as u64, words, 0);
+        } else {
+            self.mem.add_counts(0, 0, words, 0);
+        }
+        self.state = PowerState::Active;
+        self.halted = false;
+        self.total_cycles += cycles;
+        Some(RestoreOutcome {
+            cycles,
+            energy,
+            sequence,
+        })
+    }
+
+    // --- execution -----------------------------------------------------------
+
+    fn operand_value(&self, o: Operand) -> u16 {
+        match o {
+            Operand::Reg(r) => self.cpu.regs[r.index()],
+            Operand::Imm(v) => v,
+        }
+    }
+
+    fn effective_address(&self, a: Addr) -> u16 {
+        match a {
+            Addr::Abs(addr) => addr,
+            Addr::Ind(r) => self.cpu.regs[r.index()],
+            Addr::IndOff(r, off) => {
+                (self.cpu.regs[r.index()] as i32 + off as i32) as u16
+            }
+        }
+    }
+
+    fn set_flags(&mut self, result: u16) {
+        self.cpu.z = result == 0;
+        self.cpu.n = result & 0x8000 != 0;
+    }
+
+    fn alu(&mut self, rd: Reg, src: Operand, f: impl Fn(u16, u16) -> u16) {
+        let a = self.cpu.regs[rd.index()];
+        let b = self.operand_value(src);
+        let r = f(a, b);
+        self.cpu.regs[rd.index()] = r;
+        self.set_flags(r);
+    }
+
+    fn push_word(&mut self, v: u16) -> Result<(), MachineError> {
+        if self.cpu.sp == 0 {
+            return Err(MachineError::StackOverflow);
+        }
+        self.cpu.sp -= 1;
+        self.mem.write(self.cpu.sp, v)?;
+        Ok(())
+    }
+
+    fn pop_word(&mut self) -> Result<u16, MachineError> {
+        if self.cpu.sp >= SRAM_WORDS {
+            return Err(MachineError::StackUnderflow);
+        }
+        let v = self.mem.read(self.cpu.sp)?;
+        self.cpu.sp += 1;
+        Ok(v)
+    }
+
+    /// Extra cycles for a memory access depending on the region touched.
+    /// Under unified-FRAM residence every access is a FRAM access.
+    fn access_penalty(&self, addr: u16) -> u64 {
+        if self.clock.frequency() <= self.power.fram_wait_threshold {
+            return 0;
+        }
+        match self.residence {
+            ExecutionResidence::Fram => 1,
+            ExecutionResidence::Sram => match Memory::region_of(addr) {
+                Ok(Region::Fram) => 1,
+                _ => 0,
+            },
+        }
+    }
+
+    /// Executes one instruction. Returns `(cycles, peripheral_energy,
+    /// marker)` on success.
+    fn step(&mut self) -> Result<(u64, Joules, Option<u16>), MachineError> {
+        let insn = self
+            .program
+            .fetch(self.cpu.pc)
+            .ok_or(MachineError::PcOutOfRange(self.cpu.pc))?;
+        let mut cycles = insn.base_cycles();
+        let mut peripheral = Joules::ZERO;
+        let mut marker = None;
+        let mut next_pc = self.cpu.pc + 1;
+
+        match insn {
+            Insn::Mov(rd, src) => {
+                let v = self.operand_value(src);
+                self.cpu.regs[rd.index()] = v;
+                self.set_flags(v);
+            }
+            Insn::Add(rd, src) => self.alu(rd, src, |a, b| a.wrapping_add(b)),
+            Insn::Sub(rd, src) => self.alu(rd, src, |a, b| a.wrapping_sub(b)),
+            Insn::And(rd, src) => self.alu(rd, src, |a, b| a & b),
+            Insn::Or(rd, src) => self.alu(rd, src, |a, b| a | b),
+            Insn::Xor(rd, src) => self.alu(rd, src, |a, b| a ^ b),
+            Insn::Mul(rd, src) => self.alu(rd, src, |a, b| a.wrapping_mul(b)),
+            Insn::MulQ15(rd, src) => self.alu(rd, src, |a, b| {
+                let p = (a as i16 as i32) * (b as i16 as i32);
+                ((p >> 15) as i16) as u16
+            }),
+            Insn::Shl(rd, n) => {
+                let r = self.cpu.regs[rd.index()] << n;
+                self.cpu.regs[rd.index()] = r;
+                self.set_flags(r);
+            }
+            Insn::Shr(rd, n) => {
+                let r = self.cpu.regs[rd.index()] >> n;
+                self.cpu.regs[rd.index()] = r;
+                self.set_flags(r);
+            }
+            Insn::Sar(rd, n) => {
+                let r = ((self.cpu.regs[rd.index()] as i16) >> n) as u16;
+                self.cpu.regs[rd.index()] = r;
+                self.set_flags(r);
+            }
+            Insn::Ld(rd, addr) => {
+                let ea = self.effective_address(addr);
+                cycles += self.access_penalty(ea);
+                let v = self.mem.read(ea)?;
+                self.cpu.regs[rd.index()] = v;
+                self.set_flags(v);
+            }
+            Insn::St(rs, addr) => {
+                let ea = self.effective_address(addr);
+                cycles += self.access_penalty(ea);
+                self.mem.write(ea, self.cpu.regs[rs.index()])?;
+            }
+            Insn::Cmp(ra, src) => {
+                let a = self.cpu.regs[ra.index()];
+                let b = self.operand_value(src);
+                self.cpu.z = a == b;
+                self.cpu.n = (a as i16) < (b as i16);
+            }
+            Insn::Jmp(t) => next_pc = t,
+            Insn::Brz(t) => {
+                if self.cpu.z {
+                    next_pc = t;
+                }
+            }
+            Insn::Brnz(t) => {
+                if !self.cpu.z {
+                    next_pc = t;
+                }
+            }
+            Insn::Brn(t) => {
+                if self.cpu.n {
+                    next_pc = t;
+                }
+            }
+            Insn::Brge(t) => {
+                if !self.cpu.n {
+                    next_pc = t;
+                }
+            }
+            Insn::Call(t) => {
+                self.push_word(next_pc as u16)?;
+                next_pc = t;
+            }
+            Insn::Ret => {
+                next_pc = self.pop_word()? as u32;
+            }
+            Insn::Push(r) => {
+                let v = self.cpu.regs[r.index()];
+                self.push_word(v)?;
+            }
+            Insn::Pop(r) => {
+                let v = self.pop_word()?;
+                self.cpu.regs[r.index()] = v;
+            }
+            Insn::Mark(id) => marker = Some(id),
+            Insn::Sense(rd) => {
+                let v = self.adc.convert();
+                self.cpu.regs[rd.index()] = v;
+                self.set_flags(v);
+                peripheral += self.power.adc_energy_per_sample;
+            }
+            Insn::Tx(rs) => {
+                self.radio.last_word = self.cpu.regs[rs.index()];
+                self.radio.words_sent += 1;
+                peripheral += self.power.radio_energy_per_word;
+            }
+            Insn::Nop => {}
+            Insn::Halt => {
+                self.halted = true;
+                next_pc = self.cpu.pc; // stay put
+            }
+        }
+        self.cpu.pc = next_pc;
+        Ok((cycles, peripheral, marker))
+    }
+
+    /// Runs up to `cycle_budget` cycles, optionally yielding at checkpoint
+    /// markers. Does nothing (and reports `BudgetExhausted`) when asleep,
+    /// off, or already halted — except that a halted machine reports
+    /// `Completed`.
+    pub fn run(&mut self, cycle_budget: u64, stop_at_markers: bool) -> RunReport {
+        let f = self.clock.frequency();
+        let mut used = 0u64;
+        let mut retired = 0u64;
+        let mut peripheral = Joules::ZERO;
+
+        if self.halted {
+            return RunReport {
+                cycles: 0,
+                instructions: 0,
+                energy: Joules::ZERO,
+                exit: RunExit::Completed,
+            };
+        }
+        if self.state != PowerState::Active {
+            return RunReport {
+                cycles: 0,
+                instructions: 0,
+                energy: Joules::ZERO,
+                exit: RunExit::BudgetExhausted,
+            };
+        }
+
+        let exit = loop {
+            // Peek the next instruction's cost before committing.
+            let Some(insn) = self.program.fetch(self.cpu.pc) else {
+                break RunExit::Fault(MachineError::PcOutOfRange(self.cpu.pc));
+            };
+            if used + insn.base_cycles() > cycle_budget {
+                break RunExit::BudgetExhausted;
+            }
+            match self.step() {
+                Ok((cycles, p_energy, marker)) => {
+                    used += cycles;
+                    retired += 1;
+                    peripheral += p_energy;
+                    if self.halted {
+                        break RunExit::Completed;
+                    }
+                    if let Some(id) = marker {
+                        if stop_at_markers {
+                            break RunExit::Marker(id);
+                        }
+                    }
+                }
+                Err(e) => break RunExit::Fault(e),
+            }
+        };
+
+        self.total_cycles += used;
+        self.total_instructions += retired;
+        let energy = self.power.execution_energy(used, f, self.residence) + peripheral;
+        RunReport {
+            cycles: used,
+            instructions: retired,
+            energy,
+            exit,
+        }
+    }
+
+    /// Wall-clock time of `cycles` at the current clock.
+    pub fn cycles_to_time(&self, cycles: u64) -> Seconds {
+        Seconds(cycles as f64 / self.clock.frequency().0)
+    }
+
+    /// Cycle budget available in `dt` at the current clock.
+    pub fn cycles_in(&self, dt: Seconds) -> u64 {
+        (self.clock.frequency().0 * dt.0) as u64
+    }
+
+    /// Current core frequency.
+    pub fn frequency(&self) -> Hertz {
+        self.clock.frequency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{regs::*, ProgramBuilder};
+    use crate::mem::FRAM_BASE;
+
+    fn sum_program(n: u16) -> Program {
+        ProgramBuilder::new("sum")
+            .mov(R0, 0u16)
+            .mov(R1, n)
+            .label("loop")
+            .add(R0, R1)
+            .sub(R1, 1u16)
+            .brnz("loop")
+            .st(R0, Addr::Abs(FRAM_BASE)) // persist the result
+            .halt()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn arithmetic_program_computes_sum() {
+        let mut mcu = Mcu::new(sum_program(100));
+        let r = mcu.run(u64::MAX, false);
+        assert_eq!(r.exit, RunExit::Completed);
+        assert_eq!(mcu.cpu().regs[0], 5050);
+        assert_eq!(mcu.memory().peek(FRAM_BASE).unwrap(), 5050);
+        assert!(r.energy.0 > 0.0);
+        assert!(r.cycles > 300);
+    }
+
+    #[test]
+    fn budget_exhaustion_preserves_progress() {
+        let mut mcu = Mcu::new(sum_program(1000));
+        let r1 = mcu.run(50, false);
+        assert_eq!(r1.exit, RunExit::BudgetExhausted);
+        assert!(r1.cycles <= 50);
+        let r2 = mcu.run(u64::MAX, false);
+        assert_eq!(r2.exit, RunExit::Completed);
+        assert_eq!(mcu.cpu().regs[0], 500_500u32 as u16); // wrapping 16-bit
+    }
+
+    #[test]
+    fn call_ret_and_stack() {
+        let p = ProgramBuilder::new("call")
+            .mov(R0, 7u16)
+            .call("double")
+            .st(R0, Addr::Abs(0x0010))
+            .halt()
+            .label("double")
+            .add(R0, R0)
+            .ret()
+            .build()
+            .unwrap();
+        let mut mcu = Mcu::new(p);
+        let r = mcu.run(u64::MAX, false);
+        assert_eq!(r.exit, RunExit::Completed);
+        assert_eq!(mcu.memory().peek(0x0010).unwrap(), 14);
+        assert_eq!(mcu.cpu().sp, SRAM_WORDS); // balanced
+    }
+
+    #[test]
+    fn push_pop_round_trip() {
+        let p = ProgramBuilder::new("stack")
+            .mov(R0, 0xAAAAu16)
+            .mov(R1, 0x5555u16)
+            .push_reg(R0)
+            .push_reg(R1)
+            .pop_reg(R2)
+            .pop_reg(R3)
+            .halt()
+            .build()
+            .unwrap();
+        let mut mcu = Mcu::new(p);
+        mcu.run(u64::MAX, false);
+        assert_eq!(mcu.cpu().regs[2], 0x5555);
+        assert_eq!(mcu.cpu().regs[3], 0xAAAA);
+    }
+
+    #[test]
+    fn stack_underflow_faults() {
+        let p = ProgramBuilder::new("uf").pop_reg(R0).halt().build().unwrap();
+        let mut mcu = Mcu::new(p);
+        let r = mcu.run(u64::MAX, false);
+        assert_eq!(r.exit, RunExit::Fault(MachineError::StackUnderflow));
+    }
+
+    #[test]
+    fn mulq15_is_fixed_point() {
+        // 0.5 × 0.5 = 0.25 in Q15: 0x4000 × 0x4000 → 0x2000.
+        let p = ProgramBuilder::new("q15")
+            .mov(R0, 0x4000u16)
+            .mov(R1, 0x4000u16)
+            .mulq15(R0, R1)
+            .halt()
+            .build()
+            .unwrap();
+        let mut mcu = Mcu::new(p);
+        mcu.run(u64::MAX, false);
+        assert_eq!(mcu.cpu().regs[0], 0x2000);
+        // −0.5 × 0.5 = −0.25: 0xC000 × 0x4000 → 0xE000.
+        let p = ProgramBuilder::new("q15neg")
+            .mov(R0, 0xC000u16)
+            .mov(R1, 0x4000u16)
+            .mulq15(R0, R1)
+            .halt()
+            .build()
+            .unwrap();
+        let mut mcu = Mcu::new(p);
+        mcu.run(u64::MAX, false);
+        assert_eq!(mcu.cpu().regs[0] as i16, -(0x2000 as i16));
+    }
+
+    #[test]
+    fn signed_branches() {
+        // R0 = −5; if R0 < 3 then R1 = 1 else R1 = 2.
+        let p = ProgramBuilder::new("signed")
+            .mov(R0, (-5i16) as u16)
+            .cmp(R0, 3u16)
+            .brn("less")
+            .mov(R1, 2u16)
+            .halt()
+            .label("less")
+            .mov(R1, 1u16)
+            .halt()
+            .build()
+            .unwrap();
+        let mut mcu = Mcu::new(p);
+        mcu.run(u64::MAX, false);
+        assert_eq!(mcu.cpu().regs[1], 1);
+    }
+
+    #[test]
+    fn markers_yield_when_requested() {
+        let p = ProgramBuilder::new("marks")
+            .mark(10)
+            .mov(R0, 1u16)
+            .mark(20)
+            .halt()
+            .build()
+            .unwrap();
+        let mut mcu = Mcu::new(p);
+        let r = mcu.run(u64::MAX, true);
+        assert_eq!(r.exit, RunExit::Marker(10));
+        let r = mcu.run(u64::MAX, true);
+        assert_eq!(r.exit, RunExit::Marker(20));
+        let r = mcu.run(u64::MAX, true);
+        assert_eq!(r.exit, RunExit::Completed);
+        // Without stopping, markers are transparent.
+        let mut mcu2 = Mcu::new(
+            ProgramBuilder::new("m2").mark(1).halt().build().unwrap(),
+        );
+        assert_eq!(mcu2.run(u64::MAX, false).exit, RunExit::Completed);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_exactly() {
+        let mut mcu = Mcu::new(sum_program(1000));
+        mcu.run(200, false);
+        let regs_before = mcu.cpu().clone();
+        let snap = mcu.take_snapshot(None);
+        assert!(snap.completed);
+        assert!(mcu.has_valid_snapshot());
+
+        // Catastrophe.
+        mcu.power_loss();
+        assert_ne!(mcu.cpu(), &regs_before);
+
+        mcu.cold_boot();
+        let restore = mcu.restore_snapshot().expect("snapshot is valid");
+        assert_eq!(restore.sequence, 1);
+        assert_eq!(mcu.cpu(), &regs_before);
+
+        // And the program completes with the right answer.
+        let r = mcu.run(u64::MAX, false);
+        assert_eq!(r.exit, RunExit::Completed);
+        assert_eq!(mcu.memory().peek(FRAM_BASE).unwrap(), 500_500u32 as u16);
+        assert_eq!(mcu.reboots(), 1);
+    }
+
+    #[test]
+    fn torn_snapshot_without_history_never_restores() {
+        let mut mcu = Mcu::new(sum_program(1000));
+        mcu.run(200, false);
+        let cost = mcu.snapshot_energy();
+        let torn = mcu.take_snapshot(Some(cost * 0.5));
+        assert!(!torn.completed);
+        assert!(!mcu.has_valid_snapshot(), "torn frame must not seal");
+        mcu.power_loss();
+        mcu.cold_boot();
+        assert!(mcu.restore_snapshot().is_none());
+    }
+
+    #[test]
+    fn double_buffering_preserves_last_good_frame() {
+        let mut mcu = Mcu::new(sum_program(1000));
+        mcu.run(200, false);
+        let good_state = mcu.cpu().clone();
+        assert!(mcu.take_snapshot(None).completed);
+        // Make more progress, then tear the next snapshot: the earlier frame
+        // must survive (Mementos-style double buffering).
+        mcu.run(100, false);
+        let cost = mcu.snapshot_energy();
+        assert!(!mcu.take_snapshot(Some(cost * 0.3)).completed);
+        assert!(mcu.has_valid_snapshot(), "old frame survives the tear");
+        mcu.power_loss();
+        mcu.cold_boot();
+        let restore = mcu.restore_snapshot().expect("old frame restores");
+        assert_eq!(restore.sequence, 1);
+        assert_eq!(mcu.cpu(), &good_state);
+    }
+
+    #[test]
+    fn restore_picks_newest_sealed_frame() {
+        let mut mcu = Mcu::new(sum_program(1000));
+        mcu.run(100, false);
+        assert!(mcu.take_snapshot(None).completed); // seq 1 → frame 0
+        mcu.run(100, false);
+        let newer_state = mcu.cpu().clone();
+        assert!(mcu.take_snapshot(None).completed); // seq 2 → frame 1
+        mcu.power_loss();
+        mcu.cold_boot();
+        let restore = mcu.restore_snapshot().unwrap();
+        assert_eq!(restore.sequence, 2);
+        assert_eq!(mcu.cpu(), &newer_state);
+    }
+
+    #[test]
+    fn restart_without_snapshot_reruns_from_entry() {
+        let mut mcu = Mcu::new(sum_program(10));
+        mcu.run(30, false);
+        mcu.power_loss();
+        mcu.cold_boot();
+        assert_eq!(mcu.cpu().pc, 0);
+        let r = mcu.run(u64::MAX, false);
+        assert_eq!(r.exit, RunExit::Completed);
+        assert_eq!(mcu.cpu().regs[0], 55);
+    }
+
+    #[test]
+    fn power_loss_corrupts_sram_not_fram() {
+        let mut mcu = Mcu::new(sum_program(10));
+        mcu.memory_mut().poke(0x0020, 0x1234).unwrap();
+        mcu.memory_mut().poke(FRAM_BASE + 8, 0x4321).unwrap();
+        mcu.power_loss();
+        assert_ne!(mcu.memory().peek(0x0020).unwrap(), 0x1234);
+        assert_eq!(mcu.memory().peek(FRAM_BASE + 8).unwrap(), 0x4321);
+    }
+
+    #[test]
+    fn sense_and_tx_cost_peripheral_energy() {
+        let p = ProgramBuilder::new("p")
+            .sense(R0)
+            .tx(R0)
+            .halt()
+            .build()
+            .unwrap();
+        let mut mcu = Mcu::new(p);
+        let plain_cycles_energy = {
+            let m = mcu.power_model();
+            m.execution_energy(
+                Insn::Sense(R0).base_cycles() + Insn::Tx(R0).base_cycles() + 1,
+                mcu.frequency(),
+                ExecutionResidence::Sram,
+            )
+        };
+        let r = mcu.run(u64::MAX, false);
+        assert_eq!(r.exit, RunExit::Completed);
+        assert!(r.energy > plain_cycles_energy);
+        assert_eq!(mcu.radio().words_sent(), 1);
+        assert_eq!(mcu.adc().conversions(), 1);
+    }
+
+    #[test]
+    fn peripheral_checkpointing_preserves_adc_sequence() {
+        let p = ProgramBuilder::new("p")
+            .sense(R0)
+            .sense(R0)
+            .mark(0)
+            .sense(R0)
+            .halt()
+            .build()
+            .unwrap();
+        // Reference: uninterrupted third sample.
+        let mut ref_mcu = Mcu::new(p.clone());
+        ref_mcu.run(u64::MAX, false);
+        let third_uninterrupted = ref_mcu.cpu().regs[0];
+
+        // Checkpointed peripherals: the sequence continues across the outage.
+        let mut mcu = Mcu::new(p.clone()).with_peripheral_policy(PeripheralPolicy::Checkpointed);
+        let r = mcu.run(u64::MAX, true); // stop at the marker
+        assert_eq!(r.exit, RunExit::Marker(0));
+        mcu.take_snapshot(None);
+        mcu.power_loss();
+        mcu.cold_boot();
+        mcu.restore_snapshot().unwrap();
+        mcu.run(u64::MAX, false);
+        assert_eq!(mcu.cpu().regs[0], third_uninterrupted);
+
+        // Reinit policy: the sequence restarts, so the value differs.
+        let mut mcu = Mcu::new(p).with_peripheral_policy(PeripheralPolicy::Reinit);
+        let r = mcu.run(u64::MAX, true);
+        assert_eq!(r.exit, RunExit::Marker(0));
+        mcu.take_snapshot(None);
+        mcu.power_loss();
+        mcu.cold_boot();
+        mcu.restore_snapshot().unwrap();
+        mcu.run(u64::MAX, false);
+        assert_ne!(mcu.cpu().regs[0], third_uninterrupted);
+    }
+
+    #[test]
+    fn peripheral_checkpointing_costs_more() {
+        let base = Mcu::new(sum_program(1));
+        let cp = Mcu::new(sum_program(1))
+            .with_peripheral_policy(PeripheralPolicy::Checkpointed);
+        assert!(cp.snapshot_words() > base.snapshot_words());
+        assert!(cp.snapshot_energy() > base.snapshot_energy());
+        assert_eq!(cp.peripheral_policy(), PeripheralPolicy::Checkpointed);
+    }
+
+    #[test]
+    fn adc_resets_on_power_loss() {
+        let p = ProgramBuilder::new("p").sense(R0).halt().build().unwrap();
+        let mut mcu = Mcu::new(p);
+        mcu.run(u64::MAX, false);
+        let first = mcu.cpu().regs[0];
+        mcu.power_loss();
+        mcu.cold_boot();
+        mcu.run(u64::MAX, false);
+        assert_eq!(mcu.cpu().regs[0], first, "index reset ⇒ same first sample");
+    }
+
+    #[test]
+    fn sleep_stops_execution() {
+        let mut mcu = Mcu::new(sum_program(1000));
+        mcu.sleep();
+        let r = mcu.run(1000, false);
+        assert_eq!(r.cycles, 0);
+        assert!(mcu.supply_current() < edc_units::Amps::from_micro(10.0));
+        mcu.wake();
+        let r = mcu.run(1000, false);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn dfs_changes_supply_current_and_budget() {
+        let mut mcu = Mcu::new(sum_program(10));
+        mcu.clock_mut().set_level(0); // 1 MHz
+        let slow = mcu.supply_current();
+        let slow_budget = mcu.cycles_in(Seconds(0.001));
+        mcu.clock_mut().set_level(5); // 24 MHz
+        let fast = mcu.supply_current();
+        let fast_budget = mcu.cycles_in(Seconds(0.001));
+        assert!(fast.0 > slow.0 * 5.0);
+        assert_eq!(slow_budget, 1000);
+        assert_eq!(fast_budget, 24_000);
+    }
+
+    #[test]
+    fn fram_residence_adds_wait_state_cycles() {
+        let p = ProgramBuilder::new("ld")
+            .ld(R0, Addr::Abs(FRAM_BASE))
+            .halt()
+            .build()
+            .unwrap();
+        // At 24 MHz, FRAM loads take an extra cycle.
+        let mut fast = Mcu::new(p.clone());
+        fast.clock_mut().set_level(5);
+        let r_fast = fast.run(u64::MAX, false);
+        let mut slow = Mcu::new(p);
+        slow.clock_mut().set_level(3); // 8 MHz: no penalty
+        let r_slow = slow.run(u64::MAX, false);
+        assert_eq!(r_fast.cycles, r_slow.cycles + 1);
+    }
+
+    #[test]
+    fn pc_out_of_range_faults() {
+        let p = ProgramBuilder::new("fall").nop().build().unwrap();
+        let mut mcu = Mcu::new(p);
+        let r = mcu.run(u64::MAX, false);
+        assert!(matches!(r.exit, RunExit::Fault(MachineError::PcOutOfRange(_))));
+    }
+
+    #[test]
+    fn halted_machine_reports_completed() {
+        let mut mcu = Mcu::new(ProgramBuilder::new("h").halt().build().unwrap());
+        assert_eq!(mcu.run(u64::MAX, false).exit, RunExit::Completed);
+        let again = mcu.run(u64::MAX, false);
+        assert_eq!(again.exit, RunExit::Completed);
+        assert_eq!(again.cycles, 0);
+    }
+
+    #[test]
+    fn fram_resident_machine_is_quickrecall_shaped() {
+        // Registers-only snapshots, low region survives power loss.
+        let wl = sum_program(1000);
+        let mut mcu = Mcu::new(wl).with_residence(ExecutionResidence::Fram);
+        assert!(mcu.snapshot_words() < 64, "registers-only frame");
+        let sram_cost = Mcu::new(sum_program(1000)).snapshot_energy();
+        assert!(
+            mcu.snapshot_energy().0 < sram_cost.0 / 10.0,
+            "QuickRecall snapshots are far cheaper"
+        );
+        mcu.run(200, false);
+        mcu.memory_mut().poke(0x0020, 0x7777).unwrap();
+        let snap = mcu.take_snapshot(None);
+        assert!(snap.completed);
+        mcu.power_loss();
+        // Low region is FRAM here: data survives.
+        assert_eq!(mcu.memory().peek(0x0020).unwrap(), 0x7777);
+        mcu.cold_boot();
+        mcu.restore_snapshot().unwrap();
+        let r = mcu.run(u64::MAX, false);
+        assert_eq!(r.exit, RunExit::Completed);
+        assert_eq!(mcu.memory().peek(FRAM_BASE).unwrap(), 500_500u32 as u16);
+    }
+
+    #[test]
+    fn fram_residence_draws_more_quiescent_power() {
+        let sram = Mcu::new(sum_program(1));
+        let fram = Mcu::new(sum_program(1)).with_residence(ExecutionResidence::Fram);
+        assert!(fram.supply_current() > sram.supply_current());
+    }
+
+    #[test]
+    fn snapshot_energy_in_eq4_ballpark() {
+        let mcu = Mcu::new(sum_program(1));
+        let e = mcu.snapshot_energy();
+        // Single-digit µJ at 8 MHz — consistent with the V_H ≈ 2.2–2.3 V the
+        // Hibernus papers derive for ~10 µF of capacitance.
+        assert!(e.as_micro() > 1.0 && e.as_micro() < 20.0, "E_S = {e}");
+    }
+}

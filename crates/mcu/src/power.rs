@@ -1,0 +1,240 @@
+//! The MCU power model.
+//!
+//! Shapes and magnitudes follow the MSP430FR5739 datasheet as used in the
+//! Hibernus/Hibernus++/QuickRecall experiments the paper builds on:
+//! active current grows affinely with clock frequency, executing from FRAM
+//! costs a wait-state penalty above 8 MHz plus a quiescent adder (the
+//! `P_FRAM − P_SRAM` term in the paper's Eq. 5), and sleep/off currents are
+//! micro/sub-microamp.
+
+use edc_units::{Amps, Hertz, Joules, Volts, Watts};
+
+/// Where the CPU fetches instructions and keeps its working set — the axis
+/// distinguishing Hibernus (SRAM) from QuickRecall (unified FRAM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionResidence {
+    /// Program and data in SRAM; snapshots must copy everything to FRAM.
+    #[default]
+    Sram,
+    /// Unified FRAM: only registers are volatile, but quiescent power is
+    /// higher and fast clocks insert wait states.
+    Fram,
+}
+
+/// Machine operating state for power purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerState {
+    /// Unpowered (or below `V_min`).
+    Off,
+    /// Clock stopped, RAM retained (LPM3-class).
+    Sleep,
+    /// Executing.
+    Active,
+}
+
+/// The power/energy parameter set of the simulated MCU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// Supply voltage assumed for current→power conversion.
+    pub v_nominal: Volts,
+    /// Rail voltage below which the machine browns out (the paper's `V_min`).
+    pub v_min: Volts,
+    /// Frequency-independent active current.
+    pub i_active_base: Amps,
+    /// Active current per MHz of core clock.
+    pub i_active_per_mhz: Amps,
+    /// Multiplier on active current when executing from FRAM above
+    /// `fram_wait_threshold` (wait states force cache stalls).
+    pub fram_active_penalty: f64,
+    /// Quiescent current adder while FRAM-resident (always, even asleep) —
+    /// the `P_FRAM − P_SRAM` of Eq. 5.
+    pub i_fram_quiescent: Amps,
+    /// Frequency above which FRAM execution inserts wait states.
+    pub fram_wait_threshold: Hertz,
+    /// Sleep-state current (LPM3-class, RAM retained).
+    pub i_sleep: Amps,
+    /// Energy per FRAM word written (snapshot traffic).
+    pub fram_write_energy_per_word: Joules,
+    /// Energy per ADC conversion.
+    pub adc_energy_per_sample: Joules,
+    /// Energy per radio word transmitted.
+    pub radio_energy_per_word: Joules,
+    /// Cycles to copy one word during snapshot/restore bursts.
+    pub snapshot_cycles_per_word: u64,
+}
+
+impl PowerModel {
+    /// The MSP430FR5739-shaped default parameter set.
+    pub fn msp430fr5739() -> Self {
+        Self {
+            v_nominal: Volts(3.0),
+            v_min: Volts(2.0),
+            i_active_base: Amps::from_micro(70.0),
+            i_active_per_mhz: Amps::from_micro(210.0),
+            fram_active_penalty: 1.25,
+            i_fram_quiescent: Amps::from_micro(90.0),
+            fram_wait_threshold: Hertz::from_mega(8.0),
+            i_sleep: Amps::from_micro(7.0),
+            fram_write_energy_per_word: Joules::from_nano(2.0),
+            adc_energy_per_sample: Joules::from_nano(350.0),
+            radio_energy_per_word: Joules::from_micro(12.0),
+            snapshot_cycles_per_word: 4,
+        }
+    }
+
+    /// Supply current in the given state at frequency `f`.
+    pub fn current(&self, state: PowerState, f: Hertz, residence: ExecutionResidence) -> Amps {
+        match state {
+            PowerState::Off => Amps::ZERO,
+            PowerState::Sleep => match residence {
+                ExecutionResidence::Sram => self.i_sleep,
+                ExecutionResidence::Fram => self.i_sleep + self.i_fram_quiescent,
+            },
+            PowerState::Active => {
+                let mhz = f.0 / 1e6;
+                let base = Amps(self.i_active_base.0 + self.i_active_per_mhz.0 * mhz);
+                match residence {
+                    ExecutionResidence::Sram => base,
+                    ExecutionResidence::Fram => {
+                        let penalised = if f > self.fram_wait_threshold {
+                            base * self.fram_active_penalty
+                        } else {
+                            base
+                        };
+                        penalised + self.i_fram_quiescent
+                    }
+                }
+            }
+        }
+    }
+
+    /// Supply power in the given state at frequency `f` and nominal voltage.
+    pub fn power(&self, state: PowerState, f: Hertz, residence: ExecutionResidence) -> Watts {
+        self.v_nominal * self.current(state, f, residence)
+    }
+
+    /// Energy to execute `cycles` at frequency `f`.
+    pub fn execution_energy(
+        &self,
+        cycles: u64,
+        f: Hertz,
+        residence: ExecutionResidence,
+    ) -> Joules {
+        let time = cycles as f64 / f.0;
+        self.power(PowerState::Active, f, residence) * edc_units::Seconds(time)
+    }
+
+    /// Cost of a snapshot moving `words` to FRAM at frequency `f`: copy-loop
+    /// execution energy plus per-word FRAM write energy. Returns
+    /// `(cycles, energy)` — the `E_S` of the paper's Eq. (4).
+    pub fn snapshot_cost(
+        &self,
+        words: u64,
+        f: Hertz,
+        residence: ExecutionResidence,
+    ) -> (u64, Joules) {
+        let cycles = words * self.snapshot_cycles_per_word;
+        let exec = self.execution_energy(cycles, f, residence);
+        let writes = self.fram_write_energy_per_word * words as f64;
+        (cycles, exec + writes)
+    }
+
+    /// Cost of restoring `words` from FRAM (no FRAM writes, same copy loop).
+    pub fn restore_cost(
+        &self,
+        words: u64,
+        f: Hertz,
+        residence: ExecutionResidence,
+    ) -> (u64, Joules) {
+        let cycles = words * self.snapshot_cycles_per_word;
+        (cycles, self.execution_energy(cycles, f, residence))
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::msp430fr5739()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PowerModel {
+        PowerModel::msp430fr5739()
+    }
+
+    #[test]
+    fn active_current_scales_with_frequency() {
+        let m = model();
+        let at1 = m.current(PowerState::Active, Hertz::from_mega(1.0), ExecutionResidence::Sram);
+        let at8 = m.current(PowerState::Active, Hertz::from_mega(8.0), ExecutionResidence::Sram);
+        assert!((at1.as_micro() - 280.0).abs() < 1e-9);
+        assert!((at8.as_micro() - 1750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fram_residence_costs_more_everywhere() {
+        let m = model();
+        for f in [1.0, 8.0, 16.0, 24.0] {
+            let f = Hertz::from_mega(f);
+            for s in [PowerState::Sleep, PowerState::Active] {
+                let sram = m.current(s, f, ExecutionResidence::Sram);
+                let fram = m.current(s, f, ExecutionResidence::Fram);
+                assert!(fram > sram, "FRAM must cost more at {f} in {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fram_wait_penalty_only_above_threshold() {
+        let m = model();
+        let at8 = m.current(
+            PowerState::Active,
+            Hertz::from_mega(8.0),
+            ExecutionResidence::Fram,
+        );
+        // At 8 MHz (not above threshold): base + quiescent only.
+        assert!((at8.as_micro() - (1750.0 + 90.0)).abs() < 1e-9);
+        let at16 = m.current(
+            PowerState::Active,
+            Hertz::from_mega(16.0),
+            ExecutionResidence::Fram,
+        );
+        let base16 = 70.0 + 210.0 * 16.0;
+        assert!((at16.as_micro() - (base16 * 1.25 + 90.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn off_draws_nothing_sleep_draws_microamps() {
+        let m = model();
+        assert_eq!(
+            m.current(PowerState::Off, Hertz::from_mega(8.0), ExecutionResidence::Sram),
+            Amps::ZERO
+        );
+        let sleep = m.current(PowerState::Sleep, Hertz::from_mega(8.0), ExecutionResidence::Sram);
+        assert!((sleep.as_micro() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_cost_matches_eq4_scale() {
+        let m = model();
+        // Full SRAM + registers ≈ 1056 words at 8 MHz.
+        let (cycles, e) = m.snapshot_cost(1056, Hertz::from_mega(8.0), ExecutionResidence::Sram);
+        assert_eq!(cycles, 1056 * 4);
+        // ~0.5 ms of active power plus ~2 µJ of writes: single-digit µJ.
+        assert!(e.as_micro() > 1.0 && e.as_micro() < 20.0, "E_S = {e}");
+        // Restore is cheaper (no FRAM writes).
+        let (_, r) = m.restore_cost(1056, Hertz::from_mega(8.0), ExecutionResidence::Sram);
+        assert!(r < e);
+    }
+
+    #[test]
+    fn execution_energy_linear_in_cycles() {
+        let m = model();
+        let e1 = m.execution_energy(1000, Hertz::from_mega(8.0), ExecutionResidence::Sram);
+        let e2 = m.execution_energy(2000, Hertz::from_mega(8.0), ExecutionResidence::Sram);
+        assert!((e2.0 / e1.0 - 2.0).abs() < 1e-9);
+    }
+}

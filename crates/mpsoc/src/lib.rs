@@ -1,0 +1,396 @@
+//! A big.LITTLE MPSoC platform model — the substitute for the ODROID XU-4
+//! behind the paper's Fig. 5 and the power-neutral MPSoC work \[11\].
+//!
+//! The paper's Fig. 5 plots raytrace FPS against board power for operating
+//! points spanning per-cluster DVFS and enabled-core counts, showing that
+//! "the power consumption can be modulated by an order of magnitude". This
+//! crate reproduces that surface analytically:
+//!
+//! - per-core dynamic power `k · f · V(f)²` with a frequency-dependent rail
+//!   voltage, per cluster (A15-class "big", A7-class "LITTLE");
+//! - a board static floor (fan, memory, peripherals);
+//! - raytrace throughput proportional to aggregate `cores × f × IPC` with a
+//!   mild parallel-efficiency roll-off.
+//!
+//! [`XuPlatform`] exposes the Pareto frontier of the full table through
+//! [`edc_neutral::PowerScalable`], so the power-neutral governor can drive
+//! it exactly as \[11\] drives the real board.
+//!
+//! # Examples
+//!
+//! ```
+//! use edc_mpsoc::XuPlatform;
+//! use edc_neutral::{PnGovernor, PowerScalable};
+//! use edc_units::{Seconds, Watts};
+//!
+//! let mut platform = XuPlatform::odroid_xu4();
+//! let mut governor = PnGovernor::new();
+//! governor.step(&mut platform, Watts(5.0), Seconds(0.1));
+//! assert!(platform.power_at(platform.level()) <= Watts(5.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use edc_neutral::PowerScalable;
+use edc_units::Watts;
+
+/// One MPSoC configuration: enabled cores and cluster frequencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperatingPoint {
+    /// Enabled big (A15-class) cores, 0–4.
+    pub big_cores: u8,
+    /// Enabled LITTLE (A7-class) cores, 0–4.
+    pub little_cores: u8,
+    /// Big-cluster frequency in MHz.
+    pub big_mhz: u32,
+    /// LITTLE-cluster frequency in MHz.
+    pub little_mhz: u32,
+}
+
+impl OperatingPoint {
+    /// Validates the point against the XU-4 envelope.
+    pub fn is_valid(&self) -> bool {
+        let cores_ok = self.big_cores <= 4
+            && self.little_cores <= 4
+            && (self.big_cores + self.little_cores) > 0;
+        let big_f_ok = self.big_cores == 0
+            || ((600..=2000).contains(&self.big_mhz) && self.big_mhz % 200 == 0);
+        let little_f_ok = self.little_cores == 0
+            || ((600..=1400).contains(&self.little_mhz) && self.little_mhz % 200 == 0);
+        cores_ok && big_f_ok && little_f_ok
+    }
+}
+
+impl std::fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}b@{}MHz+{}L@{}MHz",
+            self.big_cores, self.big_mhz, self.little_cores, self.little_mhz
+        )
+    }
+}
+
+/// The analytic power/performance surface of the board.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XuModel {
+    /// Board static floor (fan, DRAM, peripherals).
+    pub static_power: Watts,
+    /// Big-core dynamic coefficient (W per GHz at nominal V²).
+    pub big_k: f64,
+    /// LITTLE-core dynamic coefficient.
+    pub little_k: f64,
+    /// Big-core IPC relative to LITTLE.
+    pub big_ipc: f64,
+    /// Raytrace FPS at the maximal configuration.
+    pub fps_max: f64,
+    /// Per-additional-core parallel efficiency.
+    pub parallel_efficiency: f64,
+}
+
+impl XuModel {
+    /// Parameters tuned to the Fig. 5 envelope: ~0.5 W floor, ~17–18 W peak,
+    /// 0.25 FPS at full tilt.
+    pub fn odroid_xu4() -> Self {
+        Self {
+            static_power: Watts(0.45),
+            big_k: 2.0,
+            little_k: 0.3,
+            big_ipc: 2.2,
+            fps_max: 0.25,
+            parallel_efficiency: 0.97,
+        }
+    }
+
+    /// Rail voltage scaling with frequency (normalised so `V² = 1` at the
+    /// cluster's top frequency).
+    fn v_squared(f_mhz: u32, f_max_mhz: u32) -> f64 {
+        // 0.9 V at the bottom of the ladder, 1.1 V at the top (normalised
+        // to 1.1 V = 1.0).
+        let frac = f_mhz as f64 / f_max_mhz as f64;
+        let v = (0.9 + 0.2 * frac) / 1.1;
+        v * v
+    }
+
+    /// Board power at an operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point is invalid ([C-VALIDATE]).
+    ///
+    /// [C-VALIDATE]: https://rust-lang.github.io/api-guidelines/dependability.html
+    pub fn power(&self, op: OperatingPoint) -> Watts {
+        assert!(op.is_valid(), "invalid operating point {op}");
+        let big = op.big_cores as f64
+            * self.big_k
+            * (op.big_mhz as f64 / 1000.0)
+            * Self::v_squared(op.big_mhz, 2000);
+        let little = op.little_cores as f64
+            * self.little_k
+            * (op.little_mhz as f64 / 1000.0)
+            * Self::v_squared(op.little_mhz, 1400);
+        Watts(self.static_power.0 + big + little)
+    }
+
+    /// Raytrace FPS at an operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point is invalid.
+    pub fn fps(&self, op: OperatingPoint) -> f64 {
+        assert!(op.is_valid(), "invalid operating point {op}");
+        let cores = (op.big_cores + op.little_cores) as u32;
+        let raw = op.big_cores as f64 * self.big_ipc * (op.big_mhz as f64 / 1000.0)
+            + op.little_cores as f64 * (op.little_mhz as f64 / 1000.0);
+        let raw_max = 4.0 * self.big_ipc * 2.0 + 4.0 * 1.4;
+        let eff = self
+            .parallel_efficiency
+            .powi(cores.saturating_sub(1) as i32);
+        let eff_max = self.parallel_efficiency.powi(7);
+        self.fps_max * (raw * eff) / (raw_max * eff_max)
+    }
+}
+
+impl Default for XuModel {
+    fn default() -> Self {
+        Self::odroid_xu4()
+    }
+}
+
+/// Every valid operating point of the board (the Fig. 5 scatter).
+pub fn full_opp_table() -> Vec<OperatingPoint> {
+    let mut out = Vec::new();
+    for big_cores in 0..=4u8 {
+        for little_cores in 0..=4u8 {
+            if big_cores + little_cores == 0 {
+                continue;
+            }
+            let big_freqs: Vec<u32> = if big_cores == 0 {
+                vec![600] // placeholder; cluster gated
+            } else {
+                (600..=2000).step_by(200).collect()
+            };
+            let little_freqs: Vec<u32> = if little_cores == 0 {
+                vec![600]
+            } else {
+                (600..=1400).step_by(200).collect()
+            };
+            for &big_mhz in &big_freqs {
+                for &little_mhz in &little_freqs {
+                    out.push(OperatingPoint {
+                        big_cores,
+                        little_cores,
+                        big_mhz,
+                        little_mhz,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Filters a table to its Pareto frontier (no point is both slower and
+/// hungrier than another), sorted by increasing power.
+pub fn pareto_frontier(model: &XuModel, table: &[OperatingPoint]) -> Vec<OperatingPoint> {
+    let mut scored: Vec<(f64, f64, OperatingPoint)> = table
+        .iter()
+        .map(|&op| (model.power(op).0, model.fps(op), op))
+        .collect();
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.total_cmp(&a.1)));
+    let mut frontier = Vec::new();
+    let mut best_fps = f64::NEG_INFINITY;
+    for (_, fps, op) in scored {
+        if fps > best_fps {
+            best_fps = fps;
+            frontier.push(op);
+        }
+    }
+    frontier
+}
+
+/// The board exposed as a [`PowerScalable`] ladder over its Pareto frontier.
+#[derive(Debug, Clone)]
+pub struct XuPlatform {
+    model: XuModel,
+    frontier: Vec<OperatingPoint>,
+    level: usize,
+}
+
+impl XuPlatform {
+    /// Creates the default XU-4 platform at its lowest level.
+    pub fn odroid_xu4() -> Self {
+        let model = XuModel::odroid_xu4();
+        let frontier = pareto_frontier(&model, &full_opp_table());
+        Self {
+            model,
+            frontier,
+            level: 0,
+        }
+    }
+
+    /// The analytic model.
+    pub fn model(&self) -> &XuModel {
+        &self.model
+    }
+
+    /// The Pareto-frontier operating points, slowest first.
+    pub fn frontier(&self) -> &[OperatingPoint] {
+        &self.frontier
+    }
+
+    /// The operating point at the current level.
+    pub fn operating_point(&self) -> OperatingPoint {
+        self.frontier[self.level]
+    }
+}
+
+impl PowerScalable for XuPlatform {
+    fn num_levels(&self) -> usize {
+        self.frontier.len()
+    }
+
+    fn level(&self) -> usize {
+        self.level
+    }
+
+    fn set_level(&mut self, level: usize) {
+        assert!(level < self.frontier.len(), "level out of range");
+        self.level = level;
+    }
+
+    fn power_at(&self, level: usize) -> Watts {
+        self.model.power(self.frontier[level])
+    }
+
+    fn performance_at(&self, level: usize) -> f64 {
+        self.model.fps(self.frontier[level])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fig5_envelope_shape() {
+        let model = XuModel::odroid_xu4();
+        let table = full_opp_table();
+        let powers: Vec<f64> = table.iter().map(|&op| model.power(op).0).collect();
+        let fpss: Vec<f64> = table.iter().map(|&op| model.fps(op)).collect();
+        let p_min = powers.iter().cloned().fold(f64::INFINITY, f64::min);
+        let p_max = powers.iter().cloned().fold(0.0, f64::max);
+        let f_max = fpss.iter().cloned().fold(0.0, f64::max);
+        // Fig. 5: ~0.5 W floor, high-teens peak, ≥10× modulation, 0.25 FPS top.
+        assert!(p_min < 0.7, "floor {p_min} W");
+        assert!((12.0..22.0).contains(&p_max), "peak {p_max} W");
+        assert!(p_max / p_min >= 10.0, "modulation {}×", p_max / p_min);
+        assert!((0.2..=0.3).contains(&f_max), "fps max {f_max}");
+    }
+
+    #[test]
+    fn table_size_is_plausible() {
+        let table = full_opp_table();
+        // 24 cluster-count combos × frequency grids: hundreds of points.
+        assert!(table.len() > 300, "table has {} points", table.len());
+        assert!(table.iter().all(|op| op.is_valid()));
+    }
+
+    #[test]
+    fn pareto_frontier_monotone_in_both_axes() {
+        let model = XuModel::odroid_xu4();
+        let frontier = pareto_frontier(&model, &full_opp_table());
+        assert!(frontier.len() > 10, "frontier has {} points", frontier.len());
+        for pair in frontier.windows(2) {
+            assert!(model.power(pair[0]) <= model.power(pair[1]));
+            assert!(model.fps(pair[0]) < model.fps(pair[1]));
+        }
+    }
+
+    #[test]
+    fn platform_implements_power_scalable_contract() {
+        let p = XuPlatform::odroid_xu4();
+        assert!(p.num_levels() > 10);
+        for level in 1..p.num_levels() {
+            assert!(p.power_at(level) > p.power_at(level - 1));
+            assert!(p.performance_at(level) > p.performance_at(level - 1));
+        }
+    }
+
+    #[test]
+    fn governor_drives_the_board() {
+        use edc_neutral::PnGovernor;
+        use edc_units::Seconds;
+        let mut platform = XuPlatform::odroid_xu4();
+        let mut g = PnGovernor::new();
+        // Diurnal-ish power ramp 1 → 15 → 1 W.
+        for i in 0..2000 {
+            let x = i as f64 / 2000.0;
+            let p_h = Watts(1.0 + 14.0 * (std::f64::consts::PI * x).sin().max(0.0));
+            g.step(&mut platform, p_h, Seconds(0.01));
+        }
+        let stats = g.stats();
+        assert!(stats.level_changes > 5, "governor must actually move");
+        assert!(
+            g.overdraw_fraction() < 0.10,
+            "overdraw {} too high",
+            g.overdraw_fraction()
+        );
+        assert!(stats.performance_integral > 0.0);
+    }
+
+    #[test]
+    fn big_cluster_dominates_power() {
+        let model = XuModel::odroid_xu4();
+        let big = OperatingPoint {
+            big_cores: 4,
+            little_cores: 0,
+            big_mhz: 2000,
+            little_mhz: 600,
+        };
+        let little = OperatingPoint {
+            big_cores: 0,
+            little_cores: 4,
+            big_mhz: 600,
+            little_mhz: 1400,
+        };
+        assert!(model.power(big).0 > 4.0 * model.power(little).0);
+        assert!(model.fps(big) > model.fps(little));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid operating point")]
+    fn invalid_point_rejected() {
+        let model = XuModel::odroid_xu4();
+        let _ = model.power(OperatingPoint {
+            big_cores: 5,
+            little_cores: 0,
+            big_mhz: 2000,
+            little_mhz: 600,
+        });
+    }
+
+    proptest! {
+        #[test]
+        fn prop_power_and_fps_positive(
+            big_cores in 0u8..=4,
+            little_cores in 0u8..=4,
+            big_step in 0u32..8,
+            little_step in 0u32..5,
+        ) {
+            prop_assume!(big_cores + little_cores > 0);
+            let op = OperatingPoint {
+                big_cores,
+                little_cores,
+                big_mhz: 600 + 200 * big_step,
+                little_mhz: 600 + 200 * little_step,
+            };
+            let model = XuModel::odroid_xu4();
+            prop_assert!(model.power(op).0 > 0.0);
+            prop_assert!(model.fps(op) >= 0.0);
+            prop_assert!(model.fps(op) <= model.fps_max + 1e-9);
+        }
+    }
+}

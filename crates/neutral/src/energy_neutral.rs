@@ -1,0 +1,388 @@
+//! Energy-neutral operation (Eq. 1) for harvesting WSN nodes, after Kansal
+//! et al. \[3\]: predict the diurnal harvest with an EWMA per time slot,
+//! then adapt the node's duty cycle so consumption tracks the prediction
+//! while the battery buffers the error.
+//!
+//! The paper's smartphone example is the same mechanism with a human in the
+//! loop; the audit type ([`NeutralityAudit`]) checks both Eq. (1) over the
+//! period and Eq. (2) at every instant, reporting the failures the paper
+//! describes ("if the difference becomes too great and the battery is
+//! depleted, expression (2) is violated and the system fails").
+
+use edc_sim::EnergyIntegrator;
+use edc_units::{Joules, Seconds, Watts};
+
+/// Per-slot exponentially-weighted moving-average harvest predictor
+/// (Kansal's EWMA): one estimator per slot-of-day, so the diurnal shape is
+/// learned rather than assumed.
+#[derive(Debug, Clone)]
+pub struct EwmaPredictor {
+    alpha: f64,
+    slot_length: Seconds,
+    estimates: Vec<Watts>,
+    observations: u64,
+}
+
+impl EwmaPredictor {
+    /// Creates a predictor with `slots_per_day` slots and smoothing factor
+    /// `alpha` (weight of the newest observation).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha ≤ 1` and `slots_per_day > 0`.
+    pub fn new(slots_per_day: usize, alpha: f64) -> Self {
+        assert!(slots_per_day > 0, "need at least one slot");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0, 1]");
+        Self {
+            alpha,
+            slot_length: Seconds(86_400.0 / slots_per_day as f64),
+            estimates: vec![Watts::ZERO; slots_per_day],
+            observations: 0,
+        }
+    }
+
+    /// The slot index for a time of day.
+    pub fn slot_of(&self, t: Seconds) -> usize {
+        ((t.0.rem_euclid(86_400.0)) / self.slot_length.0) as usize % self.estimates.len()
+    }
+
+    /// Slot duration.
+    pub fn slot_length(&self) -> Seconds {
+        self.slot_length
+    }
+
+    /// Records the mean harvested power observed during a slot.
+    pub fn observe(&mut self, t: Seconds, mean_power: Watts) {
+        let slot = self.slot_of(t);
+        let prev = self.estimates[slot];
+        self.estimates[slot] = if self.observations < self.estimates.len() as u64 {
+            // First day: adopt observations directly.
+            mean_power
+        } else {
+            Watts(self.alpha * mean_power.0 + (1.0 - self.alpha) * prev.0)
+        };
+        self.observations += 1;
+    }
+
+    /// Predicted mean power for the slot containing `t`.
+    pub fn predict(&self, t: Seconds) -> Watts {
+        self.estimates[self.slot_of(t)]
+    }
+
+    /// Predicted energy over the next full day.
+    pub fn predicted_daily_energy(&self) -> Joules {
+        self.estimates
+            .iter()
+            .map(|p| *p * self.slot_length)
+            .sum()
+    }
+}
+
+/// Eq. (1)/(2) bookkeeping over a run.
+#[derive(Debug, Clone, Default)]
+pub struct NeutralityAudit {
+    harvested: EnergyIntegrator,
+    consumed: EnergyIntegrator,
+    /// Count of instants at which stored energy hit zero (Eq. 2 violations).
+    pub depletion_events: u64,
+}
+
+impl NeutralityAudit {
+    /// Creates an empty audit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one interval.
+    pub fn record(&mut self, harvested: Watts, consumed: Watts, dt: Seconds, depleted: bool) {
+        self.harvested.add(harvested, dt);
+        self.consumed.add(consumed, dt);
+        if depleted {
+            self.depletion_events += 1;
+        }
+    }
+
+    /// Total harvested energy.
+    pub fn harvested_energy(&self) -> Joules {
+        self.harvested.total()
+    }
+
+    /// Total consumed energy.
+    pub fn consumed_energy(&self) -> Joules {
+        self.consumed.total()
+    }
+
+    /// Eq. (1) residual as a fraction of harvested energy (0 = perfectly
+    /// neutral).
+    pub fn neutrality_error(&self) -> f64 {
+        let h = self.harvested.total().0;
+        let c = self.consumed.total().0;
+        if h.abs() < 1e-30 {
+            return if c.abs() < 1e-30 { 0.0 } else { f64::INFINITY };
+        }
+        (h - c).abs() / h
+    }
+
+    /// `true` when Eq. (1) held within `tolerance` and Eq. (2) never failed.
+    pub fn is_energy_neutral(&self, tolerance: f64) -> bool {
+        self.depletion_events == 0 && self.neutrality_error() <= tolerance
+    }
+}
+
+/// The duty-cycle controller: each slot, choose the activity fraction the
+/// predicted harvest (plus a measured battery-correction term) can fund.
+#[derive(Debug, Clone)]
+pub struct WsnController {
+    predictor: EwmaPredictor,
+    /// Node power when active (sensing/transmitting).
+    p_active: Watts,
+    /// Node power when asleep.
+    p_sleep: Watts,
+    /// Battery state-of-charge the controller steers toward.
+    target_soc: f64,
+    /// Proportional gain on the SoC error term.
+    soc_gain: f64,
+    duty_min: f64,
+    duty_max: f64,
+}
+
+impl WsnController {
+    /// Creates a controller for a node with the given active/sleep powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p_active > p_sleep ≥ 0`.
+    pub fn new(predictor: EwmaPredictor, p_active: Watts, p_sleep: Watts) -> Self {
+        assert!(p_active > p_sleep, "active power must exceed sleep power");
+        assert!(p_sleep.0 >= 0.0, "sleep power must be ≥ 0");
+        Self {
+            predictor,
+            p_active,
+            p_sleep,
+            target_soc: 0.6,
+            soc_gain: 0.5,
+            duty_min: 0.01,
+            duty_max: 1.0,
+        }
+    }
+
+    /// Overrides the duty-cycle bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ min < max ≤ 1`.
+    pub fn with_duty_bounds(mut self, min: f64, max: f64) -> Self {
+        assert!((0.0..1.0).contains(&min) && min < max && max <= 1.0);
+        self.duty_min = min;
+        self.duty_max = max;
+        self
+    }
+
+    /// Access to the embedded predictor.
+    pub fn predictor(&self) -> &EwmaPredictor {
+        &self.predictor
+    }
+
+    /// Records a slot observation into the predictor.
+    pub fn observe(&mut self, t: Seconds, mean_power: Watts) {
+        self.predictor.observe(t, mean_power);
+    }
+
+    /// Chooses the duty cycle for the slot containing `t`:
+    /// solve `d·P_active + (1−d)·P_sleep = P̂_h + k·(soc − target)·P_active`.
+    pub fn duty_for(&self, t: Seconds, soc: f64) -> f64 {
+        let p_hat = self.predictor.predict(t);
+        let correction = self.soc_gain * (soc - self.target_soc) * self.p_active.0;
+        let budget = p_hat.0 + correction;
+        let d = (budget - self.p_sleep.0) / (self.p_active.0 - self.p_sleep.0);
+        d.clamp(self.duty_min, self.duty_max)
+    }
+}
+
+/// Per-slot simulation record of a [`WsnNode`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WsnSlotReport {
+    /// Slot start time.
+    pub t: Seconds,
+    /// Duty cycle chosen.
+    pub duty: f64,
+    /// Mean harvested power during the slot.
+    pub harvested: Watts,
+    /// Mean consumed power during the slot.
+    pub consumed: Watts,
+    /// Battery state of charge at slot end.
+    pub soc: f64,
+}
+
+/// An energy-neutral WSN node: battery + controller + harvest profile.
+#[derive(Debug, Clone)]
+pub struct WsnNode {
+    controller: WsnController,
+    battery: edc_power::Battery,
+    audit: NeutralityAudit,
+    reports: Vec<WsnSlotReport>,
+    time: Seconds,
+}
+
+impl WsnNode {
+    /// Creates a node.
+    pub fn new(controller: WsnController, battery: edc_power::Battery) -> Self {
+        Self {
+            controller,
+            battery,
+            audit: NeutralityAudit::new(),
+            reports: Vec::new(),
+            time: Seconds(0.0),
+        }
+    }
+
+    /// The Eq. (1)/(2) audit so far.
+    pub fn audit(&self) -> &NeutralityAudit {
+        &self.audit
+    }
+
+    /// Slot-by-slot reports.
+    pub fn reports(&self) -> &[WsnSlotReport] {
+        &self.reports
+    }
+
+    /// Battery state of charge.
+    pub fn soc(&self) -> f64 {
+        self.battery.soc()
+    }
+
+    /// Simulates `duration`, sampling `harvest(t)` once per slot.
+    pub fn run(&mut self, mut harvest: impl FnMut(Seconds) -> Watts, duration: Seconds) {
+        let slot = self.controller.predictor.slot_length();
+        let end = Seconds(self.time.0 + duration.0);
+        while self.time < end {
+            let t = self.time;
+            let p_h = harvest(t);
+            let duty = self.controller.duty_for(t, self.battery.soc());
+            let p_c = Watts(
+                duty * self.controller.p_active.0 + (1.0 - duty) * self.controller.p_sleep.0,
+            );
+            // Harvest charges the battery; consumption discharges it.
+            self.battery.charge(p_h, slot);
+            let wanted = p_c * slot;
+            let delivered = self.battery.discharge(p_c, slot);
+            let depleted = delivered < wanted * 0.999;
+            self.battery.idle(slot);
+            self.audit.record(p_h, p_c, slot, depleted);
+            self.controller.observe(t, p_h);
+            self.reports.push(WsnSlotReport {
+                t,
+                duty,
+                harvested: p_h,
+                consumed: p_c,
+                soc: self.battery.soc(),
+            });
+            self.time += slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edc_power::Battery;
+
+    fn diurnal(t: Seconds) -> Watts {
+        // 2 mW peak at noon, zero at night.
+        let day = t.0.rem_euclid(86_400.0) / 86_400.0;
+        let x = (std::f64::consts::TAU * (day - 0.25)).sin();
+        Watts((2e-3 * x).max(0.0))
+    }
+
+    #[test]
+    fn predictor_learns_diurnal_shape() {
+        let mut p = EwmaPredictor::new(24, 0.3);
+        // Observe three days.
+        for day in 0..3 {
+            for h in 0..24 {
+                let t = Seconds::from_hours(day as f64 * 24.0 + h as f64);
+                p.observe(t, diurnal(t));
+            }
+        }
+        let noon = p.predict(Seconds::from_hours(12.0));
+        let midnight = p.predict(Seconds::from_hours(0.0));
+        assert!(noon.0 > 1e-3, "noon prediction {noon}");
+        assert!(midnight.0 < 1e-4, "midnight prediction {midnight}");
+        assert!(p.predicted_daily_energy().0 > 0.0);
+    }
+
+    #[test]
+    fn audit_detects_imbalance_and_depletion() {
+        let mut a = NeutralityAudit::new();
+        a.record(Watts(1.0), Watts(1.0), Seconds(10.0), false);
+        assert!(a.is_energy_neutral(0.01));
+        a.record(Watts(0.0), Watts(1.0), Seconds(10.0), true);
+        assert!(!a.is_energy_neutral(0.01));
+        assert_eq!(a.depletion_events, 1);
+        assert!((a.neutrality_error() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn controller_scales_duty_with_prediction() {
+        let mut p = EwmaPredictor::new(24, 0.5);
+        for h in 0..24 {
+            let t = Seconds::from_hours(h as f64);
+            p.observe(t, diurnal(t));
+        }
+        let ctrl = WsnController::new(p, Watts(10e-3), Watts(50e-6));
+        let d_noon = ctrl.duty_for(Seconds::from_hours(12.0), 0.6);
+        let d_night = ctrl.duty_for(Seconds::from_hours(2.0), 0.6);
+        assert!(
+            d_noon > 3.0 * d_night,
+            "noon duty {d_noon} vs night {d_night}"
+        );
+    }
+
+    #[test]
+    fn low_battery_cuts_duty() {
+        let mut p = EwmaPredictor::new(24, 0.5);
+        for h in 0..24 {
+            let t = Seconds::from_hours(h as f64);
+            p.observe(t, Watts(1e-3));
+        }
+        let ctrl = WsnController::new(p, Watts(10e-3), Watts(50e-6));
+        let healthy = ctrl.duty_for(Seconds::from_hours(12.0), 0.9);
+        let starving = ctrl.duty_for(Seconds::from_hours(12.0), 0.1);
+        assert!(healthy > starving);
+    }
+
+    #[test]
+    fn node_achieves_energy_neutrality_over_days() {
+        let predictor = EwmaPredictor::new(48, 0.3);
+        let ctrl = WsnController::new(predictor, Watts(10e-3), Watts(50e-6))
+            .with_duty_bounds(0.005, 0.9);
+        // Battery sized for ~a day of mean consumption.
+        let battery = Battery::new(Joules(60.0)).with_soc(0.6);
+        let mut node = WsnNode::new(ctrl, battery);
+        node.run(diurnal, Seconds::from_hours(24.0 * 7.0));
+        let audit = node.audit();
+        assert_eq!(audit.depletion_events, 0, "battery must never die");
+        assert!(
+            audit.neutrality_error() < 0.25,
+            "Eq. 1 error {} too large",
+            audit.neutrality_error()
+        );
+        // Duty cycle must actually adapt (not sit on a bound).
+        let duties: Vec<f64> = node.reports().iter().map(|r| r.duty).collect();
+        let max = duties.iter().cloned().fold(0.0, f64::max);
+        let min = duties.iter().cloned().fold(1.0, f64::min);
+        assert!(max > 2.0 * min, "duty never adapted: {min}..{max}");
+    }
+
+    #[test]
+    fn oversubscribed_node_fails_eq2() {
+        // Tiny battery + greedy duty bounds: night kills it.
+        let predictor = EwmaPredictor::new(24, 0.3);
+        let ctrl = WsnController::new(predictor, Watts(50e-3), Watts(50e-6))
+            .with_duty_bounds(0.5, 1.0); // refuses to sleep
+        let battery = Battery::new(Joules(2.0)).with_soc(0.5);
+        let mut node = WsnNode::new(ctrl, battery);
+        node.run(diurnal, Seconds::from_hours(48.0));
+        assert!(node.audit().depletion_events > 0, "expected Eq. 2 failure");
+    }
+}

@@ -1,0 +1,23 @@
+//! Energy-neutral and power-neutral control — Sections II.A and II.C of the
+//! paper.
+//!
+//! *Energy-neutral* systems satisfy Eq. (1) over a period `T` (harvested
+//! energy = consumed energy) by buffering in storage and adapting their duty
+//! cycle — the classic Kansal et al. \[3\] WSN formulation, implemented in
+//! [`energy_neutral`].
+//!
+//! *Power-neutral* systems have no meaningful storage, so `T → 0` and
+//! Eq. (1) degenerates to Eq. (3): `P_h(t) = P_c(t)` instant by instant.
+//! They track the harvested power by modulating performance (DVFS,
+//! hot-plugging) — implemented in [`power_neutral`] over the
+//! [`PowerScalable`] abstraction that both the MCU's DFS ladder and the
+//! big.LITTLE MPSoC implement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy_neutral;
+pub mod power_neutral;
+
+pub use energy_neutral::{EwmaPredictor, NeutralityAudit, WsnController, WsnNode, WsnSlotReport};
+pub use power_neutral::{PnGovernor, PowerScalable, TrackingStats};

@@ -1,0 +1,268 @@
+//! Power-neutral operation: Eq. (3), `P_h(t) = P_c(t)`.
+//!
+//! With no storage, consumption must track harvest instant by instant. The
+//! "hooks" (the paper's term) are discrete performance levels — DVFS points,
+//! core hot-plugging — abstracted here as [`PowerScalable`]. The governor
+//! ([`PnGovernor`]) selects the highest level whose consumption fits the
+//! harvested power, optionally with hysteresis to avoid level thrash; it is
+//! the feed-forward complement to the voltage-feedback governor inside
+//! `edc-transient`'s Hibernus-PN.
+
+use edc_units::{Seconds, Watts};
+
+/// A platform whose power/performance can be stepped through discrete
+/// levels (level 0 = lowest power).
+pub trait PowerScalable {
+    /// Number of selectable levels.
+    fn num_levels(&self) -> usize;
+
+    /// Currently selected level.
+    fn level(&self) -> usize;
+
+    /// Selects a level.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `level ≥ num_levels()`.
+    fn set_level(&mut self, level: usize);
+
+    /// Power consumption at a level.
+    fn power_at(&self, level: usize) -> Watts;
+
+    /// Performance metric at a level (units are platform-defined: FPS,
+    /// MIPS…). Must be non-decreasing in level.
+    fn performance_at(&self, level: usize) -> f64;
+}
+
+/// Tracking-quality statistics accumulated by [`PnGovernor::step`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrackingStats {
+    /// Time integrated so far.
+    pub elapsed: Seconds,
+    /// Integral of `max(0, P_c − P_h)` — energy the platform overdrew
+    /// (would brown out a storage-less system).
+    pub overdraw_energy: f64,
+    /// Integral of `max(0, P_h − P_c)` — harvested energy left unused.
+    pub waste_energy: f64,
+    /// Performance-seconds delivered (integral of the performance metric).
+    pub performance_integral: f64,
+    /// Number of level changes commanded.
+    pub level_changes: u64,
+}
+
+impl TrackingStats {
+    /// Mean fractional overdraw relative to total harvested energy.
+    pub fn overdraw_fraction(&self, harvested_total: f64) -> f64 {
+        if harvested_total > 0.0 {
+            self.overdraw_energy / harvested_total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Feed-forward power-neutral governor: pick the fastest level that fits.
+#[derive(Debug, Clone)]
+pub struct PnGovernor {
+    /// Fraction of the harvested power the governor is allowed to commit
+    /// (headroom for model error); 1.0 = commit everything.
+    utilisation: f64,
+    /// Required relative improvement before switching level (hysteresis).
+    hysteresis: f64,
+    stats: TrackingStats,
+    harvested_total: f64,
+}
+
+impl PnGovernor {
+    /// Creates a governor committing 90% of harvested power with 5%
+    /// switching hysteresis.
+    pub fn new() -> Self {
+        Self {
+            utilisation: 0.9,
+            hysteresis: 0.05,
+            stats: TrackingStats::default(),
+            harvested_total: 0.0,
+        }
+    }
+
+    /// Overrides the utilisation factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < utilisation ≤ 1`.
+    pub fn with_utilisation(mut self, u: f64) -> Self {
+        assert!(u > 0.0 && u <= 1.0, "utilisation in (0, 1]");
+        self.utilisation = u;
+        self
+    }
+
+    /// Overrides the switching hysteresis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is negative.
+    pub fn with_hysteresis(mut self, h: f64) -> Self {
+        assert!(h >= 0.0, "hysteresis must be ≥ 0");
+        self.hysteresis = h;
+        self
+    }
+
+    /// Accumulated tracking statistics.
+    pub fn stats(&self) -> TrackingStats {
+        self.stats
+    }
+
+    /// Fraction of harvested energy overdrawn so far.
+    pub fn overdraw_fraction(&self) -> f64 {
+        self.stats.overdraw_fraction(self.harvested_total)
+    }
+
+    /// The highest level whose power fits within `budget` (level 0 when
+    /// nothing fits — a platform cannot go below its floor).
+    fn fit_level(platform: &impl PowerScalable, budget: f64) -> usize {
+        let mut best = 0;
+        for level in 0..platform.num_levels() {
+            if platform.power_at(level).0 <= budget {
+                best = level;
+            }
+        }
+        best
+    }
+
+    /// The level the governor would pick for harvested power `p_h`.
+    pub fn target_level(&self, platform: &impl PowerScalable, p_h: Watts) -> usize {
+        Self::fit_level(platform, p_h.0 * self.utilisation)
+    }
+
+    /// One governor step: observe `p_h`, command the platform, integrate
+    /// statistics over `dt`.
+    ///
+    /// Switching is asymmetric: a down-switch is mandatory the instant the
+    /// current level overdraws the budget (a storage-less system cannot
+    /// afford to wait), while an up-switch additionally requires the target
+    /// to fit inside `budget · (1 − hysteresis)` so boundary noise does not
+    /// thrash the level.
+    pub fn step(&mut self, platform: &mut impl PowerScalable, p_h: Watts, dt: Seconds) {
+        let budget = p_h.0 * self.utilisation;
+        let current = platform.level();
+        let mut new_level = current;
+        if platform.power_at(current).0 > budget {
+            new_level = Self::fit_level(platform, budget);
+        } else {
+            let up = Self::fit_level(platform, budget * (1.0 - self.hysteresis));
+            if up > current {
+                new_level = up;
+            }
+        }
+        if new_level != current {
+            platform.set_level(new_level);
+            self.stats.level_changes += 1;
+        }
+        let p_c = platform.power_at(platform.level()).0;
+        self.stats.elapsed += dt;
+        self.harvested_total += p_h.0 * dt.0;
+        self.stats.overdraw_energy += (p_c - p_h.0).max(0.0) * dt.0;
+        self.stats.waste_energy += (p_h.0 - p_c).max(0.0) * dt.0;
+        self.stats.performance_integral += platform.performance_at(platform.level()) * dt.0;
+    }
+}
+
+impl Default for PnGovernor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy platform: levels draw 1, 2, 4, 8 W and deliver matching
+    /// performance.
+    #[derive(Debug)]
+    struct Toy {
+        level: usize,
+    }
+
+    impl PowerScalable for Toy {
+        fn num_levels(&self) -> usize {
+            4
+        }
+        fn level(&self) -> usize {
+            self.level
+        }
+        fn set_level(&mut self, level: usize) {
+            assert!(level < 4);
+            self.level = level;
+        }
+        fn power_at(&self, level: usize) -> Watts {
+            Watts([1.0, 2.0, 4.0, 8.0][level])
+        }
+        fn performance_at(&self, level: usize) -> f64 {
+            [1.0, 2.0, 4.0, 8.0][level]
+        }
+    }
+
+    #[test]
+    fn governor_picks_highest_affordable_level() {
+        let g = PnGovernor::new().with_utilisation(1.0);
+        let toy = Toy { level: 0 };
+        assert_eq!(g.target_level(&toy, Watts(0.5)), 0); // nothing fits: floor
+        assert_eq!(g.target_level(&toy, Watts(2.5)), 1);
+        assert_eq!(g.target_level(&toy, Watts(100.0)), 3);
+    }
+
+    #[test]
+    fn step_tracks_a_ramp() {
+        let mut g = PnGovernor::new().with_utilisation(1.0).with_hysteresis(0.0);
+        let mut toy = Toy { level: 3 };
+        // Ramp harvest from 8 W down to 1 W: governor must descend.
+        for i in 0..100 {
+            let p = Watts(8.0 - 7.0 * (i as f64 / 99.0));
+            g.step(&mut toy, p, Seconds(0.01));
+        }
+        assert_eq!(toy.level, 0);
+        assert!(g.stats().level_changes >= 3);
+        // Overdraw must be small relative to harvest.
+        assert!(g.overdraw_fraction() < 0.05, "overdraw {}", g.overdraw_fraction());
+    }
+
+    #[test]
+    fn utilisation_headroom_reduces_overdraw() {
+        let run = |util: f64| {
+            let mut g = PnGovernor::new().with_utilisation(util).with_hysteresis(0.0);
+            let mut toy = Toy { level: 3 };
+            for i in 0..1000 {
+                // Noisy harvest around 4 W.
+                let p = Watts(4.0 + 1.5 * ((i as f64) * 0.7).sin());
+                g.step(&mut toy, p, Seconds(0.001));
+            }
+            g.overdraw_fraction()
+        };
+        assert!(run(0.7) <= run(1.0) + 1e-12);
+    }
+
+    #[test]
+    fn hysteresis_limits_thrash() {
+        let changes = |hyst: f64| {
+            let mut g = PnGovernor::new().with_utilisation(1.0).with_hysteresis(hyst);
+            let mut toy = Toy { level: 0 };
+            for i in 0..1000 {
+                // Harvest oscillating right at the 2 W / 4 W boundary.
+                let p = Watts(4.0 + 0.08 * if i % 2 == 0 { 1.0 } else { -1.0 });
+                g.step(&mut toy, p, Seconds(0.001));
+            }
+            g.stats().level_changes
+        };
+        assert!(changes(0.10) < changes(0.0));
+    }
+
+    #[test]
+    fn performance_integral_accumulates() {
+        let mut g = PnGovernor::new();
+        let mut toy = Toy { level: 0 };
+        g.step(&mut toy, Watts(10.0), Seconds(1.0));
+        assert!(g.stats().performance_integral > 0.0);
+        assert!(g.stats().elapsed == Seconds(1.0));
+    }
+}

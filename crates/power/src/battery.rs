@@ -1,0 +1,225 @@
+//! A simple state-of-charge battery model.
+//!
+//! The taxonomy's energy-neutral systems (WSN nodes, smartphones, laptops)
+//! buffer supply/consumption differences in a battery. This model tracks
+//! stored energy with charge/discharge efficiencies and rate limits — enough
+//! fidelity to observe Eq. (2) violations (the battery running flat) without
+//! pretending to electrochemical accuracy.
+
+use edc_units::{Joules, Seconds, Watts};
+
+/// A rate- and efficiency-limited energy reservoir.
+///
+/// # Examples
+///
+/// ```
+/// use edc_power::Battery;
+/// use edc_units::{Joules, Seconds, Watts};
+///
+/// let mut batt = Battery::new(Joules(100.0));
+/// batt.charge(Watts(10.0), Seconds(5.0));
+/// assert!(batt.stored().0 > 0.0);
+/// let delivered = batt.discharge(Watts(1.0), Seconds(10.0));
+/// assert!(delivered.0 > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Battery {
+    capacity: Joules,
+    stored: Joules,
+    charge_efficiency: f64,
+    discharge_efficiency: f64,
+    max_charge_power: Watts,
+    max_discharge_power: Watts,
+    /// Fraction of stored energy lost per day to self-discharge.
+    self_discharge_per_day: f64,
+}
+
+impl Battery {
+    /// Creates an empty battery with the given capacity, 95%/95% round-trip
+    /// efficiencies, no rate limits, and 0.1%/day self-discharge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not strictly positive.
+    pub fn new(capacity: Joules) -> Self {
+        assert!(capacity.is_positive(), "battery capacity must be > 0");
+        Self {
+            capacity,
+            stored: Joules::ZERO,
+            charge_efficiency: 0.95,
+            discharge_efficiency: 0.95,
+            max_charge_power: Watts(f64::INFINITY),
+            max_discharge_power: Watts(f64::INFINITY),
+            self_discharge_per_day: 0.001,
+        }
+    }
+
+    /// Starts the battery at the given state of charge (0–1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `soc` is outside `[0, 1]`.
+    pub fn with_soc(mut self, soc: f64) -> Self {
+        assert!((0.0..=1.0).contains(&soc), "state of charge in [0, 1]");
+        self.stored = self.capacity * soc;
+        self
+    }
+
+    /// Overrides the charge/discharge efficiencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either efficiency is outside `(0, 1]`.
+    pub fn with_efficiencies(mut self, charge: f64, discharge: f64) -> Self {
+        assert!(charge > 0.0 && charge <= 1.0, "charge efficiency in (0,1]");
+        assert!(
+            discharge > 0.0 && discharge <= 1.0,
+            "discharge efficiency in (0,1]"
+        );
+        self.charge_efficiency = charge;
+        self.discharge_efficiency = discharge;
+        self
+    }
+
+    /// Limits charge and discharge power.
+    pub fn with_rate_limits(mut self, charge: Watts, discharge: Watts) -> Self {
+        assert!(charge.is_positive() && discharge.is_positive(), "limits > 0");
+        self.max_charge_power = charge;
+        self.max_discharge_power = discharge;
+        self
+    }
+
+    /// Rated capacity.
+    pub fn capacity(&self) -> Joules {
+        self.capacity
+    }
+
+    /// Energy currently stored.
+    pub fn stored(&self) -> Joules {
+        self.stored
+    }
+
+    /// State of charge in `[0, 1]`.
+    pub fn soc(&self) -> f64 {
+        (self.stored / self.capacity).clamp(0.0, 1.0)
+    }
+
+    /// `true` when no energy remains — the Eq. (2) failure condition for a
+    /// battery-buffered system.
+    pub fn is_empty(&self) -> bool {
+        self.stored.0 <= 0.0
+    }
+
+    /// Charges at power `p` (before efficiency) for `dt`. Returns the energy
+    /// actually absorbed into storage.
+    pub fn charge(&mut self, p: Watts, dt: Seconds) -> Joules {
+        assert!(p.0 >= 0.0, "charge power must be ≥ 0");
+        let p_eff = p.min(self.max_charge_power);
+        let absorbed = (p_eff * dt) * self.charge_efficiency;
+        let room = self.capacity - self.stored;
+        let stored = absorbed.min(room).max(Joules::ZERO);
+        self.stored += stored;
+        stored
+    }
+
+    /// Discharges to deliver power `p` at the terminals for `dt`. Returns
+    /// the energy actually delivered (less than requested when the battery
+    /// runs flat or hits its rate limit).
+    pub fn discharge(&mut self, p: Watts, dt: Seconds) -> Joules {
+        assert!(p.0 >= 0.0, "discharge power must be ≥ 0");
+        let p_eff = p.min(self.max_discharge_power);
+        let wanted_internal = Joules((p_eff * dt).0 / self.discharge_efficiency);
+        let internal = wanted_internal.min(self.stored);
+        self.stored -= internal;
+        internal * self.discharge_efficiency
+    }
+
+    /// Applies self-discharge over `dt`.
+    pub fn idle(&mut self, dt: Seconds) {
+        let frac = self.self_discharge_per_day * dt.0 / 86_400.0;
+        self.stored = (self.stored * (1.0 - frac)).max(Joules::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn charge_respects_capacity_and_efficiency() {
+        let mut b = Battery::new(Joules(100.0)).with_efficiencies(0.9, 0.9);
+        let stored = b.charge(Watts(10.0), Seconds(2.0));
+        assert!((stored.0 - 18.0).abs() < 1e-12); // 20 J in, 90% kept
+        // Top up far beyond capacity.
+        b.charge(Watts(1000.0), Seconds(10.0));
+        assert!((b.stored().0 - 100.0).abs() < 1e-12);
+        assert!((b.soc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discharge_delivers_until_flat() {
+        let mut b = Battery::new(Joules(10.0))
+            .with_soc(1.0)
+            .with_efficiencies(1.0, 1.0);
+        let got = b.discharge(Watts(1.0), Seconds(4.0));
+        assert!((got.0 - 4.0).abs() < 1e-12);
+        let rest = b.discharge(Watts(100.0), Seconds(1.0));
+        assert!((rest.0 - 6.0).abs() < 1e-12);
+        assert!(b.is_empty());
+        assert_eq!(b.discharge(Watts(1.0), Seconds(1.0)), Joules(0.0));
+    }
+
+    #[test]
+    fn rate_limits_apply() {
+        let mut b = Battery::new(Joules(1000.0))
+            .with_soc(1.0)
+            .with_efficiencies(1.0, 1.0)
+            .with_rate_limits(Watts(1.0), Watts(2.0));
+        let got = b.discharge(Watts(100.0), Seconds(1.0));
+        assert!((got.0 - 2.0).abs() < 1e-12);
+        let put = b.charge(Watts(100.0), Seconds(1.0));
+        assert!((put.0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_discharge_decays_storage() {
+        let mut b = Battery::new(Joules(100.0)).with_soc(1.0);
+        b.idle(Seconds::from_hours(24.0));
+        assert!(b.stored().0 < 100.0);
+        assert!(b.stored().0 > 99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "state of charge")]
+    fn bad_soc_rejected() {
+        let _ = Battery::new(Joules(1.0)).with_soc(1.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_stored_always_within_bounds(
+            ops in proptest::collection::vec((0.0f64..50.0, 0.0f64..10.0, proptest::bool::ANY), 1..100)
+        ) {
+            let mut b = Battery::new(Joules(100.0)).with_soc(0.5);
+            for (p, dt, is_charge) in ops {
+                if is_charge {
+                    b.charge(Watts(p), Seconds(dt));
+                } else {
+                    b.discharge(Watts(p), Seconds(dt));
+                }
+                prop_assert!(b.stored().0 >= -1e-9);
+                prop_assert!(b.stored().0 <= 100.0 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_round_trip_loses_energy(e_in in 1.0f64..50.0) {
+            let mut b = Battery::new(Joules(100.0));
+            let stored = b.charge(Watts(e_in), Seconds(1.0));
+            let out = b.discharge(Watts(1000.0), Seconds(1.0));
+            prop_assert!(out.0 <= e_in + 1e-9, "round trip must not create energy");
+            prop_assert!(out.0 <= stored.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Power-subsystem components for energy-harvesting systems.
+//!
+//! The paper contrasts two energy-subsystem topologies: the energy-neutral
+//! chain of Fig. 3 (harvester → power conversion → energy storage → power
+//! conversion → load) and the energy-driven chain of Fig. 4 (harvester →
+//! harvesting-aware load, with at most minimal conversion). This crate
+//! provides the boxes those diagrams are built from:
+//!
+//! - [`Rectifier`] — half/full-wave diode rectification of AC transducers;
+//! - [`Ldo`], [`Buck`], [`Boost`] — power conversion with efficiency models;
+//! - [`VoltageMonitor`] — the hysteretic comparator that raises the
+//!   `V_H`/`V_R` interrupts at the heart of Hibernus (Section III);
+//! - [`Battery`] — a simple state-of-charge battery for the energy-neutral
+//!   systems of the taxonomy;
+//! - [`StorageSpec`] — a description of how much energy storage a system
+//!   carries (the horizontal axis of the paper's Fig. 2);
+//! - [`sizing`] — the storage-sizing math of Eqs. (1), (2) and (4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod battery;
+mod monitor;
+mod rectifier;
+mod regulator;
+pub mod sizing;
+mod storage;
+mod supercap;
+
+pub use battery::Battery;
+pub use monitor::{MonitorEvent, VoltageMonitor};
+pub use rectifier::{Rectifier, RectifierKind};
+pub use regulator::{Boost, Buck, ConversionResult, Converter, Ldo};
+pub use storage::StorageSpec;
+pub use supercap::Supercapacitor;

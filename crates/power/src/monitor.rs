@@ -1,0 +1,201 @@
+//! Hysteretic voltage monitor — the interrupt source of Hibernus.
+//!
+//! The paper (Section III): "To detect the drop in `V_cc`, a voltage
+//! interrupt is used where the hibernation threshold, `V_H`, is chosen such
+//! that [Eq. 4]". A second threshold, `V_R`, signals recovery. This module
+//! models exactly that pair of comparators with hysteresis, emitting edge
+//! events as the rail voltage is sampled.
+
+use edc_units::Volts;
+
+/// Edge events produced by [`VoltageMonitor::update`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorEvent {
+    /// The rail fell below the low (hibernate) threshold.
+    FellBelowLow,
+    /// The rail rose above the high (restore) threshold.
+    RoseAboveHigh,
+}
+
+/// A two-threshold comparator with hysteresis.
+///
+/// `low` is the falling threshold (Hibernus' `V_H`), `high` the rising
+/// threshold (`V_R`). After a [`MonitorEvent::FellBelowLow`] no further
+/// low events fire until the rail has risen above `high`, and vice versa —
+/// the hysteresis that keeps a noisy rail from storming the CPU with
+/// interrupts.
+///
+/// # Examples
+///
+/// ```
+/// use edc_power::{MonitorEvent, VoltageMonitor};
+/// use edc_units::Volts;
+///
+/// let mut mon = VoltageMonitor::new(Volts(2.27), Volts(2.8));
+/// assert_eq!(mon.update(Volts(3.0)), None);             // start high
+/// assert_eq!(mon.update(Volts(2.2)), Some(MonitorEvent::FellBelowLow));
+/// assert_eq!(mon.update(Volts(2.4)), None);             // inside hysteresis band
+/// assert_eq!(mon.update(Volts(2.9)), Some(MonitorEvent::RoseAboveHigh));
+/// ```
+#[derive(Debug, Clone)]
+pub struct VoltageMonitor {
+    low: Volts,
+    high: Volts,
+    /// `true` once armed for the falling edge (i.e. rail known to be high).
+    armed_low: bool,
+    /// `true` once armed for the rising edge.
+    armed_high: bool,
+    initialized: bool,
+}
+
+impl VoltageMonitor {
+    /// Creates a monitor with falling threshold `low` and rising threshold
+    /// `high`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < low < high` ([C-VALIDATE]).
+    ///
+    /// [C-VALIDATE]: https://rust-lang.github.io/api-guidelines/dependability.html
+    pub fn new(low: Volts, high: Volts) -> Self {
+        assert!(low.is_positive(), "low threshold must be > 0");
+        assert!(
+            high > low,
+            "high threshold ({high}) must exceed low threshold ({low})"
+        );
+        Self {
+            low,
+            high,
+            armed_low: false,
+            armed_high: false,
+            initialized: false,
+        }
+    }
+
+    /// The falling (hibernate) threshold.
+    pub fn low(&self) -> Volts {
+        self.low
+    }
+
+    /// The rising (restore) threshold.
+    pub fn high(&self) -> Volts {
+        self.high
+    }
+
+    /// Replaces both thresholds, preserving arming state. Used by
+    /// Hibernus++'s run-time recalibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < low < high`.
+    pub fn set_thresholds(&mut self, low: Volts, high: Volts) {
+        assert!(low.is_positive() && high > low, "need 0 < low < high");
+        self.low = low;
+        self.high = high;
+    }
+
+    /// Samples the rail voltage, returning an edge event if one fired.
+    ///
+    /// The first sample only initialises the arming state and never fires.
+    pub fn update(&mut self, v: Volts) -> Option<MonitorEvent> {
+        if !self.initialized {
+            self.initialized = true;
+            self.armed_low = v > self.low;
+            self.armed_high = v < self.high;
+            return None;
+        }
+        if self.armed_low && v <= self.low {
+            self.armed_low = false;
+            self.armed_high = true;
+            return Some(MonitorEvent::FellBelowLow);
+        }
+        if self.armed_high && v >= self.high {
+            self.armed_high = false;
+            self.armed_low = true;
+            return Some(MonitorEvent::RoseAboveHigh);
+        }
+        None
+    }
+
+    /// Resets the monitor to its uninitialised state (as after power loss —
+    /// a real comparator forgets its arming when its own supply dies).
+    pub fn reset(&mut self) {
+        self.initialized = false;
+        self.armed_low = false;
+        self.armed_high = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fires_once_per_excursion() {
+        let mut mon = VoltageMonitor::new(Volts(2.0), Volts(2.5));
+        assert_eq!(mon.update(Volts(3.0)), None);
+        assert_eq!(mon.update(Volts(1.9)), Some(MonitorEvent::FellBelowLow));
+        // Stays low: no repeat events.
+        assert_eq!(mon.update(Volts(1.5)), None);
+        assert_eq!(mon.update(Volts(1.9)), None);
+        // Rises through the band, fires the high edge exactly once.
+        assert_eq!(mon.update(Volts(2.2)), None);
+        assert_eq!(mon.update(Volts(2.6)), Some(MonitorEvent::RoseAboveHigh));
+        assert_eq!(mon.update(Volts(3.0)), None);
+        // And can fall again.
+        assert_eq!(mon.update(Volts(1.0)), Some(MonitorEvent::FellBelowLow));
+    }
+
+    #[test]
+    fn first_sample_initialises_without_firing() {
+        let mut mon = VoltageMonitor::new(Volts(2.0), Volts(2.5));
+        // Starting below low: no falling event (we were never above).
+        assert_eq!(mon.update(Volts(1.0)), None);
+        // But the rising edge is armed.
+        assert_eq!(mon.update(Volts(2.6)), Some(MonitorEvent::RoseAboveHigh));
+    }
+
+    #[test]
+    fn reset_forgets_arming() {
+        let mut mon = VoltageMonitor::new(Volts(2.0), Volts(2.5));
+        mon.update(Volts(3.0));
+        mon.update(Volts(1.0));
+        mon.reset();
+        // After reset the first sample initialises again.
+        assert_eq!(mon.update(Volts(3.0)), None);
+        assert_eq!(mon.update(Volts(1.0)), Some(MonitorEvent::FellBelowLow));
+    }
+
+    #[test]
+    fn set_thresholds_retunes_monitor() {
+        let mut mon = VoltageMonitor::new(Volts(2.0), Volts(2.5));
+        mon.update(Volts(3.0));
+        mon.set_thresholds(Volts(2.4), Volts(2.9));
+        assert_eq!(mon.low(), Volts(2.4));
+        assert_eq!(mon.update(Volts(2.35)), Some(MonitorEvent::FellBelowLow));
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed low")]
+    fn inverted_thresholds_rejected() {
+        let _ = VoltageMonitor::new(Volts(2.5), Volts(2.0));
+    }
+
+    proptest! {
+        /// Events must strictly alternate regardless of the input sequence.
+        #[test]
+        fn prop_events_alternate(samples in proptest::collection::vec(0.0f64..4.0, 1..200)) {
+            let mut mon = VoltageMonitor::new(Volts(1.5), Volts(2.5));
+            let mut last: Option<MonitorEvent> = None;
+            for s in samples {
+                if let Some(e) = mon.update(Volts(s)) {
+                    if let Some(prev) = last {
+                        prop_assert_ne!(prev, e, "two consecutive identical events");
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Diode rectifiers for AC transducers (wind, kinetic EM pickups).
+//!
+//! The paper's Fig. 7 drives Hibernus from a "half-wave rectified sine-wave
+//! voltage" and Fig. 8 from "the half-wave rectified output of a micro wind
+//! turbine"; this module models that stage.
+
+use edc_units::Volts;
+
+/// Rectifier topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RectifierKind {
+    /// One diode: passes positive half-cycles only (one diode drop).
+    HalfWave,
+    /// Diode bridge: passes `|v|` (two diode drops).
+    FullWave,
+}
+
+/// A diode rectifier with a fixed forward drop per conducting diode.
+///
+/// # Examples
+///
+/// ```
+/// use edc_power::{Rectifier, RectifierKind};
+/// use edc_units::Volts;
+///
+/// let half = Rectifier::new(RectifierKind::HalfWave, Volts(0.3));
+/// assert_eq!(half.rectify(Volts(-2.0)), Volts(0.0));
+/// assert!((half.rectify(Volts(2.0)).0 - 1.7).abs() < 1e-12);
+///
+/// let full = Rectifier::new(RectifierKind::FullWave, Volts(0.3));
+/// assert!((full.rectify(Volts(-2.0)).0 - 1.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rectifier {
+    kind: RectifierKind,
+    diode_drop: Volts,
+}
+
+impl Rectifier {
+    /// Creates a rectifier with the given topology and per-diode drop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the diode drop is negative.
+    pub fn new(kind: RectifierKind, diode_drop: Volts) -> Self {
+        assert!(diode_drop.0 >= 0.0, "diode drop must be ≥ 0");
+        Self { kind, diode_drop }
+    }
+
+    /// An ideal (zero-drop) rectifier — useful for isolating algorithmic
+    /// effects from diode losses in experiments.
+    pub fn ideal(kind: RectifierKind) -> Self {
+        Self::new(kind, Volts::ZERO)
+    }
+
+    /// A Schottky half-wave rectifier (0.3 V drop), the common front-end for
+    /// micro-turbine prototypes.
+    pub fn schottky_half_wave() -> Self {
+        Self::new(RectifierKind::HalfWave, Volts(0.3))
+    }
+
+    /// The rectifier topology.
+    pub fn kind(&self) -> RectifierKind {
+        self.kind
+    }
+
+    /// The per-diode forward drop.
+    pub fn diode_drop(&self) -> Volts {
+        self.diode_drop
+    }
+
+    /// Output voltage for an instantaneous input voltage.
+    ///
+    /// Output is never negative; inputs inside the conduction dead-band
+    /// yield zero.
+    pub fn rectify(&self, v_in: Volts) -> Volts {
+        match self.kind {
+            RectifierKind::HalfWave => (v_in - self.diode_drop).max(Volts::ZERO),
+            RectifierKind::FullWave => {
+                (v_in.abs() - self.diode_drop * 2.0).max(Volts::ZERO)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn half_wave_blocks_negative() {
+        let r = Rectifier::schottky_half_wave();
+        assert_eq!(r.rectify(Volts(-5.0)), Volts(0.0));
+        assert_eq!(r.rectify(Volts(0.1)), Volts(0.0)); // inside dead-band
+        assert!((r.rectify(Volts(5.0)).0 - 4.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_wave_folds_and_double_drops() {
+        let r = Rectifier::new(RectifierKind::FullWave, Volts(0.3));
+        assert!((r.rectify(Volts(5.0)).0 - 4.4).abs() < 1e-12);
+        assert!((r.rectify(Volts(-5.0)).0 - 4.4).abs() < 1e-12);
+        assert_eq!(r.rectify(Volts(0.5)), Volts(0.0));
+    }
+
+    #[test]
+    fn ideal_rectifier_lossless() {
+        let r = Rectifier::ideal(RectifierKind::HalfWave);
+        assert_eq!(r.rectify(Volts(3.3)), Volts(3.3));
+        assert_eq!(r.rectify(Volts(-3.3)), Volts(0.0));
+        assert_eq!(r.diode_drop(), Volts(0.0));
+        assert_eq!(r.kind(), RectifierKind::HalfWave);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_output_never_negative(v in -20.0f64..20.0, drop in 0.0f64..1.0) {
+            for kind in [RectifierKind::HalfWave, RectifierKind::FullWave] {
+                let r = Rectifier::new(kind, Volts(drop));
+                prop_assert!(r.rectify(Volts(v)).0 >= 0.0);
+            }
+        }
+
+        #[test]
+        fn prop_full_wave_even_function(v in 0.0f64..20.0, drop in 0.0f64..1.0) {
+            let r = Rectifier::new(RectifierKind::FullWave, Volts(drop));
+            prop_assert_eq!(r.rectify(Volts(v)), r.rectify(Volts(-v)));
+        }
+
+        #[test]
+        fn prop_output_bounded_by_input(v in 0.0f64..20.0, drop in 0.0f64..1.0) {
+            for kind in [RectifierKind::HalfWave, RectifierKind::FullWave] {
+                let r = Rectifier::new(kind, Volts(drop));
+                prop_assert!(r.rectify(Volts(v)).0 <= v);
+            }
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Power-conversion stages: linear (LDO) and switching (buck/boost)
+//! regulators with simple efficiency models.
+//!
+//! These are the "Power Conversion" boxes of the paper's Fig. 3. Part of the
+//! energy-driven argument is that each of these stages costs volume and
+//! efficiency — the models here make those costs measurable so experiments
+//! can compare buffered (Fig. 3) and direct (Fig. 4) topologies.
+
+use edc_units::{Amps, Volts, Watts};
+
+/// Result of asking a converter to supply a load: what it draws from the
+/// input rail and whether regulation is possible at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConversionResult {
+    /// Current drawn from the input rail.
+    pub input_current: Amps,
+    /// `true` when the converter can regulate at this operating point.
+    pub in_regulation: bool,
+}
+
+/// Common interface of all conversion stages.
+pub trait Converter {
+    /// Nominal regulated output voltage.
+    fn output_voltage(&self) -> Volts;
+
+    /// Computes the input-side current needed to supply `i_load` at the
+    /// output, given the present input voltage.
+    ///
+    /// When the operating point is unreachable (dropout, insufficient
+    /// headroom) the result reports `in_regulation: false` and the
+    /// quiescent draw only.
+    fn convert(&self, v_in: Volts, i_load: Amps) -> ConversionResult;
+
+    /// Efficiency at the given operating point (output power / input power),
+    /// in `[0, 1]`. Zero when out of regulation or unloaded.
+    fn efficiency(&self, v_in: Volts, i_load: Amps) -> f64 {
+        let r = self.convert(v_in, i_load);
+        let p_in = (v_in * r.input_current).0;
+        if !r.in_regulation || p_in <= 0.0 {
+            return 0.0;
+        }
+        ((self.output_voltage() * i_load).0 / p_in).clamp(0.0, 1.0)
+    }
+}
+
+/// A linear low-dropout regulator: passes load current 1:1 plus quiescent
+/// draw; efficiency is inherently `V_out/V_in`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ldo {
+    v_out: Volts,
+    dropout: Volts,
+    i_q: Amps,
+}
+
+impl Ldo {
+    /// Creates an LDO with the given output voltage, dropout, and quiescent
+    /// current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output voltage is not positive or other parameters are
+    /// negative.
+    pub fn new(v_out: Volts, dropout: Volts, i_q: Amps) -> Self {
+        assert!(v_out.is_positive(), "output voltage must be > 0");
+        assert!(dropout.0 >= 0.0, "dropout must be ≥ 0");
+        assert!(i_q.0 >= 0.0, "quiescent current must be ≥ 0");
+        Self { v_out, dropout, i_q }
+    }
+
+    /// A typical microcontroller-rail LDO: 3.0 V out, 150 mV dropout, 1 µA
+    /// quiescent.
+    pub fn micropower_3v0() -> Self {
+        Self::new(Volts(3.0), Volts(0.15), Amps::from_micro(1.0))
+    }
+}
+
+impl Converter for Ldo {
+    fn output_voltage(&self) -> Volts {
+        self.v_out
+    }
+
+    fn convert(&self, v_in: Volts, i_load: Amps) -> ConversionResult {
+        if v_in < self.v_out + self.dropout {
+            return ConversionResult {
+                input_current: self.i_q,
+                in_regulation: false,
+            };
+        }
+        ConversionResult {
+            input_current: i_load + self.i_q,
+            in_regulation: true,
+        }
+    }
+}
+
+/// Piecewise-linear efficiency curve over output power, used by the
+/// switching converters: light loads are dominated by switching losses,
+/// heavy loads by conduction losses.
+fn switching_efficiency(p_out: Watts, peak: f64) -> f64 {
+    let p = p_out.0;
+    if p <= 0.0 {
+        return 0.0;
+    }
+    // Rises quickly from ~50% at µW loads to `peak` around 1 mW+, then sags
+    // slightly at very heavy load (conduction losses).
+    let rise = p / (p + 50e-6);
+    let sag = 1.0 / (1.0 + p / 5.0);
+    (peak * rise * (0.9 + 0.1 * sag)).clamp(0.0, 1.0)
+}
+
+/// A step-down (buck) switching converter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Buck {
+    v_out: Volts,
+    peak_efficiency: f64,
+    i_q: Amps,
+}
+
+impl Buck {
+    /// Creates a buck converter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_out` is not positive or `peak_efficiency` is outside
+    /// `(0, 1]`.
+    pub fn new(v_out: Volts, peak_efficiency: f64, i_q: Amps) -> Self {
+        assert!(v_out.is_positive(), "output voltage must be > 0");
+        assert!(
+            peak_efficiency > 0.0 && peak_efficiency <= 1.0,
+            "peak efficiency in (0, 1]"
+        );
+        assert!(i_q.0 >= 0.0, "quiescent current must be ≥ 0");
+        Self {
+            v_out,
+            peak_efficiency,
+            i_q,
+        }
+    }
+
+    /// A typical energy-harvesting buck: 1.8 V out, 92% peak, 500 nA
+    /// quiescent.
+    pub fn harvesting_1v8() -> Self {
+        Self::new(Volts(1.8), 0.92, Amps::from_nano(500.0))
+    }
+}
+
+impl Converter for Buck {
+    fn output_voltage(&self) -> Volts {
+        self.v_out
+    }
+
+    fn convert(&self, v_in: Volts, i_load: Amps) -> ConversionResult {
+        // A buck needs headroom above its output.
+        if v_in <= self.v_out {
+            return ConversionResult {
+                input_current: self.i_q,
+                in_regulation: false,
+            };
+        }
+        let p_out = self.v_out * i_load;
+        let eta = switching_efficiency(p_out, self.peak_efficiency);
+        let input_current = if eta > 0.0 {
+            Watts(p_out.0 / eta) / v_in + self.i_q
+        } else {
+            self.i_q
+        };
+        ConversionResult {
+            input_current,
+            in_regulation: true,
+        }
+    }
+}
+
+/// A step-up (boost) switching converter — the front-end that lets µW
+/// harvesters charge a higher-voltage rail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Boost {
+    v_out: Volts,
+    v_in_min: Volts,
+    peak_efficiency: f64,
+    i_q: Amps,
+}
+
+impl Boost {
+    /// Creates a boost converter with a minimum start-up/operating input
+    /// voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if voltages are not positive or `peak_efficiency` is outside
+    /// `(0, 1]`.
+    pub fn new(v_out: Volts, v_in_min: Volts, peak_efficiency: f64, i_q: Amps) -> Self {
+        assert!(v_out.is_positive(), "output voltage must be > 0");
+        assert!(v_in_min.is_positive(), "minimum input voltage must be > 0");
+        assert!(
+            peak_efficiency > 0.0 && peak_efficiency <= 1.0,
+            "peak efficiency in (0, 1]"
+        );
+        assert!(i_q.0 >= 0.0, "quiescent current must be ≥ 0");
+        Self {
+            v_out,
+            v_in_min,
+            peak_efficiency,
+            i_q,
+        }
+    }
+
+    /// An energy-harvesting boost: 3.3 V out from inputs ≥ 0.33 V, 85% peak.
+    pub fn harvesting_3v3() -> Self {
+        Self::new(Volts(3.3), Volts(0.33), 0.85, Amps::from_nano(800.0))
+    }
+}
+
+impl Converter for Boost {
+    fn output_voltage(&self) -> Volts {
+        self.v_out
+    }
+
+    fn convert(&self, v_in: Volts, i_load: Amps) -> ConversionResult {
+        if v_in < self.v_in_min || v_in >= self.v_out {
+            return ConversionResult {
+                input_current: self.i_q,
+                in_regulation: false,
+            };
+        }
+        let p_out = self.v_out * i_load;
+        let eta = switching_efficiency(p_out, self.peak_efficiency);
+        let input_current = if eta > 0.0 {
+            Watts(p_out.0 / eta) / v_in + self.i_q
+        } else {
+            self.i_q
+        };
+        ConversionResult {
+            input_current,
+            in_regulation: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ldo_efficiency_is_voltage_ratio() {
+        let ldo = Ldo::new(Volts(3.0), Volts(0.15), Amps::ZERO);
+        let eta = ldo.efficiency(Volts(4.0), Amps::from_milli(10.0));
+        assert!((eta - 0.75).abs() < 1e-9, "LDO efficiency {eta}");
+    }
+
+    #[test]
+    fn ldo_dropout_kills_regulation() {
+        let ldo = Ldo::micropower_3v0();
+        let r = ldo.convert(Volts(3.05), Amps::from_milli(1.0));
+        assert!(!r.in_regulation);
+        assert_eq!(r.input_current, Amps::from_micro(1.0));
+        let ok = ldo.convert(Volts(3.2), Amps::from_milli(1.0));
+        assert!(ok.in_regulation);
+    }
+
+    #[test]
+    fn buck_steps_down_with_current_advantage() {
+        let buck = Buck::new(Volts(1.8), 0.92, Amps::ZERO);
+        let r = buck.convert(Volts(3.6), Amps::from_milli(10.0));
+        assert!(r.in_regulation);
+        // At ~18 mW output a 92%-ish converter draws less current than it delivers.
+        assert!(r.input_current < Amps::from_milli(10.0));
+        let eta = buck.efficiency(Volts(3.6), Amps::from_milli(10.0));
+        assert!(eta > 0.8 && eta <= 0.92, "buck efficiency {eta}");
+    }
+
+    #[test]
+    fn buck_needs_headroom() {
+        let buck = Buck::harvesting_1v8();
+        assert!(!buck.convert(Volts(1.7), Amps::from_milli(1.0)).in_regulation);
+    }
+
+    #[test]
+    fn boost_steps_up_with_current_penalty() {
+        let boost = Boost::new(Volts(3.3), Volts(0.33), 0.85, Amps::ZERO);
+        let r = boost.convert(Volts(0.5), Amps::from_milli(1.0));
+        assert!(r.in_regulation);
+        // Stepping 0.5 V → 3.3 V multiplies current by ≈ 6.6/η.
+        assert!(r.input_current > Amps::from_milli(6.0));
+    }
+
+    #[test]
+    fn boost_refuses_below_startup() {
+        let boost = Boost::harvesting_3v3();
+        assert!(!boost.convert(Volts(0.2), Amps::from_milli(1.0)).in_regulation);
+        assert!(!boost.convert(Volts(3.4), Amps::from_milli(1.0)).in_regulation);
+    }
+
+    #[test]
+    fn light_load_efficiency_collapses() {
+        let buck = Buck::harvesting_1v8();
+        let light = buck.efficiency(Volts(3.6), Amps::from_micro(1.0));
+        let heavy = buck.efficiency(Volts(3.6), Amps::from_milli(10.0));
+        assert!(
+            light < heavy,
+            "switching loss should hurt light loads: {light} vs {heavy}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_efficiency_in_unit_interval(
+            v_in in 0.1f64..6.0,
+            i_ma in 0.0f64..100.0,
+        ) {
+            let converters: [&dyn Converter; 3] = [
+                &Ldo::micropower_3v0(),
+                &Buck::harvesting_1v8(),
+                &Boost::harvesting_3v3(),
+            ];
+            for c in converters {
+                let eta = c.efficiency(Volts(v_in), Amps::from_milli(i_ma));
+                prop_assert!((0.0..=1.0).contains(&eta));
+            }
+        }
+
+        #[test]
+        fn prop_input_power_covers_output_power(
+            v_in in 2.0f64..6.0,
+            i_ma in 0.01f64..50.0,
+        ) {
+            let buck = Buck::harvesting_1v8();
+            let r = buck.convert(Volts(v_in), Amps::from_milli(i_ma));
+            if r.in_regulation {
+                let p_in = (Volts(v_in) * r.input_current).0;
+                let p_out = (buck.output_voltage() * Amps::from_milli(i_ma)).0;
+                prop_assert!(p_in >= p_out - 1e-12, "free energy: {p_in} < {p_out}");
+            }
+        }
+    }
+}

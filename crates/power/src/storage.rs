@@ -1,0 +1,120 @@
+//! Energy-storage descriptions — the horizontal axis of the paper's Fig. 2.
+//!
+//! The taxonomy orders systems by "the amount of energy storage that they
+//! contain", from multi-kJ batteries down through supercapacitors and task
+//! buffers to the parasitic/decoupling capacitance that marks the practical
+//! ("Theoretical") minimum. [`StorageSpec`] captures that spectrum in a form
+//! the taxonomy code can order and render.
+
+use std::fmt;
+
+use edc_units::{Farads, Joules, Volts};
+
+/// How much (and what kind of) energy storage a system carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StorageSpec {
+    /// Only parasitic/decoupling capacitance — the practical minimum the
+    /// paper marks with its "Theoretical" arc. The field is the equivalent
+    /// capacitance.
+    Decoupling(Farads),
+    /// An explicit capacitor added as a task-energy buffer (WISPCam's 6 mF,
+    /// Monjolo's 500 µF, Gomez et al.'s 80 µF).
+    Capacitor(Farads),
+    /// A supercapacitor sized to smooth source dynamics for hours.
+    Supercapacitor(Farads),
+    /// A rechargeable battery holding the given energy.
+    Battery(Joules),
+    /// Mains-connected: effectively infinite upstream storage (desktop PC).
+    Mains,
+}
+
+impl StorageSpec {
+    /// Nominal working voltage used to convert capacitances to energies for
+    /// ordering (3 V — the MCU-rail scale all the capacitive examples use).
+    pub const NOMINAL_VOLTAGE: Volts = Volts(3.0);
+
+    /// Equivalent stored energy when full, used to order systems along the
+    /// Fig. 2 storage axis. `Mains` reports infinity.
+    pub fn equivalent_energy(&self) -> Joules {
+        match *self {
+            StorageSpec::Decoupling(c)
+            | StorageSpec::Capacitor(c)
+            | StorageSpec::Supercapacitor(c) => c.energy_at(Self::NOMINAL_VOLTAGE),
+            StorageSpec::Battery(e) => e,
+            StorageSpec::Mains => Joules(f64::INFINITY),
+        }
+    }
+
+    /// `true` when the only storage is parasitic/decoupling capacitance —
+    /// i.e. the system sits at the paper's practical minimum.
+    pub fn is_minimal(&self) -> bool {
+        matches!(self, StorageSpec::Decoupling(_))
+    }
+
+    /// The decade of the equivalent energy (`log10` of joules), a convenient
+    /// scalar for plotting the Fig. 2 axis. `Mains` reports `f64::INFINITY`.
+    pub fn energy_decade(&self) -> f64 {
+        self.equivalent_energy().0.log10()
+    }
+}
+
+impl fmt::Display for StorageSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            StorageSpec::Decoupling(c) => write!(f, "decoupling {c}"),
+            StorageSpec::Capacitor(c) => write!(f, "capacitor {c}"),
+            StorageSpec::Supercapacitor(c) => write!(f, "supercap {c}"),
+            StorageSpec::Battery(e) => write!(f, "battery {e}"),
+            StorageSpec::Mains => write!(f, "mains"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_axis_orders_the_paper_examples() {
+        // The Fig. 2 ordering: decoupling-only < 80 µF < 500 µF < 6 mF
+        // < smartphone battery < mains.
+        let examples = [
+            StorageSpec::Decoupling(Farads::from_micro(10.0)),
+            StorageSpec::Capacitor(Farads::from_micro(80.0)),
+            StorageSpec::Capacitor(Farads::from_micro(500.0)),
+            StorageSpec::Capacitor(Farads::from_milli(6.0)),
+            StorageSpec::Battery(Joules(40_000.0)),
+            StorageSpec::Mains,
+        ];
+        for pair in examples.windows(2) {
+            assert!(
+                pair[0].equivalent_energy() < pair[1].equivalent_energy(),
+                "{} should store less than {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_detection() {
+        assert!(StorageSpec::Decoupling(Farads::from_micro(10.0)).is_minimal());
+        assert!(!StorageSpec::Capacitor(Farads::from_micro(10.0)).is_minimal());
+        assert!(!StorageSpec::Mains.is_minimal());
+    }
+
+    #[test]
+    fn decades_are_log_spaced() {
+        let a = StorageSpec::Capacitor(Farads::from_micro(10.0)).energy_decade();
+        let b = StorageSpec::Capacitor(Farads::from_micro(100.0)).energy_decade();
+        assert!((b - a - 1.0).abs() < 1e-9);
+        assert!(StorageSpec::Mains.energy_decade().is_infinite());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = format!("{}", StorageSpec::Capacitor(Farads::from_milli(6.0)));
+        assert!(s.contains("mF"), "got {s}");
+        assert!(format!("{}", StorageSpec::Mains).contains("mains"));
+    }
+}

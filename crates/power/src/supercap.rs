@@ -1,0 +1,215 @@
+//! Supercapacitor model with equivalent series resistance (ESR) and
+//! leakage — the storage element of the taxonomy's mid-range systems
+//! (WISPCam's 6 mF buffer, energy-neutral WSN banks).
+//!
+//! The ESR matters for task-based systems: a burst load sees the terminal
+//! voltage sag below the open-circuit cell voltage by `I·ESR`, which is
+//! exactly the margin the paper's task buffers must be sized around.
+
+use edc_units::{Amps, Farads, Joules, Ohms, Seconds, Volts};
+
+/// A supercapacitor: ideal capacitance behind an ESR, with leakage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Supercapacitor {
+    capacitance: Farads,
+    esr: Ohms,
+    leakage: Ohms,
+    /// Open-circuit cell voltage.
+    v_cell: Volts,
+    v_rated: Volts,
+}
+
+impl Supercapacitor {
+    /// Creates a discharged supercapacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless capacitance, ESR, leakage resistance, and rated
+    /// voltage are strictly positive ([C-VALIDATE]).
+    ///
+    /// [C-VALIDATE]: https://rust-lang.github.io/api-guidelines/dependability.html
+    pub fn new(capacitance: Farads, esr: Ohms, leakage: Ohms, v_rated: Volts) -> Self {
+        assert!(capacitance.is_positive(), "capacitance must be > 0");
+        assert!(esr.is_positive(), "ESR must be > 0");
+        assert!(leakage.is_positive(), "leakage resistance must be > 0");
+        assert!(v_rated.is_positive(), "rated voltage must be > 0");
+        Self {
+            capacitance,
+            esr,
+            leakage,
+            v_cell: Volts::ZERO,
+            v_rated,
+        }
+    }
+
+    /// The WISPCam-class 6 mF task buffer (0.5 Ω ESR, 2 MΩ leakage, 3.6 V).
+    pub fn wispcam_buffer() -> Self {
+        Self::new(
+            Farads::from_milli(6.0),
+            Ohms(0.5),
+            Ohms(2e6),
+            Volts(3.6),
+        )
+    }
+
+    /// A WSN-bank 25 F cell (25 mΩ ESR, 100 kΩ leakage, 2.7 V).
+    pub fn wsn_bank() -> Self {
+        Self::new(Farads(25.0), Ohms(0.025), Ohms(100e3), Volts(2.7))
+    }
+
+    /// Starts the cell at a given open-circuit voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is negative or exceeds the rated voltage.
+    pub fn with_voltage(mut self, v: Volts) -> Self {
+        assert!(v.0 >= 0.0 && v <= self.v_rated, "0 ≤ V ≤ rated");
+        self.v_cell = v;
+        self
+    }
+
+    /// Nominal capacitance.
+    pub fn capacitance(&self) -> Farads {
+        self.capacitance
+    }
+
+    /// Equivalent series resistance.
+    pub fn esr(&self) -> Ohms {
+        self.esr
+    }
+
+    /// Open-circuit cell voltage.
+    pub fn open_circuit_voltage(&self) -> Volts {
+        self.v_cell
+    }
+
+    /// Terminal voltage while sourcing `i` (sags by `I·ESR`) or sinking
+    /// (negative current ⇒ rises above the cell voltage).
+    pub fn terminal_voltage(&self, i: Amps) -> Volts {
+        self.v_cell - i * self.esr
+    }
+
+    /// Energy stored (`C·V²/2` at the open-circuit voltage).
+    pub fn stored_energy(&self) -> Joules {
+        self.capacitance.energy_at(self.v_cell)
+    }
+
+    /// The maximum burst current that keeps the terminal above `v_min`
+    /// given the present state of charge — the ESR-aware sizing bound
+    /// task-based designs need.
+    pub fn max_burst_current(&self, v_min: Volts) -> Amps {
+        if self.v_cell <= v_min {
+            return Amps::ZERO;
+        }
+        (self.v_cell - v_min) / self.esr
+    }
+
+    /// Advances the cell by `dt` while charging with `i_in` and
+    /// discharging `i_out` (leakage applied internally). Returns the new
+    /// open-circuit voltage, clamped to `[0, rated]`.
+    pub fn step(&mut self, i_in: Amps, i_out: Amps, dt: Seconds) -> Volts {
+        assert!(i_in.0 >= 0.0 && i_out.0 >= 0.0, "currents must be ≥ 0");
+        let i_leak = self.v_cell / self.leakage;
+        let dq = (i_in - i_out - i_leak) * dt;
+        let q = (self.capacitance * self.v_cell + dq).max(edc_units::Coulombs::ZERO);
+        self.v_cell = (q / self.capacitance).min(self.v_rated);
+        self.v_cell
+    }
+
+    /// Energy dissipated in the ESR by a current `i` flowing for `dt`
+    /// (`I²·R·t`) — the loss term the ideal-capacitor model hides.
+    pub fn esr_loss(&self, i: Amps, dt: Seconds) -> Joules {
+        Joules(i.0 * i.0 * self.esr.0 * dt.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn terminal_sags_under_load() {
+        let cap = Supercapacitor::wispcam_buffer().with_voltage(Volts(3.0));
+        let idle = cap.terminal_voltage(Amps::ZERO);
+        let loaded = cap.terminal_voltage(Amps(1.0));
+        assert_eq!(idle, Volts(3.0));
+        assert!((loaded.0 - 2.5).abs() < 1e-12, "1 A × 0.5 Ω sag");
+        // Charging raises the terminal above the cell voltage.
+        let charging = cap.terminal_voltage(Amps(-1.0));
+        assert!(charging > idle);
+    }
+
+    #[test]
+    fn burst_current_bound_scales_with_headroom() {
+        let cap = Supercapacitor::wispcam_buffer().with_voltage(Volts(3.0));
+        let i = cap.max_burst_current(Volts(2.0));
+        assert!((i.0 - 2.0).abs() < 1e-12, "1 V headroom / 0.5 Ω");
+        let empty = Supercapacitor::wispcam_buffer().with_voltage(Volts(1.9));
+        assert_eq!(empty.max_burst_current(Volts(2.0)), Amps::ZERO);
+    }
+
+    #[test]
+    fn charging_integrates_and_clamps_at_rating() {
+        let mut cap = Supercapacitor::new(
+            Farads::from_milli(1.0),
+            Ohms(0.1),
+            Ohms(1e9),
+            Volts(3.0),
+        );
+        for _ in 0..1000 {
+            cap.step(Amps::from_milli(10.0), Amps::ZERO, Seconds(0.01));
+        }
+        // Q = 10 mA·10 s = 0.1 C → V = 100 V unclamped ⇒ rated clamp.
+        assert_eq!(cap.open_circuit_voltage(), Volts(3.0));
+    }
+
+    #[test]
+    fn leakage_discharges_over_time() {
+        let mut cap = Supercapacitor::wsn_bank().with_voltage(Volts(2.5));
+        // τ = 25 F × 100 kΩ = 2.5 Ms: over a day the droop is small but real.
+        for _ in 0..(24 * 60) {
+            cap.step(Amps::ZERO, Amps::ZERO, Seconds(60.0));
+        }
+        let v = cap.open_circuit_voltage();
+        assert!(v < Volts(2.5) && v > Volts(2.3), "one-day droop {v}");
+    }
+
+    #[test]
+    fn esr_loss_is_quadratic_in_current() {
+        let cap = Supercapacitor::wispcam_buffer();
+        let e1 = cap.esr_loss(Amps(1.0), Seconds(1.0));
+        let e2 = cap.esr_loss(Amps(2.0), Seconds(1.0));
+        assert!((e2.0 / e1.0 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "rated")]
+    fn overvoltage_start_rejected() {
+        let _ = Supercapacitor::wispcam_buffer().with_voltage(Volts(4.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_voltage_bounded(
+            charges in proptest::collection::vec((0.0f64..0.1, 0.0f64..0.1), 1..200),
+        ) {
+            let mut cap = Supercapacitor::wispcam_buffer();
+            for (i_in, i_out) in charges {
+                let v = cap.step(Amps(i_in), Amps(i_out), Seconds(0.1));
+                prop_assert!(v.0 >= 0.0 && v.0 <= 3.6 + 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_burst_bound_respects_esr(v0 in 2.1f64..3.5, esr in 0.01f64..2.0) {
+            let cap = Supercapacitor::new(
+                Farads::from_milli(6.0), Ohms(esr), Ohms(1e6), Volts(3.6),
+            ).with_voltage(Volts(v0));
+            let i = cap.max_burst_current(Volts(2.0));
+            // At the bound, the terminal sits exactly at v_min.
+            let terminal = cap.terminal_voltage(i);
+            prop_assert!((terminal.0 - 2.0).abs() < 1e-9);
+        }
+    }
+}

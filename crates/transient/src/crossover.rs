@@ -1,0 +1,107 @@
+//! The Hibernus/QuickRecall crossover — the paper's Eq. (5):
+//!
+//! ```text
+//! f_crossover = (P_FRAM − P_SRAM) / (E_hibernus − E_quickrecall)
+//! ```
+//!
+//! Below this interruption frequency the SRAM-resident Hibernus wins (its
+//! snapshots are expensive but rare, and SRAM's quiescent power is lower);
+//! above it the FRAM-resident QuickRecall wins (its per-outage cost is
+//! nearly zero, amortising the permanent FRAM power penalty). The
+//! `eq5_crossover` bench binary sweeps measured interruption frequencies
+//! against this analytic prediction.
+
+use edc_mcu::mem::{SNAPSHOT_AREA_WORDS, SRAM_WORDS};
+use edc_mcu::{ExecutionResidence, PowerModel, PowerState};
+use edc_units::{Hertz, Joules, Watts};
+
+/// Analytic inputs/outputs of the Eq. (5) evaluation at one clock frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossoverAnalysis {
+    /// Active power executing from SRAM.
+    pub p_sram: Watts,
+    /// Active power executing from FRAM.
+    pub p_fram: Watts,
+    /// Per-outage cost of Hibernus (snapshot + restore of SRAM + registers).
+    pub e_hibernus: Joules,
+    /// Per-outage cost of QuickRecall (registers only).
+    pub e_quickrecall: Joules,
+    /// The Eq. (5) crossover interruption frequency.
+    pub f_crossover: Hertz,
+}
+
+/// Evaluates Eq. (5) for a power model at clock frequency `f_clock`.
+///
+/// # Examples
+///
+/// ```
+/// use edc_mcu::PowerModel;
+/// use edc_transient::crossover::analytic_crossover;
+/// use edc_units::Hertz;
+///
+/// let a = analytic_crossover(&PowerModel::msp430fr5739(), Hertz::from_mega(8.0));
+/// assert!(a.f_crossover.0 > 0.0);
+/// assert!(a.p_fram > a.p_sram);
+/// assert!(a.e_hibernus > a.e_quickrecall);
+/// ```
+pub fn analytic_crossover(pm: &PowerModel, f_clock: Hertz) -> CrossoverAnalysis {
+    let p_sram = pm.power(PowerState::Active, f_clock, ExecutionResidence::Sram);
+    let p_fram = pm.power(PowerState::Active, f_clock, ExecutionResidence::Fram);
+
+    let full_words = (SRAM_WORDS + 24) as u64;
+    let reg_words = 24u64;
+    let (_, snap_full) = pm.snapshot_cost(full_words, f_clock, ExecutionResidence::Sram);
+    let (_, rest_full) = pm.restore_cost(full_words, f_clock, ExecutionResidence::Sram);
+    let (_, snap_reg) = pm.snapshot_cost(reg_words, f_clock, ExecutionResidence::Fram);
+    let (_, rest_reg) = pm.restore_cost(reg_words, f_clock, ExecutionResidence::Fram);
+
+    let e_hibernus = snap_full + rest_full;
+    let e_quickrecall = snap_reg + rest_reg;
+    let f_crossover = Hertz((p_fram - p_sram).0 / (e_hibernus - e_quickrecall).0);
+    // SNAPSHOT_AREA_WORDS only bounds the frame; silence the otherwise
+    // unused import in case layout constants change.
+    debug_assert!(full_words <= SNAPSHOT_AREA_WORDS as u64 + 24);
+    CrossoverAnalysis {
+        p_sram,
+        p_fram,
+        e_hibernus,
+        e_quickrecall,
+        f_crossover,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_is_positive_and_in_plausible_range() {
+        let a = analytic_crossover(&PowerModel::msp430fr5739(), Hertz::from_mega(8.0));
+        // ΔP ≈ 90 µA·3 V ≈ 270 µW; ΔE ≈ 10 µJ ⇒ f ≈ 25–40 Hz.
+        assert!(
+            a.f_crossover.0 > 1.0 && a.f_crossover.0 < 500.0,
+            "crossover {} implausible",
+            a.f_crossover
+        );
+    }
+
+    #[test]
+    fn components_ordered_as_eq5_requires() {
+        let a = analytic_crossover(&PowerModel::msp430fr5739(), Hertz::from_mega(8.0));
+        assert!(a.p_fram > a.p_sram, "FRAM must cost more quiescently");
+        assert!(
+            a.e_hibernus > a.e_quickrecall * 5.0,
+            "full-SRAM snapshots must dwarf register frames"
+        );
+    }
+
+    #[test]
+    fn higher_clock_raises_crossover() {
+        // Above the wait-state threshold the FRAM penalty grows with f, so
+        // ΔP grows faster than ΔE and the crossover moves up.
+        let pm = PowerModel::msp430fr5739();
+        let low = analytic_crossover(&pm, Hertz::from_mega(8.0));
+        let high = analytic_crossover(&pm, Hertz::from_mega(24.0));
+        assert!(high.f_crossover > low.f_crossover);
+    }
+}

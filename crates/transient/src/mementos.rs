@@ -1,0 +1,118 @@
+//! Mementos \[7\]: compile-time checkpoint placement with a voltage poll.
+//!
+//! Checkpoints live at `Mark` sites the compiler inserted (loop latches,
+//! function returns). On reaching one, Mementos samples `V_cc`; below the
+//! threshold it snapshots and *keeps running*. The paper lists the three
+//! downsides this reproduces measurably: (1) redundant snapshots — every
+//! marker below threshold checkpoints again; (2) torn snapshots — the poll
+//! happens when energy is already low, so the copy can outlive the rail;
+//! (3) re-execution — work since the last snapshot is repeated after
+//! restore.
+
+use edc_mcu::Mcu;
+use edc_units::{Farads, Volts};
+
+use crate::{MarkerResponse, Strategy};
+
+/// The Mementos checkpoint strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Mementos {
+    /// `V_cc` threshold below which marker sites snapshot; `None` derives a
+    /// default at calibration time.
+    threshold: Option<Volts>,
+    derived_threshold: Volts,
+}
+
+impl Mementos {
+    /// Creates Mementos with an automatically derived voltage threshold
+    /// (40% into the operating range above `V_min`).
+    pub fn new() -> Self {
+        Self {
+            threshold: None,
+            derived_threshold: Volts(0.0),
+        }
+    }
+
+    /// Fixes the checkpoint voltage threshold explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not positive.
+    pub fn with_threshold(mut self, v: Volts) -> Self {
+        assert!(v.is_positive(), "threshold must be > 0");
+        self.threshold = Some(v);
+        self
+    }
+
+    /// The active checkpoint threshold (after calibration).
+    pub fn checkpoint_threshold(&self) -> Volts {
+        self.threshold.unwrap_or(self.derived_threshold)
+    }
+}
+
+impl Default for Mementos {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Strategy for Mementos {
+    fn name(&self) -> &str {
+        "mementos"
+    }
+
+    fn thresholds(&mut self, _mcu: &Mcu, _c: Farads, v_min: Volts, v_max: Volts) -> (Volts, Volts) {
+        self.derived_threshold = v_min.lerp(v_max, 0.4);
+        // No hibernate interrupt; the monitor's low edge sits at V_min where
+        // it coincides with brownout and is ignored anyway. Boot strictly
+        // above the checkpoint threshold, else every marker on the rising
+        // rail would checkpoint (a snapshot storm real Mementos avoids by
+        // booting at a healthy supply level).
+        let boot = (self.checkpoint_threshold() + Volts(0.3)).min(v_max - Volts(0.05));
+        (v_min, boot)
+    }
+
+    fn wants_markers(&self) -> bool {
+        true
+    }
+
+    fn on_marker(&mut self, v: Volts) -> MarkerResponse {
+        if v < self.checkpoint_threshold() {
+            MarkerResponse::Checkpoint
+        } else {
+            MarkerResponse::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edc_workloads::{BusyLoop, Workload};
+
+    #[test]
+    fn markers_checkpoint_only_below_threshold() {
+        let mut m = Mementos::new().with_threshold(Volts(2.6));
+        assert_eq!(m.on_marker(Volts(3.0)), MarkerResponse::Continue);
+        assert_eq!(m.on_marker(Volts(2.5)), MarkerResponse::Checkpoint);
+        // Redundant snapshots: a second marker below threshold checkpoints
+        // again — downside (1).
+        assert_eq!(m.on_marker(Volts(2.5)), MarkerResponse::Checkpoint);
+    }
+
+    #[test]
+    fn derived_threshold_sits_in_operating_range() {
+        let mcu = Mcu::new(BusyLoop::new(10).program());
+        let mut m = Mementos::new();
+        let _ = m.thresholds(&mcu, Farads::from_micro(10.0), Volts(2.0), Volts(3.6));
+        let t = m.checkpoint_threshold();
+        assert!(t > Volts(2.0) && t < Volts(3.6), "threshold {t}");
+    }
+
+    #[test]
+    fn wants_markers_and_ignores_interrupts() {
+        let mut m = Mementos::new();
+        assert!(m.wants_markers());
+        assert_eq!(m.on_low_voltage(), crate::LowVoltageResponse::Ignore);
+    }
+}

@@ -1,0 +1,99 @@
+//! QuickRecall \[8\]: unified FRAM for program and data, so only the
+//! registers are volatile.
+//!
+//! Snapshots shrink to a register frame (microseconds, nanojoules) and the
+//! hibernate threshold collapses toward `V_min` — but the machine pays the
+//! FRAM quiescent power and wait-state penalty *all the time*. The paper's
+//! Eq. (5) locates the interruption frequency where this trade flips
+//! against Hibernus (see [`crate::crossover`]).
+
+use edc_mcu::{ExecutionResidence, Mcu};
+use edc_power::sizing::hibernate_threshold;
+use edc_units::{Farads, Volts};
+
+use crate::{LowVoltageResponse, Strategy};
+
+/// The QuickRecall checkpoint strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct QuickRecall {
+    /// Safety margin on the (tiny) register-frame budget; generous by
+    /// default because the absolute energies are so small that comparator
+    /// latency dominates.
+    margin: f64,
+}
+
+impl QuickRecall {
+    /// Creates QuickRecall with the default margin.
+    pub fn new() -> Self {
+        Self { margin: 4.0 }
+    }
+
+    /// Overrides the threshold margin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is negative.
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        assert!(margin >= 0.0, "margin must be ≥ 0");
+        self.margin = margin;
+        self
+    }
+}
+
+impl Default for QuickRecall {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Strategy for QuickRecall {
+    fn name(&self) -> &str {
+        "quickrecall"
+    }
+
+    fn residence(&self) -> ExecutionResidence {
+        ExecutionResidence::Fram
+    }
+
+    fn thresholds(&mut self, mcu: &Mcu, c: Farads, v_min: Volts, v_max: Volts) -> (Volts, Volts) {
+        let e_s = mcu.snapshot_energy();
+        let v_h = hibernate_threshold(e_s, c, v_min, v_max, self.margin)
+            .unwrap_or(v_max - Volts(0.05))
+            // Keep a minimum of comparator headroom above V_min even when
+            // the register frame is nearly free.
+            .max(v_min + Volts(0.05));
+        (v_h, (v_h + Volts(0.3)).min(v_max - Volts(0.01)))
+    }
+
+    fn on_low_voltage(&mut self) -> LowVoltageResponse {
+        LowVoltageResponse::Hibernate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hibernus;
+    use edc_workloads::{BusyLoop, Workload};
+
+    #[test]
+    fn quickrecall_threshold_below_hibernus() {
+        let program = BusyLoop::new(10).program();
+        let qr_mcu = Mcu::new(program.clone()).with_residence(ExecutionResidence::Fram);
+        let hb_mcu = Mcu::new(program);
+        let c = Farads::from_micro(10.0);
+        let mut qr = QuickRecall::new();
+        let mut hb = Hibernus::new();
+        let (v_qr, _) = qr.thresholds(&qr_mcu, c, Volts(2.0), Volts(3.6));
+        let (v_hb, _) = hb.thresholds(&hb_mcu, c, Volts(2.0), Volts(3.6));
+        assert!(
+            v_qr < v_hb,
+            "register-frame V_H ({v_qr}) must undercut full-SRAM V_H ({v_hb})"
+        );
+    }
+
+    #[test]
+    fn requires_fram_residence() {
+        assert_eq!(QuickRecall::new().residence(), ExecutionResidence::Fram);
+    }
+}

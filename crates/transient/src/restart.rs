@@ -1,0 +1,52 @@
+//! The restart baseline: no checkpointing at all. Every outage loses all
+//! progress and the program re-runs from `main`. This is the strawman every
+//! transient strategy is measured against.
+
+use edc_mcu::Mcu;
+use edc_units::{Farads, Volts};
+
+use crate::Strategy;
+
+/// Recompute-from-scratch baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Restart {
+    _private: (),
+}
+
+impl Restart {
+    /// Creates the baseline strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Strategy for Restart {
+    fn name(&self) -> &str {
+        "restart"
+    }
+
+    fn thresholds(&mut self, _mcu: &Mcu, _c: Farads, v_min: Volts, _v_max: Volts) -> (Volts, Volts) {
+        // Low threshold is irrelevant (no interrupt handling); the high
+        // threshold is the power-on-reset level.
+        (v_min, v_min + Volts(0.4))
+    }
+
+    fn restores_snapshots(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edc_workloads::{BusyLoop, Workload};
+
+    #[test]
+    fn restart_never_restores() {
+        let mut s = Restart::new();
+        assert!(!s.restores_snapshots());
+        let mcu = Mcu::new(BusyLoop::new(10).program());
+        let (lo, hi) = s.thresholds(&mcu, Farads::from_micro(10.0), Volts(2.0), Volts(3.6));
+        assert!(hi > lo);
+    }
+}

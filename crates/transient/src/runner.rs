@@ -1,0 +1,581 @@
+//! The transient execution harness: couples an energy source, the supply
+//! node, the voltage monitor, the MCU, and a [`Strategy`].
+//!
+//! This is the software realisation of the paper's Fig. 4 topology — the
+//! harvester drives the load directly, with only the node capacitance
+//! (decoupling or a small task buffer) in between. Figures 7 and 8 are
+//! traces of this loop.
+
+use edc_mcu::{Mcu, PowerState, RunExit};
+use edc_power::{MonitorEvent, VoltageMonitor};
+use edc_sim::{EventLog, SupplyNode, TimeSeries};
+use edc_units::{Amps, Farads, Joules, Seconds, Volts};
+
+use crate::{LowVoltageResponse, MarkerResponse, SnapshotObservation, Strategy};
+
+/// Events logged by the runner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransientEvent {
+    /// A snapshot attempt (`true` = sealed).
+    Snapshot(bool),
+    /// A sealed snapshot was restored after an outage.
+    Restore,
+    /// The rail collapsed below `V_min` while the machine was up.
+    Brownout,
+    /// The machine cold-booted.
+    Boot,
+    /// The machine entered hibernation sleep after a snapshot.
+    Hibernate,
+    /// The machine woke from hibernation without having lost power.
+    WakeWithoutRestore,
+    /// The workload completed.
+    Completed,
+    /// The machine faulted.
+    Fault,
+}
+
+impl std::fmt::Display for TransientEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransientEvent::Snapshot(true) => write!(f, "snapshot (sealed)"),
+            TransientEvent::Snapshot(false) => write!(f, "snapshot (TORN)"),
+            TransientEvent::Restore => write!(f, "restore"),
+            TransientEvent::Brownout => write!(f, "brownout"),
+            TransientEvent::Boot => write!(f, "boot"),
+            TransientEvent::Hibernate => write!(f, "hibernate"),
+            TransientEvent::WakeWithoutRestore => write!(f, "wake (state intact)"),
+            TransientEvent::Completed => write!(f, "workload completed"),
+            TransientEvent::Fault => write!(f, "fault"),
+        }
+    }
+}
+
+/// Aggregate statistics of a transient run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunnerStats {
+    /// Sealed snapshots taken.
+    pub snapshots: u64,
+    /// Snapshot attempts that tore (supply died mid-copy).
+    pub torn_snapshots: u64,
+    /// Successful restores.
+    pub restores: u64,
+    /// Brownouts (Eq. 2 violations while up).
+    pub brownouts: u64,
+    /// Cold boots.
+    pub boots: u64,
+    /// Time spent actively executing.
+    pub active_time: Seconds,
+    /// Time spent asleep (including hibernation).
+    pub sleep_time: Seconds,
+    /// Time spent unpowered.
+    pub off_time: Seconds,
+    /// Total cycles retired by the workload.
+    pub cycles: u64,
+    /// Completion time of the workload, if reached.
+    pub completed_at: Option<Seconds>,
+    /// Energy drawn by execution, snapshots and restores.
+    pub energy_consumed: Joules,
+}
+
+impl RunnerStats {
+    /// Fraction of wall-clock time spent executing.
+    pub fn duty_cycle(&self) -> f64 {
+        let total = self.active_time.0 + self.sleep_time.0 + self.off_time.0;
+        if total > 0.0 {
+            self.active_time.0 / total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Why [`TransientRunner::run_until_complete`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The workload halted.
+    Completed,
+    /// The deadline passed first.
+    DeadlineExpired,
+    /// The machine faulted (a bug in strategy or workload).
+    Faulted,
+}
+
+/// Builder for [`TransientRunner`] ([C-BUILDER]).
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html
+pub struct RunnerBuilder<'a> {
+    capacitance: Farads,
+    initial_voltage: Volts,
+    v_max: Volts,
+    dt: Seconds,
+    leakage: Option<edc_units::Ohms>,
+    trace_decimation: Option<u64>,
+    strategy: Option<Box<dyn Strategy + 'a>>,
+    program: Option<edc_mcu::isa::Program>,
+    source: Option<Box<dyn FnMut(Volts, Seconds) -> Amps + 'a>>,
+}
+
+impl<'a> RunnerBuilder<'a> {
+    fn new() -> Self {
+        Self {
+            capacitance: Farads::from_micro(10.0),
+            initial_voltage: Volts(0.0),
+            v_max: Volts(3.6),
+            dt: Seconds(20e-6),
+            leakage: None,
+            trace_decimation: None,
+            strategy: None,
+            program: None,
+            source: None,
+        }
+    }
+
+    /// Adds a board-leakage path across the supply node (real boards bleed
+    /// tens of µA; this is what makes the rail collapse fully between
+    /// supply cycles in the Fig. 7 waveform).
+    pub fn leakage(mut self, r: edc_units::Ohms) -> Self {
+        self.leakage = Some(r);
+        self
+    }
+
+    /// Total supply-node capacitance (decoupling + any added storage).
+    pub fn capacitance(mut self, c: Farads) -> Self {
+        self.capacitance = c;
+        self
+    }
+
+    /// Starting rail voltage (default 0 V — cold start).
+    pub fn initial_voltage(mut self, v: Volts) -> Self {
+        self.initial_voltage = v;
+        self
+    }
+
+    /// Overvoltage clamp (default 3.6 V).
+    pub fn clamp(mut self, v: Volts) -> Self {
+        self.v_max = v;
+        self
+    }
+
+    /// Simulation timestep (default 20 µs).
+    pub fn timestep(mut self, dt: Seconds) -> Self {
+        self.dt = dt;
+        self
+    }
+
+    /// Records a decimated `V_cc` trace for figure output.
+    pub fn trace(mut self, decimation: u64) -> Self {
+        self.trace_decimation = Some(decimation);
+        self
+    }
+
+    /// The checkpoint strategy (required).
+    pub fn strategy(mut self, s: Box<dyn Strategy + 'a>) -> Self {
+        self.strategy = Some(s);
+        self
+    }
+
+    /// The workload program (required).
+    pub fn program(mut self, p: edc_mcu::isa::Program) -> Self {
+        self.program = Some(p);
+        self
+    }
+
+    /// The energy source: `(rail voltage, time) → current into the node`
+    /// (required). Adapters for `edc_harvest` sources live in `edc-core`.
+    pub fn source(mut self, f: impl FnMut(Volts, Seconds) -> Amps + 'a) -> Self {
+        self.source = Some(Box::new(f));
+        self
+    }
+
+    /// Builds the runner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if strategy, program or source is missing.
+    pub fn build(self) -> TransientRunner<'a> {
+        let mut strategy = self.strategy.expect("strategy is required");
+        let program = self.program.expect("program is required");
+        let source = self.source.expect("source is required");
+        let mut mcu = Mcu::new(program).with_residence(strategy.residence());
+        if let Some(pm) = strategy.power_model() {
+            mcu = mcu.with_power_model(pm);
+        }
+        let v_min = mcu.power_model().v_min;
+        let (v_low, v_high) =
+            strategy.thresholds(&mcu, self.capacitance, v_min, self.v_max);
+        if self.initial_voltage < v_min {
+            // The machine begins unpowered; it boots once the harvester has
+            // charged the rail past V_R.
+            mcu.power_loss();
+        }
+        let mut node = SupplyNode::new(self.capacitance, self.initial_voltage)
+            .with_clamp(self.v_max);
+        if let Some(r) = self.leakage {
+            node = node.with_leakage(r);
+        }
+        let monitor = VoltageMonitor::new(v_low, v_high);
+        TransientRunner {
+            mcu,
+            node,
+            monitor,
+            strategy,
+            source,
+            dt: self.dt,
+            time: Seconds(0.0),
+            v_min,
+            hibernated: false,
+            stats: RunnerStats::default(),
+            log: EventLog::new(),
+            vcc_trace: self
+                .trace_decimation
+                .map(|d| TimeSeries::with_decimation("Vcc", d)),
+            freq_trace: self
+                .trace_decimation
+                .map(|d| TimeSeries::with_decimation("f_core_MHz", d)),
+            faulted: false,
+        }
+    }
+}
+
+/// Fixed-timestep transient-computing simulation loop.
+pub struct TransientRunner<'a> {
+    mcu: Mcu,
+    node: SupplyNode,
+    monitor: VoltageMonitor,
+    strategy: Box<dyn Strategy + 'a>,
+    source: Box<dyn FnMut(Volts, Seconds) -> Amps + 'a>,
+    dt: Seconds,
+    time: Seconds,
+    v_min: Volts,
+    /// `true` between a hibernation snapshot and the subsequent wake/boot.
+    hibernated: bool,
+    stats: RunnerStats,
+    log: EventLog<TransientEvent>,
+    vcc_trace: Option<TimeSeries>,
+    freq_trace: Option<TimeSeries>,
+    faulted: bool,
+}
+
+impl<'a> TransientRunner<'a> {
+    /// Starts a builder.
+    pub fn builder() -> RunnerBuilder<'a> {
+        RunnerBuilder::new()
+    }
+
+    /// The machine under test.
+    pub fn mcu(&self) -> &Mcu {
+        &self.mcu
+    }
+
+    /// The supply node.
+    pub fn node(&self) -> &SupplyNode {
+        &self.node
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> RunnerStats {
+        self.stats
+    }
+
+    /// The event log.
+    pub fn log(&self) -> &EventLog<TransientEvent> {
+        &self.log
+    }
+
+    /// The recorded `V_cc` trace, when tracing was enabled.
+    pub fn vcc_trace(&self) -> Option<&TimeSeries> {
+        self.vcc_trace.as_ref()
+    }
+
+    /// The recorded core-frequency trace (MHz), when tracing was enabled.
+    pub fn frequency_trace(&self) -> Option<&TimeSeries> {
+        self.freq_trace.as_ref()
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> Seconds {
+        self.time
+    }
+
+    /// Current monitor thresholds `(V_H, V_R)`.
+    pub fn thresholds(&self) -> (Volts, Volts) {
+        (self.monitor.low(), self.monitor.high())
+    }
+
+    fn emit(&mut self, e: TransientEvent) {
+        self.log.push(self.time, e);
+    }
+
+    fn draw(&mut self, e: Joules) {
+        self.node.draw_energy(e);
+        self.stats.energy_consumed += e;
+    }
+
+    /// Performs a snapshot attempt with the energy available *above*
+    /// `V_min` — the Eq. (4) budget: the copy loop can only execute while
+    /// the rail stays in the operating range, so charge below `V_min` is
+    /// unreachable. Reports the observation to the strategy.
+    fn attempt_snapshot(&mut self) -> bool {
+        let v_before = self.node.voltage();
+        let available = self
+            .node
+            .capacitance()
+            .energy_between(v_before, self.v_min)
+            .max(Joules::ZERO);
+        let outcome = self.mcu.take_snapshot(Some(available));
+        self.draw(outcome.energy);
+        let v_after = self.node.voltage();
+        if outcome.completed {
+            self.stats.snapshots += 1;
+        } else {
+            self.stats.torn_snapshots += 1;
+        }
+        self.emit(TransientEvent::Snapshot(outcome.completed));
+        if let Some((low, high)) = self.strategy.after_snapshot(SnapshotObservation {
+            v_before,
+            v_after,
+            energy: outcome.energy,
+            completed: outcome.completed,
+        }) {
+            self.monitor.set_thresholds(low, high);
+        }
+        outcome.completed
+    }
+
+    fn boot_sequence(&mut self) {
+        self.mcu.cold_boot();
+        self.stats.boots += 1;
+        self.emit(TransientEvent::Boot);
+        if self.strategy.restores_snapshots() && self.mcu.has_valid_snapshot() {
+            let e = self.mcu.restore_energy();
+            if let Some(_r) = self.mcu.restore_snapshot() {
+                self.draw(e);
+                self.stats.restores += 1;
+                self.emit(TransientEvent::Restore);
+            }
+        }
+        self.hibernated = false;
+    }
+
+    /// Advances the simulation by one timestep. Returns `false` once the
+    /// workload has completed or the machine has faulted.
+    pub fn step(&mut self) -> bool {
+        let t = self.time;
+        let dt = self.dt;
+
+        // 1. Source charges the node; static (sleep/off) load discharges it.
+        let v = self.node.voltage();
+        let i_src = (self.source)(v, t);
+        let i_static = match self.mcu.state() {
+            PowerState::Active => Amps::ZERO, // drawn as lump energy below
+            _ => self.mcu.supply_current(),
+        };
+        self.node.step(i_src, i_static, dt);
+        if self.mcu.state() != PowerState::Active {
+            self.stats.energy_consumed += self.node.voltage() * i_static * dt;
+        }
+        let v = self.node.voltage();
+
+        if let Some(trace) = &mut self.vcc_trace {
+            trace.push(t, v.0);
+        }
+        if let Some(trace) = &mut self.freq_trace {
+            let f = if self.mcu.state() == PowerState::Active {
+                self.mcu.frequency().0 / 1e6
+            } else {
+                0.0
+            };
+            trace.push(t, f);
+        }
+
+        // 2. State machine.
+        match self.mcu.state() {
+            PowerState::Off => {
+                self.stats.off_time += dt;
+                if v >= self.monitor.high() {
+                    self.monitor.reset();
+                    self.monitor.update(v);
+                    self.boot_sequence();
+                }
+            }
+            PowerState::Sleep => {
+                if v < self.v_min {
+                    // The node kept sagging: the sleeping machine dies too.
+                    self.mcu.power_loss();
+                    self.monitor.reset();
+                    self.stats.brownouts += 1;
+                    self.emit(TransientEvent::Brownout);
+                    self.stats.sleep_time += dt;
+                } else if self.mcu.is_halted() {
+                    self.stats.sleep_time += dt;
+                } else if v >= self.monitor.high() && self.hibernated {
+                    // Supply recovered before dying: RAM intact, continue.
+                    self.monitor.update(v);
+                    self.mcu.wake();
+                    self.hibernated = false;
+                    self.emit(TransientEvent::WakeWithoutRestore);
+                    self.stats.sleep_time += dt;
+                } else {
+                    self.stats.sleep_time += dt;
+                }
+            }
+            PowerState::Active => {
+                if v < self.v_min {
+                    self.mcu.power_loss();
+                    self.monitor.reset();
+                    self.stats.brownouts += 1;
+                    self.emit(TransientEvent::Brownout);
+                    return true;
+                }
+                self.strategy.on_tick(v, &mut self.mcu);
+                // Voltage interrupt?
+                if let Some(MonitorEvent::FellBelowLow) = self.monitor.update(v) {
+                    if self.strategy.on_low_voltage() == LowVoltageResponse::Hibernate {
+                        self.attempt_snapshot();
+                        self.mcu.sleep();
+                        self.hibernated = true;
+                        self.emit(TransientEvent::Hibernate);
+                        self.stats.active_time += dt;
+                        return true;
+                    }
+                }
+                // Execute this tick's cycle budget.
+                let mut budget = self.mcu.cycles_in(dt);
+                let stop_at_markers = self.strategy.wants_markers();
+                while budget > 0 {
+                    let report = self.mcu.run(budget, stop_at_markers);
+                    self.draw(report.energy);
+                    self.stats.cycles += report.cycles;
+                    budget = budget.saturating_sub(report.cycles.max(1));
+                    match report.exit {
+                        RunExit::Completed => {
+                            if self.stats.completed_at.is_none() {
+                                self.stats.completed_at = Some(self.time);
+                                self.emit(TransientEvent::Completed);
+                                // A finished program must not be resurrected.
+                                self.mcu.invalidate_snapshot();
+                                self.mcu.sleep();
+                            }
+                            self.stats.active_time += dt;
+                            return false;
+                        }
+                        RunExit::Marker(_) => {
+                            let v_now = self.node.voltage();
+                            if self.strategy.on_marker(v_now) == MarkerResponse::Checkpoint {
+                                self.attempt_snapshot();
+                                if self.node.voltage() < self.v_min {
+                                    // The snapshot burst killed the rail.
+                                    break;
+                                }
+                            }
+                        }
+                        RunExit::BudgetExhausted => break,
+                        RunExit::Fault(_) => {
+                            self.faulted = true;
+                            self.emit(TransientEvent::Fault);
+                            return false;
+                        }
+                    }
+                }
+                self.stats.active_time += dt;
+            }
+        }
+        self.time += dt;
+        true
+    }
+
+    /// Runs until the workload completes, the machine faults, or `deadline`
+    /// passes.
+    pub fn run_until_complete(&mut self, deadline: Seconds) -> RunOutcome {
+        while self.time < deadline {
+            if !self.step() {
+                break;
+            }
+        }
+        if self.faulted {
+            RunOutcome::Faulted
+        } else if self.stats.completed_at.is_some() {
+            RunOutcome::Completed
+        } else {
+            RunOutcome::DeadlineExpired
+        }
+    }
+
+    /// Runs for a fixed duration regardless of completion (figure traces).
+    pub fn run_for(&mut self, duration: Seconds) {
+        let end = Seconds(self.time.0 + duration.0);
+        while self.time < end && !self.faulted {
+            let live = self.step();
+            if !live {
+                // Completed: keep simulating the idle system so traces cover
+                // the full window.
+                self.time += self.dt;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Hibernus, Restart};
+    use edc_workloads::{BusyLoop, Workload};
+
+    fn dc_source(v_oc: f64, r: f64) -> impl FnMut(Volts, Seconds) -> Amps {
+        move |v, _t| Amps(((v_oc - v.0) / r).max(0.0))
+    }
+
+    #[test]
+    fn steady_supply_completes_without_snapshots() {
+        let wl = BusyLoop::new(2000);
+        let mut runner = TransientRunner::builder()
+            .strategy(Box::new(Hibernus::new()))
+            .program(wl.program())
+            .source(dc_source(3.3, 10.0))
+            .build();
+        let out = runner.run_until_complete(Seconds(1.0));
+        assert_eq!(out, RunOutcome::Completed);
+        assert_eq!(runner.stats().snapshots, 0);
+        assert_eq!(runner.stats().brownouts, 0);
+        wl.verify(runner.mcu()).unwrap();
+    }
+
+    #[test]
+    fn restart_strategy_eventually_completes_on_gappy_supply() {
+        // Supply present 60 ms of every 100 ms: short workload fits an
+        // on-window, so even restart completes.
+        let wl = BusyLoop::new(500);
+        let mut runner = TransientRunner::builder()
+            .strategy(Box::new(Restart::new()))
+            .program(wl.program())
+            .source(|v, t| {
+                if t.0.rem_euclid(0.1) < 0.06 {
+                    Amps(((3.3 - v.0) / 10.0).max(0.0))
+                } else {
+                    Amps::ZERO
+                }
+            })
+            .build();
+        let out = runner.run_until_complete(Seconds(2.0));
+        assert_eq!(out, RunOutcome::Completed);
+        wl.verify(runner.mcu()).unwrap();
+    }
+
+    #[test]
+    fn stats_duty_cycle_is_fraction() {
+        let stats = RunnerStats {
+            active_time: Seconds(1.0),
+            sleep_time: Seconds(2.0),
+            off_time: Seconds(1.0),
+            ..RunnerStats::default()
+        };
+        assert!((stats.duty_cycle() - 0.25).abs() < 1e-12);
+        assert_eq!(RunnerStats::default().duty_cycle(), 0.0);
+    }
+
+    #[test]
+    fn event_display_is_readable() {
+        assert_eq!(TransientEvent::Snapshot(true).to_string(), "snapshot (sealed)");
+        assert!(TransientEvent::Snapshot(false).to_string().contains("TORN"));
+    }
+}

@@ -1,0 +1,638 @@
+//! Typed physical quantities for the `energy-driven` workspace.
+//!
+//! Every crate in the workspace trades in electrical quantities — voltages on
+//! a supply rail, harvested currents, capacitor energies, clock frequencies.
+//! Mixing those up as bare `f64`s is exactly the class of bug a simulation of
+//! a paper full of `V_H`, `P_h(t)` and `E_S` symbols cannot afford, so each
+//! quantity is a dedicated newtype with only the dimensionally sensible
+//! arithmetic defined ([C-NEWTYPE]).
+//!
+//! # Examples
+//!
+//! Computing the hibernation-threshold energy budget of Eq. (4) from the
+//! paper (`E_S ≤ C·(V_H² − V_min²)/2`):
+//!
+//! ```
+//! use edc_units::{Farads, Volts};
+//!
+//! let c = Farads::from_micro(10.0);
+//! let budget = c.energy_between(Volts(2.27), Volts(2.0));
+//! assert!(budget > edc_units::Joules(0.0));
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Formats a raw SI value with an engineering prefix (`µ`, `m`, `k`, …).
+///
+/// Used by the [`fmt::Display`] impls of every quantity so that traces read
+/// like the paper's figures (`430 µA`, `2.27 V`) rather than `0.00043`.
+fn format_si(f: &mut fmt::Formatter<'_>, value: f64, unit: &str) -> fmt::Result {
+    if value == 0.0 || !value.is_finite() {
+        return write!(f, "{value} {unit}");
+    }
+    let magnitude = value.abs();
+    let (scale, prefix) = if magnitude >= 1e9 {
+        (1e-9, "G")
+    } else if magnitude >= 1e6 {
+        (1e-6, "M")
+    } else if magnitude >= 1e3 {
+        (1e-3, "k")
+    } else if magnitude >= 1.0 {
+        (1.0, "")
+    } else if magnitude >= 1e-3 {
+        (1e3, "m")
+    } else if magnitude >= 1e-6 {
+        (1e6, "µ")
+    } else if magnitude >= 1e-9 {
+        (1e9, "n")
+    } else {
+        (1e12, "p")
+    };
+    let scaled = value * scale;
+    if let Some(precision) = f.precision() {
+        write!(f, "{scaled:.precision$} {prefix}{unit}")
+    } else {
+        write!(f, "{scaled:.3} {prefix}{unit}")
+    }
+}
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a new quantity from a raw SI value.
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Creates a quantity from a value expressed in milli-units.
+            pub fn from_milli(value: f64) -> Self {
+                Self(value * 1e-3)
+            }
+
+            /// Creates a quantity from a value expressed in micro-units.
+            pub fn from_micro(value: f64) -> Self {
+                Self(value * 1e-6)
+            }
+
+            /// Creates a quantity from a value expressed in nano-units.
+            pub fn from_nano(value: f64) -> Self {
+                Self(value * 1e-9)
+            }
+
+            /// Creates a quantity from a value expressed in kilo-units.
+            pub fn from_kilo(value: f64) -> Self {
+                Self(value * 1e3)
+            }
+
+            /// Creates a quantity from a value expressed in mega-units.
+            pub fn from_mega(value: f64) -> Self {
+                Self(value * 1e6)
+            }
+
+            /// Returns the raw SI value.
+            pub const fn raw(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the value expressed in milli-units.
+            pub fn as_milli(self) -> f64 {
+                self.0 * 1e3
+            }
+
+            /// Returns the value expressed in micro-units.
+            pub fn as_micro(self) -> f64 {
+                self.0 * 1e6
+            }
+
+            /// Returns the absolute value.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps the value to the inclusive range `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi` or either bound is NaN (as [`f64::clamp`]).
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// `true` when the underlying value is finite (not NaN/±∞).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// `true` when the value is `> 0`.
+            pub fn is_positive(self) -> bool {
+                self.0 > 0.0
+            }
+
+            /// Linear interpolation between `self` (at `t = 0`) and `other`
+            /// (at `t = 1`).
+            pub fn lerp(self, other: Self, t: f64) -> Self {
+                Self(self.0 + (other.0 - self.0) * t)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                format_si(f, self.0, $unit)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Dimensionless ratio of two like quantities.
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+quantity!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+quantity!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+quantity!(
+    /// Electric charge in coulombs.
+    Coulombs,
+    "C"
+);
+quantity!(
+    /// Resistance in ohms.
+    Ohms,
+    "Ω"
+);
+quantity!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+
+// --- Cross-dimensional arithmetic ------------------------------------------
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    /// `P = V · I`.
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    /// `E = P · t`.
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    /// `P = E / t`.
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    /// `t = E / P`.
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Seconds> for Amps {
+    type Output = Coulombs;
+    /// `Q = I · t`.
+    fn mul(self, rhs: Seconds) -> Coulombs {
+        Coulombs(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Amps> for Seconds {
+    type Output = Coulombs;
+    fn mul(self, rhs: Amps) -> Coulombs {
+        Coulombs(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Coulombs {
+    type Output = Amps;
+    /// `I = Q / t`.
+    fn div(self, rhs: Seconds) -> Amps {
+        Amps(self.0 / rhs.0)
+    }
+}
+
+impl Div<Volts> for Coulombs {
+    type Output = Farads;
+    /// `C = Q / V`.
+    fn div(self, rhs: Volts) -> Farads {
+        Farads(self.0 / rhs.0)
+    }
+}
+
+impl Div<Farads> for Coulombs {
+    type Output = Volts;
+    /// `V = Q / C`.
+    fn div(self, rhs: Farads) -> Volts {
+        Volts(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Volts> for Farads {
+    type Output = Coulombs;
+    /// `Q = C · V`.
+    fn mul(self, rhs: Volts) -> Coulombs {
+        Coulombs(self.0 * rhs.0)
+    }
+}
+
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    /// Ohm's law: `I = V / R`.
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Ohms> for Amps {
+    type Output = Volts;
+    /// Ohm's law: `V = I · R`.
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts(self.0 * rhs.0)
+    }
+}
+
+impl Div<Amps> for Volts {
+    type Output = Ohms;
+    /// Ohm's law: `R = V / I`.
+    fn div(self, rhs: Amps) -> Ohms {
+        Ohms(self.0 / rhs.0)
+    }
+}
+
+impl Div<Volts> for Watts {
+    type Output = Amps;
+    /// `I = P / V` — how a constant-power load translates to rail current.
+    fn div(self, rhs: Volts) -> Amps {
+        Amps(self.0 / rhs.0)
+    }
+}
+
+impl Div<Amps> for Watts {
+    type Output = Volts;
+    /// `V = P / I`.
+    fn div(self, rhs: Amps) -> Volts {
+        Volts(self.0 / rhs.0)
+    }
+}
+
+impl Seconds {
+    /// Converts a period to its frequency (`f = 1 / t`).
+    ///
+    /// Returns an infinite frequency for a zero period.
+    pub fn to_hertz(self) -> Hertz {
+        Hertz(1.0 / self.0)
+    }
+
+    /// Creates a duration from minutes.
+    pub fn from_minutes(minutes: f64) -> Self {
+        Seconds(minutes * 60.0)
+    }
+
+    /// Creates a duration from hours.
+    pub fn from_hours(hours: f64) -> Self {
+        Seconds(hours * 3600.0)
+    }
+
+    /// Returns the duration expressed in hours.
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+}
+
+impl Hertz {
+    /// Converts a frequency to its period (`t = 1 / f`).
+    ///
+    /// Returns an infinite period for a zero frequency.
+    pub fn to_period(self) -> Seconds {
+        Seconds(1.0 / self.0)
+    }
+
+    /// Number of (possibly fractional) cycles completed in `dt`.
+    pub fn cycles_in(self, dt: Seconds) -> f64 {
+        self.0 * dt.0
+    }
+}
+
+impl Farads {
+    /// Energy stored at a given voltage: `E = C·V²/2`.
+    pub fn energy_at(self, v: Volts) -> Joules {
+        Joules(0.5 * self.0 * v.0 * v.0)
+    }
+
+    /// Energy released when discharging from `hi` to `lo`:
+    /// `E = C·(V_hi² − V_lo²)/2` — the right-hand side of the paper's Eq. (4).
+    ///
+    /// Negative when `hi < lo` (i.e. the result is signed).
+    pub fn energy_between(self, hi: Volts, lo: Volts) -> Joules {
+        Joules(0.5 * self.0 * (hi.0 * hi.0 - lo.0 * lo.0))
+    }
+
+    /// Voltage reached after adding `e` of energy starting from `v`.
+    ///
+    /// Clamps at 0 V when more energy is removed than stored.
+    pub fn voltage_after(self, v: Volts, e: Joules) -> Volts {
+        let stored = self.energy_at(v).0 + e.0;
+        if stored <= 0.0 {
+            Volts(0.0)
+        } else {
+            Volts((2.0 * stored / self.0).sqrt())
+        }
+    }
+}
+
+impl Volts {
+    /// The voltage-squared term `V²` used by capacitor-energy formulas.
+    pub fn squared(self) -> f64 {
+        self.0 * self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ohms_law_round_trips() {
+        let v = Volts(3.3);
+        let r = Ohms(1000.0);
+        let i = v / r;
+        assert!((i.0 - 0.0033).abs() < 1e-12);
+        let back = i * r;
+        assert!((back.0 - v.0).abs() < 1e-12);
+        assert!((v / i).0 - 1000.0 < 1e-9);
+    }
+
+    #[test]
+    fn power_energy_relationships() {
+        let p = Volts(3.0) * Amps(0.010);
+        assert_eq!(p, Watts(0.030));
+        let e = p * Seconds(2.0);
+        assert_eq!(e, Joules(0.060));
+        assert_eq!(e / Seconds(2.0), p);
+        assert_eq!(e / p, Seconds(2.0));
+        assert_eq!(Watts(0.030) / Volts(3.0), Amps(0.010));
+    }
+
+    #[test]
+    fn charge_relationships() {
+        let q = Amps(0.001) * Seconds(5.0);
+        assert_eq!(q, Coulombs(0.005));
+        let c = q / Volts(2.5);
+        assert_eq!(c, Farads(0.002));
+        assert_eq!(c * Volts(2.5), q);
+        assert_eq!(q / Farads(0.002), Volts(2.5));
+        assert_eq!(q / Seconds(5.0), Amps(0.001));
+    }
+
+    #[test]
+    fn capacitor_energy_matches_closed_form() {
+        let c = Farads::from_micro(10.0);
+        let e = c.energy_at(Volts(3.0));
+        assert!((e.0 - 45e-6).abs() < 1e-12);
+        // Eq. (4) energy budget between V_H = 2.27 and V_min = 2.0:
+        let budget = c.energy_between(Volts(2.27), Volts(2.0));
+        assert!((budget.0 - 0.5 * 10e-6 * (2.27f64.powi(2) - 4.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn voltage_after_energy_injection_round_trips() {
+        let c = Farads::from_micro(100.0);
+        let v0 = Volts(2.0);
+        let added = Joules(50e-6);
+        let v1 = c.voltage_after(v0, added);
+        let recovered = c.energy_at(v1) - c.energy_at(v0);
+        assert!((recovered.0 - added.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_after_clamps_at_zero() {
+        let c = Farads::from_micro(1.0);
+        let v = c.voltage_after(Volts(1.0), Joules(-1.0));
+        assert_eq!(v, Volts(0.0));
+    }
+
+    #[test]
+    fn period_frequency_inverse() {
+        assert_eq!(Hertz(50.0).to_period(), Seconds(0.02));
+        assert_eq!(Seconds(0.02).to_hertz(), Hertz(50.0));
+        assert_eq!(Hertz(8e6).cycles_in(Seconds(1e-3)), 8000.0);
+    }
+
+    #[test]
+    fn si_display_uses_engineering_prefixes() {
+        assert_eq!(format!("{}", Amps::from_micro(430.0)), "430.000 µA");
+        assert_eq!(format!("{:.2}", Volts(2.27)), "2.27 V");
+        assert_eq!(format!("{:.1}", Farads::from_milli(6.0)), "6.0 mF");
+        assert_eq!(format!("{:.0}", Watts(0.0)), "0 W");
+        assert_eq!(format!("{:.1}", Hertz::from_mega(8.0)), "8.0 MHz");
+        assert_eq!(format!("{:.1}", Joules::from_nano(250.0)), "250.0 nJ");
+    }
+
+    #[test]
+    fn scaling_constructors() {
+        assert!((Farads::from_micro(10.0).0 - 10e-6).abs() < 1e-18);
+        assert!((Volts::from_milli(3300.0).0 - 3.3).abs() < 1e-12);
+        assert!((Hertz::from_kilo(32.768).0 - 32768.0).abs() < 1e-9);
+        assert_eq!(Seconds::from_minutes(2.0), Seconds(120.0));
+        assert_eq!(Seconds::from_hours(1.5), Seconds(5400.0));
+        assert!((Seconds(7200.0).as_hours() - 2.0).abs() < 1e-12);
+        assert_eq!(Watts(0.5).as_milli(), 500.0);
+        assert_eq!(Amps(0.000_43).as_micro(), 430.0);
+    }
+
+    #[test]
+    fn sum_and_lerp() {
+        let total: Joules = [Joules(1.0), Joules(2.0), Joules(3.5)].into_iter().sum();
+        assert_eq!(total, Joules(6.5));
+        assert_eq!(Volts(1.0).lerp(Volts(3.0), 0.5), Volts(2.0));
+    }
+
+    #[test]
+    fn min_max_abs_helpers() {
+        assert_eq!(Volts(-2.0).abs(), Volts(2.0));
+        assert_eq!(Volts(1.0).max(Volts(2.0)), Volts(2.0));
+        assert_eq!(Volts(1.0).min(Volts(2.0)), Volts(1.0));
+        assert!(Volts(1.0).is_positive());
+        assert!(!Volts(0.0).is_positive());
+        assert!(Volts(f64::NAN).is_finite() == false);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_sub_inverse(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+            let x = Volts(a);
+            let y = Volts(b);
+            let back = (x + y) - y;
+            prop_assert!((back.0 - x.0).abs() <= 1e-6 * (1.0 + x.0.abs() + y.0.abs()));
+        }
+
+        #[test]
+        fn prop_energy_between_antisymmetric(hi in 0.0f64..10.0, lo in 0.0f64..10.0, c in 1e-9f64..1e-1) {
+            let cap = Farads(c);
+            let a = cap.energy_between(Volts(hi), Volts(lo));
+            let b = cap.energy_between(Volts(lo), Volts(hi));
+            prop_assert!((a.0 + b.0).abs() < 1e-12 * (1.0 + a.0.abs()));
+        }
+
+        #[test]
+        fn prop_voltage_after_monotone(v0 in 0.0f64..5.0, e in 0.0f64..1e-3, c in 1e-8f64..1e-2) {
+            let cap = Farads(c);
+            let v1 = cap.voltage_after(Volts(v0), Joules(e));
+            prop_assert!(v1.0 >= v0 - 1e-12);
+        }
+
+        #[test]
+        fn prop_clamp_within_bounds(v in -10.0f64..10.0) {
+            let clamped = Volts(v).clamp(Volts(0.0), Volts(3.6));
+            prop_assert!(clamped.0 >= 0.0 && clamped.0 <= 3.6);
+        }
+
+        #[test]
+        fn prop_ratio_is_dimensionless(a in 1e-6f64..1e6, b in 1e-6f64..1e6) {
+            let ratio = Watts(a) / Watts(b);
+            prop_assert!((ratio * b - a).abs() <= 1e-9 * a.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! An energy-neutral solar WSN node (paper reference \[3\], Section II.A).
+//!
+//! The classic Kansal et al. pattern: a battery buffers a solar harvester,
+//! and the node adapts its sampling duty cycle per time slot so that, over
+//! each day (`T` = 24 h), consumed energy tracks harvested energy — Eq. (1)
+//! — without the battery ever running flat — Eq. (2).
+//!
+//! Run: `cargo run --release --example energy_neutral_wsn`
+
+use energy_driven::harvest::Photovoltaic;
+use energy_driven::neutral::{EwmaPredictor, WsnController, WsnNode};
+use energy_driven::power::Battery;
+use energy_driven::units::{Joules, Seconds, Volts, Watts};
+
+fn main() {
+    let pv = Photovoltaic::outdoor(42);
+    let harvest = move |t: Seconds| pv.current_at(t) * Volts(2.0);
+
+    let predictor = EwmaPredictor::new(48, 0.3);
+    let controller = WsnController::new(predictor, Watts(12e-3), Watts(60e-6))
+        .with_duty_bounds(0.005, 0.9);
+    let battery = Battery::new(Joules(60.0)).with_soc(0.6);
+    let mut node = WsnNode::new(controller, battery);
+
+    println!("energy-neutral WSN: 7 simulated days, 30-minute slots\n");
+    node.run(harvest, Seconds::from_hours(24.0 * 7.0));
+
+    println!(
+        "{:>6} {:>10} {:>10} {:>8} {:>6}",
+        "day", "harvest", "consume", "duty", "SoC"
+    );
+    println!("{}", "-".repeat(46));
+    for day in 0..7 {
+        let day_reports: Vec<_> = node
+            .reports()
+            .iter()
+            .filter(|r| (r.t.0 / 86_400.0).floor() as u64 == day)
+            .collect();
+        let mean = |f: &dyn Fn(&energy_driven::neutral::WsnSlotReport) -> f64| {
+            day_reports.iter().map(|r| f(r)).sum::<f64>() / day_reports.len() as f64
+        };
+        println!(
+            "{:>6} {:>10} {:>10} {:>8.3} {:>6.2}",
+            day + 1,
+            format!("{}", Watts(mean(&|r| r.harvested.0))),
+            format!("{}", Watts(mean(&|r| r.consumed.0))),
+            mean(&|r| r.duty),
+            day_reports.last().map(|r| r.soc).unwrap_or(0.0),
+        );
+    }
+
+    let audit = node.audit();
+    println!("\nEq. (1) audit over the week:");
+    println!("  harvested: {}", audit.harvested_energy());
+    println!("  consumed:  {}", audit.consumed_energy());
+    println!("  imbalance: {:.1}%", audit.neutrality_error() * 100.0);
+    println!(
+        "  Eq. (2) violations: {} → {}",
+        audit.depletion_events,
+        if audit.depletion_events == 0 {
+            "the system is energy-neutral"
+        } else {
+            "the system FAILED"
+        }
+    );
+}

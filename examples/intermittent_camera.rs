@@ -1,0 +1,53 @@
+//! A WISPCam-style battery-free camera (paper reference \[4\]).
+//!
+//! The camera harvests RF energy from an RFID reader, buffers it in a 6 mF
+//! supercapacitor, and takes one photo (stored to NVM) each time the buffer
+//! fills — the task-based transient pattern on the right side of the
+//! Fig. 2 arc.
+//!
+//! Run: `cargo run --release --example intermittent_camera`
+
+use energy_driven::harvest::{EnergySource, RfHarvester};
+use energy_driven::transient::burst::{EnergyBurstRunner, TaskSpec};
+use energy_driven::units::{Farads, Seconds, Volts};
+
+fn main() {
+    println!("WISPCam: RF-harvesting battery-free camera\n");
+
+    for (label, distance) in [("tag at 0.8 m", 0.8), ("tag at 1.0 m", 1.0), ("tag at 1.5 m", 1.5)] {
+        let mut rf = RfHarvester::new(
+            energy_driven::units::Watts::from_milli(4.0),
+            distance,
+            energy_driven::harvest::ReaderSchedule::Continuous,
+            7,
+        );
+        let mut camera = EnergyBurstRunner::new(
+            Farads::from_milli(6.0),
+            TaskSpec::wispcam_photo(),
+            Volts(2.0),
+            Volts(3.6),
+        );
+        camera.run(
+            |v, t| rf.current_into(v, t),
+            Seconds(120.0),
+            Seconds(1e-3),
+        );
+        let photos = camera.completions().len();
+        let interval = if photos >= 2 {
+            let c = camera.completions();
+            (c[c.len() - 1].0 - c[0].0) / (photos - 1) as f64
+        } else {
+            f64::NAN
+        };
+        println!(
+            "{label}: {photos} photos in 120 s (mean interval {interval:.1} s, \
+             fires at {:.2})",
+            camera.start_threshold()
+        );
+    }
+
+    println!(
+        "\nEach photo costs ~5.5 mJ; the 6 mF buffer is sized so expression (2)\n\
+         violations between photos do not matter — the photo is already in NVM."
+    );
+}

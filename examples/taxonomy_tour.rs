@@ -1,0 +1,35 @@
+//! A tour of the paper's taxonomy (Section II, Fig. 2).
+//!
+//! Classifies every system the figure annotates and explains each
+//! placement in terms of Eqs. (1)–(3).
+//!
+//! Run: `cargo run --release --example taxonomy_tour`
+
+use energy_driven::core::taxonomy::{catalog, classify, render_table};
+
+fn main() {
+    println!("The energy-based taxonomy of computing systems (Fig. 2)\n");
+    print!("{}", render_table(&catalog()));
+
+    println!("\nReadings:");
+    for profile in catalog() {
+        let class = classify(&profile);
+        let story = match (class.transient, class.power_neutral, class.energy_driven) {
+            (false, false, false) => {
+                "buffers supply/consumption differences; fails when storage empties (Eq. 2)"
+            }
+            (true, false, false) => "survives outages, but the design is battery-first",
+            (true, false, true) => {
+                "designed around the harvester: checkpoint/task-buffer through outages"
+            }
+            (false, true, true) => {
+                "tracks harvested power instant-by-instant (Eq. 3); an outage still kills it"
+            }
+            (true, true, true) => {
+                "the full energy-driven stack: modulates power AND survives outages"
+            }
+            _ => "mixed placement",
+        };
+        println!("  {:<26} {}", profile.name, story);
+    }
+}

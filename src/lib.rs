@@ -1,0 +1,11 @@
+//! Facade crate re-exporting the full `energy-driven` workspace API.
+pub use edc_core as core;
+pub use edc_harvest as harvest;
+pub use edc_mcu as mcu;
+pub use edc_mpsoc as mpsoc;
+pub use edc_neutral as neutral;
+pub use edc_power as power;
+pub use edc_sim as sim;
+pub use edc_transient as transient;
+pub use edc_units as units;
+pub use edc_workloads as workloads;

@@ -1,0 +1,104 @@
+//! Integration tests for Eq. (5) (the Hibernus/QuickRecall crossover) and
+//! for power-neutral operation (Eq. 3 / Fig. 8 shape).
+
+use energy_driven::core::scenarios::{fig8_turbine, interrupted_supply};
+use energy_driven::core::system::SystemBuilder;
+use energy_driven::mcu::PowerModel;
+use energy_driven::mpsoc::XuPlatform;
+use energy_driven::neutral::{PnGovernor, PowerScalable};
+use energy_driven::power::{Rectifier, RectifierKind};
+use energy_driven::transient::crossover::analytic_crossover;
+use energy_driven::transient::{Hibernus, HibernusPn, QuickRecall, Strategy};
+use energy_driven::units::{Farads, Hertz, Seconds, Volts, Watts};
+use energy_driven::workloads::Endless;
+
+fn energy_per_cycle(strategy: Box<dyn Strategy>, f_int: Hertz) -> f64 {
+    let (mut runner, _) = SystemBuilder::new()
+        .source(interrupted_supply(f_int))
+        .strategy(strategy)
+        .workload(Box::new(Endless::new()))
+        .build();
+    runner.run_for(Seconds(0.8));
+    let stats = runner.stats();
+    stats.energy_consumed.0 / stats.cycles.max(1) as f64
+}
+
+#[test]
+fn eq5_crossover_flips_the_winner() {
+    let analytic = analytic_crossover(&PowerModel::msp430fr5739(), Hertz::from_mega(8.0));
+    assert!(
+        analytic.f_crossover.0 > 5.0 && analytic.f_crossover.0 < 200.0,
+        "analytic crossover {} out of plausible range",
+        analytic.f_crossover
+    );
+    // Well below the crossover: hibernus is cheaper per cycle.
+    let low = Hertz(2.0);
+    assert!(
+        energy_per_cycle(Box::new(Hibernus::new()), low)
+            < energy_per_cycle(Box::new(QuickRecall::new()), low),
+        "hibernus must win at low interruption rates"
+    );
+    // Well above it (but below where the capacitor smooths dips away).
+    let high = Hertz(60.0);
+    assert!(
+        energy_per_cycle(Box::new(QuickRecall::new()), high)
+            < energy_per_cycle(Box::new(Hibernus::new()), high),
+        "quickrecall must win at high interruption rates"
+    );
+}
+
+#[test]
+fn fig8_pn_beats_plain_hibernus_on_a_gust() {
+    let run = |pn: bool| {
+        let strategy: Box<dyn Strategy> = if pn {
+            Box::new(HibernusPn::new())
+        } else {
+            Box::new(Hibernus::new())
+        };
+        let (mut runner, _) = SystemBuilder::new()
+            .source(fig8_turbine())
+            .rectifier(Rectifier::new(RectifierKind::HalfWave, Volts(0.2)))
+            .decoupling(Farads::from_micro(220.0))
+            .strategy(strategy)
+            .workload(Box::new(Endless::new()))
+            .timestep(Seconds(50e-6))
+            .build();
+        runner.run_for(Seconds(9.0));
+        runner.stats()
+    };
+    let plain = run(false);
+    let pn = run(true);
+    assert!(
+        pn.cycles > plain.cycles,
+        "PN must deliver more forward progress: {} vs {}",
+        pn.cycles,
+        plain.cycles
+    );
+    assert!(
+        pn.snapshots <= plain.snapshots,
+        "PN must hibernate no more often: {} vs {}",
+        pn.snapshots,
+        plain.snapshots
+    );
+}
+
+#[test]
+fn pn_governor_tracks_eq3_on_the_mpsoc() {
+    let mut board = XuPlatform::odroid_xu4();
+    let mut governor = PnGovernor::new();
+    let dt = Seconds(0.02);
+    let mut t = 0.0;
+    while t < 60.0 {
+        let p_h = Watts(2.0 + 12.0 * (t / 20.0 * std::f64::consts::TAU).sin().max(0.0));
+        governor.step(&mut board, p_h, dt);
+        t += dt.0;
+    }
+    // Eq. 3: consumption must track harvest — overdraw below 10%.
+    assert!(
+        governor.overdraw_fraction() < 0.10,
+        "overdraw {}",
+        governor.overdraw_fraction()
+    );
+    assert!(governor.stats().level_changes > 10);
+    assert!(board.num_levels() > 10);
+}

@@ -1,0 +1,33 @@
+//! The facade crate must re-export every subsystem under stable names, and
+//! the pieces must interoperate across crate boundaries.
+
+use energy_driven::core::taxonomy::{catalog, classify};
+use energy_driven::harvest::{DcSupply, EnergySource};
+use energy_driven::mcu::{Mcu, RunExit};
+use energy_driven::power::{Battery, VoltageMonitor};
+use energy_driven::sim::SupplyNode;
+use energy_driven::units::{Farads, Joules, Ohms, Seconds, Volts};
+use energy_driven::workloads::{PrimeSieve, Workload};
+
+#[test]
+fn facade_paths_interoperate() {
+    // units ↔ sim
+    let mut node = SupplyNode::new(Farads::from_micro(10.0), Volts(3.0));
+    // harvest ↔ sim
+    let mut dc = DcSupply::new(Volts(3.3)).with_resistance(Ohms(100.0));
+    let i = dc.current_into(node.voltage(), Seconds(0.0));
+    node.step(i, edc_units::Amps::ZERO, Seconds(1e-5));
+    // power
+    let mut mon = VoltageMonitor::new(Volts(2.2), Volts(2.7));
+    assert!(mon.update(node.voltage()).is_none());
+    let mut batt = Battery::new(Joules(10.0));
+    batt.charge(edc_units::Watts(1.0), Seconds(1.0));
+    // mcu ↔ workloads
+    let wl = PrimeSieve::new(64);
+    let mut mcu = Mcu::new(wl.program());
+    assert_eq!(mcu.run(u64::MAX, false).exit, RunExit::Completed);
+    wl.verify(&mcu).unwrap();
+    // core taxonomy
+    assert_eq!(catalog().len(), 12);
+    assert!(catalog().iter().any(|p| classify(p).power_neutral));
+}

@@ -1,0 +1,148 @@
+//! Failure-injection property tests: under *arbitrary* supply intermittency
+//! every checkpoint strategy must preserve correctness — a completed
+//! workload always verifies bit-exactly against its golden model, and a
+//! workload that cannot complete must never report success.
+//!
+//! This is the transient-computing contract: outages may cost time, never
+//! correctness.
+
+use proptest::prelude::*;
+
+use energy_driven::core::scenarios::StrategyKind;
+use energy_driven::core::system::SystemBuilder;
+use energy_driven::harvest::{EnergySource, SignalGenerator, SourceSample, Waveform};
+use energy_driven::transient::RunOutcome;
+use energy_driven::units::{Hertz, Ohms, Seconds, Volts};
+use energy_driven::workloads::{Crc16, Fourier, InsertionSort, Workload};
+
+/// A deterministic but irregular supply: the union of two unrelated pulse
+/// trains — adversarial beat patterns without RNG in the hot loop.
+#[derive(Debug)]
+struct BeatSupply {
+    a: SignalGenerator,
+    b: SignalGenerator,
+}
+
+impl BeatSupply {
+    fn new(f_a: f64, f_b: f64, v: f64) -> Self {
+        Self {
+            a: SignalGenerator::new(Waveform::Pulse { duty: 0.45 }, Volts(v), Hertz(f_a))
+                .with_resistance(Ohms(30.0)),
+            b: SignalGenerator::new(Waveform::Pulse { duty: 0.3 }, Volts(v * 0.9), Hertz(f_b))
+                .with_resistance(Ohms(60.0)),
+        }
+    }
+}
+
+impl EnergySource for BeatSupply {
+    fn name(&self) -> &str {
+        "beat-supply"
+    }
+    fn sample(&mut self, t: Seconds) -> SourceSample {
+        // Whichever train is up dominates (diode-OR of two sources).
+        let va = self.a.voltage_at(t);
+        let vb = self.b.voltage_at(t);
+        if va >= vb {
+            SourceSample::Thevenin {
+                v_oc: va,
+                r_s: Ohms(30.0),
+            }
+        } else {
+            SourceSample::Thevenin {
+                v_oc: vb,
+                r_s: Ohms(60.0),
+            }
+        }
+    }
+}
+
+fn workload_for(idx: u8, seed: u16) -> Box<dyn Workload> {
+    // All sized to span several on-windows of the beat supply, so every
+    // case really exercises snapshot/restore paths.
+    match idx % 3 {
+        0 => Box::new(Crc16::new(2048).with_seed(seed)), // ~46 ms at 8 MHz
+        1 => Box::new(InsertionSort::new(256).with_seed(seed)), // ~57 ms
+        _ => Box::new(Fourier::new(128)), // ~98 ms
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case simulates seconds of machine time
+        ..ProptestConfig::default()
+    })]
+
+    /// Completion implies bit-exact results, for every strategy, under
+    /// adversarial beat-pattern supplies.
+    #[test]
+    fn completion_implies_correctness(
+        f_a in 6.0f64..60.0,
+        f_b in 3.0f64..40.0,
+        v in 3.1f64..4.0,
+        wl_idx in 0u8..3,
+        seed in 1u16..500,
+        strat_idx in 0usize..7,
+    ) {
+        let kind = StrategyKind::ALL[strat_idx];
+        let workload = workload_for(wl_idx, seed);
+        let (mut runner, workload) = SystemBuilder::new()
+            .source(BeatSupply::new(f_a, f_b, v))
+            .leakage(Ohms(50_000.0))
+            .strategy(kind.make())
+            .workload(workload)
+            .build();
+        let outcome = runner.run_until_complete(Seconds(2.0));
+        prop_assert!(outcome != RunOutcome::Faulted, "{} faulted", kind.name());
+        if outcome == RunOutcome::Completed {
+            let check = workload.verify(runner.mcu());
+            prop_assert!(
+                check.is_ok(),
+                "{} completed but corrupted the result: {:?}",
+                kind.name(),
+                check
+            );
+        }
+        // Sanity on the books: active time never exceeds wall-clock.
+        let stats = runner.stats();
+        let wall = stats.active_time.0 + stats.sleep_time.0 + stats.off_time.0;
+        prop_assert!(stats.active_time.0 <= wall + 1e-9);
+    }
+}
+
+/// Dense deterministic sweep: Hibernus on every workload×frequency pair in
+/// a grid — cheap, repeatable coverage beyond the random cases.
+#[test]
+fn hibernus_grid_never_corrupts() {
+    let mut total_snapshots = 0u64;
+    let mut total_restores = 0u64;
+    for f in [8.0, 17.0, 33.0, 61.0] {
+        for wl_idx in 0..3u8 {
+            let workload = workload_for(wl_idx, 7);
+            let name = workload.name().to_string();
+            let (mut runner, workload) = SystemBuilder::new()
+                .source(BeatSupply::new(f, f * 0.37, 3.6))
+                .leakage(Ohms(50_000.0))
+                .strategy(StrategyKind::Hibernus.make())
+                .workload(workload)
+                .build();
+            let outcome = runner.run_until_complete(Seconds(3.0));
+            assert_eq!(
+                outcome,
+                RunOutcome::Completed,
+                "{name} @ {f} Hz did not complete"
+            );
+            workload
+                .verify(runner.mcu())
+                .unwrap_or_else(|e| panic!("{name} @ {f} Hz corrupted: {e}"));
+            total_snapshots += runner.stats().snapshots;
+            total_restores += runner.stats().restores;
+        }
+    }
+    // The grid must genuinely exercise the checkpoint machinery — if every
+    // combination completed without a single snapshot, the test is vacuous.
+    assert!(
+        total_snapshots >= 4,
+        "grid too easy: only {total_snapshots} snapshots"
+    );
+    assert!(total_restores >= 1, "no restore path exercised");
+}

@@ -1,0 +1,71 @@
+//! Integration test: the Section II.B strategy comparison, asserting the
+//! qualitative orderings the paper describes rather than absolute numbers.
+
+use energy_driven::core::scenarios::{fig7_supply, StrategyKind};
+use energy_driven::core::system::SystemBuilder;
+use energy_driven::transient::RunOutcome;
+use energy_driven::units::{Hertz, Seconds};
+use energy_driven::workloads::{Fourier, Workload};
+
+struct Outcome {
+    completed: bool,
+    snapshots: u64,
+    torn: u64,
+    verified: bool,
+}
+
+fn run(kind: StrategyKind) -> Outcome {
+    let (mut runner, workload) = SystemBuilder::new()
+        .source(fig7_supply(Hertz(50.0)))
+        .strategy(kind.make())
+        .workload(Box::new(Fourier::new(64)))
+        .build();
+    let outcome = runner.run_until_complete(Seconds(3.0));
+    let stats = runner.stats();
+    Outcome {
+        completed: outcome == RunOutcome::Completed,
+        snapshots: stats.snapshots,
+        torn: stats.torn_snapshots,
+        verified: workload.verify(runner.mcu()).is_ok(),
+    }
+}
+
+#[test]
+fn checkpointing_strategies_complete_where_restart_cannot() {
+    // Fourier-64 (~25 ms) does not fit the ~10 ms on-window of a 50 Hz
+    // rectified sine: restart must fail, every checkpointing strategy must
+    // succeed with a verified result.
+    let restart = run(StrategyKind::Restart);
+    assert!(
+        !restart.completed,
+        "restart must not finish a multi-window workload"
+    );
+    for kind in [
+        StrategyKind::Mementos,
+        StrategyKind::Hibernus,
+        StrategyKind::HibernusPP,
+        StrategyKind::HibernusPn,
+        StrategyKind::QuickRecall,
+        StrategyKind::Nvp,
+    ] {
+        let o = run(kind);
+        assert!(o.completed, "{} did not complete", kind.name());
+        assert!(o.verified, "{} result corrupted", kind.name());
+    }
+}
+
+#[test]
+fn mementos_takes_more_snapshots_than_hibernus() {
+    // The paper's downside (1): redundant snapshots. Mementos checkpoints at
+    // every marker below its threshold; Hibernus exactly once per failure.
+    let mementos = run(StrategyKind::Mementos);
+    let hibernus = run(StrategyKind::Hibernus);
+    assert!(
+        mementos.snapshots + mementos.torn > hibernus.snapshots,
+        "mementos {} + {} torn vs hibernus {}",
+        mementos.snapshots,
+        mementos.torn,
+        hibernus.snapshots
+    );
+    assert_eq!(hibernus.torn, 0, "hibernus must never tear (Eq. 4)");
+}
