@@ -36,7 +36,11 @@ fn run(policy: PeripheralPolicy) -> (Vec<u16>, f64, f64) {
     }
     wl.verify(&mcu).expect("pipeline structure intact");
     let averages: Vec<u16> = (0..12)
-        .map(|w| mcu.memory().peek(edc_workloads::OUTPUT_BASE + 1 + w).unwrap())
+        .map(|w| {
+            mcu.memory()
+                .peek(edc_workloads::OUTPUT_BASE + 1 + w)
+                .unwrap()
+        })
         .collect();
     // Continuity metric: windows should sweep the ADC sinusoid smoothly.
     // A reinit glitch repeats the waveform start, flattening the spread.
@@ -64,7 +68,11 @@ fn main() {
         let mut mcu = Mcu::new(wl.program());
         assert_eq!(mcu.run(u64::MAX, false).exit, RunExit::Completed);
         let averages: Vec<u16> = (0..12)
-            .map(|w| mcu.memory().peek(edc_workloads::OUTPUT_BASE + 1 + w).unwrap())
+            .map(|w| {
+                mcu.memory()
+                    .peek(edc_workloads::OUTPUT_BASE + 1 + w)
+                    .unwrap()
+            })
             .collect();
         let lo = *averages.iter().min().unwrap() as f64;
         let hi = *averages.iter().max().unwrap() as f64;

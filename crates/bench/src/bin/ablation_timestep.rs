@@ -10,11 +10,10 @@
 //! Run: `cargo run --release -p edc-bench --bin ablation_timestep`
 
 use edc_bench::{banner, TextTable};
-use edc_core::scenarios::fig7_supply;
-use edc_core::system::SystemBuilder;
-use edc_transient::{Hibernus, TransientRunner};
-use edc_units::{Hertz, Ohms, Seconds};
-use edc_workloads::Fourier;
+use edc_core::experiment::ExperimentSpec;
+use edc_core::scenarios::{SourceKind, StrategyKind};
+use edc_units::{Ohms, Seconds};
+use edc_workloads::WorkloadKind;
 
 struct Run {
     dt_us: f64,
@@ -26,25 +25,27 @@ struct Run {
 }
 
 fn run(dt: Seconds) -> Run {
-    let supply_hz = Hertz(2.0);
-    let (mut runner, workload): (TransientRunner, _) = SystemBuilder::new()
-        .source(fig7_supply(supply_hz))
-        .leakage(Ohms(100_000.0))
-        .timestep(dt)
-        .strategy(Box::new(Hibernus::new()))
-        .workload(Box::new(Fourier::new(256)))
-        .build();
-    let _ = runner.run_until_complete(Seconds(3.0));
-    let stats = runner.stats();
+    let supply_hz = 2.0;
+    let report = ExperimentSpec::new(
+        SourceKind::RectifiedSine { hz: supply_hz },
+        StrategyKind::Hibernus,
+        WorkloadKind::Fourier(256),
+    )
+    .leakage(Ohms(100_000.0))
+    .timestep(dt)
+    .deadline(Seconds(3.0))
+    .run()
+    .expect("spec assembles");
     Run {
         dt_us: dt.0 * 1e6,
-        completed: stats.completed_at,
-        cycle: stats
+        completed: report.stats.completed_at,
+        cycle: report
+            .stats
             .completed_at
-            .map(|t| (t.0 * supply_hz.0).floor() as u64 + 1),
-        snapshots: stats.snapshots,
-        restores: stats.restores,
-        verified: workload.verify(runner.mcu()).is_ok(),
+            .map(|t| (t.0 * supply_hz).floor() as u64 + 1),
+        snapshots: report.stats.snapshots,
+        restores: report.stats.restores,
+        verified: report.verification.is_ok(),
     }
 }
 
@@ -84,11 +85,17 @@ fn main() {
          (completion cycle {:?} at every dt)",
         cycles.first()
     );
-    let times: Vec<f64> = runs.iter().filter_map(|r| r.completed.map(|s| s.0)).collect();
+    let times: Vec<f64> = runs
+        .iter()
+        .filter_map(|r| r.completed.map(|s| s.0))
+        .collect();
     if times.len() >= 2 {
         let spread = (times.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - times.iter().cloned().fold(f64::INFINITY, f64::min))
             / times[0];
-        println!("completion-time spread across 8× dt range: {:.2}%", spread * 100.0);
+        println!(
+            "completion-time spread across 8× dt range: {:.2}%",
+            spread * 100.0
+        );
     }
 }

@@ -1,23 +1,37 @@
-use edc_core::scenarios::fig8_turbine;
-use edc_core::system::SystemBuilder;
+//! Scratch harness: a traced Hibernus-PN run on the Fig. 8 turbine gust.
+//!
+//! Run: `cargo run --release -p edc-bench --bin dbg`
+
+use edc_core::experiment::ExperimentSpec;
+use edc_core::scenarios::{SourceKind, StrategyKind};
 use edc_power::{Rectifier, RectifierKind};
-use edc_transient::{HibernusPn, TransientRunner};
 use edc_units::{Seconds, Volts};
-use edc_workloads::BusyLoop;
+use edc_workloads::WorkloadKind;
+
 fn main() {
-    let (mut runner, _): (TransientRunner, _) = SystemBuilder::new()
-        .source(fig8_turbine())
-        .rectifier(Rectifier::new(RectifierKind::HalfWave, Volts(0.2)))
-        .strategy(Box::new(HibernusPn::new()))
-        .workload(Box::new(BusyLoop::new(65_000)))
-        .trace(100)
-        .build();
-    println!("thresholds {:?}", runner.thresholds());
-    runner.run_for(Seconds(9.0));
-    print!("{}", runner.log().to_lines());
-    if let Some(tr) = runner.vcc_trace() {
+    // The busy loop is bounded by the EH16 ISA's signed-16-bit compare.
+    let spec = ExperimentSpec::new(
+        SourceKind::Turbine,
+        StrategyKind::HibernusPn,
+        WorkloadKind::BusyLoop(32_000),
+    )
+    .rectifier(Rectifier::new(RectifierKind::HalfWave, Volts(0.2)))
+    .trace(100);
+    let mut system = match spec.build() {
+        Ok(system) => system,
+        Err(e) => {
+            eprintln!("failed to assemble: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("thresholds {:?}", system.thresholds());
+    system.run_for(Seconds(9.0));
+    print!("{}", system.runner().log().to_lines());
+    if let Some(tr) = system.runner().vcc_trace() {
         for (i, (t, v)) in tr.points().iter().enumerate() {
-            if i % 250 == 0 { println!("{:.2}\t{:.3}", t.0, v); }
+            if i % 250 == 0 {
+                println!("{:.2}\t{:.3}", t.0, v);
+            }
         }
     }
 }

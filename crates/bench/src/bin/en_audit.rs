@@ -24,8 +24,8 @@ fn pv_power(seed: u64) -> impl Fn(Seconds) -> Watts {
 
 fn run_node(duty_max: f64, battery_j: f64, days: f64) -> (f64, u64, f64, f64) {
     let predictor = EwmaPredictor::new(48, 0.3);
-    let ctrl = WsnController::new(predictor, Watts(12e-3), Watts(60e-6))
-        .with_duty_bounds(0.005, duty_max);
+    let ctrl =
+        WsnController::new(predictor, Watts(12e-3), Watts(60e-6)).with_duty_bounds(0.005, duty_max);
     let battery = Battery::new(Joules(battery_j)).with_soc(0.6);
     let mut node = WsnNode::new(ctrl, battery);
     node.run(pv_power(7), Seconds::from_hours(24.0 * days));
@@ -72,8 +72,8 @@ fn main() {
     // Case 2: greedy — duty floor pinned high (refuses to sleep at night).
     {
         let predictor = EwmaPredictor::new(48, 0.3);
-        let ctrl = WsnController::new(predictor, Watts(12e-3), Watts(60e-6))
-            .with_duty_bounds(0.6, 1.0);
+        let ctrl =
+            WsnController::new(predictor, Watts(12e-3), Watts(60e-6)).with_duty_bounds(0.6, 1.0);
         let battery = Battery::new(Joules(60.0)).with_soc(0.6);
         let mut node = WsnNode::new(ctrl, battery);
         node.run(pv_power(7), Seconds::from_hours(24.0 * 7.0));
@@ -101,7 +101,12 @@ fn main() {
             dep.to_string(),
             format!("{duty:.3}"),
             format!("{soc:.2}"),
-            if dep == 0 { "energy-neutral" } else { "FAILS (Eq. 2)" }.to_string(),
+            if dep == 0 {
+                "energy-neutral"
+            } else {
+                "FAILS (Eq. 2)"
+            }
+            .to_string(),
         ]);
     }
     print!("{}", t.render());

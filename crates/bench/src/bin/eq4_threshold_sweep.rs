@@ -8,13 +8,13 @@
 //! Run: `cargo run --release -p edc-bench --bin eq4_threshold_sweep`
 
 use edc_bench::{banner, TextTable};
-use edc_core::scenarios::fig7_supply;
-use edc_core::system::SystemBuilder;
+use edc_core::experiment::Experiment;
+use edc_core::scenarios::SourceKind;
 use edc_mcu::Mcu;
 use edc_power::sizing::hibernate_threshold;
-use edc_transient::{LowVoltageResponse, Strategy, TransientRunner};
-use edc_units::{Farads, Hertz, Seconds, Volts};
-use edc_workloads::{Fourier, Workload};
+use edc_transient::{LowVoltageResponse, Strategy};
+use edc_units::{Farads, Seconds, Volts};
+use edc_workloads::{Fourier, Workload, WorkloadKind};
 
 /// Hibernus with a forced, possibly wrong, `V_H`.
 struct FixedThreshold {
@@ -40,14 +40,15 @@ impl Strategy for FixedThreshold {
 }
 
 fn torn_fraction(v_h: Volts, c: Farads) -> (u64, u64) {
-    let (mut runner, _): (TransientRunner, _) = SystemBuilder::new()
-        .source(fig7_supply(Hertz(8.0)))
+    let mut system = Experiment::new()
+        .source_kind(SourceKind::RectifiedSine { hz: 8.0 })
         .decoupling(c)
         .strategy(Box::new(FixedThreshold { v_h }))
-        .workload(Box::new(Fourier::new(128)))
-        .build();
-    runner.run_for(Seconds(6.0));
-    let s = runner.stats();
+        .workload_kind(WorkloadKind::Fourier(128))
+        .build()
+        .expect("experiment assembles");
+    system.run_for(Seconds(6.0));
+    let s = system.runner().stats();
     (s.snapshots, s.torn_snapshots)
 }
 
@@ -62,11 +63,7 @@ fn main() {
     for c_uf in [1.0, 2.2, 4.7, 10.0, 22.0, 47.0, 100.0] {
         let c = Farads::from_micro(c_uf);
         match hibernate_threshold(e_s, c, v_min, v_max, 0.0) {
-            Some(v_h) => t.row(&[
-                format!("{c}"),
-                format!("{v_h:.3}"),
-                "yes".to_string(),
-            ]),
+            Some(v_h) => t.row(&[format!("{c}"), format!("{v_h:.3}"), "yes".to_string()]),
             None => t.row(&[
                 format!("{c}"),
                 "—".to_string(),

@@ -12,26 +12,26 @@
 //! Run: `cargo run --release -p edc-bench --bin eq5_crossover`
 
 use edc_bench::{banner, log_space, TextTable};
-use edc_core::scenarios::interrupted_supply;
-use edc_core::system::SystemBuilder;
+use edc_core::experiment::ExperimentSpec;
+use edc_core::scenarios::{SourceKind, StrategyKind};
 use edc_mcu::PowerModel;
 use edc_transient::crossover::analytic_crossover;
-use edc_transient::{Hibernus, QuickRecall, Strategy};
-use edc_units::{Farads, Hertz, Seconds};
-use edc_workloads::Endless;
+use edc_units::{Hertz, Seconds};
+use edc_workloads::WorkloadKind;
 
 /// Energy per million forward cycles at one interruption frequency.
-fn energy_per_mcycle(strategy: Box<dyn Strategy>, f_int: Hertz, horizon: Seconds) -> (f64, u64) {
-    let (mut runner, _) = SystemBuilder::new()
-        .source(interrupted_supply(f_int))
-        .decoupling(Farads::from_micro(10.0))
-        .strategy(strategy)
-        .workload(Box::new(Endless::new()))
-        .build();
+fn energy_per_mcycle(strategy: StrategyKind, f_int: Hertz, horizon: Seconds) -> (f64, u64) {
+    let mut system = ExperimentSpec::new(
+        SourceKind::Interrupted { hz: f_int.0 },
+        strategy,
+        WorkloadKind::Endless,
+    )
+    .build()
+    .expect("spec assembles");
     // Endless workload: forward progress never saturates, so energy/cycle is
     // meaningful over the whole horizon.
-    runner.run_for(horizon);
-    let stats = runner.stats();
+    system.run_for(horizon);
+    let stats = system.runner().stats();
     let cycles = stats.cycles.max(1);
     (
         stats.energy_consumed.0 / (cycles as f64 / 1e6),
@@ -65,8 +65,8 @@ fn main() {
     let mut last_winner_hib = true;
     for (i, f) in log_space(0.5, 200.0, 10).into_iter().enumerate() {
         let f_int = Hertz(f);
-        let (hib, hib_snaps) = energy_per_mcycle(Box::new(Hibernus::new()), f_int, horizon);
-        let (qr, qr_snaps) = energy_per_mcycle(Box::new(QuickRecall::new()), f_int, horizon);
+        let (hib, hib_snaps) = energy_per_mcycle(StrategyKind::Hibernus, f_int, horizon);
+        let (qr, qr_snaps) = energy_per_mcycle(StrategyKind::QuickRecall, f_int, horizon);
         let hib_wins = hib < qr;
         if i > 0 && last_winner_hib && !hib_wins && crossover_measured.is_none() {
             crossover_measured = Some(f);

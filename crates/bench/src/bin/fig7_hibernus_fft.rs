@@ -10,11 +10,11 @@
 //! Run: `cargo run --release -p edc-bench --bin fig7_hibernus_fft`
 
 use edc_bench::{banner, TextTable};
-use edc_core::scenarios::fig7_supply;
-use edc_core::system::SystemBuilder;
-use edc_transient::{Hibernus, TransientEvent};
+use edc_core::experiment::ExperimentSpec;
+use edc_core::scenarios::{SourceKind, StrategyKind};
+use edc_transient::TransientEvent;
 use edc_units::{Hertz, Seconds};
-use edc_workloads::{Fourier, Workload};
+use edc_workloads::WorkloadKind;
 
 fn main() {
     // FFT sized so completion lands in the 3rd supply cycle (the paper's
@@ -22,34 +22,48 @@ fn main() {
     // (500 ms period) rectified sine. Board leakage (100 kΩ) collapses the
     // rail fully between cycles, as on the paper's hardware.
     let supply_hz = Hertz(2.0);
-    let workload = Fourier::new(256);
+    let spec = ExperimentSpec::new(
+        SourceKind::RectifiedSine { hz: supply_hz.0 },
+        StrategyKind::Hibernus,
+        WorkloadKind::Fourier(256),
+    )
+    .leakage(edc_units::Ohms(100_000.0))
+    .trace(50)
+    .deadline(Seconds(4.0));
+
+    let mut system = match spec.build() {
+        Ok(system) => system,
+        Err(e) => {
+            eprintln!("failed to assemble {}: {e}", spec.label());
+            std::process::exit(1);
+        }
+    };
 
     banner("Fig. 7: Hibernus + FFT on a half-wave rectified sine");
     println!(
         "supply: 4 V peak, {supply_hz}, 100 Ω; workload: {} ({} cycles est.)",
-        workload.name(),
-        workload.cycles_hint()
+        system.workload().name(),
+        system.workload().cycles_hint()
     );
 
-    let (mut runner, workload) = SystemBuilder::new()
-        .source(fig7_supply(supply_hz))
-        .leakage(edc_units::Ohms(100_000.0))
-        .strategy(Box::new(Hibernus::new()))
-        .workload(Box::new(workload))
-        .trace(50)
-        .build();
-    let (v_h, v_r) = runner.thresholds();
+    let (v_h, v_r) = system.thresholds();
     println!("calibration (Eq. 4): V_H = {v_h:.3}, V_R = {v_r:.3}, V_min = 2.000 V");
 
-    let outcome = runner.run_until_complete(Seconds(4.0));
-    let stats = runner.stats();
-    let verified = workload.verify(runner.mcu());
+    let report = system.run(spec.deadline);
+    let outcome = report.outcome;
+    let stats = report.stats;
+    let verified = report.verification.clone();
+    let runner = system.runner();
 
     banner("Events");
     let mut t = TextTable::new(&["t (s)", "cycle#", "event"]);
     for (time, event) in runner.log().events() {
         let cycle = (time.0 * supply_hz.0).floor() as u64 + 1;
-        t.row(&[format!("{:.4}", time.0), cycle.to_string(), event.to_string()]);
+        t.row(&[
+            format!("{:.4}", time.0),
+            cycle.to_string(),
+            event.to_string(),
+        ]);
     }
     print!("{}", t.render());
 

@@ -9,29 +9,28 @@
 //! Run: `cargo run --release -p edc-bench --bin fig8_power_neutral`
 
 use edc_bench::{banner, TextTable};
-use edc_core::scenarios::fig8_turbine;
-use edc_core::system::SystemBuilder;
+use edc_core::experiment::ExperimentSpec;
+use edc_core::scenarios::{SourceKind, StrategyKind};
 use edc_power::{Rectifier, RectifierKind};
-use edc_transient::{Hibernus, HibernusPn, RunnerStats, TransientRunner};
-use edc_units::Seconds;
+use edc_transient::RunnerStats;
 use edc_units::Farads;
-use edc_workloads::Endless;
+use edc_units::Seconds;
+use edc_workloads::WorkloadKind;
 
-fn run_with(strategy_name: &str, pn: bool) -> (RunnerStats, Vec<(f64, f64)>, Vec<(f64, f64)>) {
-    let strategy: Box<dyn edc_transient::Strategy> = if pn {
-        Box::new(HibernusPn::new())
-    } else {
-        Box::new(Hibernus::new())
-    };
-    let (mut runner, _): (TransientRunner, _) = SystemBuilder::new()
-        .source(fig8_turbine())
-        .rectifier(Rectifier::new(RectifierKind::HalfWave, edc_units::Volts(0.2)))
+type Trace = Vec<(f64, f64)>;
+
+fn run_with(strategy: StrategyKind) -> (RunnerStats, Trace, Trace) {
+    let mut system = ExperimentSpec::new(SourceKind::Turbine, strategy, WorkloadKind::Endless)
+        .rectifier(Rectifier::new(
+            RectifierKind::HalfWave,
+            edc_units::Volts(0.2),
+        ))
         .decoupling(Farads::from_micro(220.0))
-        .strategy(strategy)
-        .workload(Box::new(Endless::new()))
         .trace(100)
-        .build();
-    runner.run_for(Seconds(9.0));
+        .build()
+        .expect("spec assembles");
+    system.run_for(Seconds(9.0));
+    let runner = system.runner();
     let vcc = runner
         .vcc_trace()
         .map(|t| t.points().iter().map(|&(s, v)| (s.0, v)).collect())
@@ -42,8 +41,12 @@ fn run_with(strategy_name: &str, pn: bool) -> (RunnerStats, Vec<(f64, f64)>, Vec
         .unwrap_or_default();
     let stats = runner.stats();
     println!(
-        "{strategy_name:>12}: active {:.3} s, snapshots {}, brownouts {}, cycles {}",
-        stats.active_time.0, stats.snapshots, stats.brownouts, stats.cycles
+        "{:>12}: active {:.3} s, snapshots {}, brownouts {}, cycles {}",
+        strategy.name(),
+        stats.active_time.0,
+        stats.snapshots,
+        stats.brownouts,
+        stats.cycles
     );
     (stats, vcc, freq)
 }
@@ -52,8 +55,8 @@ fn main() {
     banner("Fig. 8: power-neutral DFS on a rectified wind-turbine gust");
     println!("turbine: 5 V peak @ 8 Hz electrical, Fig. 1(a) gust, Schottky half-wave\n");
 
-    let (pn_stats, vcc, freq) = run_with("hibernus-pn", true);
-    let (plain_stats, _, _) = run_with("hibernus", false);
+    let (pn_stats, vcc, freq) = run_with(StrategyKind::HibernusPn);
+    let (plain_stats, _, _) = run_with(StrategyKind::Hibernus);
 
     banner("Power-neutral benefit");
     let mut t = TextTable::new(&["metric", "hibernus", "hibernus-pn"]);

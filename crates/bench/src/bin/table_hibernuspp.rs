@@ -15,12 +15,12 @@
 //! Run: `cargo run --release -p edc-bench --bin table_hibernuspp`
 
 use edc_bench::{banner, TextTable};
-use edc_core::scenarios::fig7_supply;
-use edc_core::system::SystemBuilder;
+use edc_core::experiment::Experiment;
+use edc_core::scenarios::SourceKind;
 use edc_mcu::Mcu;
-use edc_transient::{Hibernus, HibernusPP, Strategy, TransientRunner};
-use edc_units::{Farads, Hertz, Seconds, Volts};
-use edc_workloads::Fourier;
+use edc_transient::{Hibernus, HibernusPP, Strategy};
+use edc_units::{Farads, Seconds, Volts};
+use edc_workloads::WorkloadKind;
 
 /// A Hibernus whose thresholds were frozen for `characterised` capacitance,
 /// regardless of what the platform really has.
@@ -58,23 +58,21 @@ struct Row {
 }
 
 fn run(strategy: Box<dyn Strategy>, actual: Farads, label: &'static str) -> Row {
-    let workload = Fourier::new(128);
-    let (mut runner, workload): (TransientRunner, _) = SystemBuilder::new()
-        .source(fig7_supply(Hertz(6.0)))
+    let report = Experiment::new()
+        .source_kind(SourceKind::RectifiedSine { hz: 6.0 })
         .leakage(edc_units::Ohms(100_000.0))
         .decoupling(actual)
         .strategy(strategy)
-        .workload(Box::new(workload))
-        .build();
-    let _ = runner.run_until_complete(Seconds(30.0));
-    let stats = runner.stats();
+        .workload_kind(WorkloadKind::Fourier(128))
+        .run(Seconds(30.0))
+        .expect("experiment assembles");
     Row {
         strategy: label,
-        completed: stats.completed_at,
-        snapshots: stats.snapshots,
-        torn: stats.torn_snapshots,
-        active: stats.active_time,
-        verified: workload.verify(runner.mcu()).is_ok(),
+        completed: report.stats.completed_at,
+        snapshots: report.stats.snapshots,
+        torn: report.stats.torn_snapshots,
+        active: report.stats.active_time,
+        verified: report.verification.is_ok(),
     }
 }
 

@@ -7,79 +7,48 @@
 //! reported for each combination.
 //!
 //! Run: `cargo run --release -p edc-bench --bin table_strategies`
+//! JSON: `cargo run --release -p edc-bench --bin table_strategies -- --json`
 
-use edc_bench::{banner, TextTable};
-use edc_core::scenarios::{fig7_supply, StrategyKind};
-use edc_core::system::SystemBuilder;
-use edc_units::{Hertz, Seconds};
-use edc_workloads::{Crc16, Fourier, MatMul, Workload};
-
-fn workload_roster() -> Vec<Box<dyn Workload>> {
-    vec![
-        Box::new(Fourier::new(64)),  // ~196 k cycles: spans several windows
-        Box::new(Crc16::new(1024)),  // ~184 k cycles
-        Box::new(MatMul::new()),     // ~16 k cycles: fits one window
-    ]
-}
+use edc_bench::banner;
+use edc_bench::sweep::{render_json, render_text, Sweep};
+use edc_core::experiment::ExperimentSpec;
+use edc_core::scenarios::{SourceKind, StrategyKind};
+use edc_units::Seconds;
+use edc_workloads::WorkloadKind;
 
 fn main() {
-    banner("Strategy survey: 4 V half-wave rectified sine @ 50 Hz, 10 µF");
-    let deadline = Seconds(20.0);
-    let mut t = TextTable::new(&[
-        "workload",
-        "strategy",
-        "done (s)",
-        "snaps",
-        "torn",
-        "restores",
-        "brownouts",
-        "reboots",
-        "verified",
-    ]);
-    for workload in workload_roster() {
-        for kind in StrategyKind::ALL {
-            let report = SystemBuilder::new()
-                .source(fig7_supply(Hertz(50.0)))
-                .strategy(kind.make())
-                .workload(workload_clone(&*workload))
-                .run(deadline);
-            let done = report
-                .stats
-                .completed_at
-                .map(|s| format!("{:.3}", s.0))
-                .unwrap_or_else(|| "DNF".to_string());
-            t.row(&[
-                workload.name().to_string(),
-                kind.name().to_string(),
-                done,
-                report.stats.snapshots.to_string(),
-                report.stats.torn_snapshots.to_string(),
-                report.stats.restores.to_string(),
-                report.stats.brownouts.to_string(),
-                report.stats.boots.to_string(),
-                match &report.verification {
-                    Ok(()) => "ok".to_string(),
-                    Err(e) => format!("FAIL({e})"),
-                },
-            ]);
+    let base = ExperimentSpec::new(
+        SourceKind::RectifiedSine { hz: 50.0 },
+        StrategyKind::Hibernus,
+        WorkloadKind::Fourier(64),
+    )
+    .deadline(Seconds(20.0));
+    let sweep = Sweep::over(base)
+        .strategies(&StrategyKind::ALL)
+        .workloads(&[
+            WorkloadKind::Fourier(64), // ~196 k cycles: spans several windows
+            WorkloadKind::Crc16(1024), // ~184 k cycles
+            WorkloadKind::MatMul,      // ~16 k cycles: fits one window
+        ]);
+    let rows = match sweep.run() {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("sweep failed to assemble: {e}");
+            std::process::exit(1);
         }
+    };
+
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", render_json(&rows));
+        return;
     }
-    print!("{}", t.render());
+
+    banner("Strategy survey: 4 V half-wave rectified sine @ 50 Hz, 10 µF");
+    print!("{}", render_text(&rows));
     println!(
         "\nexpected shape (paper, Sec. II.B): hibernus ≈ 1 snapshot/outage; \
          mementos > hibernus snapshots (redundant) with possible torn frames; \
          quickrecall/nvp cheapest; restart completes only if the workload \
          fits one on-window."
     );
-}
-
-/// Workloads are tiny value types; rebuild an identical boxed instance so
-/// each run starts fresh.
-fn workload_clone(w: &dyn Workload) -> Box<dyn Workload> {
-    match w.name() {
-        "fourier" => Box::new(Fourier::new(64)),
-        "crc16" => Box::new(Crc16::new(1024)),
-        "matmul-8x8" => Box::new(MatMul::new()),
-        other => panic!("unknown workload {other}"),
-    }
 }

@@ -12,11 +12,11 @@
 //! Run: `cargo run --release -p edc-bench --bin table_topologies`
 
 use edc_bench::{banner, TextTable};
-use edc_core::scenarios::fig7_supply;
-use edc_core::system::{SystemBuilder, Topology};
-use edc_transient::TransientRunner;
-use edc_units::{Farads, Hertz, Seconds};
-use edc_workloads::Fourier;
+use edc_core::experiment::ExperimentSpec;
+use edc_core::scenarios::{SourceKind, StrategyKind};
+use edc_core::system::Topology;
+use edc_units::{Farads, Seconds};
+use edc_workloads::WorkloadKind;
 
 struct Row {
     label: String,
@@ -28,23 +28,23 @@ struct Row {
 }
 
 fn run(topology: Topology, label: &str) -> Row {
-    let workload = Fourier::new(128);
-    let (mut runner, workload): (TransientRunner, _) = SystemBuilder::new()
-        .source(fig7_supply(Hertz(6.0)))
-        .leakage(edc_units::Ohms(100_000.0))
-        .topology(topology)
-        .strategy(Box::new(edc_transient::Hibernus::new()))
-        .workload(Box::new(workload))
-        .build();
-    let _ = runner.run_until_complete(Seconds(30.0));
-    let stats = runner.stats();
-    assert!(workload.verify(runner.mcu()).is_ok() || stats.completed_at.is_none());
+    let mut system = ExperimentSpec::new(
+        SourceKind::RectifiedSine { hz: 6.0 },
+        StrategyKind::Hibernus,
+        WorkloadKind::Fourier(128),
+    )
+    .leakage(edc_units::Ohms(100_000.0))
+    .topology(topology)
+    .build()
+    .expect("spec assembles");
+    let report = system.run(Seconds(30.0));
+    assert!(report.verification.is_ok() || report.stats.completed_at.is_none());
     Row {
         label: label.to_string(),
-        first_result: stats.completed_at,
-        snapshots: stats.snapshots,
-        harvest_in: runner.node().energy_in().as_milli(),
-        consumed: stats.energy_consumed.as_milli(),
+        first_result: report.stats.completed_at,
+        snapshots: report.stats.snapshots,
+        harvest_in: system.runner().node().energy_in().as_milli(),
+        consumed: report.stats.energy_consumed.as_milli(),
         storage: match topology {
             Topology::Direct => "10 µF decoupling".to_string(),
             Topology::Buffered { storage, .. } => format!("{storage} + decoupling"),

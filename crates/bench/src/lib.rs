@@ -8,6 +8,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+
+pub use sweep::{render_json, render_text, Sweep, SweepRow};
+
 use std::fmt::Display;
 
 /// A minimal aligned-text table builder for harness output.

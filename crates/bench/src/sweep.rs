@@ -1,0 +1,309 @@
+//! The sweep engine: cartesian grids of [`ExperimentSpec`]s fanned out
+//! across threads, with deterministic, ordered results.
+//!
+//! A sweep is defined by a base spec plus the axes to vary (sources,
+//! strategies, workloads). Row order is fixed by the grid — source-major,
+//! then workload, then strategy — and is **independent of scheduling**:
+//! workers pull rows by index, so repeated runs of the same grid produce
+//! byte-identical [`render_json`] output no matter how many threads raced.
+//!
+//! # Examples
+//!
+//! ```
+//! use edc_bench::sweep::Sweep;
+//! use edc_core::experiment::ExperimentSpec;
+//! use edc_core::scenarios::{SourceKind, StrategyKind};
+//! use edc_units::Seconds;
+//! use edc_workloads::WorkloadKind;
+//!
+//! let base = ExperimentSpec::new(
+//!     SourceKind::RectifiedSine { hz: 50.0 },
+//!     StrategyKind::Hibernus,
+//!     WorkloadKind::Crc16(64),
+//! )
+//! .deadline(Seconds(3.0));
+//! let rows = Sweep::over(base)
+//!     .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus])
+//!     .run()?;
+//! assert_eq!(rows.len(), 2);
+//! assert_eq!(rows[1].report.strategy, "hibernus");
+//! # Ok::<(), edc_core::experiment::BuildError>(())
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use edc_core::experiment::{BuildError, ExperimentSpec};
+use edc_core::json::Json;
+use edc_core::scenarios::{SourceKind, StrategyKind};
+use edc_core::SystemReport;
+use edc_workloads::WorkloadKind;
+
+use crate::TextTable;
+
+/// One grid point's result: the spec that produced it, its position in the
+/// grid, and the run's report.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Stable position in the grid's row order.
+    pub index: usize,
+    /// The spec this row ran.
+    pub spec: ExperimentSpec,
+    /// The run's report.
+    pub report: SystemReport,
+}
+
+impl SweepRow {
+    /// The row as a JSON value with deterministic field order.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("index", Json::Uint(self.index as u64)),
+            ("spec", self.spec.to_json()),
+            ("report", self.report.to_json()),
+        ])
+    }
+}
+
+/// A cartesian sweep over experiment axes.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    base: ExperimentSpec,
+    sources: Vec<SourceKind>,
+    strategies: Vec<StrategyKind>,
+    workloads: Vec<WorkloadKind>,
+    threads: Option<usize>,
+}
+
+impl Sweep {
+    /// A sweep whose axes all start as the base spec's own kinds; widen
+    /// them with [`Sweep::sources`], [`Sweep::strategies`] and
+    /// [`Sweep::workloads`].
+    pub fn over(base: ExperimentSpec) -> Self {
+        Self {
+            sources: vec![base.source],
+            strategies: vec![base.strategy],
+            workloads: vec![base.workload],
+            base,
+            threads: None,
+        }
+    }
+
+    /// Sets the source axis.
+    pub fn sources(mut self, axis: &[SourceKind]) -> Self {
+        self.sources = axis.to_vec();
+        self
+    }
+
+    /// Sets the strategy axis.
+    pub fn strategies(mut self, axis: &[StrategyKind]) -> Self {
+        self.strategies = axis.to_vec();
+        self
+    }
+
+    /// Sets the workload axis.
+    pub fn workloads(mut self, axis: &[WorkloadKind]) -> Self {
+        self.workloads = axis.to_vec();
+        self
+    }
+
+    /// Caps the worker count (defaults to the machine's parallelism).
+    /// Thread count never affects results, only wall-clock time.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// The grid in its stable row order: source-major, then workload, then
+    /// strategy.
+    pub fn specs(&self) -> Vec<ExperimentSpec> {
+        let mut specs =
+            Vec::with_capacity(self.sources.len() * self.workloads.len() * self.strategies.len());
+        for &source in &self.sources {
+            for &workload in &self.workloads {
+                for &strategy in &self.strategies {
+                    specs.push(
+                        self.base
+                            .source(source)
+                            .workload(workload)
+                            .strategy(strategy),
+                    );
+                }
+            }
+        }
+        specs
+    }
+
+    /// Runs every grid point, fanning out across scoped worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by grid order) [`BuildError`]; rows are only
+    /// returned when the entire grid assembled and ran.
+    pub fn run(&self) -> Result<Vec<SweepRow>, BuildError> {
+        let threads = self
+            .threads
+            .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+            .unwrap_or(1);
+        run_specs(self.specs(), threads)
+    }
+}
+
+/// Runs an explicit spec list (one worker per thread, rows claimed by
+/// index) and returns rows in input order.
+///
+/// # Errors
+///
+/// Returns the first (by input order) [`BuildError`]. Validation is pure
+/// and cheap, so the whole grid is checked before any simulation starts —
+/// a doomed sweep fails immediately instead of after minutes of wasted
+/// runs.
+pub fn run_specs(specs: Vec<ExperimentSpec>, threads: usize) -> Result<Vec<SweepRow>, BuildError> {
+    for spec in &specs {
+        spec.validate()?;
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<SystemReport, BuildError>>>> =
+        specs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.clamp(1, specs.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let result = spec.run();
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    specs
+        .into_iter()
+        .zip(slots)
+        .enumerate()
+        .map(|(index, (spec, slot))| {
+            let report = slot
+                .into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot is filled before the scope exits")?;
+            Ok(SweepRow {
+                index,
+                spec,
+                report,
+            })
+        })
+        .collect()
+}
+
+/// Renders rows as an aligned text table.
+pub fn render_text(rows: &[SweepRow]) -> String {
+    let mut t = TextTable::new(&[
+        "source",
+        "workload",
+        "strategy",
+        "done (s)",
+        "snaps",
+        "torn",
+        "restores",
+        "brownouts",
+        "reboots",
+        "verified",
+    ]);
+    for row in rows {
+        let stats = &row.report.stats;
+        t.row(&[
+            row.spec.source.name().to_string(),
+            row.report.workload.clone(),
+            row.report.strategy.clone(),
+            stats
+                .completed_at
+                .map(|s| format!("{:.3}", s.0))
+                .unwrap_or_else(|| "DNF".to_string()),
+            stats.snapshots.to_string(),
+            stats.torn_snapshots.to_string(),
+            stats.restores.to_string(),
+            stats.brownouts.to_string(),
+            stats.boots.to_string(),
+            match &row.report.verification {
+                Ok(()) => "ok".to_string(),
+                Err(e) => format!("FAIL({e})"),
+            },
+        ]);
+    }
+    t.render()
+}
+
+/// Renders rows as a JSON array — byte-identical across repeated runs of
+/// the same grid.
+pub fn render_json(rows: &[SweepRow]) -> String {
+    Json::Arr(rows.iter().map(SweepRow::to_json).collect()).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edc_units::Seconds;
+
+    fn small_base() -> ExperimentSpec {
+        ExperimentSpec::new(
+            SourceKind::Dc { volts: 3.3 },
+            StrategyKind::Restart,
+            WorkloadKind::BusyLoop(200),
+        )
+        .deadline(Seconds(1.0))
+    }
+
+    #[test]
+    fn grid_order_is_source_major_then_workload_then_strategy() {
+        let sweep = Sweep::over(small_base())
+            .sources(&[SourceKind::Dc { volts: 3.3 }, SourceKind::Dc { volts: 2.8 }])
+            .workloads(&[WorkloadKind::BusyLoop(100), WorkloadKind::Crc16(32)])
+            .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus]);
+        let specs = sweep.specs();
+        assert_eq!(specs.len(), 8);
+        assert_eq!(specs[0].strategy, StrategyKind::Restart);
+        assert_eq!(specs[1].strategy, StrategyKind::Hibernus);
+        assert_eq!(specs[1].workload, WorkloadKind::BusyLoop(100));
+        assert_eq!(specs[2].workload, WorkloadKind::Crc16(32));
+        assert_eq!(specs[3].source, SourceKind::Dc { volts: 3.3 });
+        assert_eq!(specs[4].source, SourceKind::Dc { volts: 2.8 });
+    }
+
+    #[test]
+    fn parallel_matches_serial_and_is_deterministic() {
+        let sweep = Sweep::over(small_base())
+            .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus])
+            .workloads(&[WorkloadKind::BusyLoop(100), WorkloadKind::Crc16(32)]);
+        let parallel = sweep.clone().threads(4).run().expect("sweep runs");
+        let serial = sweep.threads(1).run().expect("sweep runs");
+        assert_eq!(render_json(&parallel), render_json(&serial));
+        let again = Sweep::over(small_base())
+            .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus])
+            .workloads(&[WorkloadKind::BusyLoop(100), WorkloadKind::Crc16(32)])
+            .threads(3)
+            .run()
+            .expect("sweep runs");
+        assert_eq!(render_json(&parallel), render_json(&again));
+    }
+
+    #[test]
+    fn invalid_grid_point_surfaces_first_error() {
+        let err = Sweep::over(small_base().timestep(Seconds(0.0)))
+            .run()
+            .expect_err("bad timestep");
+        assert_eq!(err, BuildError::InvalidTimestep(0.0));
+    }
+
+    #[test]
+    fn renderers_cover_every_row() {
+        let rows = Sweep::over(small_base())
+            .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus])
+            .run()
+            .expect("sweep runs");
+        let text = render_text(&rows);
+        assert!(text.contains("restart") && text.contains("hibernus"));
+        let json = render_json(&rows);
+        let parsed = Json::parse(&json).expect("valid JSON");
+        match parsed {
+            Json::Arr(items) => assert_eq!(items.len(), rows.len()),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}

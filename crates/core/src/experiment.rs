@@ -1,0 +1,756 @@
+//! The fallible experiment-assembly API.
+//!
+//! Every figure and table in the paper is "run a (source × topology ×
+//! strategy × workload) combination and report statistics". This module
+//! makes that combination a first-class, declarative value:
+//!
+//! - [`ExperimentSpec`] — a `Copy` description built from the kind
+//!   registries ([`SourceKind`], [`StrategyKind`], `WorkloadKind`), so a
+//!   scenario grid is plain data that can be stored, compared and swept;
+//! - [`Experiment`] — the fallible wiring layer, which also accepts custom
+//!   boxed sources/strategies/workloads for one-off harnesses;
+//! - [`System`] — a built experiment: the transient runner plus its
+//!   verifier, producing [`SystemReport`]s that carry the *real* strategy
+//!   and workload names.
+//!
+//! Unlike the deprecated `SystemBuilder`, nothing here panics on bad input:
+//! assembly returns [`BuildError`].
+//!
+//! # Examples
+//!
+//! ```
+//! use edc_core::experiment::ExperimentSpec;
+//! use edc_core::scenarios::{SourceKind, StrategyKind};
+//! use edc_units::Seconds;
+//! use edc_workloads::WorkloadKind;
+//!
+//! let report = ExperimentSpec::new(
+//!     SourceKind::RectifiedSine { hz: 5.0 },
+//!     StrategyKind::Hibernus,
+//!     WorkloadKind::Crc16(64),
+//! )
+//! .deadline(Seconds(10.0))
+//! .run()
+//! .expect("a complete spec assembles");
+//! assert!(report.succeeded());
+//! assert_eq!(report.strategy, "hibernus");
+//! ```
+
+use std::fmt;
+
+use edc_harvest::EnergySource;
+use edc_power::Rectifier;
+use edc_transient::{RunOutcome, Strategy, TransientRunner};
+use edc_units::{Farads, Ohms, Seconds, Volts};
+use edc_workloads::{VerifyError, Workload, WorkloadKind};
+
+use crate::scenarios::{SourceKind, StrategyKind};
+use crate::system::{adapt_source, SystemReport, Topology};
+
+/// Why an experiment could not be assembled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// No energy source was provided.
+    MissingSource,
+    /// No checkpoint strategy was provided.
+    MissingStrategy,
+    /// No workload was provided.
+    MissingWorkload,
+    /// Source-kind parameters outside the constructor's domain.
+    InvalidSource(&'static str),
+    /// Workload-kind parameters outside the constructor's domain.
+    InvalidWorkload(&'static str),
+    /// Buffered-topology converter efficiency outside `(0, 1]`.
+    InvalidEfficiency(f64),
+    /// Non-positive or non-finite simulation timestep (seconds).
+    InvalidTimestep(f64),
+    /// Non-positive or non-finite decoupling capacitance (farads).
+    InvalidDecoupling(f64),
+    /// Negative or non-finite buffered storage capacitance (farads).
+    InvalidStorage(f64),
+    /// Non-positive or non-finite board-leakage resistance (ohms).
+    InvalidLeakage(f64),
+    /// Zero trace decimation (the trace would never record).
+    InvalidTrace,
+    /// Non-positive or non-finite run deadline (seconds).
+    InvalidDeadline(f64),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::MissingSource => write!(f, "an energy source is required"),
+            BuildError::MissingStrategy => write!(f, "a checkpoint strategy is required"),
+            BuildError::MissingWorkload => write!(f, "a workload is required"),
+            BuildError::InvalidSource(why) => write!(f, "invalid source parameters: {why}"),
+            BuildError::InvalidWorkload(why) => write!(f, "invalid workload parameters: {why}"),
+            BuildError::InvalidEfficiency(x) => {
+                write!(f, "converter efficiency must be in (0, 1], got {x}")
+            }
+            BuildError::InvalidTimestep(x) => {
+                write!(f, "timestep must be positive and finite, got {x} s")
+            }
+            BuildError::InvalidDecoupling(x) => {
+                write!(f, "decoupling capacitance must be positive, got {x} F")
+            }
+            BuildError::InvalidStorage(x) => {
+                write!(f, "storage capacitance must be non-negative, got {x} F")
+            }
+            BuildError::InvalidLeakage(x) => {
+                write!(
+                    f,
+                    "leakage resistance must be positive and finite, got {x} Ω"
+                )
+            }
+            BuildError::InvalidTrace => write!(f, "trace decimation must be ≥ 1"),
+            BuildError::InvalidDeadline(x) => {
+                write!(f, "deadline must be positive and finite, got {x} s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A declarative experiment: pure `Copy` data naming every component via
+/// the kind registries. The unit of sweeps, tables and JSON trajectories.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentSpec {
+    /// The energy source.
+    pub source: SourceKind,
+    /// Optional rectifier stage in front of the supply node.
+    pub rectifier: Option<Rectifier>,
+    /// Energy-subsystem topology (Fig. 3 vs. Fig. 4).
+    pub topology: Topology,
+    /// Decoupling capacitance.
+    pub decoupling: Farads,
+    /// The checkpoint strategy.
+    pub strategy: StrategyKind,
+    /// The workload.
+    pub workload: WorkloadKind,
+    /// Simulation timestep.
+    pub timestep: Seconds,
+    /// Deadline used by [`ExperimentSpec::run`].
+    pub deadline: Seconds,
+    /// Optional board-leakage path across the supply rail.
+    pub leakage: Option<Ohms>,
+    /// Optional `V_cc`/frequency trace decimation.
+    pub trace: Option<u64>,
+}
+
+impl ExperimentSpec {
+    /// A spec with Fig. 4 defaults: direct topology, 10 µF decoupling,
+    /// 20 µs timestep, 10 s deadline, no rectifier/leakage/trace.
+    pub fn new(source: SourceKind, strategy: StrategyKind, workload: WorkloadKind) -> Self {
+        Self {
+            source,
+            rectifier: None,
+            topology: Topology::Direct,
+            decoupling: Farads::from_micro(10.0),
+            strategy,
+            workload,
+            timestep: Seconds(20e-6),
+            deadline: Seconds(10.0),
+            leakage: None,
+            trace: None,
+        }
+    }
+
+    /// Replaces the energy source.
+    pub fn source(mut self, source: SourceKind) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Adds a rectifier stage.
+    pub fn rectifier(mut self, r: Rectifier) -> Self {
+        self.rectifier = Some(r);
+        self
+    }
+
+    /// Selects the topology.
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Overrides the decoupling capacitance.
+    pub fn decoupling(mut self, c: Farads) -> Self {
+        self.decoupling = c;
+        self
+    }
+
+    /// Replaces the checkpoint strategy.
+    pub fn strategy(mut self, s: StrategyKind) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Replaces the workload.
+    pub fn workload(mut self, w: WorkloadKind) -> Self {
+        self.workload = w;
+        self
+    }
+
+    /// Overrides the simulation timestep.
+    pub fn timestep(mut self, dt: Seconds) -> Self {
+        self.timestep = dt;
+        self
+    }
+
+    /// Sets the deadline used by [`ExperimentSpec::run`].
+    pub fn deadline(mut self, d: Seconds) -> Self {
+        self.deadline = d;
+        self
+    }
+
+    /// Adds a board-leakage path.
+    pub fn leakage(mut self, r: Ohms) -> Self {
+        self.leakage = Some(r);
+        self
+    }
+
+    /// Enables `V_cc`/frequency tracing with the given decimation.
+    pub fn trace(mut self, decimation: u64) -> Self {
+        self.trace = Some(decimation);
+        self
+    }
+
+    /// A short human-readable label: `source/strategy/workload`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.source.name(),
+            self.strategy.name(),
+            self.workload.name()
+        )
+    }
+
+    /// Checks every parameter of the spec — kind registries included —
+    /// without instantiating anything. `build`/`run` call this first, so a
+    /// bad spec is always an `Err`, never a downstream constructor panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), BuildError> {
+        self.source.validate().map_err(BuildError::InvalidSource)?;
+        self.workload
+            .validate()
+            .map_err(BuildError::InvalidWorkload)?;
+        if !(self.timestep.0 > 0.0 && self.timestep.0.is_finite()) {
+            return Err(BuildError::InvalidTimestep(self.timestep.0));
+        }
+        if !(self.decoupling.0 > 0.0 && self.decoupling.0.is_finite()) {
+            return Err(BuildError::InvalidDecoupling(self.decoupling.0));
+        }
+        if let Topology::Buffered {
+            storage,
+            efficiency,
+        } = self.topology
+        {
+            if !(storage.0 >= 0.0 && storage.0.is_finite()) {
+                return Err(BuildError::InvalidStorage(storage.0));
+            }
+            if !(efficiency > 0.0 && efficiency <= 1.0) {
+                return Err(BuildError::InvalidEfficiency(efficiency));
+            }
+        }
+        if let Some(r) = self.leakage {
+            if !(r.0 > 0.0 && r.0.is_finite()) {
+                return Err(BuildError::InvalidLeakage(r.0));
+            }
+        }
+        if self.trace == Some(0) {
+            return Err(BuildError::InvalidTrace);
+        }
+        Ok(())
+    }
+
+    /// Instantiates every component from its registry and assembles the
+    /// system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] for invalid parameters (the spec always names
+    /// all components, so the `Missing*` variants cannot occur here).
+    pub fn build(&self) -> Result<System<'static>, BuildError> {
+        self.validate()?;
+        Experiment::from_spec(self).build()
+    }
+
+    /// Builds and runs to completion or `self.deadline`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if assembly fails or the deadline is invalid.
+    pub fn run(&self) -> Result<SystemReport, BuildError> {
+        if !(self.deadline.0 > 0.0 && self.deadline.0.is_finite()) {
+            return Err(BuildError::InvalidDeadline(self.deadline.0));
+        }
+        Ok(self.build()?.run(self.deadline))
+    }
+
+    /// The spec as a JSON value (used by sweep trajectories). Lossless:
+    /// every field that distinguishes one grid point from another is
+    /// serialised, including kind parameters.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let source = match self.source {
+            SourceKind::RectifiedSine { hz } => Json::obj(vec![
+                ("kind", Json::Str("rectified-sine".into())),
+                ("hz", Json::Num(hz)),
+            ]),
+            SourceKind::Turbine => Json::obj(vec![("kind", Json::Str("turbine".into()))]),
+            SourceKind::Interrupted { hz } => Json::obj(vec![
+                ("kind", Json::Str("interrupted".into())),
+                ("hz", Json::Num(hz)),
+            ]),
+            SourceKind::Dc { volts } => Json::obj(vec![
+                ("kind", Json::Str("dc".into())),
+                ("volts", Json::Num(volts)),
+            ]),
+            SourceKind::IndoorPv { seed } => Json::obj(vec![
+                ("kind", Json::Str("indoor-pv".into())),
+                ("seed", Json::Uint(seed)),
+            ]),
+            SourceKind::OutdoorPv { seed } => Json::obj(vec![
+                ("kind", Json::Str("outdoor-pv".into())),
+                ("seed", Json::Uint(seed)),
+            ]),
+        };
+        let workload = {
+            let mut pairs = vec![("kind", Json::Str(self.workload.name().into()))];
+            match self.workload {
+                WorkloadKind::BusyLoop(n)
+                | WorkloadKind::Crc16(n)
+                | WorkloadKind::DotProduct(n)
+                | WorkloadKind::Fourier(n)
+                | WorkloadKind::InsertionSort(n)
+                | WorkloadKind::PrimeSieve(n)
+                | WorkloadKind::RadixFft(n)
+                | WorkloadKind::RunLength(n) => pairs.push(("n", Json::Uint(n as u64))),
+                WorkloadKind::FirFilter { n, taps } => {
+                    pairs.push(("n", Json::Uint(n as u64)));
+                    pairs.push(("taps", Json::Uint(taps as u64)));
+                }
+                WorkloadKind::SensePipeline { windows, samples } => {
+                    pairs.push(("windows", Json::Uint(windows as u64)));
+                    pairs.push(("samples", Json::Uint(samples as u64)));
+                }
+                WorkloadKind::Endless | WorkloadKind::MatMul => {}
+            }
+            Json::obj(pairs)
+        };
+        let topology = match self.topology {
+            Topology::Direct => Json::obj(vec![("kind", Json::Str("direct".into()))]),
+            Topology::Buffered {
+                storage,
+                efficiency,
+            } => Json::obj(vec![
+                ("kind", Json::Str("buffered".into())),
+                ("storage_f", Json::Num(storage.0)),
+                ("efficiency", Json::Num(efficiency)),
+            ]),
+        };
+        let rectifier = Json::option(self.rectifier, |r| {
+            Json::obj(vec![
+                ("kind", Json::Str(format!("{:?}", r.kind()).to_lowercase())),
+                ("diode_drop_v", Json::Num(r.diode_drop().0)),
+            ])
+        });
+        Json::obj(vec![
+            ("source", source),
+            ("strategy", Json::Str(self.strategy.name().into())),
+            ("workload", workload),
+            ("topology", topology),
+            ("rectifier", rectifier),
+            ("decoupling_f", Json::Num(self.decoupling.0)),
+            ("timestep_s", Json::Num(self.timestep.0)),
+            ("deadline_s", Json::Num(self.deadline.0)),
+            (
+                "leakage_ohm",
+                Json::option(self.leakage, |r| Json::Num(r.0)),
+            ),
+            ("trace", Json::option(self.trace, Json::Uint)),
+        ])
+    }
+}
+
+/// The fallible wiring layer: like the deprecated `SystemBuilder`, but
+/// `build`/`run` return [`BuildError`] instead of panicking, and kinds from
+/// the registries plug in next to custom boxed components.
+pub struct Experiment<'a> {
+    source: Option<Box<dyn EnergySource + 'a>>,
+    rectifier: Option<Rectifier>,
+    topology: Topology,
+    decoupling: Farads,
+    strategy: Option<Box<dyn Strategy + 'a>>,
+    workload: Option<Box<dyn Workload + 'a>>,
+    timestep: Seconds,
+    leakage: Option<Ohms>,
+    trace_decimation: Option<u64>,
+}
+
+impl<'a> Experiment<'a> {
+    /// Starts an empty experiment with Fig. 4 defaults (direct topology,
+    /// 10 µF decoupling, 20 µs timestep).
+    pub fn new() -> Self {
+        Self {
+            source: None,
+            rectifier: None,
+            topology: Topology::Direct,
+            decoupling: Farads::from_micro(10.0),
+            strategy: None,
+            workload: None,
+            timestep: Seconds(20e-6),
+            leakage: None,
+            trace_decimation: None,
+        }
+    }
+
+    /// An experiment with every component instantiated from `spec`'s kind
+    /// registries.
+    pub fn from_spec(spec: &ExperimentSpec) -> Experiment<'static> {
+        let mut e = Experiment::new()
+            .source(spec.source.make())
+            .topology(spec.topology)
+            .decoupling(spec.decoupling)
+            .strategy(spec.strategy.make())
+            .workload(spec.workload.make())
+            .timestep(spec.timestep);
+        if let Some(r) = spec.rectifier {
+            e = e.rectifier(r);
+        }
+        if let Some(r) = spec.leakage {
+            e = e.leakage(r);
+        }
+        if let Some(d) = spec.trace {
+            e = e.trace(d);
+        }
+        e
+    }
+
+    /// The energy source (required).
+    pub fn source(mut self, s: impl EnergySource + 'a) -> Self {
+        self.source = Some(Box::new(s));
+        self
+    }
+
+    /// Shorthand for [`Experiment::source`] via the kind registry.
+    pub fn source_kind(self, kind: SourceKind) -> Self {
+        self.source(kind.make())
+    }
+
+    /// Adds a rectifier stage in front of the node.
+    pub fn rectifier(mut self, r: Rectifier) -> Self {
+        self.rectifier = Some(r);
+        self
+    }
+
+    /// Selects the energy-subsystem topology.
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Overrides the decoupling capacitance.
+    pub fn decoupling(mut self, c: Farads) -> Self {
+        self.decoupling = c;
+        self
+    }
+
+    /// The checkpoint strategy (required).
+    pub fn strategy(mut self, s: Box<dyn Strategy + 'a>) -> Self {
+        self.strategy = Some(s);
+        self
+    }
+
+    /// Shorthand for [`Experiment::strategy`] via the kind registry.
+    pub fn strategy_kind(self, kind: StrategyKind) -> Self {
+        self.strategy(kind.make())
+    }
+
+    /// The workload (required).
+    pub fn workload(mut self, w: Box<dyn Workload + 'a>) -> Self {
+        self.workload = Some(w);
+        self
+    }
+
+    /// Shorthand for [`Experiment::workload`] via the kind registry.
+    pub fn workload_kind(self, kind: WorkloadKind) -> Self {
+        self.workload(kind.make())
+    }
+
+    /// Overrides the simulation timestep.
+    pub fn timestep(mut self, dt: Seconds) -> Self {
+        self.timestep = dt;
+        self
+    }
+
+    /// Adds a board-leakage path across the supply rail.
+    pub fn leakage(mut self, r: Ohms) -> Self {
+        self.leakage = Some(r);
+        self
+    }
+
+    /// Enables `V_cc`/frequency tracing with the given decimation.
+    pub fn trace(mut self, decimation: u64) -> Self {
+        self.trace_decimation = Some(decimation);
+        self
+    }
+
+    /// Assembles the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when a required component is missing or a
+    /// physical parameter is out of range.
+    pub fn build(self) -> Result<System<'a>, BuildError> {
+        let source = self.source.ok_or(BuildError::MissingSource)?;
+        let strategy = self.strategy.ok_or(BuildError::MissingStrategy)?;
+        let workload = self.workload.ok_or(BuildError::MissingWorkload)?;
+        if !(self.timestep.0 > 0.0 && self.timestep.0.is_finite()) {
+            return Err(BuildError::InvalidTimestep(self.timestep.0));
+        }
+        if !(self.decoupling.0 > 0.0 && self.decoupling.0.is_finite()) {
+            return Err(BuildError::InvalidDecoupling(self.decoupling.0));
+        }
+        if let Some(r) = self.leakage {
+            if !(r.0 > 0.0 && r.0.is_finite()) {
+                return Err(BuildError::InvalidLeakage(r.0));
+            }
+        }
+        if self.trace_decimation == Some(0) {
+            return Err(BuildError::InvalidTrace);
+        }
+        let (capacitance, efficiency) = match self.topology {
+            Topology::Direct => (self.decoupling, 1.0),
+            Topology::Buffered {
+                storage,
+                efficiency,
+            } => {
+                if !(storage.0 >= 0.0 && storage.0.is_finite()) {
+                    return Err(BuildError::InvalidStorage(storage.0));
+                }
+                if !(efficiency > 0.0 && efficiency <= 1.0) {
+                    return Err(BuildError::InvalidEfficiency(efficiency));
+                }
+                (storage + self.decoupling, efficiency)
+            }
+        };
+        let strategy_name = strategy.name().to_string();
+        let mut builder = TransientRunner::builder()
+            .capacitance(capacitance)
+            .timestep(self.timestep)
+            .strategy(strategy)
+            .program(workload.program())
+            .source(adapt_source(source, self.rectifier, efficiency));
+        if let Some(d) = self.trace_decimation {
+            builder = builder.trace(d);
+        }
+        if let Some(r) = self.leakage {
+            builder = builder.leakage(r);
+        }
+        Ok(System {
+            runner: builder.build(),
+            workload,
+            strategy_name,
+        })
+    }
+
+    /// Assembles, then runs to completion or `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if assembly fails or the deadline is invalid.
+    pub fn run(self, deadline: Seconds) -> Result<SystemReport, BuildError> {
+        if !(deadline.0 > 0.0 && deadline.0.is_finite()) {
+            return Err(BuildError::InvalidDeadline(deadline.0));
+        }
+        Ok(self.build()?.run(deadline))
+    }
+}
+
+impl Default for Experiment<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A built experiment: the transient runner wired to its workload verifier.
+pub struct System<'a> {
+    runner: TransientRunner<'a>,
+    workload: Box<dyn Workload + 'a>,
+    strategy_name: String,
+}
+
+impl<'a> System<'a> {
+    /// The underlying transient runner (thresholds, traces, event log...).
+    pub fn runner(&self) -> &TransientRunner<'a> {
+        &self.runner
+    }
+
+    /// Mutable access to the runner, e.g. for `run_for` horizons.
+    pub fn runner_mut(&mut self) -> &mut TransientRunner<'a> {
+        &mut self.runner
+    }
+
+    /// The workload being executed.
+    pub fn workload(&self) -> &dyn Workload {
+        &*self.workload
+    }
+
+    /// The strategy's display name.
+    pub fn strategy_name(&self) -> &str {
+        &self.strategy_name
+    }
+
+    /// The current `(V_H, V_R)` comparator thresholds.
+    pub fn thresholds(&self) -> (Volts, Volts) {
+        self.runner.thresholds()
+    }
+
+    /// Verifies the workload's persisted results against its golden model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] when the program has not halted or its
+    /// outputs disagree with the golden model.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        self.workload.verify(self.runner.mcu())
+    }
+
+    /// Runs to completion or `deadline` and reports.
+    pub fn run(&mut self, deadline: Seconds) -> SystemReport {
+        let outcome = self.runner.run_until_complete(deadline);
+        self.report(outcome)
+    }
+
+    /// Runs for a fixed duration regardless of completion (throughput
+    /// probes over non-terminating workloads).
+    pub fn run_for(&mut self, duration: Seconds) {
+        self.runner.run_for(duration);
+    }
+
+    /// Snapshot of the books as a [`SystemReport`] for the given outcome.
+    pub fn report(&self, outcome: RunOutcome) -> SystemReport {
+        SystemReport {
+            outcome,
+            stats: self.runner.stats(),
+            verification: if outcome == RunOutcome::Completed {
+                self.verify()
+            } else {
+                Err(VerifyError::NotCompleted)
+            },
+            strategy: self.strategy_name.clone(),
+            workload: self.workload.name().to_string(),
+        }
+    }
+
+    /// Decomposes into the raw runner and workload (the deprecated
+    /// `SystemBuilder::build` contract).
+    pub fn into_parts(self) -> (TransientRunner<'a>, Box<dyn Workload + 'a>) {
+        (self.runner, self.workload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edc_harvest::DcSupply;
+    use edc_transient::Restart;
+    use edc_units::Volts;
+    use edc_workloads::BusyLoop;
+
+    #[test]
+    fn missing_components_are_reported_not_panicked() {
+        assert_eq!(
+            Experiment::new().build().err(),
+            Some(BuildError::MissingSource)
+        );
+        assert_eq!(
+            Experiment::new()
+                .source(DcSupply::new(Volts(3.3)))
+                .build()
+                .err(),
+            Some(BuildError::MissingStrategy)
+        );
+        assert_eq!(
+            Experiment::new()
+                .source(DcSupply::new(Volts(3.3)))
+                .strategy(Box::new(Restart::new()))
+                .build()
+                .err(),
+            Some(BuildError::MissingWorkload)
+        );
+    }
+
+    #[test]
+    fn invalid_parameters_are_reported() {
+        let base = || {
+            Experiment::new()
+                .source(DcSupply::new(Volts(3.3)))
+                .strategy(Box::new(Restart::new()))
+                .workload(Box::new(BusyLoop::new(10)))
+        };
+        assert_eq!(
+            base().timestep(Seconds(0.0)).build().err(),
+            Some(BuildError::InvalidTimestep(0.0))
+        );
+        assert_eq!(
+            base().decoupling(Farads(-1.0)).build().err(),
+            Some(BuildError::InvalidDecoupling(-1.0))
+        );
+        assert_eq!(
+            base()
+                .topology(Topology::Buffered {
+                    storage: Farads::from_milli(1.0),
+                    efficiency: 1.5,
+                })
+                .build()
+                .err(),
+            Some(BuildError::InvalidEfficiency(1.5))
+        );
+        assert_eq!(
+            base().run(Seconds(-2.0)).err(),
+            Some(BuildError::InvalidDeadline(-2.0))
+        );
+    }
+
+    #[test]
+    fn spec_runs_and_names_its_components() {
+        let spec = ExperimentSpec::new(
+            SourceKind::Dc { volts: 3.3 },
+            StrategyKind::Restart,
+            WorkloadKind::BusyLoop(500),
+        )
+        .deadline(Seconds(1.0));
+        let report = spec.run().expect("complete spec runs");
+        assert!(report.succeeded());
+        assert_eq!(report.strategy, "restart");
+        assert_eq!(report.workload, "busy-loop");
+        assert_eq!(spec.label(), "dc/restart/busy-loop");
+    }
+
+    #[test]
+    fn custom_components_mix_with_kinds() {
+        let report = Experiment::new()
+            .source(DcSupply::new(Volts(3.3)).with_resistance(Ohms(10.0)))
+            .strategy_kind(StrategyKind::Hibernus)
+            .workload_kind(WorkloadKind::Crc16(64))
+            .run(Seconds(5.0))
+            .expect("assembles");
+        assert!(report.succeeded());
+        assert_eq!(report.strategy, "hibernus");
+    }
+
+    #[test]
+    fn build_errors_display_helpfully() {
+        assert!(BuildError::MissingSource.to_string().contains("source"));
+        assert!(BuildError::InvalidEfficiency(1.5)
+            .to_string()
+            .contains("1.5"));
+        assert!(BuildError::InvalidDeadline(-2.0).to_string().contains("-2"));
+    }
+}

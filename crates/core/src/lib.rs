@@ -23,10 +23,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod experiment;
+pub mod json;
 pub mod scenarios;
 pub mod system;
 pub mod taxonomy;
 
-pub use scenarios::StrategyKind;
-pub use system::{SystemBuilder, SystemReport, Topology};
+pub use experiment::{BuildError, Experiment, ExperimentSpec, System};
+pub use scenarios::{SourceKind, StrategyKind};
+#[allow(deprecated)]
+pub use system::SystemBuilder;
+pub use system::{SystemReport, Topology};
 pub use taxonomy::{classify, Adaptation, Classification, SupplyKind, SystemProfile};

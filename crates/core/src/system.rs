@@ -8,12 +8,21 @@
 //! - [`Topology::Buffered`] — Fig. 3: the same chain but with explicit
 //!   added storage and a conversion stage whose efficiency taxes every
 //!   joule on the way in.
+//!
+//! Assembly itself lives in [`crate::experiment`]: declarative
+//! [`ExperimentSpec`](crate::experiment::ExperimentSpec)s built from the
+//! kind registries, and the fallible [`Experiment`](crate::experiment::
+//! Experiment) builder for custom components. The panicking
+//! [`SystemBuilder`] remains only as a deprecated migration shim.
 
 use edc_harvest::{EnergySource, SourceSample};
 use edc_power::Rectifier;
 use edc_transient::{RunOutcome, RunnerStats, Strategy, TransientRunner};
 use edc_units::{Amps, Farads, Seconds, Volts};
 use edc_workloads::{VerifyError, Workload};
+
+use crate::experiment::Experiment;
+use crate::json::Json;
 
 /// Energy-subsystem topology (Fig. 3 vs. Fig. 4).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,7 +64,7 @@ pub fn adapt_source<'a>(
 }
 
 /// A complete report of one system run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SystemReport {
     /// Why the run ended.
     pub outcome: RunOutcome,
@@ -74,110 +83,141 @@ impl SystemReport {
     pub fn succeeded(&self) -> bool {
         self.outcome == RunOutcome::Completed && self.verification.is_ok()
     }
+
+    /// The report as a JSON value with deterministic field order.
+    pub fn to_json(&self) -> Json {
+        let outcome = match self.outcome {
+            RunOutcome::Completed => "completed",
+            RunOutcome::DeadlineExpired => "deadline-expired",
+            RunOutcome::Faulted => "faulted",
+        };
+        Json::obj(vec![
+            ("strategy", Json::Str(self.strategy.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("outcome", Json::Str(outcome.into())),
+            ("verified", Json::Bool(self.verification.is_ok())),
+            (
+                "verify_error",
+                Json::option(self.verification.as_ref().err(), |e| {
+                    Json::Str(e.to_string())
+                }),
+            ),
+            (
+                "stats",
+                Json::obj(vec![
+                    ("snapshots", Json::Uint(self.stats.snapshots)),
+                    ("torn_snapshots", Json::Uint(self.stats.torn_snapshots)),
+                    ("restores", Json::Uint(self.stats.restores)),
+                    ("brownouts", Json::Uint(self.stats.brownouts)),
+                    ("boots", Json::Uint(self.stats.boots)),
+                    ("active_s", Json::Num(self.stats.active_time.0)),
+                    ("sleep_s", Json::Num(self.stats.sleep_time.0)),
+                    ("off_s", Json::Num(self.stats.off_time.0)),
+                    ("cycles", Json::Uint(self.stats.cycles)),
+                    (
+                        "completed_at_s",
+                        Json::option(self.stats.completed_at, |t| Json::Num(t.0)),
+                    ),
+                    ("energy_j", Json::Num(self.stats.energy_consumed.0)),
+                ]),
+            ),
+        ])
+    }
 }
 
-/// Builder for a complete energy-driven system.
+/// Deprecated panicking builder, kept as a thin shim over
+/// [`Experiment`](crate::experiment::Experiment) while downstreams migrate.
 ///
 /// # Examples
 ///
-/// ```
-/// use edc_core::system::{SystemBuilder, Topology};
-/// use edc_harvest::{SignalGenerator, Waveform};
-/// use edc_transient::Hibernus;
-/// use edc_units::{Hertz, Ohms, Seconds, Volts};
-/// use edc_workloads::Crc16;
+/// New code should use the fallible API instead:
 ///
-/// let report = SystemBuilder::new()
-///     .source(SignalGenerator::new(
-///         Waveform::HalfRectifiedSine,
-///         Volts(4.0),
-///         Hertz(5.0),
-///     ).with_resistance(Ohms(100.0)))
-///     .strategy(Box::new(Hibernus::new()))
-///     .workload(Box::new(Crc16::new(64)))
-///     .run(Seconds(10.0));
-/// assert!(report.succeeded());
 /// ```
+/// use edc_core::experiment::ExperimentSpec;
+/// use edc_core::scenarios::{SourceKind, StrategyKind};
+/// use edc_units::Seconds;
+/// use edc_workloads::WorkloadKind;
+///
+/// let report = ExperimentSpec::new(
+///     SourceKind::RectifiedSine { hz: 5.0 },
+///     StrategyKind::Hibernus,
+///     WorkloadKind::Crc16(64),
+/// )
+/// .deadline(Seconds(10.0))
+/// .run()?;
+/// assert!(report.succeeded());
+/// # Ok::<(), edc_core::experiment::BuildError>(())
+/// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use edc_core::experiment::{ExperimentSpec, Experiment}, whose build/run return \
+            Result<_, BuildError> instead of panicking"
+)]
 pub struct SystemBuilder<'a> {
-    source: Option<Box<dyn EnergySource + 'a>>,
-    rectifier: Option<Rectifier>,
-    topology: Topology,
-    decoupling: Farads,
-    strategy: Option<Box<dyn Strategy + 'a>>,
-    workload: Option<Box<dyn Workload + 'a>>,
-    timestep: Seconds,
-    leakage: Option<edc_units::Ohms>,
-    trace_decimation: Option<u64>,
+    inner: Experiment<'a>,
 }
 
+#[allow(deprecated)]
 impl<'a> SystemBuilder<'a> {
     /// Starts a system description with Fig. 4 defaults (direct topology,
     /// 10 µF decoupling).
     pub fn new() -> Self {
         Self {
-            source: None,
-            rectifier: None,
-            topology: Topology::Direct,
-            decoupling: Farads::from_micro(10.0),
-            strategy: None,
-            workload: None,
-            timestep: Seconds(20e-6),
-            leakage: None,
-            trace_decimation: None,
+            inner: Experiment::new(),
         }
     }
 
     /// Adds a board-leakage path across the supply rail.
     pub fn leakage(mut self, r: edc_units::Ohms) -> Self {
-        self.leakage = Some(r);
+        self.inner = self.inner.leakage(r);
         self
     }
 
     /// The energy source (required).
     pub fn source(mut self, s: impl EnergySource + 'a) -> Self {
-        self.source = Some(Box::new(s));
+        self.inner = self.inner.source(s);
         self
     }
 
     /// Adds a rectifier stage in front of the node.
     pub fn rectifier(mut self, r: Rectifier) -> Self {
-        self.rectifier = Some(r);
+        self.inner = self.inner.rectifier(r);
         self
     }
 
     /// Selects the energy-subsystem topology.
     pub fn topology(mut self, t: Topology) -> Self {
-        self.topology = t;
+        self.inner = self.inner.topology(t);
         self
     }
 
     /// Overrides the decoupling capacitance (Fig. 4's only storage).
     pub fn decoupling(mut self, c: Farads) -> Self {
-        self.decoupling = c;
+        self.inner = self.inner.decoupling(c);
         self
     }
 
     /// The checkpoint strategy (required).
     pub fn strategy(mut self, s: Box<dyn Strategy + 'a>) -> Self {
-        self.strategy = Some(s);
+        self.inner = self.inner.strategy(s);
         self
     }
 
     /// The workload (required).
     pub fn workload(mut self, w: Box<dyn Workload + 'a>) -> Self {
-        self.workload = Some(w);
+        self.inner = self.inner.workload(w);
         self
     }
 
     /// Overrides the simulation timestep.
     pub fn timestep(mut self, dt: Seconds) -> Self {
-        self.timestep = dt;
+        self.inner = self.inner.timestep(dt);
         self
     }
 
     /// Enables `V_cc`/frequency tracing with the given decimation.
     pub fn trace(mut self, decimation: u64) -> Self {
-        self.trace_decimation = Some(decimation);
+        self.inner = self.inner.trace(decimation);
         self
     }
 
@@ -185,55 +225,30 @@ impl<'a> SystemBuilder<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if source, strategy or workload is missing.
+    /// Panics if assembly fails; prefer `Experiment::build`, which returns
+    /// the error instead.
     pub fn build(self) -> (TransientRunner<'a>, Box<dyn Workload + 'a>) {
-        let source = self.source.expect("source is required");
-        let strategy = self.strategy.expect("strategy is required");
-        let workload = self.workload.expect("workload is required");
-        let (capacitance, efficiency) = match self.topology {
-            Topology::Direct => (self.decoupling, 1.0),
-            Topology::Buffered {
-                storage,
-                efficiency,
-            } => (storage + self.decoupling, efficiency),
-        };
-        let mut builder = TransientRunner::builder()
-            .capacitance(capacitance)
-            .timestep(self.timestep)
-            .strategy(strategy)
-            .program(workload.program())
-            .source(adapt_source(source, self.rectifier, efficiency));
-        if let Some(d) = self.trace_decimation {
-            builder = builder.trace(d);
+        match self.inner.build() {
+            Ok(system) => system.into_parts(),
+            Err(e) => panic!("{e}"),
         }
-        if let Some(r) = self.leakage {
-            builder = builder.leakage(r);
-        }
-        (builder.build(), workload)
     }
 
     /// Builds and runs to completion (or `deadline`), returning the report.
     ///
     /// # Panics
     ///
-    /// Panics if source, strategy or workload is missing.
+    /// Panics if assembly fails; prefer `Experiment::run`, which returns
+    /// the error instead.
     pub fn run(self, deadline: Seconds) -> SystemReport {
-        let (mut runner, workload) = self.build();
-        let outcome = runner.run_until_complete(deadline);
-        SystemReport {
-            outcome,
-            stats: runner.stats(),
-            verification: if outcome == RunOutcome::Completed {
-                workload.verify(runner.mcu())
-            } else {
-                Err(VerifyError::NotCompleted)
-            },
-            strategy: "system".to_string(),
-            workload: workload.name().to_string(),
+        match self.inner.run(deadline) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
         }
     }
 }
 
+#[allow(deprecated)]
 impl Default for SystemBuilder<'_> {
     fn default() -> Self {
         Self::new()
@@ -243,17 +258,19 @@ impl Default for SystemBuilder<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::ExperimentSpec;
+    use crate::scenarios::{SourceKind, StrategyKind};
     use edc_harvest::{DcSupply, SignalGenerator, Waveform};
     use edc_power::RectifierKind;
-    use edc_transient::{Hibernus, Restart};
+    use edc_transient::Hibernus;
     use edc_units::{Hertz, Ohms};
-    use edc_workloads::{BusyLoop, Crc16};
+    use edc_workloads::{Crc16, WorkloadKind};
 
     #[test]
     fn direct_topology_hibernus_on_rectified_sine() {
         // Fourier-64 needs ~25 ms of execution; at 20 Hz the usable on-window
         // per cycle is shorter, so completion must span supply dips.
-        let report = SystemBuilder::new()
+        let report = Experiment::new()
             .source(
                 SignalGenerator::new(Waveform::Sine, Volts(4.0), Hertz(20.0))
                     .with_resistance(Ohms(100.0)),
@@ -261,15 +278,20 @@ mod tests {
             .rectifier(Rectifier::ideal(RectifierKind::HalfWave))
             .strategy(Box::new(Hibernus::new()))
             .workload(Box::new(edc_workloads::Fourier::new(64)))
-            .run(Seconds(5.0));
+            .run(Seconds(5.0))
+            .expect("assembles");
         assert!(report.succeeded(), "outcome {:?}", report.outcome);
-        assert!(report.stats.snapshots >= 1, "sine dips must force snapshots");
+        assert!(
+            report.stats.snapshots >= 1,
+            "sine dips must force snapshots"
+        );
+        assert_eq!(report.strategy, "hibernus", "report carries the real name");
     }
 
     #[test]
     fn buffered_topology_rides_through_dips() {
         // With a 1 mF buffer the same supply never browns the system out.
-        let report = SystemBuilder::new()
+        let report = Experiment::new()
             .source(
                 SignalGenerator::new(Waveform::Sine, Volts(4.0), Hertz(5.0))
                     .with_resistance(Ohms(100.0)),
@@ -281,7 +303,8 @@ mod tests {
             })
             .strategy(Box::new(Hibernus::new()))
             .workload(Box::new(Crc16::new(64)))
-            .run(Seconds(10.0));
+            .run(Seconds(10.0))
+            .expect("assembles");
         assert!(report.succeeded());
         assert_eq!(report.stats.brownouts, 0);
         assert_eq!(report.stats.snapshots, 0, "buffer absorbs the dips");
@@ -309,20 +332,49 @@ mod tests {
 
     #[test]
     fn restart_on_steady_supply_also_succeeds() {
-        let report = SystemBuilder::new()
-            .source(DcSupply::new(Volts(3.3)).with_resistance(Ohms(10.0)))
-            .strategy(Box::new(Restart::new()))
-            .workload(Box::new(BusyLoop::new(1000)))
-            .run(Seconds(1.0));
+        let report = ExperimentSpec::new(
+            SourceKind::Dc { volts: 3.3 },
+            StrategyKind::Restart,
+            WorkloadKind::BusyLoop(1000),
+        )
+        .deadline(Seconds(1.0))
+        .run()
+        .expect("assembles");
         assert!(report.succeeded());
     }
 
     #[test]
-    #[should_panic(expected = "source is required")]
-    fn missing_source_panics() {
-        let _ = SystemBuilder::new()
-            .strategy(Box::new(Restart::new()))
-            .workload(Box::new(BusyLoop::new(10)))
-            .run(Seconds(0.1));
+    fn report_json_is_deterministic() {
+        let spec = ExperimentSpec::new(
+            SourceKind::Dc { volts: 3.3 },
+            StrategyKind::Hibernus,
+            WorkloadKind::Crc16(64),
+        )
+        .deadline(Seconds(2.0));
+        let a = spec.run().unwrap().to_json().to_string();
+        let b = spec.run().unwrap().to_json().to_string();
+        assert_eq!(a, b, "identical runs serialise byte-identically");
+        assert!(a.contains("\"strategy\":\"hibernus\""));
+        assert!(a.contains("\"workload\":\"crc16\""));
+    }
+
+    #[allow(deprecated)]
+    #[test]
+    fn deprecated_shim_still_runs_and_panics_on_missing_source() {
+        let report = SystemBuilder::new()
+            .source(DcSupply::new(Volts(3.3)).with_resistance(Ohms(10.0)))
+            .strategy(Box::new(edc_transient::Restart::new()))
+            .workload(Box::new(edc_workloads::BusyLoop::new(100)))
+            .run(Seconds(1.0));
+        assert!(report.succeeded());
+        assert_eq!(report.strategy, "restart", "shim reports real names too");
+
+        let missing = std::panic::catch_unwind(|| {
+            SystemBuilder::new()
+                .strategy(Box::new(edc_transient::Restart::new()))
+                .workload(Box::new(edc_workloads::BusyLoop::new(10)))
+                .run(Seconds(0.1))
+        });
+        assert!(missing.is_err(), "shim preserves the panicking contract");
     }
 }

@@ -94,8 +94,7 @@ pub fn classify(profile: &SystemProfile) -> Classification {
     // or instantaneous-power tracking — the paper's shaded region. A classic
     // energy-neutral WSN makes the harvester "appear like a battery" and so
     // stays on the traditional side.
-    let energy_driven =
-        profile.supply == SupplyKind::Harvester && (transient || power_neutral);
+    let energy_driven = profile.supply == SupplyKind::Harvester && (transient || power_neutral);
     Classification {
         energy_neutral,
         transient,

@@ -44,18 +44,12 @@ impl KineticHarvester {
     /// A wearable heel-strike harvester: 150 µJ per step at 2 steps/s,
     /// 20 ms pulses, 10% timing jitter.
     pub fn footsteps(seed: u64) -> Self {
-        Self::new(
-            Joules::from_micro(150.0),
-            Hertz(2.0),
-            Seconds(0.020),
-            seed,
-        )
+        Self::new(Joules::from_micro(150.0), Hertz(2.0), Seconds(0.020), seed)
     }
 
     /// A machine-vibration harvester: small, fast, regular pulses.
     pub fn machinery(seed: u64) -> Self {
-        Self::new(Joules::from_micro(8.0), Hertz(50.0), Seconds(0.004), seed)
-            .with_jitter(0.01)
+        Self::new(Joules::from_micro(8.0), Hertz(50.0), Seconds(0.004), seed).with_jitter(0.01)
     }
 
     /// Creates a kinetic harvester with explicit pulse parameters.
@@ -73,7 +67,9 @@ impl KineticHarvester {
             "pulse width must fit inside the excitation period"
         );
         let mut rng = StdRng::seed_from_u64(seed);
-        let jitter_table = (0..JITTER_TABLE_LEN).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let jitter_table = (0..JITTER_TABLE_LEN)
+            .map(|_| rng.gen_range(0.0..1.0))
+            .collect();
         Self {
             name: format!("kinetic-{pulse_energy}@{rate}"),
             pulse_energy,
@@ -136,13 +132,8 @@ mod tests {
 
     #[test]
     fn pulse_power_is_energy_over_width() {
-        let k = KineticHarvester::new(
-            Joules::from_micro(100.0),
-            Hertz(1.0),
-            Seconds(0.010),
-            0,
-        )
-        .with_jitter(0.0);
+        let k = KineticHarvester::new(Joules::from_micro(100.0), Hertz(1.0), Seconds(0.010), 0)
+            .with_jitter(0.0);
         assert!((k.power_at(Seconds(0.005)).0 - 0.010).abs() < 1e-12);
         assert_eq!(k.power_at(Seconds(0.5)), Watts::ZERO);
     }

@@ -153,9 +153,7 @@ impl Photovoltaic {
 
     /// Harvested current at time `t` (replayable: same `t` → same value).
     pub fn current_at(&self, t: Seconds) -> Amps {
-        let base = self
-            .night_floor
-            .lerp(self.day_peak, self.day_factor(t));
+        let base = self.night_floor.lerp(self.day_peak, self.day_factor(t));
         let noisy = base * (1.0 + self.noise_at(t) * self.day_factor(t));
         noisy.max(Amps::ZERO)
     }
@@ -186,7 +184,9 @@ mod tests {
         let mut hi = f64::NEG_INFINITY;
         // Two days at one-minute resolution, as in the figure.
         for minute in 0..(48 * 60) {
-            let i = pv.current_at(Seconds::from_minutes(minute as f64)).as_micro();
+            let i = pv
+                .current_at(Seconds::from_minutes(minute as f64))
+                .as_micro();
             lo = lo.min(i);
             hi = hi.max(i);
         }
@@ -206,8 +206,14 @@ mod tests {
     #[test]
     fn night_is_floor_day_is_peak() {
         let pv = Photovoltaic::indoor(3).with_noise(0.0);
-        assert_eq!(pv.current_at(Seconds::from_hours(2.0)), Amps::from_micro(285.0));
-        assert_eq!(pv.current_at(Seconds::from_hours(13.0)), Amps::from_micro(425.0));
+        assert_eq!(
+            pv.current_at(Seconds::from_hours(2.0)),
+            Amps::from_micro(285.0)
+        );
+        assert_eq!(
+            pv.current_at(Seconds::from_hours(13.0)),
+            Amps::from_micro(425.0)
+        );
     }
 
     #[test]

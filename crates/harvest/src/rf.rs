@@ -90,7 +90,10 @@ impl RfHarvester {
         assert!(distance_m > 0.0, "distance must be > 0");
         let random_windows = match &schedule {
             ReaderSchedule::Periodic { period, on } => {
-                assert!(period.is_positive() && on.is_positive(), "schedule durations > 0");
+                assert!(
+                    period.is_positive() && on.is_positive(),
+                    "schedule durations > 0"
+                );
                 assert!(on.0 <= period.0, "on-time cannot exceed period");
                 Vec::new()
             }
@@ -168,12 +171,7 @@ mod tests {
 
     #[test]
     fn continuous_reader_always_on() {
-        let rf = RfHarvester::new(
-            Watts::from_milli(1.0),
-            1.0,
-            ReaderSchedule::Continuous,
-            0,
-        );
+        let rf = RfHarvester::new(Watts::from_milli(1.0), 1.0, ReaderSchedule::Continuous, 0);
         assert!(rf.reader_active(Seconds(0.0)));
         assert!(rf.reader_active(Seconds(12345.6)));
         assert_eq!(rf.power_at(Seconds(1.0)), Watts::from_milli(1.0));
@@ -189,18 +187,8 @@ mod tests {
 
     #[test]
     fn distance_follows_inverse_square() {
-        let near = RfHarvester::new(
-            Watts::from_milli(4.0),
-            1.0,
-            ReaderSchedule::Continuous,
-            0,
-        );
-        let far = RfHarvester::new(
-            Watts::from_milli(4.0),
-            2.0,
-            ReaderSchedule::Continuous,
-            0,
-        );
+        let near = RfHarvester::new(Watts::from_milli(4.0), 1.0, ReaderSchedule::Continuous, 0);
+        let far = RfHarvester::new(Watts::from_milli(4.0), 2.0, ReaderSchedule::Continuous, 0);
         let ratio = near.power_at(Seconds(0.0)) / far.power_at(Seconds(0.0));
         assert!((ratio - 4.0).abs() < 1e-12);
     }

@@ -153,7 +153,7 @@ mod tests {
         let teg = ThermalGenerator::wearable(3);
         for i in 0..2000 {
             let g = teg.gradient_at(Seconds(i as f64 * 5.0));
-            assert!(g >= 0.8 - 1e-9 && g <= 3.2 + 1e-9, "gradient {g}");
+            assert!((0.8 - 1e-9..=3.2 + 1e-9).contains(&g), "gradient {g}");
         }
     }
 
@@ -177,14 +177,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "excursion must be")]
     fn oversize_excursion_rejected() {
-        let _ = ThermalGenerator::new(
-            Volts(0.05),
-            1.0,
-            1.5,
-            Ohms(5.0),
-            Seconds(10.0),
-            0,
-        );
+        let _ = ThermalGenerator::new(Volts(0.05), 1.0, 1.5, Ohms(5.0), Seconds(10.0), 0);
     }
 
     proptest! {

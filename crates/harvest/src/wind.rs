@@ -215,7 +215,7 @@ mod tests {
         let t = WindTurbine::new(Volts(5.0), Hertz(8.0), GustProfile::fig1a());
         assert_eq!(t.output_voltage(Seconds(0.5)), Volts(0.0));
         assert_eq!(t.output_voltage(Seconds(8.1)), Volts(0.0)); // gust ends at 1+2+2+3 = 8
-        // Mid-gust there is signal.
+                                                                // Mid-gust there is signal.
         let mid: f64 = (0..100)
             .map(|i| t.output_voltage(Seconds(3.0 + i as f64 * 0.01)).0.abs())
             .fold(0.0, f64::max);

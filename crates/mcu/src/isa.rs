@@ -179,8 +179,12 @@ impl Insn {
         match self {
             Insn::Mov(_, Operand::Reg(_)) => 1,
             Insn::Mov(_, Operand::Imm(_)) => 2,
-            Insn::Add(_, o) | Insn::Sub(_, o) | Insn::And(_, o) | Insn::Or(_, o)
-            | Insn::Xor(_, o) | Insn::Cmp(_, o) => match o {
+            Insn::Add(_, o)
+            | Insn::Sub(_, o)
+            | Insn::And(_, o)
+            | Insn::Or(_, o)
+            | Insn::Xor(_, o)
+            | Insn::Cmp(_, o) => match o {
                 Operand::Reg(_) => 1,
                 Operand::Imm(_) => 2,
             },

@@ -50,7 +50,7 @@ mod power;
 
 pub use clock::ClockLadder;
 pub use machine::{
-    Adc, CpuState, MachineError, Mcu, PeripheralPolicy, Radio, RestoreOutcome, RunExit,
-    RunReport, SnapshotOutcome,
+    Adc, CpuState, MachineError, Mcu, PeripheralPolicy, Radio, RestoreOutcome, RunExit, RunReport,
+    SnapshotOutcome,
 };
 pub use power::{ExecutionResidence, PowerModel, PowerState};

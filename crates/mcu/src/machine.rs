@@ -13,9 +13,7 @@ use edc_units::{Hertz, Joules, Seconds, Watts};
 
 use crate::clock::ClockLadder;
 use crate::isa::{Addr, Insn, Operand, Program, Reg};
-use crate::mem::{
-    Memory, MemoryFault, Region, SNAPSHOT_BASE, SNAPSHOT_FRAME_WORDS, SRAM_WORDS,
-};
+use crate::mem::{Memory, MemoryFault, Region, SNAPSHOT_BASE, SNAPSHOT_FRAME_WORDS, SRAM_WORDS};
 use crate::power::{ExecutionResidence, PowerModel, PowerState};
 
 /// Valid-snapshot seal word, written last during a snapshot.
@@ -450,14 +448,22 @@ impl Mcu {
     /// calibration (Eq. 4) must budget for.
     pub fn snapshot_energy(&self) -> Joules {
         self.power
-            .snapshot_cost(self.snapshot_words(), self.clock.frequency(), self.residence)
+            .snapshot_cost(
+                self.snapshot_words(),
+                self.clock.frequency(),
+                self.residence,
+            )
             .1
     }
 
     /// Energy a restore costs.
     pub fn restore_energy(&self) -> Joules {
         self.power
-            .restore_cost(self.snapshot_words(), self.clock.frequency(), self.residence)
+            .restore_cost(
+                self.snapshot_words(),
+                self.clock.frequency(),
+                self.residence,
+            )
             .1
     }
 
@@ -627,9 +633,7 @@ impl Mcu {
         match a {
             Addr::Abs(addr) => addr,
             Addr::Ind(r) => self.cpu.regs[r.index()],
-            Addr::IndOff(r, off) => {
-                (self.cpu.regs[r.index()] as i32 + off as i32) as u16
-            }
+            Addr::IndOff(r, off) => (self.cpu.regs[r.index()] as i32 + off as i32) as u16,
         }
     }
 
@@ -959,7 +963,11 @@ mod tests {
 
     #[test]
     fn stack_underflow_faults() {
-        let p = ProgramBuilder::new("uf").pop_reg(R0).halt().build().unwrap();
+        let p = ProgramBuilder::new("uf")
+            .pop_reg(R0)
+            .halt()
+            .build()
+            .unwrap();
         let mut mcu = Mcu::new(p);
         let r = mcu.run(u64::MAX, false);
         assert_eq!(r.exit, RunExit::Fault(MachineError::StackUnderflow));
@@ -988,7 +996,7 @@ mod tests {
             .unwrap();
         let mut mcu = Mcu::new(p);
         mcu.run(u64::MAX, false);
-        assert_eq!(mcu.cpu().regs[0] as i16, -(0x2000 as i16));
+        assert_eq!(mcu.cpu().regs[0] as i16, -0x2000_i16);
     }
 
     #[test]
@@ -1027,9 +1035,7 @@ mod tests {
         let r = mcu.run(u64::MAX, true);
         assert_eq!(r.exit, RunExit::Completed);
         // Without stopping, markers are transparent.
-        let mut mcu2 = Mcu::new(
-            ProgramBuilder::new("m2").mark(1).halt().build().unwrap(),
-        );
+        let mut mcu2 = Mcu::new(ProgramBuilder::new("m2").mark(1).halt().build().unwrap());
         assert_eq!(mcu2.run(u64::MAX, false).exit, RunExit::Completed);
     }
 
@@ -1192,8 +1198,7 @@ mod tests {
     #[test]
     fn peripheral_checkpointing_costs_more() {
         let base = Mcu::new(sum_program(1));
-        let cp = Mcu::new(sum_program(1))
-            .with_peripheral_policy(PeripheralPolicy::Checkpointed);
+        let cp = Mcu::new(sum_program(1)).with_peripheral_policy(PeripheralPolicy::Checkpointed);
         assert!(cp.snapshot_words() > base.snapshot_words());
         assert!(cp.snapshot_energy() > base.snapshot_energy());
         assert_eq!(cp.peripheral_policy(), PeripheralPolicy::Checkpointed);
@@ -1259,7 +1264,10 @@ mod tests {
         let p = ProgramBuilder::new("fall").nop().build().unwrap();
         let mut mcu = Mcu::new(p);
         let r = mcu.run(u64::MAX, false);
-        assert!(matches!(r.exit, RunExit::Fault(MachineError::PcOutOfRange(_))));
+        assert!(matches!(
+            r.exit,
+            RunExit::Fault(MachineError::PcOutOfRange(_))
+        ));
     }
 
     #[test]

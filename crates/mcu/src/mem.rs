@@ -208,7 +208,13 @@ impl Memory {
 
     /// Adds snapshot-engine accesses to the counters (the engine moves
     /// blocks outside `read`/`write` for speed, then accounts here).
-    pub(crate) fn add_counts(&mut self, sram_reads: u64, sram_writes: u64, fram_reads: u64, fram_writes: u64) {
+    pub(crate) fn add_counts(
+        &mut self,
+        sram_reads: u64,
+        sram_writes: u64,
+        fram_reads: u64,
+        fram_writes: u64,
+    ) {
         self.counts.sram_reads += sram_reads;
         self.counts.sram_writes += sram_writes;
         self.counts.fram_reads += fram_reads;
@@ -285,7 +291,7 @@ mod tests {
 
     #[test]
     fn snapshot_area_fits_inside_fram() {
-        assert!(SNAPSHOT_BASE >= FRAM_BASE);
+        const { assert!(SNAPSHOT_BASE >= FRAM_BASE) }
         assert_eq!(SNAPSHOT_BASE + SNAPSHOT_AREA_WORDS, FRAM_BASE + FRAM_WORDS);
         assert!(SNAPSHOT_FRAME_WORDS as usize >= SRAM_WORDS as usize + 20);
         assert_eq!(SNAPSHOT_AREA_WORDS, 2 * SNAPSHOT_FRAME_WORDS);

@@ -114,12 +114,7 @@ impl PowerModel {
     }
 
     /// Energy to execute `cycles` at frequency `f`.
-    pub fn execution_energy(
-        &self,
-        cycles: u64,
-        f: Hertz,
-        residence: ExecutionResidence,
-    ) -> Joules {
+    pub fn execution_energy(&self, cycles: u64, f: Hertz, residence: ExecutionResidence) -> Joules {
         let time = cycles as f64 / f.0;
         self.power(PowerState::Active, f, residence) * edc_units::Seconds(time)
     }
@@ -168,8 +163,16 @@ mod tests {
     #[test]
     fn active_current_scales_with_frequency() {
         let m = model();
-        let at1 = m.current(PowerState::Active, Hertz::from_mega(1.0), ExecutionResidence::Sram);
-        let at8 = m.current(PowerState::Active, Hertz::from_mega(8.0), ExecutionResidence::Sram);
+        let at1 = m.current(
+            PowerState::Active,
+            Hertz::from_mega(1.0),
+            ExecutionResidence::Sram,
+        );
+        let at8 = m.current(
+            PowerState::Active,
+            Hertz::from_mega(8.0),
+            ExecutionResidence::Sram,
+        );
         assert!((at1.as_micro() - 280.0).abs() < 1e-9);
         assert!((at8.as_micro() - 1750.0).abs() < 1e-9);
     }
@@ -210,10 +213,18 @@ mod tests {
     fn off_draws_nothing_sleep_draws_microamps() {
         let m = model();
         assert_eq!(
-            m.current(PowerState::Off, Hertz::from_mega(8.0), ExecutionResidence::Sram),
+            m.current(
+                PowerState::Off,
+                Hertz::from_mega(8.0),
+                ExecutionResidence::Sram
+            ),
             Amps::ZERO
         );
-        let sleep = m.current(PowerState::Sleep, Hertz::from_mega(8.0), ExecutionResidence::Sram);
+        let sleep = m.current(
+            PowerState::Sleep,
+            Hertz::from_mega(8.0),
+            ExecutionResidence::Sram,
+        );
         assert!((sleep.as_micro() - 7.0).abs() < 1e-9);
     }
 

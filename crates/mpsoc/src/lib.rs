@@ -55,9 +55,9 @@ impl OperatingPoint {
             && self.little_cores <= 4
             && (self.big_cores + self.little_cores) > 0;
         let big_f_ok = self.big_cores == 0
-            || ((600..=2000).contains(&self.big_mhz) && self.big_mhz % 200 == 0);
+            || ((600..=2000).contains(&self.big_mhz) && self.big_mhz.is_multiple_of(200));
         let little_f_ok = self.little_cores == 0
-            || ((600..=1400).contains(&self.little_mhz) && self.little_mhz % 200 == 0);
+            || ((600..=1400).contains(&self.little_mhz) && self.little_mhz.is_multiple_of(200));
         cores_ok && big_f_ok && little_f_ok
     }
 }
@@ -302,7 +302,11 @@ mod tests {
     fn pareto_frontier_monotone_in_both_axes() {
         let model = XuModel::odroid_xu4();
         let frontier = pareto_frontier(&model, &full_opp_table());
-        assert!(frontier.len() > 10, "frontier has {} points", frontier.len());
+        assert!(
+            frontier.len() > 10,
+            "frontier has {} points",
+            frontier.len()
+        );
         for pair in frontier.windows(2) {
             assert!(model.power(pair[0]) <= model.power(pair[1]));
             assert!(model.fps(pair[0]) < model.fps(pair[1]));

@@ -71,10 +71,7 @@ impl EwmaPredictor {
 
     /// Predicted energy over the next full day.
     pub fn predicted_daily_energy(&self) -> Joules {
-        self.estimates
-            .iter()
-            .map(|p| *p * self.slot_length)
-            .sum()
+        self.estimates.iter().map(|p| *p * self.slot_length).sum()
     }
 }
 
@@ -259,9 +256,8 @@ impl WsnNode {
             let t = self.time;
             let p_h = harvest(t);
             let duty = self.controller.duty_for(t, self.battery.soc());
-            let p_c = Watts(
-                duty * self.controller.p_active.0 + (1.0 - duty) * self.controller.p_sleep.0,
-            );
+            let p_c =
+                Watts(duty * self.controller.p_active.0 + (1.0 - duty) * self.controller.p_sleep.0);
             // Harvest charges the battery; consumption discharges it.
             self.battery.charge(p_h, slot);
             let wanted = p_c * slot;
@@ -354,8 +350,8 @@ mod tests {
     #[test]
     fn node_achieves_energy_neutrality_over_days() {
         let predictor = EwmaPredictor::new(48, 0.3);
-        let ctrl = WsnController::new(predictor, Watts(10e-3), Watts(50e-6))
-            .with_duty_bounds(0.005, 0.9);
+        let ctrl =
+            WsnController::new(predictor, Watts(10e-3), Watts(50e-6)).with_duty_bounds(0.005, 0.9);
         // Battery sized for ~a day of mean consumption.
         let battery = Battery::new(Joules(60.0)).with_soc(0.6);
         let mut node = WsnNode::new(ctrl, battery);
@@ -378,8 +374,8 @@ mod tests {
     fn oversubscribed_node_fails_eq2() {
         // Tiny battery + greedy duty bounds: night kills it.
         let predictor = EwmaPredictor::new(24, 0.3);
-        let ctrl = WsnController::new(predictor, Watts(50e-3), Watts(50e-6))
-            .with_duty_bounds(0.5, 1.0); // refuses to sleep
+        let ctrl =
+            WsnController::new(predictor, Watts(50e-3), Watts(50e-6)).with_duty_bounds(0.5, 1.0); // refuses to sleep
         let battery = Battery::new(Joules(2.0)).with_soc(0.5);
         let mut node = WsnNode::new(ctrl, battery);
         node.run(diurnal, Seconds::from_hours(48.0));

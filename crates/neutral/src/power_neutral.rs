@@ -224,13 +224,19 @@ mod tests {
         assert_eq!(toy.level, 0);
         assert!(g.stats().level_changes >= 3);
         // Overdraw must be small relative to harvest.
-        assert!(g.overdraw_fraction() < 0.05, "overdraw {}", g.overdraw_fraction());
+        assert!(
+            g.overdraw_fraction() < 0.05,
+            "overdraw {}",
+            g.overdraw_fraction()
+        );
     }
 
     #[test]
     fn utilisation_headroom_reduces_overdraw() {
         let run = |util: f64| {
-            let mut g = PnGovernor::new().with_utilisation(util).with_hysteresis(0.0);
+            let mut g = PnGovernor::new()
+                .with_utilisation(util)
+                .with_hysteresis(0.0);
             let mut toy = Toy { level: 3 };
             for i in 0..1000 {
                 // Noisy harvest around 4 W.
@@ -245,7 +251,9 @@ mod tests {
     #[test]
     fn hysteresis_limits_thrash() {
         let changes = |hyst: f64| {
-            let mut g = PnGovernor::new().with_utilisation(1.0).with_hysteresis(hyst);
+            let mut g = PnGovernor::new()
+                .with_utilisation(1.0)
+                .with_hysteresis(hyst);
             let mut toy = Toy { level: 0 };
             for i in 0..1000 {
                 // Harvest oscillating right at the 2 W / 4 W boundary.

@@ -83,7 +83,10 @@ impl Battery {
 
     /// Limits charge and discharge power.
     pub fn with_rate_limits(mut self, charge: Watts, discharge: Watts) -> Self {
-        assert!(charge.is_positive() && discharge.is_positive(), "limits > 0");
+        assert!(
+            charge.is_positive() && discharge.is_positive(),
+            "limits > 0"
+        );
         self.max_charge_power = charge;
         self.max_discharge_power = discharge;
         self
@@ -151,7 +154,7 @@ mod tests {
         let mut b = Battery::new(Joules(100.0)).with_efficiencies(0.9, 0.9);
         let stored = b.charge(Watts(10.0), Seconds(2.0));
         assert!((stored.0 - 18.0).abs() < 1e-12); // 20 J in, 90% kept
-        // Top up far beyond capacity.
+                                                  // Top up far beyond capacity.
         b.charge(Watts(1000.0), Seconds(10.0));
         assert!((b.stored().0 - 100.0).abs() < 1e-12);
         assert!((b.soc() - 1.0).abs() < 1e-12);

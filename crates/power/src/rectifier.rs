@@ -76,9 +76,7 @@ impl Rectifier {
     pub fn rectify(&self, v_in: Volts) -> Volts {
         match self.kind {
             RectifierKind::HalfWave => (v_in - self.diode_drop).max(Volts::ZERO),
-            RectifierKind::FullWave => {
-                (v_in.abs() - self.diode_drop * 2.0).max(Volts::ZERO)
-            }
+            RectifierKind::FullWave => (v_in.abs() - self.diode_drop * 2.0).max(Volts::ZERO),
         }
     }
 }

@@ -64,7 +64,11 @@ impl Ldo {
         assert!(v_out.is_positive(), "output voltage must be > 0");
         assert!(dropout.0 >= 0.0, "dropout must be ≥ 0");
         assert!(i_q.0 >= 0.0, "quiescent current must be ≥ 0");
-        Self { v_out, dropout, i_q }
+        Self {
+            v_out,
+            dropout,
+            i_q,
+        }
     }
 
     /// A typical microcontroller-rail LDO: 3.0 V out, 150 mV dropout, 1 µA
@@ -273,7 +277,11 @@ mod tests {
     #[test]
     fn buck_needs_headroom() {
         let buck = Buck::harvesting_1v8();
-        assert!(!buck.convert(Volts(1.7), Amps::from_milli(1.0)).in_regulation);
+        assert!(
+            !buck
+                .convert(Volts(1.7), Amps::from_milli(1.0))
+                .in_regulation
+        );
     }
 
     #[test]
@@ -288,8 +296,16 @@ mod tests {
     #[test]
     fn boost_refuses_below_startup() {
         let boost = Boost::harvesting_3v3();
-        assert!(!boost.convert(Volts(0.2), Amps::from_milli(1.0)).in_regulation);
-        assert!(!boost.convert(Volts(3.4), Amps::from_milli(1.0)).in_regulation);
+        assert!(
+            !boost
+                .convert(Volts(0.2), Amps::from_milli(1.0))
+                .in_regulation
+        );
+        assert!(
+            !boost
+                .convert(Volts(3.4), Amps::from_milli(1.0))
+                .in_regulation
+        );
     }
 
     #[test]

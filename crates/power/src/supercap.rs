@@ -44,12 +44,7 @@ impl Supercapacitor {
 
     /// The WISPCam-class 6 mF task buffer (0.5 Ω ESR, 2 MΩ leakage, 3.6 V).
     pub fn wispcam_buffer() -> Self {
-        Self::new(
-            Farads::from_milli(6.0),
-            Ohms(0.5),
-            Ohms(2e6),
-            Volts(3.6),
-        )
+        Self::new(Farads::from_milli(6.0), Ohms(0.5), Ohms(2e6), Volts(3.6))
     }
 
     /// A WSN-bank 25 F cell (25 mΩ ESR, 100 kΩ leakage, 2.7 V).
@@ -151,12 +146,8 @@ mod tests {
 
     #[test]
     fn charging_integrates_and_clamps_at_rating() {
-        let mut cap = Supercapacitor::new(
-            Farads::from_milli(1.0),
-            Ohms(0.1),
-            Ohms(1e9),
-            Volts(3.0),
-        );
+        let mut cap =
+            Supercapacitor::new(Farads::from_milli(1.0), Ohms(0.1), Ohms(1e9), Volts(3.0));
         for _ in 0..1000 {
             cap.step(Amps::from_milli(10.0), Amps::ZERO, Seconds(0.01));
         }

@@ -341,7 +341,7 @@ impl TimeSeries {
 
     /// Pushes a sample, honouring decimation.
     pub fn push(&mut self, t: Seconds, value: f64) {
-        if self.counter % self.decimation == 0 {
+        if self.counter.is_multiple_of(self.decimation) {
             self.points.push((t, value));
         }
         self.counter += 1;

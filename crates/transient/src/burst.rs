@@ -106,9 +106,7 @@ impl EnergyBurstRunner {
             task.energy
         );
         // E = C(V_start² − V_min²)/2 with 10% margin.
-        let v_start = Volts(
-            (2.0 * task.energy.0 * 1.1 / c.0 + v_min.squared()).sqrt(),
-        );
+        let v_start = Volts((2.0 * task.energy.0 * 1.1 / c.0 + v_min.squared()).sqrt());
         Self {
             node: SupplyNode::new(c, Volts(0.0)).with_clamp(v_max),
             task,

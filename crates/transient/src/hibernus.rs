@@ -160,7 +160,7 @@ impl Strategy for HibernusPn {
 
     fn on_tick(&mut self, v: Volts, mcu: &mut Mcu) {
         self.tick += 1;
-        if self.tick % self.period_ticks != 0 {
+        if !self.tick.is_multiple_of(self.period_ticks) {
             return;
         }
         if v < self.band_low {
@@ -211,12 +211,8 @@ mod tests {
     fn undersized_capacitance_parks_threshold_high() {
         let mcu = Mcu::new(BusyLoop::new(10).program());
         // 0.1 µF cannot fund a multi-µJ snapshot between 3.6 and 2.0 V.
-        let (v_h, v_r) = Hibernus::new().calibrate(
-            &mcu,
-            Farads::from_micro(0.1),
-            Volts(2.0),
-            Volts(3.6),
-        );
+        let (v_h, v_r) =
+            Hibernus::new().calibrate(&mcu, Farads::from_micro(0.1), Volts(2.0), Volts(3.6));
         assert!(v_h > Volts(3.4));
         assert!(v_r <= Volts(3.6));
     }

@@ -100,8 +100,7 @@ impl Strategy for HibernusPP {
             // optimistic. Raise both thresholds sharply.
             self.torn_seen += 1;
             let bump = Volts(0.15 * self.torn_seen as f64);
-            let v_h = (self.v_min.lerp(self.v_max, 0.75) + bump)
-                .min(self.v_max - Volts(0.10));
+            let v_h = (self.v_min.lerp(self.v_max, 0.75) + bump).min(self.v_max - Volts(0.10));
             self.calibrations += 1;
             return Some((v_h, (v_h + Volts(0.2)).min(self.v_max - Volts(0.01))));
         }

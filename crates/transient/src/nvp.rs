@@ -94,8 +94,7 @@ mod tests {
         let hb_mcu = Mcu::new(program);
         let c = Farads::from_micro(10.0);
         let (v_nvp, _) = Nvp::new().thresholds(&nvp_mcu, c, Volts(2.0), Volts(3.6));
-        let (v_hb, _) =
-            Hibernus::new().thresholds(&hb_mcu, c, Volts(2.0), Volts(3.6));
+        let (v_hb, _) = Hibernus::new().thresholds(&hb_mcu, c, Volts(2.0), Volts(3.6));
         assert!(v_nvp < v_hb);
     }
 

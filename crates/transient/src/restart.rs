@@ -25,7 +25,13 @@ impl Strategy for Restart {
         "restart"
     }
 
-    fn thresholds(&mut self, _mcu: &Mcu, _c: Farads, v_min: Volts, _v_max: Volts) -> (Volts, Volts) {
+    fn thresholds(
+        &mut self,
+        _mcu: &Mcu,
+        _c: Farads,
+        v_min: Volts,
+        _v_max: Volts,
+    ) -> (Volts, Volts) {
         // Low threshold is irrelevant (no interrupt handling); the high
         // threshold is the power-on-reset level.
         (v_min, v_min + Volts(0.4))

@@ -201,15 +201,14 @@ impl<'a> RunnerBuilder<'a> {
             mcu = mcu.with_power_model(pm);
         }
         let v_min = mcu.power_model().v_min;
-        let (v_low, v_high) =
-            strategy.thresholds(&mcu, self.capacitance, v_min, self.v_max);
+        let (v_low, v_high) = strategy.thresholds(&mcu, self.capacitance, v_min, self.v_max);
         if self.initial_voltage < v_min {
             // The machine begins unpowered; it boots once the harvester has
             // charged the rail past V_R.
             mcu.power_loss();
         }
-        let mut node = SupplyNode::new(self.capacitance, self.initial_voltage)
-            .with_clamp(self.v_max);
+        let mut node =
+            SupplyNode::new(self.capacitance, self.initial_voltage).with_clamp(self.v_max);
         if let Some(r) = self.leakage {
             node = node.with_leakage(r);
         }
@@ -575,7 +574,10 @@ mod tests {
 
     #[test]
     fn event_display_is_readable() {
-        assert_eq!(TransientEvent::Snapshot(true).to_string(), "snapshot (sealed)");
+        assert_eq!(
+            TransientEvent::Snapshot(true).to_string(),
+            "snapshot (sealed)"
+        );
         assert!(TransientEvent::Snapshot(false).to_string().contains("TORN"));
     }
 }

@@ -596,7 +596,7 @@ mod tests {
         assert_eq!(Volts(1.0).min(Volts(2.0)), Volts(1.0));
         assert!(Volts(1.0).is_positive());
         assert!(!Volts(0.0).is_positive());
-        assert!(Volts(f64::NAN).is_finite() == false);
+        assert!(!Volts(f64::NAN).is_finite());
     }
 
     proptest! {

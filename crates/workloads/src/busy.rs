@@ -23,7 +23,10 @@ impl BusyLoop {
     /// the EH16 `Cmp`, so larger counts would wrap negative).
     pub fn new(n: u16) -> Self {
         assert!(n > 0, "iteration count must be > 0");
-        assert!(n <= i16::MAX as u16, "iteration count must fit signed 16-bit");
+        assert!(
+            n <= i16::MAX as u16,
+            "iteration count must fit signed 16-bit"
+        );
         Self { n }
     }
 
@@ -84,7 +87,11 @@ mod tests {
         let r = mcu.run(u64::MAX, false);
         let hint = wl.cycles_hint();
         let ratio = r.cycles as f64 / hint as f64;
-        assert!((0.8..1.2).contains(&ratio), "hint {hint} vs measured {}", r.cycles);
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "hint {hint} vs measured {}",
+            r.cycles
+        );
     }
 
     #[test]

@@ -154,9 +154,6 @@ mod tests {
         let mut mcu = Mcu::new(wl.program());
         mcu.run(u64::MAX, false);
         mcu.memory_mut().poke(OUTPUT_BASE, wl.golden() ^ 1).unwrap();
-        assert!(matches!(
-            wl.verify(&mcu),
-            Err(VerifyError::Mismatch { .. })
-        ));
+        assert!(matches!(wl.verify(&mcu), Err(VerifyError::Mismatch { .. })));
     }
 }

@@ -112,8 +112,7 @@ mod tests {
             let wl = DotProduct::new(n);
             let mut mcu = Mcu::new(wl.program());
             assert_eq!(mcu.run(u64::MAX, false).exit, RunExit::Completed);
-            wl.verify(&mcu)
-                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+            wl.verify(&mcu).unwrap_or_else(|e| panic!("n={n}: {e}"));
         }
     }
 

@@ -412,7 +412,11 @@ mod tests {
         // Tones at bins 2 and n/4 = 16.
         let quiet: f64 = [5usize, 9, 23, 29].iter().map(|&k| mag2(k)).sum::<f64>() / 4.0;
         assert!(mag2(2) > 20.0 * quiet.max(1.0), "bin 2 energy {}", mag2(2));
-        assert!(mag2(16) > 20.0 * quiet.max(1.0), "bin 16 energy {}", mag2(16));
+        assert!(
+            mag2(16) > 20.0 * quiet.max(1.0),
+            "bin 16 energy {}",
+            mag2(16)
+        );
     }
 
     #[test]

@@ -158,7 +158,8 @@ mod tests {
                 RunExit::Completed,
                 "{n}x{taps}"
             );
-            wl.verify(&mcu).unwrap_or_else(|e| panic!("{n}x{taps}: {e}"));
+            wl.verify(&mcu)
+                .unwrap_or_else(|e| panic!("{n}x{taps}: {e}"));
         }
     }
 

@@ -219,7 +219,11 @@ mod tests {
         // A quiet bin between the tones.
         let quiet = Fourier::bin_energy(&golden, n, 3);
         assert!(tone1 > 10.0 * quiet, "bin1 {tone1} vs quiet {quiet}");
-        assert!(tone2 > 10.0 * quiet, "bin{} {tone2} vs quiet {quiet}", n / 8);
+        assert!(
+            tone2 > 10.0 * quiet,
+            "bin{} {tone2} vs quiet {quiet}",
+            n / 8
+        );
     }
 
     #[test]
@@ -236,7 +240,11 @@ mod tests {
         let mut mcu = Mcu::new(wl.program());
         let r = mcu.run(u64::MAX, false);
         let ratio = r.cycles as f64 / wl.cycles_hint() as f64;
-        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}, measured {}", r.cycles);
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "ratio {ratio}, measured {}",
+            r.cycles
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod endless;
 mod fft;
 mod fir;
 mod fourier;
+mod kind;
 mod matmul;
 mod primes;
 mod rle;
@@ -44,11 +45,12 @@ mod sort;
 
 pub use busy::BusyLoop;
 pub use crc::Crc16;
+pub use dot::DotProduct;
 pub use endless::Endless;
 pub use fft::RadixFft;
 pub use fir::FirFilter;
-pub use dot::DotProduct;
 pub use fourier::Fourier;
+pub use kind::WorkloadKind;
 pub use matmul::MatMul;
 pub use primes::PrimeSieve;
 pub use rle::RunLength;

@@ -160,7 +160,7 @@ mod tests {
         for p in 0..pairs {
             let v = golden[1 + 2 * p];
             let r = golden[2 + 2 * p];
-            decoded.extend(std::iter::repeat(v).take(r as usize));
+            decoded.extend(std::iter::repeat_n(v, r as usize));
         }
         assert_eq!(decoded, input);
     }

@@ -51,30 +51,33 @@ impl Workload for SensePipeline {
     }
 
     fn program(&self) -> Program {
-        ProgramBuilder::new(format!("sense-{}x{}", self.windows, self.samples_per_window))
-            .mov(R1, 0u16) // window index
-            .label("window")
-            .mark(0)
-            .mov(R0, 0u16) // accumulator
-            .mov(R2, self.samples_per_window)
-            .label("sample")
-            .sense(R4)
-            .add(R0, R4)
-            .sub(R2, 1u16)
-            .brnz("sample")
-            .shr(R0, self.shift()) // window average
-            // Persist at OUTPUT_BASE + 1 + window.
-            .mov(R3, R1)
-            .add(R3, OUTPUT_BASE + 1)
-            .st(R0, Addr::Ind(R3))
-            .tx(R0) // and report it
-            .add(R1, 1u16)
-            .cmp(R1, self.windows)
-            .brn("window")
-            .st(R1, Addr::Abs(OUTPUT_BASE)) // window count
-            .halt()
-            .build()
-            .expect("sense pipeline assembles")
+        ProgramBuilder::new(format!(
+            "sense-{}x{}",
+            self.windows, self.samples_per_window
+        ))
+        .mov(R1, 0u16) // window index
+        .label("window")
+        .mark(0)
+        .mov(R0, 0u16) // accumulator
+        .mov(R2, self.samples_per_window)
+        .label("sample")
+        .sense(R4)
+        .add(R0, R4)
+        .sub(R2, 1u16)
+        .brnz("sample")
+        .shr(R0, self.shift()) // window average
+        // Persist at OUTPUT_BASE + 1 + window.
+        .mov(R3, R1)
+        .add(R3, OUTPUT_BASE + 1)
+        .st(R0, Addr::Ind(R3))
+        .tx(R0) // and report it
+        .add(R1, 1u16)
+        .cmp(R1, self.windows)
+        .brn("window")
+        .st(R1, Addr::Abs(OUTPUT_BASE)) // window count
+        .halt()
+        .build()
+        .expect("sense pipeline assembles")
     }
 
     fn verify(&self, mcu: &Mcu) -> Result<(), VerifyError> {

@@ -17,8 +17,8 @@ fn main() {
     let harvest = move |t: Seconds| pv.current_at(t) * Volts(2.0);
 
     let predictor = EwmaPredictor::new(48, 0.3);
-    let controller = WsnController::new(predictor, Watts(12e-3), Watts(60e-6))
-        .with_duty_bounds(0.005, 0.9);
+    let controller =
+        WsnController::new(predictor, Watts(12e-3), Watts(60e-6)).with_duty_bounds(0.005, 0.9);
     let battery = Battery::new(Joules(60.0)).with_soc(0.6);
     let mut node = WsnNode::new(controller, battery);
 

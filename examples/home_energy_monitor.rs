@@ -53,10 +53,7 @@ fn main() {
     }
     // The receiver's decoding rule: pings/s per primary ampere is constant.
     let ratios: Vec<f64> = samples.iter().map(|&(a, r)| r / a).collect();
-    let spread = ratios
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max)
+    let spread = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         / ratios.iter().cloned().fold(f64::INFINITY, f64::min);
     println!(
         "\nping-rate linearity across 8× load range: spread {spread:.2}× \

@@ -14,7 +14,11 @@ use energy_driven::units::{Farads, Seconds, Volts};
 fn main() {
     println!("WISPCam: RF-harvesting battery-free camera\n");
 
-    for (label, distance) in [("tag at 0.8 m", 0.8), ("tag at 1.0 m", 1.0), ("tag at 1.5 m", 1.5)] {
+    for (label, distance) in [
+        ("tag at 0.8 m", 0.8),
+        ("tag at 1.0 m", 1.0),
+        ("tag at 1.5 m", 1.5),
+    ] {
         let mut rf = RfHarvester::new(
             energy_driven::units::Watts::from_milli(4.0),
             distance,
@@ -27,11 +31,7 @@ fn main() {
             Volts(2.0),
             Volts(3.6),
         );
-        camera.run(
-            |v, t| rf.current_into(v, t),
-            Seconds(120.0),
-            Seconds(1e-3),
-        );
+        camera.run(|v, t| rf.current_into(v, t), Seconds(120.0), Seconds(1e-3));
         let photos = camera.completions().len();
         let interval = if photos >= 2 {
             let c = camera.completions();

@@ -38,7 +38,7 @@ fn main() {
     while t.0 < 120.0 {
         let p_h = harvest(t);
         governor.step(&mut board, p_h, dt);
-        if (t.0 * 20.0).round() as u64 % 200 == 0 {
+        if ((t.0 * 20.0).round() as u64).is_multiple_of(200) {
             println!(
                 "{:>6.0} {:>10.2} {:>10.2} {:>8.3} {:>22}",
                 t.0,

@@ -1,50 +1,48 @@
 //! Quickstart: the Fig. 6 experience in this workspace.
 //!
 //! The paper's Fig. 6 shows that adopting Hibernus takes one line at the
-//! top of `main()`. The equivalent here: pick a source, a strategy and a
-//! workload, and let the system builder wire the Fig. 4 topology.
+//! top of `main()`. The equivalent here: name a source, a strategy and a
+//! workload from the kind registries, and let the experiment layer wire the
+//! Fig. 4 topology — fallibly, so a malformed description is an `Err`, not
+//! a panic.
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use energy_driven::core::system::SystemBuilder;
-use energy_driven::harvest::{SignalGenerator, Waveform};
-use energy_driven::transient::Hibernus;
-use energy_driven::units::{Hertz, Ohms, Seconds, Volts};
-use energy_driven::workloads::Fourier;
+use energy_driven::core::experiment::{BuildError, ExperimentSpec};
+use energy_driven::core::scenarios::{SourceKind, StrategyKind};
+use energy_driven::units::{Ohms, Seconds};
+use energy_driven::workloads::WorkloadKind;
 
-fn main() {
-    // A half-wave rectified 4 V sine — the paper's Fig. 7 stimulus.
-    let supply = SignalGenerator::new(Waveform::HalfRectifiedSine, Volts(4.0), Hertz(5.0))
-        .with_resistance(Ohms(100.0));
+fn main() -> Result<(), BuildError> {
+    // The paper's Fig. 7 stimulus, an FFT that will not fit inside a single
+    // supply cycle, and Hibernus — one declarative value.
+    let spec = ExperimentSpec::new(
+        SourceKind::RectifiedSine { hz: 5.0 },
+        StrategyKind::Hibernus,
+        WorkloadKind::Fourier(128),
+    )
+    .leakage(Ohms(100_000.0))
+    .deadline(Seconds(10.0));
 
-    // An FFT that will not fit inside a single supply cycle.
-    let workload = Fourier::new(128);
-
-    // `Hibernus()` at the top of main — everything else is the library's job.
-    let (mut runner, workload) = SystemBuilder::new()
-        .source(supply)
-        .leakage(Ohms(100_000.0))
-        .strategy(Box::new(Hibernus::new()))
-        .workload(Box::new(workload))
-        .build();
-
-    let (v_h, v_r) = runner.thresholds();
+    let mut system = spec.build()?;
+    let (v_h, v_r) = system.thresholds();
     println!("Eq. 4 calibration: hibernate at V_H = {v_h:.3}, restore at V_R = {v_r:.3}");
 
-    let outcome = runner.run_until_complete(Seconds(10.0));
-    let stats = runner.stats();
+    let report = system.run(spec.deadline);
 
-    println!("outcome:   {outcome:?}");
+    println!("outcome:   {:?}", report.outcome);
     println!(
         "snapshots: {} sealed, {} torn; restores: {}",
-        stats.snapshots, stats.torn_snapshots, stats.restores
+        report.stats.snapshots, report.stats.torn_snapshots, report.stats.restores
     );
     println!(
         "completed: {:?} after {} supply interruptions",
-        stats.completed_at, stats.brownouts
+        report.stats.completed_at, report.stats.brownouts
     );
-    match workload.verify(runner.mcu()) {
+    match &report.verification {
         Ok(()) => println!("FFT spectrum verified bit-exactly against the golden model ✓"),
         Err(e) => println!("verification FAILED: {e}"),
     }
+    println!("\nas JSON: {}", report.to_json());
+    Ok(())
 }

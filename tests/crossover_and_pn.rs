@@ -1,25 +1,27 @@
 //! Integration tests for Eq. (5) (the Hibernus/QuickRecall crossover) and
 //! for power-neutral operation (Eq. 3 / Fig. 8 shape).
 
-use energy_driven::core::scenarios::{fig8_turbine, interrupted_supply};
-use energy_driven::core::system::SystemBuilder;
+use energy_driven::core::experiment::ExperimentSpec;
+use energy_driven::core::scenarios::{SourceKind, StrategyKind};
 use energy_driven::mcu::PowerModel;
 use energy_driven::mpsoc::XuPlatform;
 use energy_driven::neutral::{PnGovernor, PowerScalable};
 use energy_driven::power::{Rectifier, RectifierKind};
 use energy_driven::transient::crossover::analytic_crossover;
-use energy_driven::transient::{Hibernus, HibernusPn, QuickRecall, Strategy};
+use energy_driven::transient::RunnerStats;
 use energy_driven::units::{Farads, Hertz, Seconds, Volts, Watts};
-use energy_driven::workloads::Endless;
+use energy_driven::workloads::WorkloadKind;
 
-fn energy_per_cycle(strategy: Box<dyn Strategy>, f_int: Hertz) -> f64 {
-    let (mut runner, _) = SystemBuilder::new()
-        .source(interrupted_supply(f_int))
-        .strategy(strategy)
-        .workload(Box::new(Endless::new()))
-        .build();
-    runner.run_for(Seconds(0.8));
-    let stats = runner.stats();
+fn energy_per_cycle(strategy: StrategyKind, f_int: Hertz) -> f64 {
+    let mut system = ExperimentSpec::new(
+        SourceKind::Interrupted { hz: f_int.0 },
+        strategy,
+        WorkloadKind::Endless,
+    )
+    .build()
+    .expect("spec assembles");
+    system.run_for(Seconds(0.8));
+    let stats = system.runner().stats();
     stats.energy_consumed.0 / stats.cycles.max(1) as f64
 }
 
@@ -34,40 +36,33 @@ fn eq5_crossover_flips_the_winner() {
     // Well below the crossover: hibernus is cheaper per cycle.
     let low = Hertz(2.0);
     assert!(
-        energy_per_cycle(Box::new(Hibernus::new()), low)
-            < energy_per_cycle(Box::new(QuickRecall::new()), low),
+        energy_per_cycle(StrategyKind::Hibernus, low)
+            < energy_per_cycle(StrategyKind::QuickRecall, low),
         "hibernus must win at low interruption rates"
     );
     // Well above it (but below where the capacitor smooths dips away).
     let high = Hertz(60.0);
     assert!(
-        energy_per_cycle(Box::new(QuickRecall::new()), high)
-            < energy_per_cycle(Box::new(Hibernus::new()), high),
+        energy_per_cycle(StrategyKind::QuickRecall, high)
+            < energy_per_cycle(StrategyKind::Hibernus, high),
         "quickrecall must win at high interruption rates"
     );
 }
 
 #[test]
 fn fig8_pn_beats_plain_hibernus_on_a_gust() {
-    let run = |pn: bool| {
-        let strategy: Box<dyn Strategy> = if pn {
-            Box::new(HibernusPn::new())
-        } else {
-            Box::new(Hibernus::new())
-        };
-        let (mut runner, _) = SystemBuilder::new()
-            .source(fig8_turbine())
+    let run = |strategy: StrategyKind| -> RunnerStats {
+        let mut system = ExperimentSpec::new(SourceKind::Turbine, strategy, WorkloadKind::Endless)
             .rectifier(Rectifier::new(RectifierKind::HalfWave, Volts(0.2)))
             .decoupling(Farads::from_micro(220.0))
-            .strategy(strategy)
-            .workload(Box::new(Endless::new()))
             .timestep(Seconds(50e-6))
-            .build();
-        runner.run_for(Seconds(9.0));
-        runner.stats()
+            .build()
+            .expect("spec assembles");
+        system.run_for(Seconds(9.0));
+        system.runner().stats()
     };
-    let plain = run(false);
-    let pn = run(true);
+    let plain = run(StrategyKind::Hibernus);
+    let pn = run(StrategyKind::HibernusPn);
     assert!(
         pn.cycles > plain.cycles,
         "PN must deliver more forward progress: {} vs {}",

@@ -30,4 +30,15 @@ fn facade_paths_interoperate() {
     // core taxonomy
     assert_eq!(catalog().len(), 12);
     assert!(catalog().iter().any(|p| classify(p).power_neutral));
+    // experiment layer: registries and fallible assembly reachable through
+    // the facade
+    let report = energy_driven::core::experiment::ExperimentSpec::new(
+        energy_driven::core::scenarios::SourceKind::Dc { volts: 3.3 },
+        energy_driven::core::scenarios::StrategyKind::Restart,
+        energy_driven::workloads::WorkloadKind::BusyLoop(100),
+    )
+    .deadline(Seconds(1.0))
+    .run()
+    .expect("facade experiment runs");
+    assert!(report.succeeded());
 }

@@ -8,8 +8,8 @@
 
 use proptest::prelude::*;
 
+use energy_driven::core::experiment::Experiment;
 use energy_driven::core::scenarios::StrategyKind;
-use energy_driven::core::system::SystemBuilder;
 use energy_driven::harvest::{EnergySource, SignalGenerator, SourceSample, Waveform};
 use energy_driven::transient::RunOutcome;
 use energy_driven::units::{Hertz, Ohms, Seconds, Volts};
@@ -62,7 +62,7 @@ fn workload_for(idx: u8, seed: u16) -> Box<dyn Workload> {
     match idx % 3 {
         0 => Box::new(Crc16::new(2048).with_seed(seed)), // ~46 ms at 8 MHz
         1 => Box::new(InsertionSort::new(256).with_seed(seed)), // ~57 ms
-        _ => Box::new(Fourier::new(128)), // ~98 ms
+        _ => Box::new(Fourier::new(128)),                // ~98 ms
     }
 }
 
@@ -84,26 +84,25 @@ proptest! {
         strat_idx in 0usize..7,
     ) {
         let kind = StrategyKind::ALL[strat_idx];
-        let workload = workload_for(wl_idx, seed);
-        let (mut runner, workload) = SystemBuilder::new()
+        let mut system = Experiment::new()
             .source(BeatSupply::new(f_a, f_b, v))
             .leakage(Ohms(50_000.0))
-            .strategy(kind.make())
-            .workload(workload)
-            .build();
-        let outcome = runner.run_until_complete(Seconds(2.0));
-        prop_assert!(outcome != RunOutcome::Faulted, "{} faulted", kind.name());
-        if outcome == RunOutcome::Completed {
-            let check = workload.verify(runner.mcu());
+            .strategy_kind(kind)
+            .workload(workload_for(wl_idx, seed))
+            .build()
+            .expect("custom beat-supply experiment assembles");
+        let report = system.run(Seconds(2.0));
+        prop_assert!(report.outcome != RunOutcome::Faulted, "{} faulted", kind.name());
+        if report.outcome == RunOutcome::Completed {
             prop_assert!(
-                check.is_ok(),
+                report.verification.is_ok(),
                 "{} completed but corrupted the result: {:?}",
                 kind.name(),
-                check
+                report.verification
             );
         }
         // Sanity on the books: active time never exceeds wall-clock.
-        let stats = runner.stats();
+        let stats = report.stats;
         let wall = stats.active_time.0 + stats.sleep_time.0 + stats.off_time.0;
         prop_assert!(stats.active_time.0 <= wall + 1e-9);
     }
@@ -117,25 +116,26 @@ fn hibernus_grid_never_corrupts() {
     let mut total_restores = 0u64;
     for f in [8.0, 17.0, 33.0, 61.0] {
         for wl_idx in 0..3u8 {
-            let workload = workload_for(wl_idx, 7);
-            let name = workload.name().to_string();
-            let (mut runner, workload) = SystemBuilder::new()
+            let mut system = Experiment::new()
                 .source(BeatSupply::new(f, f * 0.37, 3.6))
                 .leakage(Ohms(50_000.0))
-                .strategy(StrategyKind::Hibernus.make())
-                .workload(workload)
-                .build();
-            let outcome = runner.run_until_complete(Seconds(3.0));
+                .strategy_kind(StrategyKind::Hibernus)
+                .workload(workload_for(wl_idx, 7))
+                .build()
+                .expect("custom beat-supply experiment assembles");
+            let report = system.run(Seconds(3.0));
+            let name = &report.workload;
             assert_eq!(
-                outcome,
+                report.outcome,
                 RunOutcome::Completed,
                 "{name} @ {f} Hz did not complete"
             );
-            workload
-                .verify(runner.mcu())
+            report
+                .verification
+                .as_ref()
                 .unwrap_or_else(|e| panic!("{name} @ {f} Hz corrupted: {e}"));
-            total_snapshots += runner.stats().snapshots;
-            total_restores += runner.stats().restores;
+            total_snapshots += report.stats.snapshots;
+            total_restores += report.stats.restores;
         }
     }
     // The grid must genuinely exercise the checkpoint machinery — if every

@@ -5,51 +5,61 @@
 //! the FFT — started once — completes during the third supply cycle with a
 //! bit-exact spectrum.
 
-use energy_driven::core::scenarios::fig7_supply;
-use energy_driven::core::system::SystemBuilder;
-use energy_driven::transient::{Hibernus, RunOutcome, TransientEvent};
-use energy_driven::units::{Hertz, Ohms, Seconds};
-use energy_driven::workloads::{Fourier, Workload};
+use energy_driven::core::experiment::ExperimentSpec;
+use energy_driven::core::scenarios::{SourceKind, StrategyKind};
+use energy_driven::transient::{RunOutcome, TransientEvent};
+use energy_driven::units::{Ohms, Seconds};
+use energy_driven::workloads::WorkloadKind;
 
 #[test]
 fn fft_completes_in_third_supply_cycle_with_one_snapshot_per_dip() {
-    let supply_hz = Hertz(2.0);
-    let (mut runner, workload) = SystemBuilder::new()
-        .source(fig7_supply(supply_hz))
-        .leakage(Ohms(100_000.0))
-        .strategy(Box::new(Hibernus::new()))
-        .workload(Box::new(Fourier::new(256)))
-        .build();
+    let supply_hz = 2.0;
+    let mut system = ExperimentSpec::new(
+        SourceKind::RectifiedSine { hz: supply_hz },
+        StrategyKind::Hibernus,
+        WorkloadKind::Fourier(256),
+    )
+    .leakage(Ohms(100_000.0))
+    .build()
+    .expect("the Fig. 7 spec assembles");
 
-    let outcome = runner.run_until_complete(Seconds(2.5));
-    assert_eq!(outcome, RunOutcome::Completed);
+    let report = system.run(Seconds(2.5));
+    assert_eq!(report.outcome, RunOutcome::Completed);
+    assert_eq!(report.strategy, "hibernus");
+    assert_eq!(report.workload, "fourier");
 
-    let stats = runner.stats();
-    let completed_cycle = (stats.completed_at.expect("completed").0 * supply_hz.0).floor() as u64 + 1;
+    let completed_cycle =
+        (report.stats.completed_at.expect("completed").0 * supply_hz).floor() as u64 + 1;
     assert_eq!(completed_cycle, 3, "paper: FFT completes in the 3rd cycle");
 
     // Exactly one snapshot per supply failure, none torn.
-    let hibernations = runner
+    let hibernations = system
+        .runner()
         .log()
         .count(|e| matches!(e, TransientEvent::Hibernate));
-    assert_eq!(stats.snapshots, hibernations as u64);
-    assert_eq!(stats.torn_snapshots, 0);
-    assert_eq!(stats.snapshots, 2, "two dips before 3rd-cycle completion");
-    assert_eq!(stats.restores, 2, "the rail dies between cycles");
+    assert_eq!(report.stats.snapshots, hibernations as u64);
+    assert_eq!(report.stats.torn_snapshots, 0);
+    assert_eq!(
+        report.stats.snapshots, 2,
+        "two dips before 3rd-cycle completion"
+    );
+    assert_eq!(report.stats.restores, 2, "the rail dies between cycles");
 
-    workload
-        .verify(runner.mcu())
+    report
+        .verification
         .expect("spectrum must be bit-exact despite outages");
 }
 
 #[test]
 fn hibernus_calibration_matches_eq4() {
-    let (runner, _) = SystemBuilder::new()
-        .source(fig7_supply(Hertz(2.0)))
-        .strategy(Box::new(Hibernus::new()))
-        .workload(Box::new(Fourier::new(16)))
-        .build();
-    let (v_h, v_r) = runner.thresholds();
+    let system = ExperimentSpec::new(
+        SourceKind::RectifiedSine { hz: 2.0 },
+        StrategyKind::Hibernus,
+        WorkloadKind::Fourier(16),
+    )
+    .build()
+    .expect("spec assembles");
+    let (v_h, v_r) = system.thresholds();
     // Eq. 4 with E_S ≈ 5 µJ, C = 10 µF, V_min = 2.0 V and a 50% margin puts
     // V_H in the low 2.3s — matching the Hibernus papers' ≈ 2.27 V.
     assert!(v_h.0 > 2.2 && v_h.0 < 2.5, "V_H = {v_h}");

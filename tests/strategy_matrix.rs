@@ -1,43 +1,48 @@
 //! Integration test: the Section II.B strategy comparison, asserting the
 //! qualitative orderings the paper describes rather than absolute numbers.
+//!
+//! Runs as one `Sweep` over the full strategy axis so the comparison is the
+//! same declarative grid the bench harness prints.
 
-use energy_driven::core::scenarios::{fig7_supply, StrategyKind};
-use energy_driven::core::system::SystemBuilder;
+use edc_bench::sweep::{Sweep, SweepRow};
+use energy_driven::core::experiment::ExperimentSpec;
+use energy_driven::core::scenarios::{SourceKind, StrategyKind};
 use energy_driven::transient::RunOutcome;
-use energy_driven::units::{Hertz, Seconds};
-use energy_driven::workloads::{Fourier, Workload};
+use energy_driven::units::Seconds;
+use energy_driven::workloads::WorkloadKind;
 
-struct Outcome {
-    completed: bool,
-    snapshots: u64,
-    torn: u64,
-    verified: bool,
+fn survey() -> &'static [SweepRow] {
+    // Both tests read the same grid; run the multi-second sweep once.
+    static SURVEY: std::sync::OnceLock<Vec<SweepRow>> = std::sync::OnceLock::new();
+    SURVEY.get_or_init(|| {
+        // Fourier-64 (~25 ms) does not fit the ~10 ms on-window of a 50 Hz
+        // rectified sine, so completion requires checkpointing.
+        let base = ExperimentSpec::new(
+            SourceKind::RectifiedSine { hz: 50.0 },
+            StrategyKind::Hibernus,
+            WorkloadKind::Fourier(64),
+        )
+        .deadline(Seconds(3.0));
+        Sweep::over(base)
+            .strategies(&StrategyKind::ALL)
+            .run()
+            .expect("the strategy grid assembles")
+    })
 }
 
-fn run(kind: StrategyKind) -> Outcome {
-    let (mut runner, workload) = SystemBuilder::new()
-        .source(fig7_supply(Hertz(50.0)))
-        .strategy(kind.make())
-        .workload(Box::new(Fourier::new(64)))
-        .build();
-    let outcome = runner.run_until_complete(Seconds(3.0));
-    let stats = runner.stats();
-    Outcome {
-        completed: outcome == RunOutcome::Completed,
-        snapshots: stats.snapshots,
-        torn: stats.torn_snapshots,
-        verified: workload.verify(runner.mcu()).is_ok(),
-    }
+fn row(rows: &[SweepRow], kind: StrategyKind) -> &SweepRow {
+    rows.iter()
+        .find(|r| r.spec.strategy == kind)
+        .expect("grid covers every strategy")
 }
 
 #[test]
 fn checkpointing_strategies_complete_where_restart_cannot() {
-    // Fourier-64 (~25 ms) does not fit the ~10 ms on-window of a 50 Hz
-    // rectified sine: restart must fail, every checkpointing strategy must
-    // succeed with a verified result.
-    let restart = run(StrategyKind::Restart);
-    assert!(
-        !restart.completed,
+    let rows = survey();
+    let restart = row(rows, StrategyKind::Restart);
+    assert_ne!(
+        restart.report.outcome,
+        RunOutcome::Completed,
         "restart must not finish a multi-window workload"
     );
     for kind in [
@@ -48,9 +53,17 @@ fn checkpointing_strategies_complete_where_restart_cannot() {
         StrategyKind::QuickRecall,
         StrategyKind::Nvp,
     ] {
-        let o = run(kind);
-        assert!(o.completed, "{} did not complete", kind.name());
-        assert!(o.verified, "{} result corrupted", kind.name());
+        let r = row(rows, kind);
+        assert!(
+            r.report.succeeded(),
+            "{} did not complete+verify",
+            kind.name()
+        );
+        assert_eq!(
+            r.report.strategy,
+            kind.name(),
+            "report must carry the real strategy name"
+        );
     }
 }
 
@@ -58,14 +71,18 @@ fn checkpointing_strategies_complete_where_restart_cannot() {
 fn mementos_takes_more_snapshots_than_hibernus() {
     // The paper's downside (1): redundant snapshots. Mementos checkpoints at
     // every marker below its threshold; Hibernus exactly once per failure.
-    let mementos = run(StrategyKind::Mementos);
-    let hibernus = run(StrategyKind::Hibernus);
+    let rows = survey();
+    let mementos = &row(rows, StrategyKind::Mementos).report.stats;
+    let hibernus = &row(rows, StrategyKind::Hibernus).report.stats;
     assert!(
-        mementos.snapshots + mementos.torn > hibernus.snapshots,
+        mementos.snapshots + mementos.torn_snapshots > hibernus.snapshots,
         "mementos {} + {} torn vs hibernus {}",
         mementos.snapshots,
-        mementos.torn,
+        mementos.torn_snapshots,
         hibernus.snapshots
     );
-    assert_eq!(hibernus.torn, 0, "hibernus must never tear (Eq. 4)");
+    assert_eq!(
+        hibernus.torn_snapshots, 0,
+        "hibernus must never tear (Eq. 4)"
+    );
 }
