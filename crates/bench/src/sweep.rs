@@ -32,11 +32,14 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use edc_core::experiment::{BuildError, ExperimentSpec};
 use edc_core::json::Json;
 use edc_core::scenarios::{SourceKind, StrategyKind};
+use edc_core::telemetry::{stats_json, TelemetryReport};
 use edc_core::SystemReport;
+use edc_telemetry::StatsSink;
 use edc_workloads::WorkloadKind;
 
 use crate::TextTable;
@@ -140,11 +143,96 @@ impl Sweep {
     /// Returns the first (by grid order) [`BuildError`]; rows are only
     /// returned when the entire grid assembled and ran.
     pub fn run(&self) -> Result<Vec<SweepRow>, BuildError> {
+        Ok(self.run_timed()?.rows)
+    }
+
+    /// Like [`Sweep::run`], but also measures wall-clock time (total and
+    /// per cell) for `BENCH` artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by grid order) [`BuildError`].
+    pub fn run_timed(&self) -> Result<SweepRun, BuildError> {
         let threads = self
             .threads
             .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
             .unwrap_or(1);
-        run_specs(self.specs(), threads)
+        run_specs_timed(self.specs(), threads)
+    }
+}
+
+/// Wall-clock timing of a sweep. **Not deterministic** — keep it out of
+/// any output that is diffed byte-for-byte (the row/telemetry sections
+/// are; timing is reported alongside, never inside, them).
+#[derive(Debug, Clone)]
+pub struct SweepTiming {
+    /// End-to-end wall-clock of the sweep, including scheduling.
+    pub total_s: f64,
+    /// Per-cell wall-clock, in grid row order.
+    pub per_cell_s: Vec<f64>,
+}
+
+impl SweepTiming {
+    /// The timing as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("total_s", Json::Num(self.total_s)),
+            (
+                "per_cell_s",
+                Json::Arr(self.per_cell_s.iter().map(|&s| Json::Num(s)).collect()),
+            ),
+        ])
+    }
+}
+
+/// A completed sweep: ordered rows plus wall-clock timing.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// The grid's rows, in stable order.
+    pub rows: Vec<SweepRow>,
+    /// Wall-clock timing (non-deterministic).
+    pub timing: SweepTiming,
+}
+
+impl SweepRun {
+    /// Folds every cell's [`StatsSink`] telemetry into one grid-level
+    /// sink (deterministic: merge happens in row order). `None` when no
+    /// cell ran with stats telemetry.
+    pub fn aggregate_stats(&self) -> Option<StatsSink> {
+        let mut merged: Option<StatsSink> = None;
+        for row in &self.rows {
+            if let Some(TelemetryReport::Stats(cell)) = &row.report.telemetry {
+                merged.get_or_insert_with(StatsSink::new).merge(cell);
+            }
+        }
+        merged
+    }
+
+    /// The deterministic part of the sweep's output: rows (per-cell specs,
+    /// reports and telemetry summaries) plus the grid-level aggregate.
+    /// Byte-identical across repeated runs of the same grid, serial or
+    /// parallel.
+    pub fn telemetry_json(&self) -> Json {
+        Json::obj(vec![
+            ("cells", Json::Uint(self.rows.len() as u64)),
+            (
+                "aggregate",
+                Json::option(self.aggregate_stats(), |s| stats_json(&s)),
+            ),
+            (
+                "rows",
+                Json::Arr(self.rows.iter().map(SweepRow::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// The full sweep artifact: the deterministic telemetry section plus
+    /// wall-clock timing.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("telemetry", self.telemetry_json()),
+            ("timing", self.timing.to_json()),
+        ])
     }
 }
 
@@ -158,38 +246,62 @@ impl Sweep {
 /// a doomed sweep fails immediately instead of after minutes of wasted
 /// runs.
 pub fn run_specs(specs: Vec<ExperimentSpec>, threads: usize) -> Result<Vec<SweepRow>, BuildError> {
+    Ok(run_specs_timed(specs, threads)?.rows)
+}
+
+/// Like [`run_specs`], but also measures wall-clock time per cell and for
+/// the whole grid.
+///
+/// # Errors
+///
+/// Returns the first (by input order) [`BuildError`]; the whole grid is
+/// validated before any simulation starts.
+pub fn run_specs_timed(specs: Vec<ExperimentSpec>, threads: usize) -> Result<SweepRun, BuildError> {
     for spec in &specs {
         spec.validate()?;
     }
+    let started = Instant::now();
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<SystemReport, BuildError>>>> =
-        specs.iter().map(|_| Mutex::new(None)).collect();
+    type CellSlot = Mutex<Option<(Result<SystemReport, BuildError>, f64)>>;
+    let slots: Vec<CellSlot> = specs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads.clamp(1, specs.len().max(1)) {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = specs.get(i) else { break };
+                let cell_started = Instant::now();
                 let result = spec.run();
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                let elapsed = cell_started.elapsed().as_secs_f64();
+                *slots[i].lock().expect("result slot poisoned") = Some((result, elapsed));
             });
         }
     });
-    specs
+    let total_s = started.elapsed().as_secs_f64();
+    let mut per_cell_s = Vec::with_capacity(specs.len());
+    let rows = specs
         .into_iter()
         .zip(slots)
         .enumerate()
         .map(|(index, (spec, slot))| {
-            let report = slot
+            let (result, elapsed) = slot
                 .into_inner()
                 .expect("result slot poisoned")
-                .expect("every slot is filled before the scope exits")?;
+                .expect("every slot is filled before the scope exits");
+            per_cell_s.push(elapsed);
             Ok(SweepRow {
                 index,
                 spec,
-                report,
+                report: result?,
             })
         })
-        .collect()
+        .collect::<Result<Vec<_>, BuildError>>()?;
+    Ok(SweepRun {
+        rows,
+        timing: SweepTiming {
+            total_s,
+            per_cell_s,
+        },
+    })
 }
 
 /// Renders rows as an aligned text table.
@@ -281,6 +393,49 @@ mod tests {
             .run()
             .expect("sweep runs");
         assert_eq!(render_json(&parallel), render_json(&again));
+    }
+
+    #[test]
+    fn timed_run_measures_every_cell() {
+        let run = Sweep::over(small_base())
+            .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus])
+            .run_timed()
+            .expect("sweep runs");
+        assert_eq!(run.timing.per_cell_s.len(), run.rows.len());
+        assert!(run.timing.per_cell_s.iter().all(|&s| s > 0.0));
+        assert!(run.timing.total_s > 0.0);
+        let json = run.to_json().to_string();
+        assert!(json.contains("\"timing\""));
+        assert!(json.contains("\"per_cell_s\""));
+    }
+
+    #[test]
+    fn stats_telemetry_aggregates_across_cells() {
+        use edc_core::TelemetryKind;
+        let run = Sweep::over(small_base().telemetry(TelemetryKind::Stats))
+            .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus])
+            .run_timed()
+            .expect("sweep runs");
+        let merged = run.aggregate_stats().expect("stats cells present");
+        let per_cell: u64 = run
+            .rows
+            .iter()
+            .filter_map(|r| match &r.report.telemetry {
+                Some(edc_core::TelemetryReport::Stats(s)) => Some(s.counts().boots),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(merged.counts().boots, per_cell);
+        assert!(merged.counts().completions >= 1);
+        // The deterministic section is deterministic; timing is not part
+        // of it.
+        let telemetry = run.telemetry_json().to_string();
+        assert!(!telemetry.contains("per_cell_s"));
+        let again = Sweep::over(small_base().telemetry(TelemetryKind::Stats))
+            .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus])
+            .run_timed()
+            .expect("sweep runs");
+        assert_eq!(telemetry, again.telemetry_json().to_string());
     }
 
     #[test]

@@ -13,8 +13,7 @@
 //!   verifier, producing [`SystemReport`]s that carry the *real* strategy
 //!   and workload names.
 //!
-//! Unlike the deprecated `SystemBuilder`, nothing here panics on bad input:
-//! assembly returns [`BuildError`].
+//! Nothing here panics on bad input: assembly returns [`BuildError`].
 //!
 //! # Examples
 //!
@@ -40,12 +39,14 @@ use std::fmt;
 
 use edc_harvest::EnergySource;
 use edc_power::Rectifier;
+use edc_telemetry::{Sink, TelemetryKind};
 use edc_transient::{RunOutcome, Strategy, TransientRunner};
 use edc_units::{Farads, Ohms, Seconds, Volts};
 use edc_workloads::{VerifyError, Workload, WorkloadKind};
 
 use crate::scenarios::{SourceKind, StrategyKind};
 use crate::system::{adapt_source, SystemReport, Topology};
+use crate::telemetry::TelemetryReport;
 
 /// Why an experiment could not be assembled.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +75,8 @@ pub enum BuildError {
     InvalidTrace,
     /// Non-positive or non-finite run deadline (seconds).
     InvalidDeadline(f64),
+    /// Telemetry-kind parameters outside the sink constructor's domain.
+    InvalidTelemetry(&'static str),
 }
 
 impl fmt::Display for BuildError {
@@ -106,6 +109,9 @@ impl fmt::Display for BuildError {
             BuildError::InvalidDeadline(x) => {
                 write!(f, "deadline must be positive and finite, got {x} s")
             }
+            BuildError::InvalidTelemetry(why) => {
+                write!(f, "invalid telemetry parameters: {why}")
+            }
         }
     }
 }
@@ -136,6 +142,9 @@ pub struct ExperimentSpec {
     pub leakage: Option<Ohms>,
     /// Optional `V_cc`/frequency trace decimation.
     pub trace: Option<u64>,
+    /// Telemetry sink installed for the run ([`TelemetryKind::Null`] — the
+    /// default — installs nothing and costs nothing).
+    pub telemetry: TelemetryKind,
 }
 
 impl ExperimentSpec {
@@ -153,6 +162,7 @@ impl ExperimentSpec {
             deadline: Seconds(10.0),
             leakage: None,
             trace: None,
+            telemetry: TelemetryKind::Null,
         }
     }
 
@@ -216,6 +226,12 @@ impl ExperimentSpec {
         self
     }
 
+    /// Selects the telemetry sink for the run.
+    pub fn telemetry(mut self, kind: TelemetryKind) -> Self {
+        self.telemetry = kind;
+        self
+    }
+
     /// A short human-readable label: `source/strategy/workload`.
     pub fn label(&self) -> String {
         format!(
@@ -264,6 +280,9 @@ impl ExperimentSpec {
         if self.trace == Some(0) {
             return Err(BuildError::InvalidTrace);
         }
+        self.telemetry
+            .validate()
+            .map_err(BuildError::InvalidTelemetry)?;
         Ok(())
     }
 
@@ -359,7 +378,7 @@ impl ExperimentSpec {
                 ("diode_drop_v", Json::Num(r.diode_drop().0)),
             ])
         });
-        Json::obj(vec![
+        let mut pairs = vec![
             ("source", source),
             ("strategy", Json::Str(self.strategy.name().into())),
             ("workload", workload),
@@ -373,13 +392,30 @@ impl ExperimentSpec {
                 Json::option(self.leakage, |r| Json::Num(r.0)),
             ),
             ("trace", Json::option(self.trace, Json::Uint)),
-        ])
+        ];
+        // Appended only when a sink is selected, so default (Null) specs
+        // serialise byte-identically to the pre-telemetry format.
+        match self.telemetry {
+            TelemetryKind::Null => {}
+            TelemetryKind::Ring { capacity } => pairs.push((
+                "telemetry",
+                Json::obj(vec![
+                    ("kind", Json::Str("ring".into())),
+                    ("capacity", Json::Uint(capacity as u64)),
+                ]),
+            )),
+            TelemetryKind::Stats => pairs.push((
+                "telemetry",
+                Json::obj(vec![("kind", Json::Str("stats".into()))]),
+            )),
+        }
+        Json::obj(pairs)
     }
 }
 
-/// The fallible wiring layer: like the deprecated `SystemBuilder`, but
-/// `build`/`run` return [`BuildError`] instead of panicking, and kinds from
-/// the registries plug in next to custom boxed components.
+/// The fallible wiring layer: `build`/`run` return [`BuildError`] instead
+/// of panicking, and kinds from the registries plug in next to custom
+/// boxed components.
 pub struct Experiment<'a> {
     source: Option<Box<dyn EnergySource + 'a>>,
     rectifier: Option<Rectifier>,
@@ -390,6 +426,8 @@ pub struct Experiment<'a> {
     timestep: Seconds,
     leakage: Option<Ohms>,
     trace_decimation: Option<u64>,
+    telemetry_kind: TelemetryKind,
+    custom_sink: Option<Box<dyn Sink + 'a>>,
 }
 
 impl<'a> Experiment<'a> {
@@ -406,6 +444,8 @@ impl<'a> Experiment<'a> {
             timestep: Seconds(20e-6),
             leakage: None,
             trace_decimation: None,
+            telemetry_kind: TelemetryKind::Null,
+            custom_sink: None,
         }
     }
 
@@ -418,7 +458,8 @@ impl<'a> Experiment<'a> {
             .decoupling(spec.decoupling)
             .strategy(spec.strategy.make())
             .workload(spec.workload.make())
-            .timestep(spec.timestep);
+            .timestep(spec.timestep)
+            .telemetry_kind(spec.telemetry);
         if let Some(r) = spec.rectifier {
             e = e.rectifier(r);
         }
@@ -500,6 +541,20 @@ impl<'a> Experiment<'a> {
         self
     }
 
+    /// Selects the telemetry sink via the kind registry.
+    pub fn telemetry_kind(mut self, kind: TelemetryKind) -> Self {
+        self.telemetry_kind = kind;
+        self
+    }
+
+    /// Installs a custom telemetry sink (takes precedence over
+    /// [`Experiment::telemetry_kind`]). Custom sinks are opaque to
+    /// `SystemReport` unless they expose [`Sink::as_any`].
+    pub fn telemetry(mut self, sink: Box<dyn Sink + 'a>) -> Self {
+        self.custom_sink = Some(sink);
+        self
+    }
+
     /// Assembles the system.
     ///
     /// # Errors
@@ -524,6 +579,9 @@ impl<'a> Experiment<'a> {
         if self.trace_decimation == Some(0) {
             return Err(BuildError::InvalidTrace);
         }
+        self.telemetry_kind
+            .validate()
+            .map_err(BuildError::InvalidTelemetry)?;
         let (capacitance, efficiency) = match self.topology {
             Topology::Direct => (self.decoupling, 1.0),
             Topology::Buffered {
@@ -551,6 +609,12 @@ impl<'a> Experiment<'a> {
         }
         if let Some(r) = self.leakage {
             builder = builder.leakage(r);
+        }
+        let sink = self
+            .custom_sink
+            .or_else(|| self.telemetry_kind.make().map(|s| s as Box<dyn Sink + 'a>));
+        if let Some(sink) = sink {
+            builder = builder.telemetry(sink);
         }
         Ok(System {
             runner: builder.build(),
@@ -645,11 +709,12 @@ impl<'a> System<'a> {
             },
             strategy: self.strategy_name.clone(),
             workload: self.workload.name().to_string(),
+            telemetry: self.runner.telemetry().and_then(TelemetryReport::from_sink),
         }
     }
 
-    /// Decomposes into the raw runner and workload (the deprecated
-    /// `SystemBuilder::build` contract).
+    /// Decomposes into the raw runner and workload, for harnesses that
+    /// drive the simulation loop directly.
     pub fn into_parts(self) -> (TransientRunner<'a>, Box<dyn Workload + 'a>) {
         (self.runner, self.workload)
     }

@@ -28,10 +28,11 @@ pub mod json;
 pub mod scenarios;
 pub mod system;
 pub mod taxonomy;
+pub mod telemetry;
 
+pub use edc_telemetry::TelemetryKind;
 pub use experiment::{BuildError, Experiment, ExperimentSpec, System};
 pub use scenarios::{SourceKind, StrategyKind};
-#[allow(deprecated)]
-pub use system::SystemBuilder;
 pub use system::{SystemReport, Topology};
 pub use taxonomy::{classify, Adaptation, Classification, SupplyKind, SystemProfile};
+pub use telemetry::TelemetryReport;

@@ -12,17 +12,16 @@
 //! Assembly itself lives in [`crate::experiment`]: declarative
 //! [`ExperimentSpec`](crate::experiment::ExperimentSpec)s built from the
 //! kind registries, and the fallible [`Experiment`](crate::experiment::
-//! Experiment) builder for custom components. The panicking
-//! [`SystemBuilder`] remains only as a deprecated migration shim.
+//! Experiment) builder for custom components.
 
 use edc_harvest::{EnergySource, SourceSample};
 use edc_power::Rectifier;
-use edc_transient::{RunOutcome, RunnerStats, Strategy, TransientRunner};
+use edc_transient::{RunOutcome, RunnerStats};
 use edc_units::{Amps, Farads, Seconds, Volts};
-use edc_workloads::{VerifyError, Workload};
+use edc_workloads::VerifyError;
 
-use crate::experiment::Experiment;
 use crate::json::Json;
+use crate::telemetry::TelemetryReport;
 
 /// Energy-subsystem topology (Fig. 3 vs. Fig. 4).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,6 +75,10 @@ pub struct SystemReport {
     pub strategy: String,
     /// The workload's display name.
     pub workload: String,
+    /// What the run's telemetry sink captured, when one was installed and
+    /// readable (`None` for the default [`TelemetryKind::Null`](
+    /// edc_telemetry::TelemetryKind::Null)).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl SystemReport {
@@ -91,7 +94,7 @@ impl SystemReport {
             RunOutcome::DeadlineExpired => "deadline-expired",
             RunOutcome::Faulted => "faulted",
         };
-        Json::obj(vec![
+        let mut pairs = vec![
             ("strategy", Json::Str(self.strategy.clone())),
             ("workload", Json::Str(self.workload.clone())),
             ("outcome", Json::Str(outcome.into())),
@@ -121,144 +124,20 @@ impl SystemReport {
                     ("energy_j", Json::Num(self.stats.energy_consumed.0)),
                 ]),
             ),
-        ])
-    }
-}
-
-/// Deprecated panicking builder, kept as a thin shim over
-/// [`Experiment`](crate::experiment::Experiment) while downstreams migrate.
-///
-/// # Examples
-///
-/// New code should use the fallible API instead:
-///
-/// ```
-/// use edc_core::experiment::ExperimentSpec;
-/// use edc_core::scenarios::{SourceKind, StrategyKind};
-/// use edc_units::Seconds;
-/// use edc_workloads::WorkloadKind;
-///
-/// let report = ExperimentSpec::new(
-///     SourceKind::RectifiedSine { hz: 5.0 },
-///     StrategyKind::Hibernus,
-///     WorkloadKind::Crc16(64),
-/// )
-/// .deadline(Seconds(10.0))
-/// .run()?;
-/// assert!(report.succeeded());
-/// # Ok::<(), edc_core::experiment::BuildError>(())
-/// ```
-#[deprecated(
-    since = "0.1.0",
-    note = "use edc_core::experiment::{ExperimentSpec, Experiment}, whose build/run return \
-            Result<_, BuildError> instead of panicking"
-)]
-pub struct SystemBuilder<'a> {
-    inner: Experiment<'a>,
-}
-
-#[allow(deprecated)]
-impl<'a> SystemBuilder<'a> {
-    /// Starts a system description with Fig. 4 defaults (direct topology,
-    /// 10 µF decoupling).
-    pub fn new() -> Self {
-        Self {
-            inner: Experiment::new(),
+        ];
+        // Appended only when a sink captured something, so default runs
+        // serialise byte-identically to the pre-telemetry format.
+        if let Some(telemetry) = &self.telemetry {
+            pairs.push(("telemetry", telemetry.to_json()));
         }
-    }
-
-    /// Adds a board-leakage path across the supply rail.
-    pub fn leakage(mut self, r: edc_units::Ohms) -> Self {
-        self.inner = self.inner.leakage(r);
-        self
-    }
-
-    /// The energy source (required).
-    pub fn source(mut self, s: impl EnergySource + 'a) -> Self {
-        self.inner = self.inner.source(s);
-        self
-    }
-
-    /// Adds a rectifier stage in front of the node.
-    pub fn rectifier(mut self, r: Rectifier) -> Self {
-        self.inner = self.inner.rectifier(r);
-        self
-    }
-
-    /// Selects the energy-subsystem topology.
-    pub fn topology(mut self, t: Topology) -> Self {
-        self.inner = self.inner.topology(t);
-        self
-    }
-
-    /// Overrides the decoupling capacitance (Fig. 4's only storage).
-    pub fn decoupling(mut self, c: Farads) -> Self {
-        self.inner = self.inner.decoupling(c);
-        self
-    }
-
-    /// The checkpoint strategy (required).
-    pub fn strategy(mut self, s: Box<dyn Strategy + 'a>) -> Self {
-        self.inner = self.inner.strategy(s);
-        self
-    }
-
-    /// The workload (required).
-    pub fn workload(mut self, w: Box<dyn Workload + 'a>) -> Self {
-        self.inner = self.inner.workload(w);
-        self
-    }
-
-    /// Overrides the simulation timestep.
-    pub fn timestep(mut self, dt: Seconds) -> Self {
-        self.inner = self.inner.timestep(dt);
-        self
-    }
-
-    /// Enables `V_cc`/frequency tracing with the given decimation.
-    pub fn trace(mut self, decimation: u64) -> Self {
-        self.inner = self.inner.trace(decimation);
-        self
-    }
-
-    /// Builds the runner and the workload verifier.
-    ///
-    /// # Panics
-    ///
-    /// Panics if assembly fails; prefer `Experiment::build`, which returns
-    /// the error instead.
-    pub fn build(self) -> (TransientRunner<'a>, Box<dyn Workload + 'a>) {
-        match self.inner.build() {
-            Ok(system) => system.into_parts(),
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Builds and runs to completion (or `deadline`), returning the report.
-    ///
-    /// # Panics
-    ///
-    /// Panics if assembly fails; prefer `Experiment::run`, which returns
-    /// the error instead.
-    pub fn run(self, deadline: Seconds) -> SystemReport {
-        match self.inner.run(deadline) {
-            Ok(report) => report,
-            Err(e) => panic!("{e}"),
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl Default for SystemBuilder<'_> {
-    fn default() -> Self {
-        Self::new()
+        Json::obj(pairs)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::ExperimentSpec;
+    use crate::experiment::{Experiment, ExperimentSpec};
     use crate::scenarios::{SourceKind, StrategyKind};
     use edc_harvest::{DcSupply, SignalGenerator, Waveform};
     use edc_power::RectifierKind;
@@ -356,25 +235,5 @@ mod tests {
         assert_eq!(a, b, "identical runs serialise byte-identically");
         assert!(a.contains("\"strategy\":\"hibernus\""));
         assert!(a.contains("\"workload\":\"crc16\""));
-    }
-
-    #[allow(deprecated)]
-    #[test]
-    fn deprecated_shim_still_runs_and_panics_on_missing_source() {
-        let report = SystemBuilder::new()
-            .source(DcSupply::new(Volts(3.3)).with_resistance(Ohms(10.0)))
-            .strategy(Box::new(edc_transient::Restart::new()))
-            .workload(Box::new(edc_workloads::BusyLoop::new(100)))
-            .run(Seconds(1.0));
-        assert!(report.succeeded());
-        assert_eq!(report.strategy, "restart", "shim reports real names too");
-
-        let missing = std::panic::catch_unwind(|| {
-            SystemBuilder::new()
-                .strategy(Box::new(edc_transient::Restart::new()))
-                .workload(Box::new(edc_workloads::BusyLoop::new(10)))
-                .run(Seconds(0.1))
-        });
-        assert!(missing.is_err(), "shim preserves the panicking contract");
     }
 }

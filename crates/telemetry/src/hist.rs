@@ -1,0 +1,293 @@
+//! Deterministic streaming histograms for run/sweep analytics.
+//!
+//! The sinks must produce **byte-identical** JSON across repeated runs and
+//! across serial vs. parallel sweep execution, so the histogram here is a
+//! pure function of the inserted multiset: fixed geometric bins (no
+//! adaptive resizing, no randomised sketches), exact `count`/`sum`/`min`/
+//! `max`, and quantiles answered from bin midpoints. Memory is O(1) per
+//! histogram regardless of run length, which is what lets a sweep keep one
+//! per grid cell and merge them afterwards.
+
+/// Number of bins per decade. Eight gives ~33% relative quantile error,
+/// plenty for outage/overhead distributions that span many decades.
+const BINS_PER_DECADE: usize = 8;
+/// Exponent of the smallest representable positive value (`1e-12`):
+/// comfortably below one simulation timestep and one snapshot's energy.
+const LO_EXP: i32 = -12;
+/// Exponent one past the largest bin (`1e4`).
+const HI_EXP: i32 = 4;
+/// Total bin count.
+const NBINS: usize = ((HI_EXP - LO_EXP) as usize) * BINS_PER_DECADE;
+
+/// A fixed-bin geometric histogram over positive values.
+///
+/// Values `≤ 0` are counted in a dedicated zero bucket (torn snapshots can
+/// cost nothing); positive values below `1e-12` clamp into the first bin
+/// and values above `1e4` into the last, with exact `min`/`max` preserved
+/// alongside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    zeros: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            bins: vec![0; NBINS],
+            zeros: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bin_index(x: f64) -> usize {
+        let idx = ((x.log10() - LO_EXP as f64) * BINS_PER_DECADE as f64).floor();
+        if idx < 0.0 {
+            0
+        } else {
+            (idx as usize).min(NBINS - 1)
+        }
+    }
+
+    /// Geometric midpoint of bin `i` — the representative value quantile
+    /// queries report.
+    fn bin_mid(i: usize) -> f64 {
+        10f64.powf(LO_EXP as f64 + (i as f64 + 0.5) / BINS_PER_DECADE as f64)
+    }
+
+    /// Records one observation. Non-finite values are ignored (they cannot
+    /// be binned deterministically and indicate an upstream bug, not data).
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if x <= 0.0 {
+            self.zeros += 1;
+        } else {
+            self.bins[Self::bin_index(x)] += 1;
+        }
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact minimum, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.sum / self.count as f64)
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) estimated from bin midpoints and
+    /// clamped to the exact observed range, or `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = self.zeros;
+        if rank <= seen {
+            // The zero bucket also holds negative observations, so clamp
+            // its representative into the exact observed range too.
+            return Some(0.0f64.clamp(self.min, self.max));
+        }
+        for (i, &n) in self.bins.iter().enumerate() {
+            seen += n;
+            if rank <= seen {
+                return Some(Self::bin_mid(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Folds another histogram into this one (used by sweep aggregation).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.zeros += other.zeros;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The fixed summary (count, exact min/max/mean, p50/p90/p99) every
+    /// JSON emitter reports.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            min: self.min().unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+            mean: self.mean().unwrap_or(0.0),
+            p50: self.quantile(0.50).unwrap_or(0.0),
+            p90: self.quantile(0.90).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+/// Plain-data summary of a [`Histogram`] (zeroed when empty).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Observation count.
+    pub count: u64,
+    /// Exact minimum (0 when empty).
+    pub min: f64,
+    /// Exact maximum (0 when empty).
+    pub max: f64,
+    /// Exact mean (0 when empty).
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_stats_are_exact() {
+        let mut h = Histogram::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            h.add(x);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(4.0));
+        assert_eq!(h.mean(), Some(2.5));
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bin() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.add(1e-3);
+        }
+        h.add(10.0);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(
+            (p50 / 1e-3) < 1.4 && (p50 / 1e-3) > 0.7,
+            "p50 {p50} should sit near 1e-3"
+        );
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 < 1e-2, "p99 {p99} still in the bulk");
+        assert_eq!(h.quantile(1.0), Some(10.0), "p100 clamps to exact max");
+    }
+
+    #[test]
+    fn zeros_and_extremes_are_handled() {
+        let mut h = Histogram::new();
+        h.add(0.0);
+        h.add(-1.0);
+        h.add(1e-20); // below the first bin: clamped, min stays exact
+        h.add(1e9); // above the last bin: clamped, max stays exact
+        h.add(f64::NAN); // ignored
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(-1.0));
+        assert_eq!(h.max(), Some(1e9));
+        assert_eq!(h.quantile(0.25), Some(0.0), "zero bucket answers low q");
+    }
+
+    #[test]
+    fn all_negative_quantiles_stay_in_observed_range() {
+        let mut h = Histogram::new();
+        for _ in 0..3 {
+            h.add(-1.0);
+        }
+        assert_eq!(h.quantile(0.5), Some(-1.0), "p50 cannot exceed the max");
+        let s = h.summary();
+        assert!(s.p99 <= s.max && s.p50 >= s.min);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for i in 1..100 {
+            let x = i as f64 * 0.013;
+            whole.add(x);
+            if i % 2 == 0 {
+                a.add(x);
+            } else {
+                b.add(x);
+            }
+        }
+        a.merge(&b);
+        let (m, w) = (a.summary(), whole.summary());
+        assert_eq!(m.count, w.count);
+        assert_eq!(m.min, w.min);
+        assert_eq!(m.max, w.max);
+        assert_eq!(m.p50, w.p50);
+        assert_eq!(m.p99, w.p99);
+        // Sums accumulate in a different order, so the mean may differ in
+        // the last ulp — but no more.
+        assert!((m.mean - w.mean).abs() < 1e-12 * w.mean.abs());
+    }
+
+    #[test]
+    fn summary_of_empty_is_zeroed() {
+        let s = Histogram::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p99, 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_identical_streams() {
+        let feed = |h: &mut Histogram| {
+            for i in 0..1000 {
+                h.add((i as f64 * 0.7).sin().abs() * 1e-3 + 1e-9);
+            }
+        };
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        feed(&mut a);
+        feed(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.summary(), b.summary());
+    }
+}

@@ -9,6 +9,7 @@
 use edc_mcu::{Mcu, PowerState, RunExit};
 use edc_power::{MonitorEvent, VoltageMonitor};
 use edc_sim::{EventLog, SupplyNode, TimeSeries};
+use edc_telemetry::{Event, Record, Sink};
 use edc_units::{Amps, Farads, Joules, Seconds, Volts};
 
 use crate::{LowVoltageResponse, MarkerResponse, SnapshotObservation, Strategy};
@@ -113,6 +114,7 @@ pub struct RunnerBuilder<'a> {
     strategy: Option<Box<dyn Strategy + 'a>>,
     program: Option<edc_mcu::isa::Program>,
     source: Option<Box<dyn FnMut(Volts, Seconds) -> Amps + 'a>>,
+    sink: Option<Box<dyn Sink + 'a>>,
 }
 
 impl<'a> RunnerBuilder<'a> {
@@ -127,6 +129,7 @@ impl<'a> RunnerBuilder<'a> {
             strategy: None,
             program: None,
             source: None,
+            sink: None,
         }
     }
 
@@ -187,6 +190,14 @@ impl<'a> RunnerBuilder<'a> {
         self
     }
 
+    /// Installs a telemetry sink receiving a typed [`Record`] at every
+    /// lifecycle event. Without one (the default) emission is a single
+    /// `Option::None` branch — zero overhead.
+    pub fn telemetry(mut self, sink: Box<dyn Sink + 'a>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
     /// Builds the runner.
     ///
     /// # Panics
@@ -232,6 +243,7 @@ impl<'a> RunnerBuilder<'a> {
                 .trace_decimation
                 .map(|d| TimeSeries::with_decimation("f_core_MHz", d)),
             faulted: false,
+            sink: self.sink,
         }
     }
 }
@@ -253,6 +265,7 @@ pub struct TransientRunner<'a> {
     vcc_trace: Option<TimeSeries>,
     freq_trace: Option<TimeSeries>,
     faulted: bool,
+    sink: Option<Box<dyn Sink + 'a>>,
 }
 
 impl<'a> TransientRunner<'a> {
@@ -301,8 +314,31 @@ impl<'a> TransientRunner<'a> {
         (self.monitor.low(), self.monitor.high())
     }
 
+    /// The installed telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&dyn Sink> {
+        self.sink.as_deref()
+    }
+
+    /// Removes and returns the telemetry sink (e.g. to summarise it after
+    /// the run).
+    pub fn take_telemetry(&mut self) -> Option<Box<dyn Sink + 'a>> {
+        self.sink.take()
+    }
+
     fn emit(&mut self, e: TransientEvent) {
         self.log.push(self.time, e);
+    }
+
+    /// Stamps `event` with the current time and cumulative consumed energy
+    /// and hands it to the sink. With no sink installed this is one branch.
+    fn tap(&mut self, event: Event) {
+        if let Some(sink) = &mut self.sink {
+            sink.record(Record {
+                t: self.time,
+                energy: self.stats.energy_consumed,
+                event,
+            });
+        }
     }
 
     fn draw(&mut self, e: Joules) {
@@ -330,6 +366,10 @@ impl<'a> TransientRunner<'a> {
             self.stats.torn_snapshots += 1;
         }
         self.emit(TransientEvent::Snapshot(outcome.completed));
+        self.tap(Event::Snapshot {
+            sealed: outcome.completed,
+            cost: outcome.energy,
+        });
         if let Some((low, high)) = self.strategy.after_snapshot(SnapshotObservation {
             v_before,
             v_after,
@@ -345,12 +385,14 @@ impl<'a> TransientRunner<'a> {
         self.mcu.cold_boot();
         self.stats.boots += 1;
         self.emit(TransientEvent::Boot);
+        self.tap(Event::Boot);
         if self.strategy.restores_snapshots() && self.mcu.has_valid_snapshot() {
             let e = self.mcu.restore_energy();
             if let Some(_r) = self.mcu.restore_snapshot() {
                 self.draw(e);
                 self.stats.restores += 1;
                 self.emit(TransientEvent::Restore);
+                self.tap(Event::Restore);
             }
         }
         self.hibernated = false;
@@ -394,6 +436,7 @@ impl<'a> TransientRunner<'a> {
                 if v >= self.monitor.high() {
                     self.monitor.reset();
                     self.monitor.update(v);
+                    self.tap(Event::SupplyCrossing { rising: true });
                     self.boot_sequence();
                 }
             }
@@ -404,6 +447,7 @@ impl<'a> TransientRunner<'a> {
                     self.monitor.reset();
                     self.stats.brownouts += 1;
                     self.emit(TransientEvent::Brownout);
+                    self.tap(Event::PowerFail);
                     self.stats.sleep_time += dt;
                 } else if self.mcu.is_halted() {
                     self.stats.sleep_time += dt;
@@ -413,6 +457,7 @@ impl<'a> TransientRunner<'a> {
                     self.mcu.wake();
                     self.hibernated = false;
                     self.emit(TransientEvent::WakeWithoutRestore);
+                    self.tap(Event::SupplyCrossing { rising: true });
                     self.stats.sleep_time += dt;
                 } else {
                     self.stats.sleep_time += dt;
@@ -424,11 +469,13 @@ impl<'a> TransientRunner<'a> {
                     self.monitor.reset();
                     self.stats.brownouts += 1;
                     self.emit(TransientEvent::Brownout);
+                    self.tap(Event::Brownout);
                     return true;
                 }
                 self.strategy.on_tick(v, &mut self.mcu);
                 // Voltage interrupt?
                 if let Some(MonitorEvent::FellBelowLow) = self.monitor.update(v) {
+                    self.tap(Event::SupplyCrossing { rising: false });
                     if self.strategy.on_low_voltage() == LowVoltageResponse::Hibernate {
                         self.attempt_snapshot();
                         self.mcu.sleep();
@@ -451,6 +498,7 @@ impl<'a> TransientRunner<'a> {
                             if self.stats.completed_at.is_none() {
                                 self.stats.completed_at = Some(self.time);
                                 self.emit(TransientEvent::Completed);
+                                self.tap(Event::TaskComplete);
                                 // A finished program must not be resurrected.
                                 self.mcu.invalidate_snapshot();
                                 self.mcu.sleep();
@@ -570,6 +618,31 @@ mod tests {
         };
         assert!((stats.duty_cycle() - 0.25).abs() < 1e-12);
         assert_eq!(RunnerStats::default().duty_cycle(), 0.0);
+    }
+
+    #[test]
+    fn telemetry_sink_receives_lifecycle_events() {
+        use edc_telemetry::RingBuffer;
+        let wl = BusyLoop::new(500);
+        let mut ring = RingBuffer::with_capacity(64);
+        let mut runner = TransientRunner::builder()
+            .strategy(Box::new(Restart::new()))
+            .program(wl.program())
+            .source(dc_source(3.3, 10.0))
+            .telemetry(Box::new(&mut ring))
+            .build();
+        assert!(runner.telemetry().is_some());
+        let out = runner.run_until_complete(Seconds(1.0));
+        assert_eq!(out, RunOutcome::Completed);
+        drop(runner);
+        let events = ring.events();
+        assert_eq!(events[0], Event::SupplyCrossing { rising: true });
+        assert_eq!(events[1], Event::Boot);
+        assert_eq!(*events.last().unwrap(), Event::TaskComplete);
+        for w in ring.records().windows(2) {
+            assert!(w[1].energy >= w[0].energy, "energy stamps are monotone");
+            assert!(w[1].t >= w[0].t, "timestamps are monotone");
+        }
     }
 
     #[test]

@@ -10,19 +10,22 @@
 
 use energy_driven::core::experiment::{BuildError, ExperimentSpec};
 use energy_driven::core::scenarios::{SourceKind, StrategyKind};
+use energy_driven::core::{TelemetryKind, TelemetryReport};
 use energy_driven::units::{Ohms, Seconds};
 use energy_driven::workloads::WorkloadKind;
 
 fn main() -> Result<(), BuildError> {
     // The paper's Fig. 7 stimulus, an FFT that will not fit inside a single
-    // supply cycle, and Hibernus — one declarative value.
+    // supply cycle, and Hibernus — one declarative value. Telemetry is one
+    // more knob: streaming analytics of every outage and snapshot.
     let spec = ExperimentSpec::new(
         SourceKind::RectifiedSine { hz: 5.0 },
         StrategyKind::Hibernus,
         WorkloadKind::Fourier(128),
     )
     .leakage(Ohms(100_000.0))
-    .deadline(Seconds(10.0));
+    .deadline(Seconds(10.0))
+    .telemetry(TelemetryKind::Stats);
 
     let mut system = spec.build()?;
     let (v_h, v_r) = system.thresholds();
@@ -42,6 +45,16 @@ fn main() -> Result<(), BuildError> {
     match &report.verification {
         Ok(()) => println!("FFT spectrum verified bit-exactly against the golden model ✓"),
         Err(e) => println!("verification FAILED: {e}"),
+    }
+    if let Some(TelemetryReport::Stats(stats)) = &report.telemetry {
+        let outage = stats.outage_s().summary();
+        println!(
+            "outages:   {} (median {:.1} ms, p99 {:.1} ms); snapshot energy Σ {:.2} µJ",
+            outage.count,
+            outage.p50 * 1e3,
+            outage.p99 * 1e3,
+            stats.energy_breakdown().snapshot_j * 1e6,
+        );
     }
     println!("\nas JSON: {}", report.to_json());
     Ok(())

@@ -6,6 +6,7 @@ pub use edc_mpsoc as mpsoc;
 pub use edc_neutral as neutral;
 pub use edc_power as power;
 pub use edc_sim as sim;
+pub use edc_telemetry as telemetry;
 pub use edc_transient as transient;
 pub use edc_units as units;
 pub use edc_workloads as workloads;
