@@ -11,8 +11,9 @@
 //!
 //! Assembly itself lives in [`crate::experiment`]: declarative
 //! [`ExperimentSpec`](crate::experiment::ExperimentSpec)s built from the
-//! kind registries, and the fallible [`Experiment`](crate::experiment::
-//! Experiment) builder for custom components.
+//! kind registries, and the fallible
+//! [`Experiment`](crate::experiment::Experiment) builder for custom
+//! components.
 
 use edc_harvest::{EnergySource, SourceSample};
 use edc_power::Rectifier;

@@ -1,0 +1,316 @@
+//! The shared evaluation engine: memoised, budgeted, parallel.
+//!
+//! Every searcher funds its simulations through one [`Evaluator`]. The
+//! evaluator:
+//!
+//! - **canonicalises** each candidate spec (forcing stats telemetry when an
+//!   objective needs it) and keys its memo cache on the spec's canonical
+//!   JSON, so the same design is never simulated twice — within a search
+//!   *or* across rungs of different fidelity (the timestep is part of the
+//!   key);
+//! - **enforces the budget**: a batch whose cache misses would exceed the
+//!   configured cost ceiling (in full-fidelity-equivalent units — coarse
+//!   runs charge fractionally) fails with
+//!   [`ExploreError::BudgetExhausted`] before any of them run;
+//! - **fans out** cache misses across scoped worker threads via the sweep
+//!   engine's [`run_specs`], whose results come back in input order — so
+//!   thread count affects wall-clock only, never results;
+//! - **records a trace** entry per requested evaluation, in request order,
+//!   which is what makes [`ExploreReport`](crate::ExploreReport) JSON
+//!   byte-identical across repeated and serial-vs-parallel runs.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+use edc_bench::sweep::run_specs;
+use edc_core::experiment::ExperimentSpec;
+use edc_core::TelemetryKind;
+use edc_units::Seconds;
+
+use crate::objective::Objective;
+use crate::ExploreError;
+
+/// One evaluated candidate: its (canonicalised) spec, the cache key, and
+/// one score per objective.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The candidate spec, after canonicalisation.
+    pub spec: ExperimentSpec,
+    /// The spec's canonical JSON — the memo-cache key.
+    pub key: String,
+    /// One score per objective, in objective order; lower is better.
+    pub scores: Vec<f64>,
+}
+
+/// One trace entry: an evaluation request and whether the cache served it.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// Which search phase requested the evaluation (e.g. `grid`,
+    /// `rung0@16x`, `round1/decoupling`).
+    pub phase: String,
+    /// The candidate spec.
+    pub spec: ExperimentSpec,
+    /// One score per objective.
+    pub scores: Vec<f64>,
+    /// `true` when the memo cache served the request without simulating.
+    pub cached: bool,
+}
+
+/// The memoised, budgeted, parallel evaluation engine.
+pub struct Evaluator<'a> {
+    objectives: &'a [Box<dyn Objective>],
+    force_stats: bool,
+    threads: usize,
+    budget: Option<u64>,
+    reference_dt: Seconds,
+    cache: HashMap<String, Vec<f64>>,
+    simulations: u64,
+    cache_hits: u64,
+    cost_units: f64,
+    trace: Vec<TraceEntry>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// An evaluator scoring with `objectives`, fanning cache misses out
+    /// over `threads` workers, optionally capped at a `budget` of
+    /// full-fidelity-equivalent cost units.
+    ///
+    /// `reference_dt` is the full-fidelity timestep used to normalise
+    /// [`Evaluator::cost_units`] and the budget: a run at
+    /// `k × reference_dt` costs `1/k` units, because simulation cost
+    /// scales inversely with the timestep. A budget of `N` therefore
+    /// admits exactly an `N`-point exhaustive grid at full fidelity, or a
+    /// proportionally larger number of cheap coarse runs.
+    pub fn new(
+        objectives: &'a [Box<dyn Objective>],
+        threads: usize,
+        budget: Option<u64>,
+        reference_dt: Seconds,
+    ) -> Self {
+        Self {
+            force_stats: objectives.iter().any(|o| o.requires_stats()),
+            objectives,
+            threads: threads.max(1),
+            budget,
+            reference_dt,
+            cache: HashMap::new(),
+            simulations: 0,
+            cache_hits: 0,
+            cost_units: 0.0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Evaluates a batch of candidates, serving repeats from the memo
+    /// cache and simulating the rest in parallel. Results come back in
+    /// input order; one trace entry is recorded per input.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::BudgetExhausted`] when the batch's cache misses
+    /// would exceed the budget — denominated in full-fidelity-equivalent
+    /// cost units, so coarse prefilter runs are charged fractionally, the
+    /// same currency as [`Evaluator::cost_units`] (nothing is simulated in
+    /// that case) — or the first
+    /// [`BuildError`](edc_core::experiment::BuildError) if a candidate
+    /// fails validation.
+    pub fn evaluate(
+        &mut self,
+        specs: Vec<ExperimentSpec>,
+        phase: &str,
+    ) -> Result<Vec<Evaluation>, ExploreError> {
+        let prepared: Vec<ExperimentSpec> = specs
+            .into_iter()
+            .map(|s| {
+                if self.force_stats {
+                    s.telemetry(TelemetryKind::Stats)
+                } else {
+                    s
+                }
+            })
+            .collect();
+        let keys: Vec<String> = prepared.iter().map(|s| s.to_json().to_string()).collect();
+
+        // Cache misses, first occurrence only, in input order.
+        let mut missing: Vec<usize> = Vec::new();
+        let mut queued: HashSet<&str> = HashSet::new();
+        for (i, key) in keys.iter().enumerate() {
+            if !self.cache.contains_key(key) && queued.insert(key) {
+                missing.push(i);
+            }
+        }
+
+        if let Some(budget) = self.budget {
+            let batch_cost: f64 = missing
+                .iter()
+                .map(|&i| self.reference_dt.0 / prepared[i].timestep.0)
+                .sum();
+            let needed = self.cost_units + batch_cost;
+            if needed > budget as f64 {
+                return Err(ExploreError::BudgetExhausted { budget, needed });
+            }
+        }
+
+        if !missing.is_empty() {
+            let batch: Vec<ExperimentSpec> = missing.iter().map(|&i| prepared[i]).collect();
+            let rows = run_specs(batch, self.threads)?;
+            for (&i, row) in missing.iter().zip(rows) {
+                let scores: Vec<f64> = self
+                    .objectives
+                    .iter()
+                    .map(|o| o.score(&row.report))
+                    .collect();
+                self.cache.insert(keys[i].clone(), scores);
+                self.simulations += 1;
+                self.cost_units += self.reference_dt.0 / prepared[i].timestep.0;
+            }
+        }
+
+        let fresh: HashSet<usize> = missing.iter().copied().collect();
+        let mut evaluations = Vec::with_capacity(prepared.len());
+        for (i, (spec, key)) in prepared.into_iter().zip(keys).enumerate() {
+            let scores = self.cache[&key].clone();
+            let cached = !fresh.contains(&i);
+            if cached {
+                self.cache_hits += 1;
+            }
+            self.trace.push(TraceEntry {
+                phase: phase.to_string(),
+                spec,
+                scores: scores.clone(),
+                cached,
+            });
+            evaluations.push(Evaluation { spec, key, scores });
+        }
+        Ok(evaluations)
+    }
+
+    /// Number of objectives each evaluation is scored on.
+    pub fn objective_count(&self) -> usize {
+        self.objectives.len()
+    }
+
+    /// Number of simulations actually run (cache misses).
+    pub fn simulations(&self) -> u64 {
+        self.simulations
+    }
+
+    /// Number of evaluation requests served from the memo cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Full-fidelity-equivalent simulation cost: each run contributes
+    /// `reference_dt / its_dt` (coarse-timestep prefilter runs are cheap).
+    pub fn cost_units(&self) -> f64 {
+        self.cost_units
+    }
+
+    /// The recorded trace, in evaluation-request order.
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// Consumes the evaluator, yielding its trace.
+    pub fn into_trace(self) -> Vec<TraceEntry> {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{BrownoutCount, CompletionTime, P99Outage};
+    use edc_core::scenarios::{SourceKind, StrategyKind};
+    use edc_workloads::WorkloadKind;
+
+    fn spec(n: u16) -> ExperimentSpec {
+        ExperimentSpec::new(
+            SourceKind::Dc { volts: 3.3 },
+            StrategyKind::Restart,
+            WorkloadKind::BusyLoop(n),
+        )
+        .deadline(Seconds(1.0))
+    }
+
+    fn objectives() -> Vec<Box<dyn Objective>> {
+        vec![Box::new(CompletionTime), Box::new(BrownoutCount)]
+    }
+
+    #[test]
+    fn repeats_hit_the_cache() {
+        let objectives = objectives();
+        let mut eval = Evaluator::new(&objectives, 2, None, Seconds(20e-6));
+        let first = eval
+            .evaluate(vec![spec(100), spec(200), spec(100)], "a")
+            .expect("evaluates");
+        assert_eq!(first.len(), 3);
+        assert_eq!(eval.simulations(), 2, "dup within the batch memoises");
+        assert_eq!(eval.cache_hits(), 1);
+        assert_eq!(first[0].scores, first[2].scores);
+
+        let again = eval.evaluate(vec![spec(200)], "b").expect("evaluates");
+        assert_eq!(eval.simulations(), 2, "cross-batch repeat memoises");
+        assert_eq!(eval.cache_hits(), 2);
+        assert_eq!(again[0].scores, first[1].scores);
+        assert_eq!(eval.trace().len(), 4);
+        assert!(eval.trace()[3].cached);
+    }
+
+    #[test]
+    fn budget_rejects_before_simulating() {
+        let objectives = objectives();
+        let mut eval = Evaluator::new(&objectives, 1, Some(1), Seconds(20e-6));
+        eval.evaluate(vec![spec(100)], "a").expect("within budget");
+        let err = eval
+            .evaluate(vec![spec(200), spec(300)], "b")
+            .expect_err("over budget");
+        match err {
+            ExploreError::BudgetExhausted { budget, needed } => {
+                assert_eq!(budget, 1);
+                assert!((needed - 3.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert_eq!(eval.simulations(), 1, "the doomed batch never ran");
+        // Cached repeats stay free even at the budget's edge.
+        eval.evaluate(vec![spec(100)], "c").expect("cache is free");
+    }
+
+    #[test]
+    fn budget_charges_coarse_runs_fractionally() {
+        // Budget 1 admits four quarter-cost coarse runs but not a fifth
+        // full-fidelity one: budget and cost_units share a currency.
+        let objectives = objectives();
+        let mut eval = Evaluator::new(&objectives, 1, Some(1), Seconds(20e-6));
+        let coarse: Vec<ExperimentSpec> = (0..4u16)
+            .map(|i| spec(100 + i).timestep(Seconds(80e-6)))
+            .collect();
+        eval.evaluate(coarse, "rung")
+            .expect("4 × 1/4 fits budget 1");
+        assert!((eval.cost_units() - 1.0).abs() < 1e-12);
+        eval.evaluate(vec![spec(500)], "fine")
+            .expect_err("budget spent");
+    }
+
+    #[test]
+    fn stats_objectives_force_stats_telemetry() {
+        let objectives: Vec<Box<dyn Objective>> = vec![Box::new(P99Outage)];
+        let mut eval = Evaluator::new(&objectives, 1, None, Seconds(20e-6));
+        let evals = eval.evaluate(vec![spec(100)], "a").expect("evaluates");
+        assert_eq!(evals[0].spec.telemetry, TelemetryKind::Stats);
+        assert!(evals[0].key.contains("\"telemetry\""));
+        assert!(evals[0].scores[0].is_finite());
+    }
+
+    #[test]
+    fn coarse_runs_cost_fractional_units() {
+        let objectives = objectives();
+        let mut eval = Evaluator::new(&objectives, 1, None, Seconds(20e-6));
+        eval.evaluate(vec![spec(100).timestep(Seconds(80e-6))], "coarse")
+            .expect("evaluates");
+        assert!((eval.cost_units() - 0.25).abs() < 1e-12);
+        eval.evaluate(vec![spec(100)], "fine").expect("evaluates");
+        assert!((eval.cost_units() - 1.25).abs() < 1e-12);
+    }
+}

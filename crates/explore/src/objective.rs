@@ -1,0 +1,161 @@
+//! Objectives: scalar figures of merit extracted from a run's report.
+//!
+//! Every objective maps a [`SystemReport`] to a score where **lower is
+//! better**; searchers minimise. Multi-objective searches pass several
+//! objectives and get a Pareto front back instead of a single winner.
+//!
+//! Scores must be deterministic functions of the report. Infeasible
+//! designs score `f64::INFINITY` (e.g. completion time of a run that never
+//! completed), which dominance handles naturally: an infeasible design can
+//! never dominate a feasible one on that objective.
+
+use edc_core::telemetry::TelemetryReport;
+use edc_core::SystemReport;
+
+/// A scalar figure of merit over a run's report; lower is better.
+pub trait Objective {
+    /// Stable machine-readable name (used in report JSON).
+    fn name(&self) -> &'static str;
+
+    /// Scores the report. Must be deterministic; return `f64::INFINITY`
+    /// (never `NaN`) for infeasible designs.
+    fn score(&self, report: &SystemReport) -> f64;
+
+    /// `true` when the objective reads [`TelemetryReport::Stats`] and the
+    /// evaluator must therefore force stats telemetry onto every candidate
+    /// spec.
+    fn requires_stats(&self) -> bool {
+        false
+    }
+}
+
+/// Workload completion time in seconds; `INFINITY` when the run did not
+/// complete (deadline expired or faulted).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompletionTime;
+
+impl Objective for CompletionTime {
+    fn name(&self) -> &'static str {
+        "completion_s"
+    }
+
+    fn score(&self, report: &SystemReport) -> f64 {
+        report
+            .stats
+            .completed_at
+            .map(|t| t.0)
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+/// Number of brownouts (Eq. 2 violations while executing) over the run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BrownoutCount;
+
+impl Objective for BrownoutCount {
+    fn name(&self) -> &'static str {
+        "brownouts"
+    }
+
+    fn score(&self, report: &SystemReport) -> f64 {
+        report.stats.brownouts as f64
+    }
+}
+
+/// The p99 outage duration in seconds, from stats telemetry. Zero when the
+/// run saw no outages; `INFINITY` when the report carries no stats sink
+/// (the evaluator prevents that by forcing stats telemetry).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct P99Outage;
+
+impl Objective for P99Outage {
+    fn name(&self) -> &'static str {
+        "p99_outage_s"
+    }
+
+    fn score(&self, report: &SystemReport) -> f64 {
+        match &report.telemetry {
+            Some(TelemetryReport::Stats(stats)) => stats.outage_s().summary().p99,
+            _ => f64::INFINITY,
+        }
+    }
+
+    fn requires_stats(&self) -> bool {
+        true
+    }
+}
+
+/// Total energy drawn per completed task in joules; `INFINITY` when the
+/// task never completed (one task per run, so this is the run's consumed
+/// energy on success).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnergyPerTask;
+
+impl Objective for EnergyPerTask {
+    fn name(&self) -> &'static str {
+        "energy_per_task_j"
+    }
+
+    fn score(&self, report: &SystemReport) -> f64 {
+        if report.stats.completed_at.is_some() {
+            report.stats.energy_consumed.0
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edc_core::experiment::ExperimentSpec;
+    use edc_core::scenarios::{SourceKind, StrategyKind};
+    use edc_core::TelemetryKind;
+    use edc_units::Seconds;
+    use edc_workloads::WorkloadKind;
+
+    fn completed_report(telemetry: TelemetryKind) -> SystemReport {
+        ExperimentSpec::new(
+            SourceKind::Dc { volts: 3.3 },
+            StrategyKind::Restart,
+            WorkloadKind::BusyLoop(100),
+        )
+        .deadline(Seconds(1.0))
+        .telemetry(telemetry)
+        .run()
+        .expect("spec runs")
+    }
+
+    #[test]
+    fn completion_time_scores_finite_on_success() {
+        let report = completed_report(TelemetryKind::Null);
+        let t = CompletionTime.score(&report);
+        assert!(t.is_finite() && t > 0.0);
+        assert_eq!(BrownoutCount.score(&report), 0.0);
+        let e = EnergyPerTask.score(&report);
+        assert!(e.is_finite() && e > 0.0);
+    }
+
+    #[test]
+    fn p99_outage_requires_stats_telemetry() {
+        assert!(P99Outage.requires_stats());
+        let without = completed_report(TelemetryKind::Null);
+        assert_eq!(P99Outage.score(&without), f64::INFINITY);
+        let with = completed_report(TelemetryKind::Stats);
+        assert_eq!(P99Outage.score(&with), 0.0, "DC supply has no outages");
+    }
+
+    #[test]
+    fn incomplete_runs_score_infinite() {
+        let report = ExperimentSpec::new(
+            SourceKind::Dc { volts: 3.3 },
+            StrategyKind::Restart,
+            WorkloadKind::Endless,
+        )
+        .deadline(Seconds(0.01))
+        .run()
+        .expect("spec runs");
+        assert_eq!(CompletionTime.score(&report), f64::INFINITY);
+        assert_eq!(EnergyPerTask.score(&report), f64::INFINITY);
+    }
+}

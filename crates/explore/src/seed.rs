@@ -1,0 +1,110 @@
+//! Seeding search spaces from the paper's closed-form sizing answers.
+//!
+//! Eq. (4) gives the *smallest* capacitance that can ever fund a snapshot
+//! between the operating rails — the analytic floor of the capacitor-sizing
+//! trade-off. Starting a search from a ladder anchored at that floor means
+//! the explorer begins where the paper's hand analysis ends, instead of
+//! wasting budget on provably-infeasible designs.
+
+use edc_power::sizing::{try_required_capacitance, SizingError};
+use edc_units::{Farads, Joules, Volts};
+
+/// The Eq. (4) feasibility floor: the smallest capacitance for which a
+/// snapshot of cost `e_snapshot` (inflated by `margin`) fits between
+/// `v_max` and `v_min` — i.e. the smallest `C` for which
+/// [`try_hibernate_threshold`](edc_power::sizing::try_hibernate_threshold)
+/// still finds a threshold below `v_max`.
+///
+/// # Errors
+///
+/// Propagates [`SizingError`] for non-finite or mis-ordered arguments,
+/// and rejects a negative or non-finite `margin`.
+pub fn feasible_decoupling_floor(
+    e_snapshot: Joules,
+    v_min: Volts,
+    v_max: Volts,
+    margin: f64,
+) -> Result<Farads, SizingError> {
+    if !(margin.is_finite() && margin >= 0.0) {
+        return Err(SizingError::Domain("margin must be ≥ 0 and finite"));
+    }
+    try_required_capacitance(e_snapshot * (1.0 + margin), v_max, v_min)
+}
+
+/// A geometric capacitance ladder for the decoupling axis: `n` values from
+/// the Eq. (4) feasibility floor up to `floor × span`, so the search
+/// brackets the analytic answer from "barely feasible" to "comfortably
+/// oversized".
+///
+/// # Errors
+///
+/// Propagates [`feasible_decoupling_floor`]'s errors, and rejects
+/// `span ≤ 1` or `n < 2`.
+pub fn sizing_seeded_decoupling_axis(
+    e_snapshot: Joules,
+    v_min: Volts,
+    v_max: Volts,
+    margin: f64,
+    span: f64,
+    n: usize,
+) -> Result<Vec<Farads>, SizingError> {
+    if !(span.is_finite() && span > 1.0) {
+        return Err(SizingError::Domain("span must be > 1 and finite"));
+    }
+    if n < 2 {
+        return Err(SizingError::Domain("axis needs at least two values"));
+    }
+    let floor = feasible_decoupling_floor(e_snapshot, v_min, v_max, margin)?;
+    Ok((0..n)
+        .map(|i| Farads(floor.0 * span.powf(i as f64 / (n - 1) as f64)))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edc_power::sizing::try_hibernate_threshold;
+
+    #[test]
+    fn floor_is_the_feasibility_boundary() {
+        let e = Joules::from_micro(5.0);
+        let (v_min, v_max) = (Volts(2.0), Volts(3.6));
+        let floor = feasible_decoupling_floor(e, v_min, v_max, 0.0).expect("valid");
+        // Just above the floor a threshold exists; just below it does not.
+        let above = try_hibernate_threshold(e, Farads(floor.0 * 1.01), v_min, v_max, 0.0)
+            .expect("valid arguments");
+        assert!(above.is_some());
+        let below = try_hibernate_threshold(e, Farads(floor.0 * 0.99), v_min, v_max, 0.0)
+            .expect("valid arguments");
+        assert!(below.is_none());
+    }
+
+    #[test]
+    fn ladder_brackets_the_floor_geometrically() {
+        let axis = sizing_seeded_decoupling_axis(
+            Joules::from_micro(5.0),
+            Volts(2.0),
+            Volts(3.6),
+            0.1,
+            16.0,
+            5,
+        )
+        .expect("valid");
+        assert_eq!(axis.len(), 5);
+        assert!(axis.windows(2).all(|w| w[1] > w[0]), "strictly increasing");
+        assert!((axis[4].0 / axis[0].0 - 16.0).abs() < 1e-9, "spans 16×");
+        // Constant ratio between neighbours (geometric).
+        let r0 = axis[1].0 / axis[0].0;
+        let r1 = axis[3].0 / axis[2].0;
+        assert!((r0 - r1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_seed_arguments_are_rejected() {
+        let e = Joules::from_micro(5.0);
+        assert!(feasible_decoupling_floor(e, Volts(3.6), Volts(2.0), 0.0).is_err());
+        assert!(feasible_decoupling_floor(e, Volts(2.0), Volts(3.6), -0.5).is_err());
+        assert!(sizing_seeded_decoupling_axis(e, Volts(2.0), Volts(3.6), 0.0, 0.5, 5).is_err());
+        assert!(sizing_seeded_decoupling_axis(e, Volts(2.0), Volts(3.6), 0.0, 4.0, 1).is_err());
+    }
+}

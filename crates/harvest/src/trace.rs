@@ -123,31 +123,47 @@ impl TracePlayback {
         va + (vb - va) * frac.clamp(0.0, 1.0)
     }
 
-    /// Interpolated power at `t`.
+    /// Interpolated power at `t`, or `None` if this is a voltage trace
+    /// (power is not defined without a load operating point).
+    pub fn try_power_at(&self, t: Seconds) -> Option<Watts> {
+        match self.kind {
+            TraceKind::Power => Some(Watts(self.value_at(t))),
+            TraceKind::Voltage(_) => None,
+        }
+    }
+
+    /// Interpolated open-circuit voltage at `t`, or `None` if this is a
+    /// power trace.
+    pub fn try_voltage_at(&self, t: Seconds) -> Option<Volts> {
+        match self.kind {
+            TraceKind::Voltage(_) => Some(Volts(self.value_at(t))),
+            TraceKind::Power => None,
+        }
+    }
+
+    /// Interpolated power at `t`. Asserting wrapper over
+    /// [`TracePlayback::try_power_at`] for call sites that know the trace
+    /// kind statically.
     ///
     /// # Panics
     ///
     /// Panics if this is a voltage trace (power is not defined without a
     /// load operating point).
     pub fn power_at(&self, t: Seconds) -> Watts {
-        match self.kind {
-            TraceKind::Power => Watts(self.value_at(t)),
-            TraceKind::Voltage(_) => {
-                panic!("power_at is only defined for power traces")
-            }
-        }
+        self.try_power_at(t)
+            .expect("power_at is only defined for power traces")
     }
 
-    /// Interpolated open-circuit voltage at `t`.
+    /// Interpolated open-circuit voltage at `t`. Asserting wrapper over
+    /// [`TracePlayback::try_voltage_at`] for call sites that know the trace
+    /// kind statically.
     ///
     /// # Panics
     ///
     /// Panics if this is a power trace.
     pub fn voltage_at(&self, t: Seconds) -> Volts {
-        match self.kind {
-            TraceKind::Voltage(_) => Volts(self.value_at(t)),
-            TraceKind::Power => panic!("voltage_at is only defined for voltage traces"),
-        }
+        self.try_voltage_at(t)
+            .expect("voltage_at is only defined for voltage traces")
     }
 }
 
@@ -234,6 +250,20 @@ mod tests {
     #[should_panic(expected = "at least two samples")]
     fn single_sample_rejected() {
         let _ = TracePlayback::from_power_series("bad", vec![(Seconds(0.0), Watts(0.0))]);
+    }
+
+    #[test]
+    fn try_accessors_report_kind_mismatch_as_none() {
+        let p = power_trace();
+        assert_eq!(p.try_power_at(Seconds(0.5)), Some(Watts(0.5)));
+        assert_eq!(p.try_voltage_at(Seconds(0.5)), None);
+        let v = TracePlayback::from_voltage_series(
+            "v",
+            vec![(Seconds(0.0), Volts(0.0)), (Seconds(1.0), Volts(4.0))],
+            Ohms(100.0),
+        );
+        assert_eq!(v.try_voltage_at(Seconds(0.5)), Some(Volts(2.0)));
+        assert_eq!(v.try_power_at(Seconds(0.5)), None);
     }
 
     #[test]

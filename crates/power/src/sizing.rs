@@ -9,7 +9,83 @@
 //! *how much capacitance do I need?*, and *how large a buffer makes a
 //! harvest/consumption profile energy-neutral?*
 
+use std::fmt;
+
 use edc_units::{Farads, Joules, Seconds, Volts, Watts};
+
+/// Why a sizing computation rejected its arguments.
+///
+/// The explorer (`edc-explore`) seeds search spaces from these functions,
+/// so a bad argument must surface as a value — never as a silent `NaN`
+/// propagating into a capacitance axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizingError {
+    /// A parameter that must be finite was NaN or infinite.
+    NonFinite(&'static str),
+    /// A parameter violated its sign or ordering constraint.
+    Domain(&'static str),
+}
+
+impl fmt::Display for SizingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SizingError::NonFinite(what) => write!(f, "{what} must be finite"),
+            SizingError::Domain(what) => f.write_str(what),
+        }
+    }
+}
+
+impl std::error::Error for SizingError {}
+
+/// Checks that `x` is finite, naming it on failure.
+fn finite(x: f64, what: &'static str) -> Result<f64, SizingError> {
+    if x.is_finite() {
+        Ok(x)
+    } else {
+        Err(SizingError::NonFinite(what))
+    }
+}
+
+/// Fallible form of [`hibernate_threshold`]: every argument is checked and
+/// violations come back as a [`SizingError`] instead of a panic or a `NaN`
+/// threshold.
+///
+/// The outer `Result` reports argument violations; the inner `Option` keeps
+/// [`hibernate_threshold`]'s meaning (`None` = no feasible threshold below
+/// `v_max`). Note `v_max ≤ v_min` is *infeasibility*, not an argument
+/// error: no threshold can exist in an empty rail window, so it yields
+/// `Ok(None)` — the "under-provisioned platform limps along" path the
+/// strategy calibrators rely on.
+///
+/// # Errors
+///
+/// Returns the first violated constraint: all arguments must be finite,
+/// `e_snapshot ≥ 0`, `c > 0`, `margin ≥ 0`, and `v_min ≥ 0`.
+pub fn try_hibernate_threshold(
+    e_snapshot: Joules,
+    c: Farads,
+    v_min: Volts,
+    v_max: Volts,
+    margin: f64,
+) -> Result<Option<Volts>, SizingError> {
+    if finite(e_snapshot.0, "snapshot energy")? < 0.0 {
+        return Err(SizingError::Domain("snapshot energy must be ≥ 0"));
+    }
+    if finite(c.0, "capacitance")? <= 0.0 {
+        return Err(SizingError::Domain("capacitance must be > 0"));
+    }
+    if finite(v_min.0, "V_min")? < 0.0 {
+        return Err(SizingError::Domain("V_min must be ≥ 0"));
+    }
+    finite(v_max.0, "V_max")?;
+    if finite(margin, "margin")? < 0.0 {
+        return Err(SizingError::Domain("margin must be ≥ 0"));
+    }
+    let budget = e_snapshot * (1.0 + margin);
+    // E ≤ C(V_H² − V_min²)/2  ⇒  V_H = sqrt(2E/C + V_min²)
+    let v_h = Volts((2.0 * budget.0 / c.0 + v_min.squared()).sqrt());
+    Ok(if v_h < v_max { Some(v_h) } else { None })
+}
 
 /// Solves Eq. (4) for the hibernate threshold `V_H`: the lowest rail voltage
 /// at which the capacitance `c` still holds enough energy above `v_min` to
@@ -19,6 +95,9 @@ use edc_units::{Farads, Joules, Seconds, Volts, Watts};
 /// Returns `None` when no threshold below `v_max` satisfies the budget —
 /// i.e. the platform's capacitance is simply too small to ever checkpoint
 /// safely (the failure mode Hibernus++ was designed to detect at run time).
+///
+/// Asserting wrapper over [`try_hibernate_threshold`] for call sites whose
+/// arguments are known-good by construction (the strategy calibrators).
 ///
 /// # Examples
 ///
@@ -38,8 +117,8 @@ use edc_units::{Farads, Joules, Seconds, Volts, Watts};
 ///
 /// # Panics
 ///
-/// Panics if `c` is not positive, `v_min` is negative, or `margin` is
-/// negative.
+/// Panics when [`try_hibernate_threshold`] rejects the arguments (non-finite
+/// values, `e_snapshot < 0`, `c ≤ 0`, `v_min < 0`, or `margin < 0`).
 pub fn hibernate_threshold(
     e_snapshot: Joules,
     c: Farads,
@@ -47,72 +126,111 @@ pub fn hibernate_threshold(
     v_max: Volts,
     margin: f64,
 ) -> Option<Volts> {
-    assert!(c.is_positive(), "capacitance must be > 0");
-    assert!(v_min.0 >= 0.0, "V_min must be ≥ 0");
-    assert!(margin >= 0.0, "margin must be ≥ 0");
-    let budget = e_snapshot * (1.0 + margin);
-    // E ≤ C(V_H² − V_min²)/2  ⇒  V_H = sqrt(2E/C + V_min²)
-    let v_h = Volts((2.0 * budget.0 / c.0 + v_min.squared()).sqrt());
-    if v_h < v_max {
-        Some(v_h)
-    } else {
-        None
+    try_hibernate_threshold(e_snapshot, c, v_min, v_max, margin).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`required_capacitance`]: Eq. (4) solved for `C`, with
+/// every argument checked.
+///
+/// # Errors
+///
+/// Returns the first violated constraint: all arguments must be finite,
+/// `e_snapshot ≥ 0`, and `v_h > v_min ≥ 0`.
+pub fn try_required_capacitance(
+    e_snapshot: Joules,
+    v_h: Volts,
+    v_min: Volts,
+) -> Result<Farads, SizingError> {
+    if finite(e_snapshot.0, "snapshot energy")? < 0.0 {
+        return Err(SizingError::Domain("snapshot energy must be ≥ 0"));
     }
+    if finite(v_min.0, "V_min")? < 0.0 {
+        return Err(SizingError::Domain("V_min must be ≥ 0"));
+    }
+    if finite(v_h.0, "V_H")? <= v_min.0 {
+        return Err(SizingError::Domain("V_H must exceed V_min"));
+    }
+    Ok(Farads(
+        2.0 * e_snapshot.0 / (v_h.squared() - v_min.squared()),
+    ))
 }
 
 /// Inverse of [`hibernate_threshold`]: the minimum capacitance for which a
 /// snapshot of cost `e_snapshot` fits between `v_h` and `v_min` (Eq. 4
-/// solved for `C`).
+/// solved for `C`). Asserting wrapper over [`try_required_capacitance`].
 ///
 /// # Panics
 ///
-/// Panics unless `v_h > v_min ≥ 0`.
+/// Panics when [`try_required_capacitance`] rejects the arguments
+/// (non-finite values, `e_snapshot < 0`, `v_h ≤ v_min`, or `v_min < 0`).
 pub fn required_capacitance(e_snapshot: Joules, v_h: Volts, v_min: Volts) -> Farads {
-    assert!(v_h > v_min, "V_H must exceed V_min");
-    assert!(v_min.0 >= 0.0, "V_min must be ≥ 0");
-    Farads(2.0 * e_snapshot.0 / (v_h.squared() - v_min.squared()))
+    try_required_capacitance(e_snapshot, v_h, v_min).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`is_energy_neutral`]: Eq. (1) over a sampled window,
+/// with the window shape and timestep checked.
+///
+/// # Errors
+///
+/// Returns [`SizingError::Domain`] when the slices differ in length,
+/// `dt ≤ 0`, or `tolerance < 0`, and [`SizingError::NonFinite`] when `dt`
+/// or `tolerance` is NaN or infinite.
+pub fn try_is_energy_neutral(
+    harvested: &[Watts],
+    consumed: &[Watts],
+    dt: Seconds,
+    tolerance: f64,
+) -> Result<bool, SizingError> {
+    if harvested.len() != consumed.len() {
+        return Err(SizingError::Domain("profiles must cover the same samples"));
+    }
+    if finite(dt.0, "dt")? <= 0.0 {
+        return Err(SizingError::Domain("dt must be > 0"));
+    }
+    if finite(tolerance, "tolerance")? < 0.0 {
+        return Err(SizingError::Domain("tolerance must be ≥ 0"));
+    }
+    let e_h: f64 = harvested.iter().map(|p| p.0 * dt.0).sum();
+    let e_c: f64 = consumed.iter().map(|p| p.0 * dt.0).sum();
+    let scale = e_h.abs().max(e_c.abs()).max(1e-30);
+    Ok((e_h - e_c).abs() / scale <= tolerance)
 }
 
 /// Checks Eq. (1) over a sampled window: `true` when harvested and consumed
-/// energy agree within `tolerance` (relative).
+/// energy agree within `tolerance` (relative). Asserting wrapper over
+/// [`try_is_energy_neutral`].
 ///
 /// # Panics
 ///
-/// Panics if the slices differ in length or `dt` is not positive.
+/// Panics if the slices differ in length, `dt` is not positive and finite,
+/// or `tolerance` is negative or non-finite.
 pub fn is_energy_neutral(
     harvested: &[Watts],
     consumed: &[Watts],
     dt: Seconds,
     tolerance: f64,
 ) -> bool {
-    assert_eq!(
-        harvested.len(),
-        consumed.len(),
-        "profiles must cover the same samples"
-    );
-    assert!(dt.is_positive(), "dt must be > 0");
-    let e_h: f64 = harvested.iter().map(|p| p.0 * dt.0).sum();
-    let e_c: f64 = consumed.iter().map(|p| p.0 * dt.0).sum();
-    let scale = e_h.abs().max(e_c.abs()).max(1e-30);
-    (e_h - e_c).abs() / scale <= tolerance
+    try_is_energy_neutral(harvested, consumed, dt, tolerance).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Sizes the buffer Eq. (1)/(2) implies: the maximum cumulative deficit of
-/// `harvested − consumed` over the window. A system starting with this much
-/// stored energy never violates Eq. (2) *for this profile*.
+/// Fallible form of [`required_buffer_energy`], with the window shape and
+/// timestep checked.
 ///
-/// Returns zero when harvest always covers consumption.
+/// # Errors
 ///
-/// # Panics
-///
-/// Panics if the slices differ in length or `dt` is not positive.
-pub fn required_buffer_energy(harvested: &[Watts], consumed: &[Watts], dt: Seconds) -> Joules {
-    assert_eq!(
-        harvested.len(),
-        consumed.len(),
-        "profiles must cover the same samples"
-    );
-    assert!(dt.is_positive(), "dt must be > 0");
+/// Returns [`SizingError::Domain`] when the slices differ in length or
+/// `dt ≤ 0`, and [`SizingError::NonFinite`] when `dt` is NaN or infinite.
+pub fn try_required_buffer_energy(
+    harvested: &[Watts],
+    consumed: &[Watts],
+    dt: Seconds,
+) -> Result<Joules, SizingError> {
+    if harvested.len() != consumed.len() {
+        return Err(SizingError::Domain("profiles must cover the same samples"));
+    }
+    if finite(dt.0, "dt")? <= 0.0 {
+        return Err(SizingError::Domain("dt must be > 0"));
+    }
     let mut balance = 0.0f64;
     let mut worst = 0.0f64;
     for (h, c) in harvested.iter().zip(consumed) {
@@ -121,19 +239,56 @@ pub fn required_buffer_energy(harvested: &[Watts], consumed: &[Watts], dt: Secon
             worst = balance;
         }
     }
-    Joules(-worst)
+    Ok(Joules(-worst))
 }
 
-/// Converts a buffer energy into the capacitance that stores it between the
-/// operating rails `v_max` (full) and `v_min` (empty).
+/// Sizes the buffer Eq. (1)/(2) implies: the maximum cumulative deficit of
+/// `harvested − consumed` over the window. A system starting with this much
+/// stored energy never violates Eq. (2) *for this profile*.
+///
+/// Returns zero when harvest always covers consumption. Asserting wrapper
+/// over [`try_required_buffer_energy`].
 ///
 /// # Panics
 ///
-/// Panics unless `v_max > v_min ≥ 0`.
+/// Panics if the slices differ in length or `dt` is not positive and
+/// finite.
+pub fn required_buffer_energy(harvested: &[Watts], consumed: &[Watts], dt: Seconds) -> Joules {
+    try_required_buffer_energy(harvested, consumed, dt).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`buffer_capacitance`], with every argument checked.
+///
+/// # Errors
+///
+/// Returns the first violated constraint: all arguments must be finite,
+/// `e ≥ 0`, and `v_max > v_min ≥ 0`.
+pub fn try_buffer_capacitance(
+    e: Joules,
+    v_max: Volts,
+    v_min: Volts,
+) -> Result<Farads, SizingError> {
+    if finite(e.0, "buffer energy")? < 0.0 {
+        return Err(SizingError::Domain("buffer energy must be ≥ 0"));
+    }
+    if finite(v_min.0, "V_min")? < 0.0 {
+        return Err(SizingError::Domain("V_min must be ≥ 0"));
+    }
+    if finite(v_max.0, "V_max")? <= v_min.0 {
+        return Err(SizingError::Domain("V_max must exceed V_min"));
+    }
+    Ok(Farads(2.0 * e.0 / (v_max.squared() - v_min.squared())))
+}
+
+/// Converts a buffer energy into the capacitance that stores it between the
+/// operating rails `v_max` (full) and `v_min` (empty). Asserting wrapper
+/// over [`try_buffer_capacitance`].
+///
+/// # Panics
+///
+/// Panics unless every argument is finite, `e ≥ 0`, and `v_max > v_min ≥ 0`.
 pub fn buffer_capacitance(e: Joules, v_max: Volts, v_min: Volts) -> Farads {
-    assert!(v_max > v_min, "V_max must exceed V_min");
-    assert!(v_min.0 >= 0.0, "V_min must be ≥ 0");
-    Farads(2.0 * e.0 / (v_max.squared() - v_min.squared()))
+    try_buffer_capacitance(e, v_max, v_min).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -230,6 +385,88 @@ mod tests {
         let c = vec![Watts(1.0); 10];
         let e = required_buffer_energy(&h, &c, Seconds(1.0));
         assert!((e.0 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_arguments_come_back_as_values_not_nans() {
+        // Non-finite inputs are named.
+        assert_eq!(
+            try_hibernate_threshold(Joules(f64::NAN), Farads(1e-6), Volts(2.0), Volts(3.6), 0.0),
+            Err(SizingError::NonFinite("snapshot energy"))
+        );
+        assert_eq!(
+            try_required_capacitance(Joules(1e-6), Volts(f64::INFINITY), Volts(2.0)),
+            Err(SizingError::NonFinite("V_H"))
+        );
+        // Ordering violations that previously produced NaN/negative sizes.
+        assert_eq!(
+            try_required_capacitance(Joules(1e-6), Volts(2.0), Volts(2.0)),
+            Err(SizingError::Domain("V_H must exceed V_min"))
+        );
+        assert_eq!(
+            try_buffer_capacitance(Joules(-1.0), Volts(3.0), Volts(2.0)),
+            Err(SizingError::Domain("buffer energy must be ≥ 0"))
+        );
+        assert_eq!(
+            try_is_energy_neutral(&[Watts(1.0)], &[], Seconds(1.0), 0.1),
+            Err(SizingError::Domain("profiles must cover the same samples"))
+        );
+        assert_eq!(
+            try_required_buffer_energy(&[Watts(1.0)], &[Watts(1.0)], Seconds(0.0)),
+            Err(SizingError::Domain("dt must be > 0"))
+        );
+        // Errors display their constraint.
+        assert!(SizingError::NonFinite("V_H").to_string().contains("finite"));
+    }
+
+    #[test]
+    fn try_forms_agree_with_asserting_wrappers_on_good_input() {
+        let v_h = try_hibernate_threshold(
+            Joules::from_micro(5.0),
+            Farads::from_micro(10.0),
+            Volts(2.0),
+            Volts(3.6),
+            0.1,
+        )
+        .expect("valid arguments")
+        .expect("feasible");
+        assert_eq!(
+            Some(v_h),
+            hibernate_threshold(
+                Joules::from_micro(5.0),
+                Farads::from_micro(10.0),
+                Volts(2.0),
+                Volts(3.6),
+                0.1
+            )
+        );
+        let c = try_required_capacitance(Joules::from_micro(5.0), v_h, Volts(2.0))
+            .expect("valid arguments");
+        assert_eq!(
+            c,
+            required_capacitance(Joules::from_micro(5.0), v_h, Volts(2.0))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be > 0")]
+    fn asserting_wrapper_still_panics() {
+        let _ = hibernate_threshold(Joules(1e-6), Farads(0.0), Volts(2.0), Volts(3.6), 0.0);
+    }
+
+    #[test]
+    fn inverted_rail_window_is_infeasible_not_an_error() {
+        // The strategy calibrators' "under-provisioned platform" fallback
+        // depends on an empty/inverted (V_min, V_max) window reporting
+        // infeasibility (`None`), never panicking.
+        assert_eq!(
+            try_hibernate_threshold(Joules(1e-6), Farads(1e-6), Volts(3.6), Volts(2.0), 0.0),
+            Ok(None)
+        );
+        assert_eq!(
+            hibernate_threshold(Joules(1e-6), Farads(1e-6), Volts(3.6), Volts(2.0), 0.0),
+            None
+        );
     }
 
     #[test]

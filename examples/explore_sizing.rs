@@ -1,0 +1,85 @@
+//! Capacitor sizing as a Pareto front, found instead of hand-derived.
+//!
+//! The paper sizes storage by hand: Eq. (4) gives the smallest capacitance
+//! that can fund a snapshot between the rails, and the prose argues the
+//! rest of the co-design — which checkpoint strategy, how much headroom
+//! above the floor — by case analysis. This example asks the explorer the
+//! same question: over a sizing-seeded capacitance ladder crossed with
+//! every checkpoint strategy, which designs are Pareto-optimal in
+//! (completion time, energy per task)?
+//!
+//! Run: `cargo run --release --example explore_sizing`
+
+use energy_driven::core::experiment::ExperimentSpec;
+use energy_driven::core::scenarios::{SourceKind, StrategyKind};
+use energy_driven::explore::seed::{feasible_decoupling_floor, sizing_seeded_decoupling_axis};
+use energy_driven::explore::{
+    CompletionTime, EnergyPerTask, ExhaustiveGrid, ExploreError, Explorer, SpecSpace,
+};
+use energy_driven::units::{Joules, Seconds, Volts};
+use energy_driven::workloads::WorkloadKind;
+
+fn main() -> Result<(), ExploreError> {
+    let e_snapshot = Joules::from_micro(5.0);
+    let (v_min, v_max) = (Volts(2.0), Volts(3.6));
+    let floor = feasible_decoupling_floor(e_snapshot, v_min, v_max, 0.1)?;
+    println!(
+        "Eq. 4 feasibility floor for a {:.1} µJ snapshot: {:.2} µF",
+        e_snapshot.as_micro(),
+        floor.as_micro()
+    );
+
+    // Search from the analytic floor up to 32x it, against the paper's
+    // Fig. 7 supply, with a workload long enough to span many outages.
+    let decoupling = sizing_seeded_decoupling_axis(e_snapshot, v_min, v_max, 0.1, 32.0, 6)?;
+    let base = ExperimentSpec::new(
+        SourceKind::RectifiedSine { hz: 50.0 },
+        StrategyKind::Hibernus,
+        WorkloadKind::Fourier(256),
+    )
+    .deadline(Seconds(10.0));
+    let space = SpecSpace::over(base)
+        .strategies(&StrategyKind::ALL)
+        .decoupling(&decoupling);
+
+    let report = Explorer::new()
+        .objective(CompletionTime)
+        .objective(EnergyPerTask)
+        .run(&space, &ExhaustiveGrid)?;
+
+    println!(
+        "\nExplored {} designs ({} simulations); Pareto front:",
+        space.len(),
+        report.evaluations
+    );
+    println!(
+        "{:>12} {:>12} {:>14} {:>14}",
+        "C (µF)", "strategy", "done (s)", "energy (mJ)"
+    );
+    for p in report.front.points() {
+        let done = if p.scores[0].is_finite() {
+            format!("{:.3}", p.scores[0])
+        } else {
+            "DNF".to_string()
+        };
+        let energy = if p.scores[1].is_finite() {
+            format!("{:.4}", p.scores[1] * 1e3)
+        } else {
+            "DNF".to_string()
+        };
+        println!(
+            "{:>12.2} {:>12} {:>14} {:>14}",
+            p.spec.decoupling.as_micro(),
+            p.spec.strategy.name(),
+            done,
+            energy,
+        );
+    }
+    println!(
+        "\nThe front is the quantified version of the paper's sizing argument:\n\
+         undersized capacitors never appear on it (they brown out or never\n\
+         complete), and the surviving designs trade completion speed against\n\
+         energy per task across checkpoint strategies."
+    );
+    Ok(())
+}

@@ -1,0 +1,218 @@
+//! Integration tests for the exploration subsystem (`edc-explore`):
+//! determinism guarantees, the multi-fidelity budget claim, and Pareto
+//! soundness.
+//!
+//! The three pillars, matching ISSUE/README claims:
+//! 1. `ExploreReport` JSON is byte-identical across repeated runs and
+//!    across serial-vs-parallel execution, for every searcher.
+//! 2. `SuccessiveHalving` lands on the exhaustive grid's Pareto front for
+//!    ≤ 25% of the grid's full-fidelity-equivalent cost.
+//! 3. A `ParetoFront` never contains a dominated point (property-based).
+
+use energy_driven::core::experiment::ExperimentSpec;
+use energy_driven::core::scenarios::{SourceKind, StrategyKind};
+use energy_driven::explore::evaluator::Evaluation;
+use energy_driven::explore::seed::sizing_seeded_decoupling_axis;
+use energy_driven::explore::{
+    dominates, BrownoutCount, CompletionTime, CoordinateDescent, ExhaustiveGrid, Explorer,
+    ParetoFront, RandomSearch, Searcher, SpecSpace, SuccessiveHalving,
+};
+use energy_driven::units::{Farads, Joules, Seconds, Volts};
+use energy_driven::workloads::WorkloadKind;
+use proptest::prelude::*;
+
+/// A small, fast space for determinism checks: DC supply, two strategies,
+/// two capacitances, two workload sizes.
+fn small_space() -> SpecSpace {
+    let base = ExperimentSpec::new(
+        SourceKind::Dc { volts: 3.3 },
+        StrategyKind::Restart,
+        WorkloadKind::BusyLoop(150),
+    )
+    .deadline(Seconds(1.0));
+    SpecSpace::over(base)
+        .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus])
+        .workloads(&[WorkloadKind::BusyLoop(100), WorkloadKind::Crc16(32)])
+        .decoupling(&[Farads::from_micro(10.0), Farads::from_micro(22.0)])
+}
+
+/// The capacitor-sizing space the paper reasons about by hand: Fig. 7
+/// supply, sizing-seeded capacitance ladder, restart-vs-hibernus.
+fn sizing_space() -> SpecSpace {
+    let decoupling = sizing_seeded_decoupling_axis(
+        Joules::from_micro(5.0),
+        Volts(2.0),
+        Volts(3.6),
+        0.1,
+        32.0,
+        8,
+    )
+    .expect("canonical rails are valid");
+    let base = ExperimentSpec::new(
+        SourceKind::RectifiedSine { hz: 50.0 },
+        StrategyKind::Hibernus,
+        WorkloadKind::Crc16(256),
+    )
+    .deadline(Seconds(3.0));
+    SpecSpace::over(base)
+        .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus])
+        .decoupling(&decoupling)
+}
+
+#[test]
+fn every_searcher_is_byte_deterministic_serial_vs_parallel() {
+    let space = small_space();
+    let searchers: Vec<Box<dyn Searcher>> = vec![
+        Box::new(ExhaustiveGrid),
+        Box::new(RandomSearch::new(2017, 6)),
+        Box::new(SuccessiveHalving::new().rungs(&[4.0, 1.0])),
+        Box::new(CoordinateDescent::new(2)),
+    ];
+    for searcher in &searchers {
+        let explorer = |threads: usize| {
+            Explorer::new()
+                .objective(CompletionTime)
+                .objective(BrownoutCount)
+                .threads(threads)
+        };
+        let parallel = explorer(4)
+            .run(&space, searcher.as_ref())
+            .expect("explores")
+            .to_json()
+            .to_string();
+        let serial = explorer(1)
+            .run(&space, searcher.as_ref())
+            .expect("explores")
+            .to_json()
+            .to_string();
+        let again = explorer(3)
+            .run(&space, searcher.as_ref())
+            .expect("explores")
+            .to_json()
+            .to_string();
+        assert_eq!(parallel, serial, "{}: serial != parallel", searcher.name());
+        assert_eq!(parallel, again, "{}: repeat differs", searcher.name());
+    }
+}
+
+#[test]
+fn seeded_random_search_replays_byte_identically() {
+    let space = small_space();
+    let run = |seed: u64| {
+        Explorer::new()
+            .objective(CompletionTime)
+            .run(&space, &RandomSearch::new(seed, 8))
+            .expect("explores")
+            .to_json()
+            .to_string()
+    };
+    assert_eq!(run(7), run(7), "same seed, same report bytes");
+    assert_ne!(run(7), run(8), "different seeds sample differently");
+}
+
+/// The headline budget claim: successive halving finds a design on the
+/// exhaustive grid's Pareto front for ≤ 25% of the grid's cost
+/// (full-fidelity-equivalent units; the coarse prefilter rungs are cheap
+/// because simulation cost scales inversely with the timestep).
+#[test]
+fn halving_lands_on_the_grid_front_within_quarter_budget() {
+    let space = sizing_space();
+    let explorer = Explorer::new()
+        .objective(CompletionTime)
+        .objective(BrownoutCount);
+    let grid = explorer.run(&space, &ExhaustiveGrid).expect("explores");
+    let halving = explorer
+        .run(&space, &SuccessiveHalving::new())
+        .expect("explores");
+
+    assert_eq!(grid.evaluations, space.len() as u64);
+    assert!(
+        halving.cost_units <= 0.25 * grid.cost_units,
+        "halving cost {} exceeds 25% of grid cost {}",
+        halving.cost_units,
+        grid.cost_units
+    );
+    // The claim also holds counting only full-fidelity simulations: the
+    // coarse prefilter rungs run at 4-16x the timestep, so the number of
+    // candidates halving simulates *at the grid's own fidelity* is a small
+    // fraction of the grid.
+    let fine = space.finest_timestep();
+    let full_fidelity = halving
+        .trace
+        .iter()
+        .filter(|t| !t.cached && t.spec.timestep == fine)
+        .count();
+    assert!(
+        full_fidelity as f64 <= 0.25 * grid.evaluations as f64,
+        "halving ran {full_fidelity} full-fidelity simulations vs grid's {}",
+        grid.evaluations
+    );
+    let best = halving.best().expect("halving returns candidates");
+    assert!(
+        grid.front.contains_key(&best.key),
+        "halving's best design is not on the exhaustive Pareto front: {}",
+        best.key
+    );
+}
+
+#[test]
+fn budget_is_a_hard_cap() {
+    let space = small_space();
+    let err = Explorer::new()
+        .objective(CompletionTime)
+        .budget(3)
+        .run(&space, &ExhaustiveGrid)
+        .expect_err("8 points > 3 budget");
+    assert!(err.to_string().contains("budget"));
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config {
+        cases: 64,
+        ..proptest::test_runner::Config::default()
+    })]
+
+    /// A `ParetoFront` never contains a point dominated by *any* candidate
+    /// it was built from, and never drops a non-dominated candidate.
+    #[test]
+    fn prop_front_is_exactly_the_nondominated_set(
+        scores in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..24),
+    ) {
+        let spec = ExperimentSpec::new(
+            SourceKind::Dc { volts: 3.3 },
+            StrategyKind::Restart,
+            WorkloadKind::BusyLoop(1),
+        );
+        let evals: Vec<Evaluation> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| Evaluation {
+                spec,
+                key: format!("candidate-{i:03}"),
+                scores: vec![a, b],
+            })
+            .collect();
+        let front = ParetoFront::from_evaluations(&evals);
+        prop_assert!(!front.is_empty(), "a non-empty set has a front");
+        for p in front.points() {
+            for e in &evals {
+                prop_assert!(
+                    !dominates(&e.scores, &p.scores),
+                    "front point {:?} is dominated by {:?}",
+                    p.scores,
+                    e.scores
+                );
+            }
+        }
+        for e in &evals {
+            let nondominated = !evals.iter().any(|o| dominates(&o.scores, &e.scores));
+            if nondominated {
+                prop_assert!(
+                    front.contains_key(&e.key),
+                    "non-dominated candidate {} missing from the front",
+                    e.key
+                );
+            }
+        }
+    }
+}
