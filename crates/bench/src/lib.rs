@@ -10,7 +10,7 @@
 
 pub mod sweep;
 
-pub use sweep::{render_json, render_text, Sweep, SweepRow, SweepRun, SweepTiming};
+pub use sweep::{par_map, render_json, render_text, Sweep, SweepRow, SweepRun, SweepTiming};
 
 use std::fmt::Display;
 

@@ -261,32 +261,18 @@ pub fn run_specs_timed(specs: Vec<ExperimentSpec>, threads: usize) -> Result<Swe
         spec.validate()?;
     }
     let started = Instant::now();
-    let next = AtomicUsize::new(0);
-    type CellSlot = Mutex<Option<(Result<SystemReport, BuildError>, f64)>>;
-    let slots: Vec<CellSlot> = specs.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.clamp(1, specs.len().max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(spec) = specs.get(i) else { break };
-                let cell_started = Instant::now();
-                let result = spec.run();
-                let elapsed = cell_started.elapsed().as_secs_f64();
-                *slots[i].lock().expect("result slot poisoned") = Some((result, elapsed));
-            });
-        }
+    let results = par_map(&specs, threads, |spec| {
+        let cell_started = Instant::now();
+        let result = spec.run();
+        (result, cell_started.elapsed().as_secs_f64())
     });
     let total_s = started.elapsed().as_secs_f64();
     let mut per_cell_s = Vec::with_capacity(specs.len());
     let rows = specs
         .into_iter()
-        .zip(slots)
+        .zip(results)
         .enumerate()
-        .map(|(index, (spec, slot))| {
-            let (result, elapsed) = slot
-                .into_inner()
-                .expect("result slot poisoned")
-                .expect("every slot is filled before the scope exits");
+        .map(|(index, (spec, (result, elapsed)))| {
             per_cell_s.push(elapsed);
             Ok(SweepRow {
                 index,
@@ -302,6 +288,38 @@ pub fn run_specs_timed(specs: Vec<ExperimentSpec>, threads: usize) -> Result<Swe
             per_cell_s,
         },
     })
+}
+
+/// Deterministic scoped fan-out: workers claim items by index and results
+/// come back in input order, so thread count affects wall-clock only,
+/// never results. The primitive under [`run_specs_timed`], reused by
+/// `edc-fleet` for per-node runs that cannot be expressed as plain specs
+/// (trace-backed shared fields).
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.clamp(1, items.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock().expect("result slot poisoned") = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot is filled before the scope exits")
+        })
+        .collect()
 }
 
 /// Renders rows as an aligned text table.

@@ -315,29 +315,7 @@ impl ExperimentSpec {
     /// serialised, including kind parameters.
     pub fn to_json(&self) -> crate::json::Json {
         use crate::json::Json;
-        let source = match self.source {
-            SourceKind::RectifiedSine { hz } => Json::obj(vec![
-                ("kind", Json::Str("rectified-sine".into())),
-                ("hz", Json::Num(hz)),
-            ]),
-            SourceKind::Turbine => Json::obj(vec![("kind", Json::Str("turbine".into()))]),
-            SourceKind::Interrupted { hz } => Json::obj(vec![
-                ("kind", Json::Str("interrupted".into())),
-                ("hz", Json::Num(hz)),
-            ]),
-            SourceKind::Dc { volts } => Json::obj(vec![
-                ("kind", Json::Str("dc".into())),
-                ("volts", Json::Num(volts)),
-            ]),
-            SourceKind::IndoorPv { seed } => Json::obj(vec![
-                ("kind", Json::Str("indoor-pv".into())),
-                ("seed", Json::Uint(seed)),
-            ]),
-            SourceKind::OutdoorPv { seed } => Json::obj(vec![
-                ("kind", Json::Str("outdoor-pv".into())),
-                ("seed", Json::Uint(seed)),
-            ]),
-        };
+        let source = self.source.to_json();
         let workload = {
             let mut pairs = vec![("kind", Json::Str(self.workload.name().into()))];
             match self.workload {

@@ -1,0 +1,633 @@
+//! Declarative multi-node scenarios: one shared harvest field, `N` nodes.
+//!
+//! The paper's comparison is strictly single-node — one harvester, one
+//! strategy, one workload per run. A [`FleetSpec`] describes the first
+//! population-scale scenario: `nodes` copies of a per-node *design* (an
+//! [`ExperimentSpec`]) deployed into **one** ambient field (a
+//! [`FieldSpec`]: a synthetic [`FieldEnvelope`] or a recorded power trace),
+//! partitioned across the population by a [`Placement`]-dependent
+//! attenuation and a per-node phase stagger.
+//!
+//! Like `ExperimentSpec`, a `FleetSpec` is *description*, not computation:
+//! it validates, serialises losslessly to JSON, and expands into per-node
+//! specs/sources. Execution (parallel fan-out, fleet metrics, merged
+//! telemetry) lives in the `edc-fleet` crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use edc_core::experiment::ExperimentSpec;
+//! use edc_core::fleet::{FieldSpec, FleetSpec, Placement};
+//! use edc_core::scenarios::{FieldEnvelope, SourceKind, StrategyKind};
+//! use edc_units::Seconds;
+//! use edc_workloads::WorkloadKind;
+//!
+//! let design = ExperimentSpec::new(
+//!     SourceKind::Dc { volts: 3.3 }, // replaced by each node's field view
+//!     StrategyKind::Hibernus,
+//!     WorkloadKind::Crc16(64),
+//! );
+//! let fleet = FleetSpec::new(
+//!     FieldSpec::Envelope(FieldEnvelope::RectifiedSine { hz: 50.0 }),
+//!     design,
+//!     4,
+//! )
+//! .stagger(Seconds(0.005))
+//! .duty_period(Seconds(1.0));
+//! fleet.validate()?;
+//! let specs = fleet.node_specs().expect("envelope fields expand to specs");
+//! assert_eq!(specs.len(), 4);
+//! # Ok::<(), edc_core::fleet::FleetError>(())
+//! ```
+
+use std::fmt;
+
+use edc_harvest::{EnergySource, FieldView, TracePlayback};
+use edc_units::{Seconds, Watts};
+
+use crate::experiment::{BuildError, ExperimentSpec};
+use crate::json::Json;
+use crate::scenarios::{FieldEnvelope, SourceKind};
+
+/// Why a fleet scenario could not be assembled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// The fleet has no nodes.
+    NoNodes,
+    /// Negative or non-finite phase stagger (seconds).
+    InvalidStagger(f64),
+    /// Non-positive or non-finite sensing duty period (seconds).
+    InvalidDutyPeriod(f64),
+    /// A placement produced an attenuation outside `(0, 1]`.
+    InvalidAttenuation {
+        /// The node whose placement is invalid.
+        node: usize,
+        /// The offending attenuation.
+        value: f64,
+    },
+    /// An explicit placement's length does not match the node count.
+    PlacementCount {
+        /// Nodes in the fleet.
+        nodes: usize,
+        /// Attenuations supplied.
+        placements: usize,
+    },
+    /// The shared field's parameters are invalid.
+    InvalidField(&'static str),
+    /// The per-node design failed experiment validation.
+    Design(BuildError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::NoNodes => f.write_str("a fleet needs at least one node"),
+            FleetError::InvalidStagger(x) => {
+                write!(f, "phase stagger must be finite and ≥ 0, got {x} s")
+            }
+            FleetError::InvalidDutyPeriod(x) => {
+                write!(f, "duty period must be positive and finite, got {x} s")
+            }
+            FleetError::InvalidAttenuation { node, value } => {
+                write!(f, "node {node}: attenuation must be in (0, 1], got {value}")
+            }
+            FleetError::PlacementCount { nodes, placements } => {
+                write!(f, "{placements} explicit placements for {nodes} nodes")
+            }
+            FleetError::InvalidField(why) => write!(f, "invalid shared field: {why}"),
+            FleetError::Design(e) => write!(f, "per-node design invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<BuildError> for FleetError {
+    fn from(e: BuildError) -> Self {
+        FleetError::Design(e)
+    }
+}
+
+/// The shared ambient field a fleet harvests from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldSpec {
+    /// A synthetic envelope from the kind registry.
+    Envelope(FieldEnvelope),
+    /// A recorded harvested-power series, replayed for every node
+    /// ([`TracePlayback`] semantics: linear interpolation, optional
+    /// looping). Sample times must be strictly increasing; values are
+    /// watts.
+    PowerTrace {
+        /// Trace name (carried into logs and JSON).
+        name: String,
+        /// `(t_s, watts)` samples, strictly increasing in time.
+        samples: Vec<(f64, f64)>,
+        /// Repeat indefinitely instead of holding the last value.
+        looping: bool,
+    },
+}
+
+impl FieldSpec {
+    /// Checks the field's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated constraint.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        match self {
+            FieldSpec::Envelope(e) => e.validate().map_err(FleetError::InvalidField),
+            FieldSpec::PowerTrace { samples, .. } => {
+                if samples.len() < 2 {
+                    return Err(FleetError::InvalidField("trace needs at least two samples"));
+                }
+                // NaN times fail this comparison and are caught by the
+                // finiteness check below.
+                for pair in samples.windows(2) {
+                    if pair[0].0 >= pair[1].0 {
+                        return Err(FleetError::InvalidField(
+                            "trace times must be strictly increasing",
+                        ));
+                    }
+                }
+                if samples
+                    .iter()
+                    .any(|&(t, w)| !(t.is_finite() && w.is_finite()))
+                {
+                    return Err(FleetError::InvalidField("trace samples must be finite"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Display name of the field.
+    pub fn name(&self) -> &str {
+        match self {
+            FieldSpec::Envelope(e) => e.name(),
+            FieldSpec::PowerTrace { name, .. } => name,
+        }
+    }
+
+    /// Instantiates one node's view of the field.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the field or placement parameters are invalid; validate
+    /// the owning [`FleetSpec`] first to get violations as values.
+    pub fn make_node_source(&self, attenuation: f64, phase: Seconds) -> Box<dyn EnergySource> {
+        match self {
+            FieldSpec::Envelope(e) => Box::new(FieldView::new(e.make(), attenuation, phase)),
+            FieldSpec::PowerTrace {
+                name,
+                samples,
+                looping,
+            } => {
+                let series: Vec<(Seconds, Watts)> = samples
+                    .iter()
+                    .map(|&(t, w)| (Seconds(t), Watts(w)))
+                    .collect();
+                let mut trace = TracePlayback::from_power_series(name.clone(), series);
+                if *looping {
+                    trace = trace.looping();
+                }
+                Box::new(FieldView::new(trace, attenuation, phase))
+            }
+        }
+    }
+
+    /// The field as a JSON value (lossless, deterministic field order).
+    pub fn to_json(&self) -> Json {
+        match self {
+            FieldSpec::Envelope(e) => Json::obj(vec![
+                ("kind", Json::Str("envelope".into())),
+                ("envelope", e.source_kind().to_json()),
+            ]),
+            FieldSpec::PowerTrace {
+                name,
+                samples,
+                looping,
+            } => Json::obj(vec![
+                ("kind", Json::Str("power-trace".into())),
+                ("name", Json::Str(name.clone())),
+                ("looping", Json::Bool(*looping)),
+                (
+                    "samples",
+                    Json::Arr(
+                        samples
+                            .iter()
+                            .map(|&(t, w)| Json::Arr(vec![Json::Num(t), Json::Num(w)]))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+}
+
+/// How a fleet's nodes are placed relative to the field source, as a
+/// per-node attenuation rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Placement {
+    /// Every node sees the full field.
+    Colocated,
+    /// Nodes spread along a line away from the field source: attenuation
+    /// falls linearly from `near` (node 0) to `far` (the last node).
+    Line {
+        /// Attenuation of the nearest node, in `(0, 1]`.
+        near: f64,
+        /// Attenuation of the farthest node, in `(0, 1]`.
+        far: f64,
+    },
+    /// Explicit per-node attenuations (length must equal the node count).
+    Explicit(Vec<f64>),
+}
+
+impl Placement {
+    /// The attenuation of node `i` in a fleet of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`, or for [`Placement::Explicit`] if `i` is outside
+    /// the supplied list.
+    pub fn attenuation(&self, i: usize, n: usize) -> f64 {
+        assert!(i < n, "node index out of range");
+        match self {
+            Placement::Colocated => 1.0,
+            Placement::Line { near, far } => {
+                if n <= 1 {
+                    *near
+                } else {
+                    near + (far - near) * i as f64 / (n - 1) as f64
+                }
+            }
+            Placement::Explicit(a) => a[i],
+        }
+    }
+
+    /// The placement as a JSON value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Placement::Colocated => Json::obj(vec![("kind", Json::Str("colocated".into()))]),
+            Placement::Line { near, far } => Json::obj(vec![
+                ("kind", Json::Str("line".into())),
+                ("near", Json::Num(*near)),
+                ("far", Json::Num(*far)),
+            ]),
+            Placement::Explicit(a) => Json::obj(vec![
+                ("kind", Json::Str("explicit".into())),
+                (
+                    "attenuations",
+                    Json::Arr(a.iter().map(|&x| Json::Num(x)).collect()),
+                ),
+            ]),
+        }
+    }
+}
+
+/// A declarative fleet scenario: `nodes` copies of one per-node design
+/// deployed into one shared field.
+///
+/// The design's own `source` is **replaced** by each node's field view;
+/// every other design field (strategy, workload, topology, decoupling,
+/// timestep, deadline, leakage, trace, telemetry) applies to every node
+/// unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// The shared ambient field.
+    pub field: FieldSpec,
+    /// The per-node design (its `source` is replaced per node).
+    pub design: ExperimentSpec,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Placement rule mapping node index to attenuation.
+    pub placement: Placement,
+    /// Phase stagger step: node `i` samples the field at `t + i × stagger`.
+    pub stagger: Seconds,
+    /// The sensing duty period the fleet is sized against (e.g. `1 s` for a
+    /// 1 Hz duty cycle); fleet metrics report coverage relative to it.
+    pub duty_period: Seconds,
+}
+
+impl FleetSpec {
+    /// A fleet with colocated placement, no stagger, and a 1 s duty period.
+    pub fn new(field: FieldSpec, design: ExperimentSpec, nodes: usize) -> Self {
+        Self {
+            field,
+            design,
+            nodes,
+            placement: Placement::Colocated,
+            stagger: Seconds(0.0),
+            duty_period: Seconds(1.0),
+        }
+    }
+
+    /// Sets the placement rule.
+    pub fn placement(mut self, p: Placement) -> Self {
+        self.placement = p;
+        self
+    }
+
+    /// Sets the phase-stagger step.
+    pub fn stagger(mut self, s: Seconds) -> Self {
+        self.stagger = s;
+        self
+    }
+
+    /// Sets the sensing duty period.
+    pub fn duty_period(mut self, p: Seconds) -> Self {
+        self.duty_period = p;
+        self
+    }
+
+    /// A short human-readable label: `field×nodes/strategy/workload`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}×{}/{}/{}",
+            self.field.name(),
+            self.nodes,
+            self.design.strategy.name(),
+            self.design.workload.name()
+        )
+    }
+
+    /// Node `i`'s phase stagger.
+    pub fn phase(&self, i: usize) -> Seconds {
+        Seconds(self.stagger.0 * i as f64)
+    }
+
+    /// Node `i`'s placement attenuation.
+    pub fn attenuation(&self, i: usize) -> f64 {
+        self.placement.attenuation(i, self.nodes)
+    }
+
+    /// Checks every parameter — field, placement, stagger, duty period,
+    /// and the per-node design (with each node's derived field view).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        if self.nodes == 0 {
+            return Err(FleetError::NoNodes);
+        }
+        if !(self.stagger.0.is_finite() && self.stagger.0 >= 0.0) {
+            return Err(FleetError::InvalidStagger(self.stagger.0));
+        }
+        if !(self.duty_period.0 > 0.0 && self.duty_period.0.is_finite()) {
+            return Err(FleetError::InvalidDutyPeriod(self.duty_period.0));
+        }
+        if let Placement::Explicit(a) = &self.placement {
+            if a.len() != self.nodes {
+                return Err(FleetError::PlacementCount {
+                    nodes: self.nodes,
+                    placements: a.len(),
+                });
+            }
+        }
+        self.field.validate()?;
+        for i in 0..self.nodes {
+            let a = self.attenuation(i);
+            if !(a.is_finite() && a > 0.0 && a <= 1.0) {
+                return Err(FleetError::InvalidAttenuation { node: i, value: a });
+            }
+        }
+        if !(self.design.deadline.0 > 0.0 && self.design.deadline.0.is_finite()) {
+            return Err(FleetError::Design(BuildError::InvalidDeadline(
+                self.design.deadline.0,
+            )));
+        }
+        match self.node_specs() {
+            // Envelope fields: the per-node specs carry the field views, so
+            // validating them covers placement-derived parameters too.
+            Some(specs) => {
+                for spec in &specs {
+                    spec.validate()?;
+                }
+            }
+            // Trace fields: node sources are boxed, so validate the design
+            // shell (everything but its replaced source).
+            None => self.design.validate()?,
+        }
+        Ok(())
+    }
+
+    /// The per-node experiment specs, when the shared field is a synthetic
+    /// [`FieldSpec::Envelope`] (per-node views are then plain
+    /// [`SourceKind::FieldView`] data and the whole fleet can run through
+    /// the sweep engine). `None` for trace fields, whose per-node sources
+    /// are boxed via [`FleetSpec::node_source`].
+    pub fn node_specs(&self) -> Option<Vec<ExperimentSpec>> {
+        let FieldSpec::Envelope(envelope) = self.field else {
+            return None;
+        };
+        Some(
+            (0..self.nodes)
+                .map(|i| {
+                    self.design.source(SourceKind::FieldView {
+                        field: envelope,
+                        attenuation: self.attenuation(i),
+                        phase_s: self.phase(i).0,
+                    })
+                })
+                .collect(),
+        )
+    }
+
+    /// Node `i`'s boxed field view — works for every field kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec is invalid; call [`FleetSpec::validate`] first.
+    pub fn node_source(&self, i: usize) -> Box<dyn EnergySource> {
+        self.field
+            .make_node_source(self.attenuation(i), self.phase(i))
+    }
+
+    /// The spec as a JSON value. Lossless: the field (trace samples
+    /// included), the per-node design, and every placement parameter are
+    /// serialised with deterministic field order.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("field", self.field.to_json()),
+            ("design", self.design.to_json()),
+            ("nodes", Json::Uint(self.nodes as u64)),
+            ("placement", self.placement.to_json()),
+            ("stagger_s", Json::Num(self.stagger.0)),
+            ("duty_period_s", Json::Num(self.duty_period.0)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::StrategyKind;
+    use edc_workloads::WorkloadKind;
+
+    fn design() -> ExperimentSpec {
+        ExperimentSpec::new(
+            SourceKind::Dc { volts: 3.3 },
+            StrategyKind::Restart,
+            WorkloadKind::BusyLoop(100),
+        )
+        .deadline(Seconds(1.0))
+    }
+
+    fn envelope() -> FieldSpec {
+        FieldSpec::Envelope(FieldEnvelope::RectifiedSine { hz: 50.0 })
+    }
+
+    #[test]
+    fn node_specs_carry_placement_and_stagger() {
+        let fleet = FleetSpec::new(envelope(), design(), 3)
+            .placement(Placement::Line {
+                near: 1.0,
+                far: 0.5,
+            })
+            .stagger(Seconds(0.01));
+        fleet.validate().expect("valid fleet");
+        let specs = fleet.node_specs().expect("envelope field");
+        assert_eq!(specs.len(), 3);
+        match specs[2].source {
+            SourceKind::FieldView {
+                attenuation,
+                phase_s,
+                ..
+            } => {
+                assert!((attenuation - 0.5).abs() < 1e-12);
+                assert!((phase_s - 0.02).abs() < 1e-12);
+            }
+            other => panic!("unexpected source {other:?}"),
+        }
+        // Everything but the source comes from the design.
+        assert_eq!(specs[0].strategy, StrategyKind::Restart);
+        assert_eq!(specs[0].deadline, Seconds(1.0));
+    }
+
+    #[test]
+    fn trace_fields_have_no_specs_but_box_sources() {
+        let fleet = FleetSpec::new(
+            FieldSpec::PowerTrace {
+                name: "site".into(),
+                samples: vec![(0.0, 1e-3), (1.0, 3e-3)],
+                looping: true,
+            },
+            design(),
+            2,
+        );
+        fleet.validate().expect("valid fleet");
+        assert!(fleet.node_specs().is_none());
+        let mut src = fleet.node_source(1);
+        assert!(src.name().contains("site"));
+        let sample = src.sample(Seconds(0.5));
+        assert!(sample.power_into(edc_units::Volts(1.0)).0 > 0.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_fleets() {
+        assert_eq!(
+            FleetSpec::new(envelope(), design(), 0).validate(),
+            Err(FleetError::NoNodes)
+        );
+        assert!(matches!(
+            FleetSpec::new(envelope(), design(), 2)
+                .stagger(Seconds(-1.0))
+                .validate(),
+            Err(FleetError::InvalidStagger(_))
+        ));
+        assert!(matches!(
+            FleetSpec::new(envelope(), design(), 2)
+                .duty_period(Seconds(0.0))
+                .validate(),
+            Err(FleetError::InvalidDutyPeriod(_))
+        ));
+        assert!(matches!(
+            FleetSpec::new(envelope(), design(), 2)
+                .placement(Placement::Explicit(vec![1.0]))
+                .validate(),
+            Err(FleetError::PlacementCount {
+                nodes: 2,
+                placements: 1
+            })
+        ));
+        assert!(matches!(
+            FleetSpec::new(envelope(), design(), 2)
+                .placement(Placement::Line {
+                    near: 1.0,
+                    far: 0.0
+                })
+                .validate(),
+            Err(FleetError::InvalidAttenuation { node: 1, .. })
+        ));
+        assert!(matches!(
+            FleetSpec::new(
+                FieldSpec::PowerTrace {
+                    name: "bad".into(),
+                    samples: vec![(0.0, 1.0)],
+                    looping: false,
+                },
+                design(),
+                1,
+            )
+            .validate(),
+            Err(FleetError::InvalidField(_))
+        ));
+        assert!(matches!(
+            FleetSpec::new(envelope(), design().timestep(Seconds(0.0)), 1).validate(),
+            Err(FleetError::Design(BuildError::InvalidTimestep(_)))
+        ));
+    }
+
+    #[test]
+    fn fleet_json_is_lossless_and_deterministic() {
+        let fleet = FleetSpec::new(
+            FieldSpec::PowerTrace {
+                name: "site".into(),
+                samples: vec![(0.0, 1e-3), (0.5, 2e-3), (1.0, 0.0)],
+                looping: true,
+            },
+            design(),
+            4,
+        )
+        .placement(Placement::Line {
+            near: 1.0,
+            far: 0.25,
+        })
+        .stagger(Seconds(0.125))
+        .duty_period(Seconds(2.0));
+        let json = fleet.to_json().to_string();
+        for key in [
+            "\"field\"",
+            "\"power-trace\"",
+            "\"samples\"",
+            "\"design\"",
+            "\"nodes\":4",
+            "\"placement\"",
+            "\"stagger_s\":0.125",
+            "\"duty_period_s\":2",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(fleet.to_json().to_string(), json);
+        assert_eq!(
+            Json::parse(&json).expect("valid JSON").to_string(),
+            json,
+            "parse → emit round-trips byte-identically"
+        );
+        assert_eq!(fleet.label(), "site×4/restart/busy-loop");
+    }
+
+    #[test]
+    fn colocated_and_single_node_line_placements() {
+        let fleet = FleetSpec::new(envelope(), design(), 1).placement(Placement::Line {
+            near: 0.8,
+            far: 0.2,
+        });
+        assert!(
+            (fleet.attenuation(0) - 0.8).abs() < 1e-12,
+            "n = 1 uses near"
+        );
+        let colocated = FleetSpec::new(envelope(), design(), 5);
+        assert_eq!(colocated.attenuation(4), 1.0);
+    }
+}

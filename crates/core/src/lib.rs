@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod fleet;
 pub mod json;
 pub mod scenarios;
 pub mod system;
@@ -32,7 +33,8 @@ pub mod telemetry;
 
 pub use edc_telemetry::TelemetryKind;
 pub use experiment::{BuildError, Experiment, ExperimentSpec, System};
-pub use scenarios::{SourceKind, StrategyKind};
+pub use fleet::{FieldSpec, FleetError, FleetSpec, Placement};
+pub use scenarios::{FieldEnvelope, SourceKind, StrategyKind};
 pub use system::{SystemReport, Topology};
 pub use taxonomy::{classify, Adaptation, Classification, SupplyKind, SystemProfile};
 pub use telemetry::TelemetryReport;

@@ -3,12 +3,15 @@
 //! every consumer reproduces the *same* experiment.
 
 use edc_harvest::{
-    DcSupply, EnergySource, GustProfile, Photovoltaic, SignalGenerator, Waveform, WindTurbine,
+    DcSupply, EnergySource, FieldView, GustProfile, Photovoltaic, SignalGenerator, Waveform,
+    WindTurbine,
 };
 use edc_transient::{
     Hibernus, HibernusPP, HibernusPn, Mementos, Nvp, QuickRecall, Restart, Strategy,
 };
-use edc_units::{Hertz, Ohms, Volts};
+use edc_units::{Hertz, Ohms, Seconds, Volts};
+
+use crate::json::Json;
 
 /// The checkpoint strategies compared throughout the workspace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,10 +110,28 @@ pub enum SourceKind {
         /// Deterministic noise seed.
         seed: u64,
     },
+    /// One fleet node's view of a shared harvest field: the ambient
+    /// [`FieldEnvelope`] seen through a placement attenuation and a phase
+    /// stagger. Built by `edc-fleet` when it partitions one field across a
+    /// population of nodes; plain `Copy` data like every other kind, so
+    /// per-node specs flow through sweeps and searchers unchanged.
+    FieldView {
+        /// The shared ambient envelope.
+        field: FieldEnvelope,
+        /// Placement attenuation in `(0, 1]` applied to the envelope's
+        /// amplitude.
+        attenuation: f64,
+        /// Phase stagger in seconds: the node samples the field at
+        /// `t + phase_s`.
+        phase_s: f64,
+    },
 }
 
 impl SourceKind {
-    /// Every source kind at its canonical parameters, in presentation order.
+    /// Every standalone source kind at its canonical parameters, in
+    /// presentation order. [`SourceKind::FieldView`] is deliberately absent:
+    /// it has no canonical parameters of its own — `edc-fleet` derives one
+    /// per node placement.
     pub const ALL: [SourceKind; 6] = [
         SourceKind::RectifiedSine { hz: 50.0 },
         SourceKind::Turbine,
@@ -129,6 +150,7 @@ impl SourceKind {
             SourceKind::Dc { .. } => "dc",
             SourceKind::IndoorPv { .. } => "indoor-pv",
             SourceKind::OutdoorPv { .. } => "outdoor-pv",
+            SourceKind::FieldView { .. } => "field-view",
         }
     }
 
@@ -148,6 +170,20 @@ impl SourceKind {
             }
             SourceKind::Dc { volts } if !volts.is_finite() => {
                 Err("DC supply voltage must be finite")
+            }
+            SourceKind::FieldView {
+                field,
+                attenuation,
+                phase_s,
+            } => {
+                field.validate()?;
+                if !(attenuation.is_finite() && attenuation > 0.0 && attenuation <= 1.0) {
+                    return Err("field-view attenuation must be in (0, 1]");
+                }
+                if !(phase_s.is_finite() && phase_s >= 0.0) {
+                    return Err("field-view phase must be finite and ≥ 0");
+                }
+                Ok(())
             }
             _ => Ok(()),
         }
@@ -169,7 +205,130 @@ impl SourceKind {
             }
             SourceKind::IndoorPv { seed } => Box::new(Photovoltaic::indoor(seed)),
             SourceKind::OutdoorPv { seed } => Box::new(Photovoltaic::outdoor(seed)),
+            SourceKind::FieldView {
+                field,
+                attenuation,
+                phase_s,
+            } => Box::new(FieldView::new(field.make(), attenuation, Seconds(phase_s))),
         }
+    }
+
+    /// The kind as a JSON value, lossless: every parameter that
+    /// distinguishes one source from another is serialised. Used by
+    /// [`ExperimentSpec::to_json`](crate::experiment::ExperimentSpec::to_json)
+    /// and fleet field serialisation, so one encoding covers both.
+    pub fn to_json(self) -> Json {
+        match self {
+            SourceKind::RectifiedSine { hz } => Json::obj(vec![
+                ("kind", Json::Str("rectified-sine".into())),
+                ("hz", Json::Num(hz)),
+            ]),
+            SourceKind::Turbine => Json::obj(vec![("kind", Json::Str("turbine".into()))]),
+            SourceKind::Interrupted { hz } => Json::obj(vec![
+                ("kind", Json::Str("interrupted".into())),
+                ("hz", Json::Num(hz)),
+            ]),
+            SourceKind::Dc { volts } => Json::obj(vec![
+                ("kind", Json::Str("dc".into())),
+                ("volts", Json::Num(volts)),
+            ]),
+            SourceKind::IndoorPv { seed } => Json::obj(vec![
+                ("kind", Json::Str("indoor-pv".into())),
+                ("seed", Json::Uint(seed)),
+            ]),
+            SourceKind::OutdoorPv { seed } => Json::obj(vec![
+                ("kind", Json::Str("outdoor-pv".into())),
+                ("seed", Json::Uint(seed)),
+            ]),
+            SourceKind::FieldView {
+                field,
+                attenuation,
+                phase_s,
+            } => Json::obj(vec![
+                ("kind", Json::Str("field-view".into())),
+                ("field", field.source_kind().to_json()),
+                ("attenuation", Json::Num(attenuation)),
+                ("phase_s", Json::Num(phase_s)),
+            ]),
+        }
+    }
+}
+
+/// The ambient envelope of a shared harvest field, as plain `Copy` data.
+///
+/// A field is an *environment* — the wind over a deployment site, a room's
+/// light, a reader's carrier — where a [`SourceKind`] is one node's supply.
+/// The variants mirror the synthetic source kinds one-for-one (recorded
+/// traces enter through `edc_core::fleet::FieldSpec`, which is not `Copy`);
+/// `edc-fleet` hands each node a [`SourceKind::FieldView`] over the shared
+/// envelope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldEnvelope {
+    /// Half-wave rectified sine ambient (the Fig. 7 stimulus).
+    RectifiedSine {
+        /// Supply frequency in hertz.
+        hz: f64,
+    },
+    /// The Fig. 8 micro wind turbine gust envelope.
+    Turbine,
+    /// Square-wave interrupted ambient, 50% availability.
+    Interrupted {
+        /// Interruption frequency in hertz.
+        hz: f64,
+    },
+    /// A steady DC field (bench conditions).
+    Dc {
+        /// Supply EMF in volts.
+        volts: f64,
+    },
+    /// Indoor photovoltaic band with the given noise seed.
+    IndoorPv {
+        /// Deterministic noise seed.
+        seed: u64,
+    },
+    /// Outdoor photovoltaic band with the given noise seed.
+    OutdoorPv {
+        /// Deterministic noise seed.
+        seed: u64,
+    },
+}
+
+impl FieldEnvelope {
+    /// The equivalent standalone source kind (the envelope sampled at full
+    /// strength, zero stagger).
+    pub fn source_kind(self) -> SourceKind {
+        match self {
+            FieldEnvelope::RectifiedSine { hz } => SourceKind::RectifiedSine { hz },
+            FieldEnvelope::Turbine => SourceKind::Turbine,
+            FieldEnvelope::Interrupted { hz } => SourceKind::Interrupted { hz },
+            FieldEnvelope::Dc { volts } => SourceKind::Dc { volts },
+            FieldEnvelope::IndoorPv { seed } => SourceKind::IndoorPv { seed },
+            FieldEnvelope::OutdoorPv { seed } => SourceKind::OutdoorPv { seed },
+        }
+    }
+
+    /// Display name of the envelope class.
+    pub fn name(self) -> &'static str {
+        self.source_kind().name()
+    }
+
+    /// Checks the envelope's parameters (see [`SourceKind::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated constraint.
+    pub fn validate(self) -> Result<(), &'static str> {
+        self.source_kind().validate()
+    }
+
+    /// Instantiates the bare envelope as an energy source.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parameters violate the constructor domain; call
+    /// [`FieldEnvelope::validate`] first to get the violation as a value.
+    pub fn make(self) -> Box<dyn EnergySource> {
+        self.source_kind().make()
     }
 }
 

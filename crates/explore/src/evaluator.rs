@@ -158,7 +158,7 @@ impl<'a> Evaluator<'a> {
                 let scores: Vec<f64> = self
                     .objectives
                     .iter()
-                    .map(|o| o.score(&row.report))
+                    .map(|o| o.score(&prepared[i], &row.report))
                     .collect();
                 self.cache.insert(keys[i].clone(), scores);
                 self.simulations += 1;

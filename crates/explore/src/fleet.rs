@@ -1,0 +1,292 @@
+//! Fleet objectives: score a candidate *design* by deploying it as a
+//! whole population.
+//!
+//! The searchers in this crate explore per-node designs (a
+//! [`SpecSpace`](crate::SpecSpace) over [`ExperimentSpec`]); a
+//! [`FleetTemplate`] holds
+//! everything about the deployment *except* the design — the shared
+//! field, the node count, the placement, the phase stagger and the duty
+//! period. Each fleet objective expands the candidate design through its
+//! template into a [`FleetSpec`], runs the fleet (deterministically —
+//! thread count never affects results), and scores one
+//! [`FleetMetrics`] figure:
+//!
+//! - [`FleetNodesToCover`] — the sizing question itself: how many nodes of
+//!   this design cover the duty cycle (smaller fleets are better;
+//!   `INFINITY` when even the full template fleet cannot cover);
+//! - [`FleetCoverageShortfall`] — `1 − coverage`, for spaces where no
+//!   design fully covers;
+//! - [`FleetEnergyPerTask`] — fleet energy per completed task;
+//! - [`FleetBrownoutShortfall`] — `1 −` the brownout-free fraction.
+//!
+//! Fleet runs are memoised per design within a template (all objectives
+//! sharing a *cloned* template share one cache), so pairing several fleet
+//! objectives costs one fleet run per candidate. The design's single-node
+//! run funded by the [`Evaluator`](crate::Evaluator) still happens and
+//! stays useful: mixing fleet objectives with per-node ones (e.g.
+//! [`CompletionTime`](crate::CompletionTime)) trades population questions
+//! against lone-node behaviour in one Pareto front.
+//!
+//! The evaluator's budget meters *single-node* simulations; a fleet
+//! objective multiplies the real cost of each cache miss by roughly the
+//! template's node count, so budget fleet searches by space size rather
+//! than by cost units.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use edc_core::experiment::ExperimentSpec;
+use edc_core::fleet::{FieldSpec, FleetSpec, Placement};
+use edc_core::scenarios::SourceKind;
+use edc_core::SystemReport;
+use edc_fleet::{Fleet, FleetMetrics};
+use edc_units::Seconds;
+
+use crate::objective::Objective;
+
+/// A fleet deployment with the per-node design left open: the adapter
+/// between spec-space searchers and fleet-level questions.
+///
+/// Cloning is cheap and shares the template's fleet-run memo cache, so
+/// several objectives built from clones of one template cost one fleet
+/// run per candidate design.
+#[derive(Debug, Clone)]
+pub struct FleetTemplate {
+    field: FieldSpec,
+    nodes: usize,
+    placement: Placement,
+    stagger: Seconds,
+    duty_period: Seconds,
+    threads: Option<usize>,
+    cache: Rc<RefCell<HashMap<String, Option<FleetMetrics>>>>,
+}
+
+impl FleetTemplate {
+    /// A template deploying `nodes` nodes into `field` with colocated
+    /// placement, no stagger, and a 1 s duty period.
+    pub fn new(field: FieldSpec, nodes: usize) -> Self {
+        Self {
+            field,
+            nodes,
+            placement: Placement::Colocated,
+            stagger: Seconds(0.0),
+            duty_period: Seconds(1.0),
+            threads: None,
+            cache: Rc::new(RefCell::new(HashMap::new())),
+        }
+    }
+
+    /// Sets the placement rule.
+    pub fn placement(mut self, p: Placement) -> Self {
+        self.placement = p;
+        self
+    }
+
+    /// Sets the phase-stagger step.
+    pub fn stagger(mut self, s: Seconds) -> Self {
+        self.stagger = s;
+        self
+    }
+
+    /// Sets the sensing duty period the fleet is sized against.
+    pub fn duty_period(mut self, p: Seconds) -> Self {
+        self.duty_period = p;
+        self
+    }
+
+    /// Caps the per-fleet worker count (defaults to the machine's
+    /// parallelism). Thread count never affects results.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// The fleet this template deploys for a candidate design.
+    pub fn fleet_for(&self, design: &ExperimentSpec) -> FleetSpec {
+        FleetSpec::new(self.field.clone(), *design, self.nodes)
+            .placement(self.placement.clone())
+            .stagger(self.stagger)
+            .duty_period(self.duty_period)
+    }
+
+    /// Runs (or recalls) the template's fleet for `design` and returns its
+    /// metrics; `None` when the fleet cannot be assembled for this design.
+    pub fn metrics_for(&self, design: &ExperimentSpec) -> Option<FleetMetrics> {
+        // The design's source is replaced by each node's field view, so two
+        // designs differing only there build identical fleets — normalise
+        // it out of the memo key or a sources axis would re-simulate the
+        // same fleet once per source kind.
+        let key = design
+            .source(SourceKind::Dc { volts: 0.0 })
+            .to_json()
+            .to_string();
+        if let Some(metrics) = self.cache.borrow().get(&key) {
+            return *metrics;
+        }
+        let mut fleet = Fleet::new(self.fleet_for(design));
+        if let Some(threads) = self.threads {
+            fleet = fleet.threads(threads);
+        }
+        let metrics = fleet.run().ok().map(|report| report.metrics);
+        self.cache.borrow_mut().insert(key, metrics);
+        metrics
+    }
+}
+
+/// How many nodes of the candidate design cover the template's duty
+/// cycle: the smallest covering placement prefix, or `INFINITY` when even
+/// the full fleet falls short (or the fleet cannot be assembled).
+#[derive(Debug, Clone)]
+pub struct FleetNodesToCover(pub FleetTemplate);
+
+impl Objective for FleetNodesToCover {
+    fn name(&self) -> &'static str {
+        "fleet_nodes_to_cover"
+    }
+
+    fn score(&self, spec: &ExperimentSpec, _report: &SystemReport) -> f64 {
+        self.0
+            .metrics_for(spec)
+            .and_then(|m| m.nodes_to_cover)
+            .map(|n| n as f64)
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+/// `1 − coverage` of the template fleet built from the candidate design
+/// (0 when the duty cycle is fully covered; 1 when nothing completes).
+#[derive(Debug, Clone)]
+pub struct FleetCoverageShortfall(pub FleetTemplate);
+
+impl Objective for FleetCoverageShortfall {
+    fn name(&self) -> &'static str {
+        "fleet_coverage_shortfall"
+    }
+
+    fn score(&self, spec: &ExperimentSpec, _report: &SystemReport) -> f64 {
+        self.0
+            .metrics_for(spec)
+            .map(|m| 1.0 - m.coverage)
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+/// Fleet energy per completed task, joules; `INFINITY` when no node of
+/// the fleet completes.
+#[derive(Debug, Clone)]
+pub struct FleetEnergyPerTask(pub FleetTemplate);
+
+impl Objective for FleetEnergyPerTask {
+    fn name(&self) -> &'static str {
+        "fleet_energy_per_task_j"
+    }
+
+    fn score(&self, spec: &ExperimentSpec, _report: &SystemReport) -> f64 {
+        self.0
+            .metrics_for(spec)
+            .and_then(|m| m.energy_per_completed_task_j)
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+/// `1 −` the fleet's brownout-free fraction (0 when every node rides the
+/// field without a single brownout).
+#[derive(Debug, Clone)]
+pub struct FleetBrownoutShortfall(pub FleetTemplate);
+
+impl Objective for FleetBrownoutShortfall {
+    fn name(&self) -> &'static str {
+        "fleet_brownout_shortfall"
+    }
+
+    fn score(&self, spec: &ExperimentSpec, _report: &SystemReport) -> f64 {
+        self.0
+            .metrics_for(spec)
+            .map(|m| 1.0 - m.brownout_free_fraction)
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edc_core::scenarios::{FieldEnvelope, SourceKind, StrategyKind};
+    use edc_workloads::WorkloadKind;
+
+    fn template() -> FleetTemplate {
+        FleetTemplate::new(
+            FieldSpec::Envelope(FieldEnvelope::RectifiedSine { hz: 50.0 }),
+            3,
+        )
+        .stagger(Seconds(0.004))
+        .duty_period(Seconds(1.0))
+        .threads(2)
+    }
+
+    fn design() -> ExperimentSpec {
+        ExperimentSpec::new(
+            SourceKind::Dc { volts: 3.3 },
+            StrategyKind::Hibernus,
+            WorkloadKind::BusyLoop(200),
+        )
+        .timestep(Seconds(50e-6))
+        .deadline(Seconds(1.0))
+    }
+
+    #[test]
+    fn fleet_objectives_score_from_the_design_not_the_report() {
+        let template = template();
+        let spec = design();
+        let report = spec.run().expect("single-node run");
+        let covered = FleetCoverageShortfall(template.clone()).score(&spec, &report);
+        assert!((0.0..=1.0).contains(&covered));
+        let nodes = FleetNodesToCover(template.clone()).score(&spec, &report);
+        assert!(nodes == f64::INFINITY || nodes >= 1.0);
+        let energy = FleetEnergyPerTask(template.clone()).score(&spec, &report);
+        assert!(energy > 0.0);
+        let brownouts = FleetBrownoutShortfall(template).score(&spec, &report);
+        assert!((0.0..=1.0).contains(&brownouts));
+    }
+
+    #[test]
+    fn cloned_templates_share_one_fleet_run_per_design() {
+        let template = template();
+        let a = FleetNodesToCover(template.clone());
+        let b = FleetEnergyPerTask(template.clone());
+        let spec = design();
+        let report = spec.run().expect("single-node run");
+        let _ = a.score(&spec, &report);
+        assert_eq!(template.cache.borrow().len(), 1);
+        let _ = b.score(&spec, &report);
+        assert_eq!(
+            template.cache.borrow().len(),
+            1,
+            "second objective hit the cache"
+        );
+    }
+
+    #[test]
+    fn designs_differing_only_in_source_share_one_fleet_run() {
+        // The fleet replaces the design's source with per-node field
+        // views, so a sources axis must not multiply fleet runs.
+        let template = template();
+        let objective = FleetCoverageShortfall(template.clone());
+        let spec_dc = design();
+        let spec_sine = design().source(SourceKind::RectifiedSine { hz: 50.0 });
+        let report = spec_dc.run().expect("single-node run");
+        let a = objective.score(&spec_dc, &report);
+        let b = objective.score(&spec_sine, &report);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(template.cache.borrow().len(), 1, "one fleet run, not two");
+    }
+
+    #[test]
+    fn scores_are_deterministic_across_repeats_and_threads() {
+        let spec = design();
+        let report = spec.run().expect("single-node run");
+        let serial = FleetCoverageShortfall(template().threads(1)).score(&spec, &report);
+        let parallel = FleetCoverageShortfall(template().threads(4)).score(&spec, &report);
+        assert_eq!(serial.to_bits(), parallel.to_bits());
+    }
+}

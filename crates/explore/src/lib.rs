@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod evaluator;
+pub mod fleet;
 pub mod objective;
 pub mod pareto;
 pub mod search;
@@ -62,6 +63,10 @@ pub mod seed;
 pub mod space;
 
 pub use evaluator::{Evaluation, Evaluator, TraceEntry};
+pub use fleet::{
+    FleetBrownoutShortfall, FleetCoverageShortfall, FleetEnergyPerTask, FleetNodesToCover,
+    FleetTemplate,
+};
 pub use objective::{BrownoutCount, CompletionTime, EnergyPerTask, Objective, P99Outage};
 pub use pareto::{dominates, FrontPoint, ParetoFront};
 pub use search::{CoordinateDescent, ExhaustiveGrid, RandomSearch, Searcher, SuccessiveHalving};

@@ -1,25 +1,33 @@
-//! Objectives: scalar figures of merit extracted from a run's report.
+//! Objectives: scalar figures of merit extracted from a candidate's run.
 //!
-//! Every objective maps a [`SystemReport`] to a score where **lower is
-//! better**; searchers minimise. Multi-objective searches pass several
-//! objectives and get a Pareto front back instead of a single winner.
+//! Every objective maps a candidate — its [`ExperimentSpec`] and the
+//! [`SystemReport`] of its run — to a score where **lower is better**;
+//! searchers minimise. Multi-objective searches pass several objectives
+//! and get a Pareto front back instead of a single winner.
 //!
-//! Scores must be deterministic functions of the report. Infeasible
+//! Most objectives read only the report; the spec parameter exists for
+//! adapters whose figure of merit is a function of the *design* rather
+//! than the single run — the fleet objectives in [`crate::fleet`] deploy
+//! the candidate design as a whole population and score the fleet.
+//!
+//! Scores must be deterministic functions of their inputs. Infeasible
 //! designs score `f64::INFINITY` (e.g. completion time of a run that never
 //! completed), which dominance handles naturally: an infeasible design can
 //! never dominate a feasible one on that objective.
 
+use edc_core::experiment::ExperimentSpec;
 use edc_core::telemetry::TelemetryReport;
 use edc_core::SystemReport;
 
-/// A scalar figure of merit over a run's report; lower is better.
+/// A scalar figure of merit over a candidate; lower is better.
 pub trait Objective {
     /// Stable machine-readable name (used in report JSON).
     fn name(&self) -> &'static str;
 
-    /// Scores the report. Must be deterministic; return `f64::INFINITY`
-    /// (never `NaN`) for infeasible designs.
-    fn score(&self, report: &SystemReport) -> f64;
+    /// Scores the candidate: its (canonicalised) spec and the report of
+    /// its run. Must be deterministic; return `f64::INFINITY` (never
+    /// `NaN`) for infeasible designs.
+    fn score(&self, spec: &ExperimentSpec, report: &SystemReport) -> f64;
 
     /// `true` when the objective reads [`TelemetryReport::Stats`] and the
     /// evaluator must therefore force stats telemetry onto every candidate
@@ -39,7 +47,7 @@ impl Objective for CompletionTime {
         "completion_s"
     }
 
-    fn score(&self, report: &SystemReport) -> f64 {
+    fn score(&self, _spec: &ExperimentSpec, report: &SystemReport) -> f64 {
         report
             .stats
             .completed_at
@@ -57,7 +65,7 @@ impl Objective for BrownoutCount {
         "brownouts"
     }
 
-    fn score(&self, report: &SystemReport) -> f64 {
+    fn score(&self, _spec: &ExperimentSpec, report: &SystemReport) -> f64 {
         report.stats.brownouts as f64
     }
 }
@@ -73,7 +81,7 @@ impl Objective for P99Outage {
         "p99_outage_s"
     }
 
-    fn score(&self, report: &SystemReport) -> f64 {
+    fn score(&self, _spec: &ExperimentSpec, report: &SystemReport) -> f64 {
         match &report.telemetry {
             Some(TelemetryReport::Stats(stats)) => stats.outage_s().summary().p99,
             _ => f64::INFINITY,
@@ -96,7 +104,7 @@ impl Objective for EnergyPerTask {
         "energy_per_task_j"
     }
 
-    fn score(&self, report: &SystemReport) -> f64 {
+    fn score(&self, _spec: &ExperimentSpec, report: &SystemReport) -> f64 {
         if report.stats.completed_at.is_some() {
             report.stats.energy_consumed.0
         } else {
@@ -108,54 +116,56 @@ impl Objective for EnergyPerTask {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use edc_core::experiment::ExperimentSpec;
     use edc_core::scenarios::{SourceKind, StrategyKind};
     use edc_core::TelemetryKind;
     use edc_units::Seconds;
     use edc_workloads::WorkloadKind;
 
-    fn completed_report(telemetry: TelemetryKind) -> SystemReport {
-        ExperimentSpec::new(
+    fn completed(telemetry: TelemetryKind) -> (ExperimentSpec, SystemReport) {
+        let spec = ExperimentSpec::new(
             SourceKind::Dc { volts: 3.3 },
             StrategyKind::Restart,
             WorkloadKind::BusyLoop(100),
         )
         .deadline(Seconds(1.0))
-        .telemetry(telemetry)
-        .run()
-        .expect("spec runs")
+        .telemetry(telemetry);
+        let report = spec.run().expect("spec runs");
+        (spec, report)
     }
 
     #[test]
     fn completion_time_scores_finite_on_success() {
-        let report = completed_report(TelemetryKind::Null);
-        let t = CompletionTime.score(&report);
+        let (spec, report) = completed(TelemetryKind::Null);
+        let t = CompletionTime.score(&spec, &report);
         assert!(t.is_finite() && t > 0.0);
-        assert_eq!(BrownoutCount.score(&report), 0.0);
-        let e = EnergyPerTask.score(&report);
+        assert_eq!(BrownoutCount.score(&spec, &report), 0.0);
+        let e = EnergyPerTask.score(&spec, &report);
         assert!(e.is_finite() && e > 0.0);
     }
 
     #[test]
     fn p99_outage_requires_stats_telemetry() {
         assert!(P99Outage.requires_stats());
-        let without = completed_report(TelemetryKind::Null);
-        assert_eq!(P99Outage.score(&without), f64::INFINITY);
-        let with = completed_report(TelemetryKind::Stats);
-        assert_eq!(P99Outage.score(&with), 0.0, "DC supply has no outages");
+        let (spec, without) = completed(TelemetryKind::Null);
+        assert_eq!(P99Outage.score(&spec, &without), f64::INFINITY);
+        let (spec, with) = completed(TelemetryKind::Stats);
+        assert_eq!(
+            P99Outage.score(&spec, &with),
+            0.0,
+            "DC supply has no outages"
+        );
     }
 
     #[test]
     fn incomplete_runs_score_infinite() {
-        let report = ExperimentSpec::new(
+        let spec = ExperimentSpec::new(
             SourceKind::Dc { volts: 3.3 },
             StrategyKind::Restart,
             WorkloadKind::Endless,
         )
-        .deadline(Seconds(0.01))
-        .run()
-        .expect("spec runs");
-        assert_eq!(CompletionTime.score(&report), f64::INFINITY);
-        assert_eq!(EnergyPerTask.score(&report), f64::INFINITY);
+        .deadline(Seconds(0.01));
+        let report = spec.run().expect("spec runs");
+        assert_eq!(CompletionTime.score(&spec, &report), f64::INFINITY);
+        assert_eq!(EnergyPerTask.score(&spec, &report), f64::INFINITY);
     }
 }

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod field;
 mod kinetic;
 mod photovoltaic;
 mod rf;
@@ -37,6 +38,7 @@ mod thermal;
 mod trace;
 mod wind;
 
+pub use field::FieldView;
 pub use kinetic::KineticHarvester;
 pub use photovoltaic::Photovoltaic;
 pub use rf::{ReaderSchedule, RfHarvester};

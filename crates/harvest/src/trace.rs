@@ -100,13 +100,30 @@ impl TracePlayback {
 
     /// Raw interpolated value at `t` (volts or watts depending on the trace
     /// kind).
+    ///
+    /// Boundary semantics are explicit so fleet-scale replays (thousands of
+    /// staggered nodes sampling near period edges) stay well-defined:
+    ///
+    /// - non-looping traces hold their endpoints: any `t` at or beyond the
+    ///   last sample time — including exactly `duration()` past the first
+    ///   sample — returns the last sample's value;
+    /// - looping traces wrap on the half-open window `[t0, t1)`: exact
+    ///   multiples of the period return the first sample's value, and
+    ///   rounding artefacts of the wrap (`rem_euclid` landing on the period
+    ///   itself for tiny negative offsets) clamp to the window instead of
+    ///   indexing out of range.
     fn value_at(&self, t: Seconds) -> f64 {
         let t0 = self.samples[0].0 .0;
         let t1 = self.samples.last().unwrap().0 .0;
         let mut q = t.0;
         if self.looping {
             let span = t1 - t0;
-            q = t0 + (q - t0).rem_euclid(span);
+            // rem_euclid is [0, span) over the reals, but in floating point
+            // a tiny negative offset rounds to exactly `span`, and t0 + rel
+            // can overshoot t1 by an ulp; clamp so the wrapped time always
+            // stays inside the sampled window.
+            let rel = (q - t0).rem_euclid(span);
+            q = (t0 + rel).clamp(t0, t1);
         } else if q <= t0 {
             return self.samples[0].1;
         } else if q >= t1 {
@@ -218,6 +235,62 @@ mod tests {
         let tr = power_trace().looping();
         assert!((tr.power_at(Seconds(2.5)).0 - tr.power_at(Seconds(0.5)).0).abs() < 1e-12);
         assert_eq!(tr.duration(), Seconds(2.0));
+    }
+
+    #[test]
+    fn non_looping_boundary_holds_the_last_endpoint() {
+        // t == duration() exactly is well-defined: the last sample's value.
+        let tr = power_trace();
+        assert_eq!(tr.try_power_at(tr.duration()), Some(Watts(0.5)));
+        assert_eq!(tr.try_power_at(Seconds(0.0)), Some(Watts(0.0)));
+        let v = TracePlayback::from_voltage_series(
+            "v",
+            vec![(Seconds(0.0), Volts(1.0)), (Seconds(2.0), Volts(4.0))],
+            Ohms(100.0),
+        );
+        assert_eq!(v.try_voltage_at(v.duration()), Some(Volts(4.0)));
+    }
+
+    #[test]
+    fn looping_boundary_wraps_exact_period_multiples_to_the_first_sample() {
+        // The wrap window is half-open: t0 + k·period ≡ t0 for every k.
+        let tr = power_trace().looping();
+        let period = tr.duration();
+        for k in 0..5u32 {
+            let t = Seconds(period.0 * k as f64);
+            assert_eq!(tr.try_power_at(t), Some(Watts(0.0)), "k = {k}");
+        }
+        let v = TracePlayback::from_voltage_series(
+            "v",
+            vec![(Seconds(0.0), Volts(1.0)), (Seconds(2.0), Volts(4.0))],
+            Ohms(100.0),
+        )
+        .looping();
+        assert_eq!(v.try_voltage_at(v.duration()), Some(Volts(1.0)));
+    }
+
+    #[test]
+    fn looping_wrap_rounding_cannot_escape_the_sample_window() {
+        // A tiny negative offset makes rem_euclid round to exactly the
+        // period; before the clamp that read past the last segment's frac
+        // domain. The continuous extension's limit from below is the last
+        // sample's value.
+        let tr = power_trace().looping();
+        assert_eq!(tr.try_power_at(Seconds(-1e-18)), Some(Watts(0.5)));
+        // …and a wrap on a trace that does not start at t = 0 stays inside
+        // [t0, t1] too.
+        let offset = TracePlayback::from_power_series(
+            "offset",
+            vec![(Seconds(5.0), Watts(1.0)), (Seconds(7.0), Watts(3.0))],
+        )
+        .looping();
+        assert_eq!(offset.try_power_at(Seconds(5.0)), Some(Watts(1.0)));
+        assert_eq!(offset.try_power_at(Seconds(7.0)), Some(Watts(1.0)));
+        assert_eq!(offset.try_power_at(Seconds(9.0)), Some(Watts(1.0)));
+        assert!((offset.power_at(Seconds(6.0)).0 - 2.0).abs() < 1e-12);
+        assert!((offset.power_at(Seconds(8.0)).0 - 2.0).abs() < 1e-12);
+        // Before t0 the wrap reaches backwards into the period.
+        assert!((offset.power_at(Seconds(4.0)).0 - 2.0).abs() < 1e-12);
     }
 
     #[test]

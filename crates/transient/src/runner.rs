@@ -234,6 +234,7 @@ impl<'a> RunnerBuilder<'a> {
             time: Seconds(0.0),
             v_min,
             hibernated: false,
+            cycle_carry: 0,
             stats: RunnerStats::default(),
             log: EventLog::new(),
             vcc_trace: self
@@ -260,6 +261,10 @@ pub struct TransientRunner<'a> {
     v_min: Volts,
     /// `true` between a hibernation snapshot and the subsequent wake/boot.
     hibernated: bool,
+    /// Cycles banked from ticks whose budget could not fund even the head
+    /// instruction (multi-cycle peripheral ops at fine timesteps), so that
+    /// instruction accrues cycles across ticks instead of stalling forever.
+    cycle_carry: u64,
     stats: RunnerStats,
     log: EventLog<TransientEvent>,
     vcc_trace: Option<TimeSeries>,
@@ -467,6 +472,7 @@ impl<'a> TransientRunner<'a> {
                 if v < self.v_min {
                     self.mcu.power_loss();
                     self.monitor.reset();
+                    self.cycle_carry = 0;
                     self.stats.brownouts += 1;
                     self.emit(TransientEvent::Brownout);
                     self.tap(Event::Brownout);
@@ -480,19 +486,24 @@ impl<'a> TransientRunner<'a> {
                         self.attempt_snapshot();
                         self.mcu.sleep();
                         self.hibernated = true;
+                        self.cycle_carry = 0;
                         self.emit(TransientEvent::Hibernate);
                         self.stats.active_time += dt;
                         return true;
                     }
                 }
-                // Execute this tick's cycle budget.
-                let mut budget = self.mcu.cycles_in(dt);
+                // Execute this tick's cycle budget (plus any cycles banked
+                // by starved ticks before it).
+                let mut budget = self.mcu.cycles_in(dt) + self.cycle_carry;
+                self.cycle_carry = 0;
                 let stop_at_markers = self.strategy.wants_markers();
+                let mut retired_this_tick = 0u64;
                 while budget > 0 {
                     let report = self.mcu.run(budget, stop_at_markers);
                     self.draw(report.energy);
                     self.stats.cycles += report.cycles;
-                    budget = budget.saturating_sub(report.cycles.max(1));
+                    retired_this_tick += report.instructions;
+                    let remaining = budget.saturating_sub(report.cycles.max(1));
                     match report.exit {
                         RunExit::Completed => {
                             if self.stats.completed_at.is_none() {
@@ -516,13 +527,27 @@ impl<'a> TransientRunner<'a> {
                                 }
                             }
                         }
-                        RunExit::BudgetExhausted => break,
+                        RunExit::BudgetExhausted => {
+                            if retired_this_tick == 0 {
+                                // Even the head instruction costs more than
+                                // the whole tick (multi-cycle peripheral
+                                // ops like `Sense`/`Tx` at fine timesteps).
+                                // Bank the budget so the instruction accrues
+                                // cycles over the following ticks instead
+                                // of stalling forever; ticks that made any
+                                // progress discard their remainder exactly
+                                // as before.
+                                self.cycle_carry = budget;
+                            }
+                            break;
+                        }
                         RunExit::Fault(_) => {
                             self.faulted = true;
                             self.emit(TransientEvent::Fault);
                             return false;
                         }
                     }
+                    budget = remaining;
                 }
                 self.stats.active_time += dt;
             }

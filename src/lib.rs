@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the full `energy-driven` workspace API.
 pub use edc_core as core;
 pub use edc_explore as explore;
+pub use edc_fleet as fleet;
 pub use edc_harvest as harvest;
 pub use edc_mcu as mcu;
 pub use edc_mpsoc as mpsoc;

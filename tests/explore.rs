@@ -21,6 +21,14 @@ use energy_driven::units::{Farads, Joules, Seconds, Volts};
 use energy_driven::workloads::WorkloadKind;
 use proptest::prelude::*;
 
+fn dummy_spec() -> ExperimentSpec {
+    ExperimentSpec::new(
+        SourceKind::Dc { volts: 3.3 },
+        StrategyKind::Restart,
+        WorkloadKind::BusyLoop(1),
+    )
+}
+
 /// A small, fast space for determinism checks: DC supply, two strategies,
 /// two capacitances, two workload sizes.
 fn small_space() -> SpecSpace {
@@ -171,6 +179,109 @@ proptest! {
         cases: 64,
         ..proptest::test_runner::Config::default()
     })]
+
+    /// An infeasible candidate (`INFINITY` on every objective) never
+    /// enters the front while any finite-scored candidate exists: the
+    /// finite one dominates it outright.
+    #[test]
+    fn prop_fully_infeasible_never_beats_feasible(
+        finite in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..12),
+        infeasible in 1usize..6,
+    ) {
+        let mut evals: Vec<Evaluation> = finite
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| Evaluation {
+                spec: dummy_spec(),
+                key: format!("finite-{i:03}"),
+                scores: vec![a, b],
+            })
+            .collect();
+        for i in 0..infeasible {
+            evals.push(Evaluation {
+                spec: dummy_spec(),
+                key: format!("infeasible-{i:03}"),
+                scores: vec![f64::INFINITY, f64::INFINITY],
+            });
+        }
+        let front = ParetoFront::from_evaluations(&evals);
+        for p in front.points() {
+            prop_assert!(
+                p.scores.iter().any(|s| s.is_finite()),
+                "all-infinite candidate {:?} entered the front next to finite designs",
+                p.key
+            );
+        }
+    }
+
+    /// Single-objective case of the same guarantee: with one objective, a
+    /// single finite score expels every `INFINITY` from the front.
+    #[test]
+    fn prop_single_objective_infinity_never_enters_the_front(
+        finite in proptest::collection::vec(0.0f64..10.0, 1..8),
+        infeasible in 1usize..6,
+    ) {
+        let mut evals: Vec<Evaluation> = finite
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| Evaluation {
+                spec: dummy_spec(),
+                key: format!("finite-{i:03}"),
+                scores: vec![a],
+            })
+            .collect();
+        for i in 0..infeasible {
+            evals.push(Evaluation {
+                spec: dummy_spec(),
+                key: format!("infeasible-{i:03}"),
+                scores: vec![f64::INFINITY],
+            });
+        }
+        let front = ParetoFront::from_evaluations(&evals);
+        prop_assert!(front.points().iter().all(|p| p.scores[0].is_finite()));
+    }
+
+    /// The built-in objectives never produce `NaN`, whatever the run did:
+    /// infeasible designs must surface as `INFINITY` (which dominance
+    /// orders correctly) and never as `NaN` (which would poison every
+    /// comparison downstream). Runs real simulations across strategies,
+    /// workload sizes and deadlines, including deadlines far too short to
+    /// finish and stats sinks that never see an outage.
+    #[test]
+    fn prop_builtin_objectives_never_produce_nan(
+        strategy_index in 0usize..7,
+        n in 1u16..400,
+        deadline_ms in 5u64..60,
+        volts in 2.5f64..4.0,
+    ) {
+        use energy_driven::core::TelemetryKind;
+        use energy_driven::explore::{EnergyPerTask, Objective, P99Outage};
+
+        let spec = ExperimentSpec::new(
+            SourceKind::Dc { volts },
+            StrategyKind::ALL[strategy_index],
+            WorkloadKind::BusyLoop(n),
+        )
+        .timestep(Seconds(50e-6))
+        .deadline(Seconds(deadline_ms as f64 * 1e-3))
+        .telemetry(TelemetryKind::Stats);
+        let report = spec.run().expect("spec runs");
+        let objectives: Vec<Box<dyn Objective>> = vec![
+            Box::new(CompletionTime),
+            Box::new(BrownoutCount),
+            Box::new(P99Outage),
+            Box::new(EnergyPerTask),
+        ];
+        for objective in &objectives {
+            let score = objective.score(&spec, &report);
+            prop_assert!(
+                !score.is_nan(),
+                "{} produced NaN for {:?}",
+                objective.name(),
+                spec.label()
+            );
+        }
+    }
 
     /// A `ParetoFront` never contains a point dominated by *any* candidate
     /// it was built from, and never drops a non-dominated candidate.

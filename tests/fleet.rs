@@ -1,0 +1,209 @@
+//! Integration tests for the fleet subsystem (`edc-fleet`) and its
+//! explorer adapters.
+//!
+//! The pillars, matching ISSUE/README claims:
+//! 1. `FleetReport` JSON is byte-identical across repeated runs and across
+//!    serial-vs-parallel execution, for synthetic-envelope *and*
+//!    trace-backed shared fields.
+//! 2. Fleet metrics behave like population metrics: coverage accrues with
+//!    nodes, and `nodes_to_cover` really is the smallest covering prefix.
+//! 3. An `edc-explore` searcher answers a fleet sizing question
+//!    end-to-end through a `FleetObjective`, deterministically.
+
+use energy_driven::core::experiment::ExperimentSpec;
+use energy_driven::core::fleet::{FieldSpec, FleetSpec, Placement};
+use energy_driven::core::scenarios::{FieldEnvelope, SourceKind, StrategyKind};
+use energy_driven::core::TelemetryKind;
+use energy_driven::explore::{
+    ExhaustiveGrid, Explorer, FleetCoverageShortfall, FleetNodesToCover, FleetTemplate, SpecSpace,
+};
+use energy_driven::fleet::Fleet;
+use energy_driven::units::{Farads, Seconds};
+use energy_driven::workloads::WorkloadKind;
+
+/// A fast per-node design: coarse timestep, small workload, short deadline.
+fn design() -> ExperimentSpec {
+    ExperimentSpec::new(
+        SourceKind::Dc { volts: 3.3 }, // replaced by each node's field view
+        StrategyKind::Hibernus,
+        WorkloadKind::BusyLoop(300),
+    )
+    .timestep(Seconds(50e-6))
+    .deadline(Seconds(1.0))
+    .telemetry(TelemetryKind::Stats)
+}
+
+fn envelope_fleet(nodes: usize) -> FleetSpec {
+    FleetSpec::new(
+        FieldSpec::Envelope(FieldEnvelope::RectifiedSine { hz: 50.0 }),
+        design(),
+        nodes,
+    )
+    .placement(Placement::Line {
+        near: 1.0,
+        far: 0.8,
+    })
+    .stagger(Seconds(0.004))
+    .duty_period(Seconds(0.5))
+}
+
+fn trace_fleet(nodes: usize) -> FleetSpec {
+    // One synthetic "recorded" cycle of harvested power, looped.
+    let samples: Vec<(f64, f64)> = (0..25)
+        .map(|i| {
+            let t = i as f64 * 1e-3;
+            (
+                t,
+                6e-3 * (i as f64 / 25.0 * std::f64::consts::TAU).sin().max(0.0),
+            )
+        })
+        .collect();
+    FleetSpec::new(
+        FieldSpec::PowerTrace {
+            name: "recorded-cycle".into(),
+            samples,
+            looping: true,
+        },
+        design(),
+        nodes,
+    )
+    .placement(Placement::Line {
+        near: 1.0,
+        far: 0.8,
+    })
+    .stagger(Seconds(0.004))
+    .duty_period(Seconds(0.5))
+}
+
+#[test]
+fn envelope_fleet_report_json_is_byte_identical_serial_vs_parallel() {
+    let parallel = Fleet::new(envelope_fleet(4))
+        .threads(4)
+        .run()
+        .expect("fleet runs")
+        .to_json()
+        .to_string();
+    let serial = Fleet::new(envelope_fleet(4))
+        .threads(1)
+        .run()
+        .expect("fleet runs")
+        .to_json()
+        .to_string();
+    let again = Fleet::new(envelope_fleet(4))
+        .threads(3)
+        .run()
+        .expect("fleet runs")
+        .to_json()
+        .to_string();
+    assert_eq!(parallel, serial, "serial != parallel");
+    assert_eq!(parallel, again, "repeat differs");
+    for key in ["\"fleet\"", "\"metrics\"", "\"aggregate\"", "\"nodes\""] {
+        assert!(parallel.contains(key), "missing {key}");
+    }
+}
+
+#[test]
+fn trace_fleet_report_json_is_byte_identical_serial_vs_parallel() {
+    let parallel = Fleet::new(trace_fleet(3))
+        .threads(4)
+        .run()
+        .expect("fleet runs")
+        .to_json()
+        .to_string();
+    let serial = Fleet::new(trace_fleet(3))
+        .threads(1)
+        .run()
+        .expect("fleet runs")
+        .to_json()
+        .to_string();
+    assert_eq!(parallel, serial, "trace fields: serial != parallel");
+    assert!(parallel.contains("\"power-trace\""));
+    assert!(parallel.contains("\"recorded-cycle\""));
+}
+
+#[test]
+fn coverage_accrues_with_population_and_prefix_is_minimal() {
+    let small = Fleet::new(envelope_fleet(1)).run().expect("fleet runs");
+    let large = Fleet::new(envelope_fleet(6)).run().expect("fleet runs");
+    assert!(large.metrics.task_rate_hz >= small.metrics.task_rate_hz);
+    assert!(large.metrics.coverage >= small.metrics.coverage);
+    if let Some(k) = large.metrics.nodes_to_cover {
+        // The k-prefix covers...
+        let rate = |upto: usize| -> f64 {
+            large.nodes[..upto]
+                .iter()
+                .filter(|r| r.succeeded())
+                .filter_map(|r| r.stats.completed_at)
+                .map(|t| 1.0 / t.0)
+                .sum()
+        };
+        assert!(rate(k) * large.spec.duty_period.0 >= 1.0);
+        // ...and no smaller prefix does.
+        assert!(rate(k - 1) * large.spec.duty_period.0 < 1.0);
+    }
+}
+
+#[test]
+fn a_searcher_answers_the_sizing_question_through_fleet_objectives() {
+    // How many staggered nodes cover the duty cycle, and which strategy
+    // needs fewest? Scored entirely through fleet objectives; the space
+    // varies the design's strategy.
+    let template = FleetTemplate::new(
+        FieldSpec::Envelope(FieldEnvelope::RectifiedSine { hz: 50.0 }),
+        4,
+    )
+    .placement(Placement::Line {
+        near: 1.0,
+        far: 0.8,
+    })
+    .stagger(Seconds(0.004))
+    .duty_period(Seconds(0.5))
+    .threads(2);
+    let space = SpecSpace::over(design())
+        .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus])
+        .decoupling(&[Farads::from_micro(10.0), Farads::from_micro(22.0)]);
+
+    let run = || {
+        Explorer::new()
+            .objective(FleetNodesToCover(template.clone()))
+            .objective(FleetCoverageShortfall(template.clone()))
+            .threads(2)
+            .run(&space, &ExhaustiveGrid)
+            .expect("explores")
+    };
+    let report = run();
+    assert_eq!(report.evaluations, space.len() as u64);
+    let best = report.best().expect("candidates scored");
+    assert!(
+        best.scores[0].is_finite(),
+        "some design covers the duty cycle: {:?}",
+        report
+            .front
+            .points()
+            .iter()
+            .map(|p| &p.scores)
+            .collect::<Vec<_>>()
+    );
+    assert!((1.0..=4.0).contains(&best.scores[0]));
+    assert!((0.0..=1.0).contains(&best.scores[1]));
+
+    // The whole exploration — fleets included — replays byte-identically.
+    assert_eq!(
+        report.to_json().to_string(),
+        run().to_json().to_string(),
+        "fleet-scored exploration must be deterministic"
+    );
+}
+
+#[test]
+fn fleet_spec_json_round_trips_through_the_parser() {
+    use energy_driven::core::json::Json;
+    for spec in [envelope_fleet(2), trace_fleet(2)] {
+        let json = spec.to_json().to_string();
+        assert_eq!(
+            Json::parse(&json).expect("valid JSON").to_string(),
+            json,
+            "parse → emit round-trips byte-identically"
+        );
+    }
+}
