@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use edc_core::catalog::TraceCatalog;
 use edc_core::experiment::{BuildError, ExperimentSpec};
 use edc_core::json::Json;
 use edc_core::scenarios::{SourceKind, StrategyKind};
@@ -75,6 +76,7 @@ pub struct Sweep {
     strategies: Vec<StrategyKind>,
     workloads: Vec<WorkloadKind>,
     threads: Option<usize>,
+    catalog: TraceCatalog,
 }
 
 impl Sweep {
@@ -88,7 +90,16 @@ impl Sweep {
             workloads: vec![base.workload],
             base,
             threads: None,
+            catalog: TraceCatalog::new(),
         }
+    }
+
+    /// Supplies the trace catalog the grid's [`SourceKind::Trace`] (and
+    /// trace-backed field-view) entries resolve through. Grids without
+    /// trace sources never need one.
+    pub fn catalog(mut self, catalog: TraceCatalog) -> Self {
+        self.catalog = catalog;
+        self
     }
 
     /// Sets the source axis.
@@ -157,7 +168,7 @@ impl Sweep {
             .threads
             .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
             .unwrap_or(1);
-        run_specs_timed(self.specs(), threads)
+        run_specs_timed_in(self.specs(), threads, &self.catalog)
     }
 }
 
@@ -249,6 +260,20 @@ pub fn run_specs(specs: Vec<ExperimentSpec>, threads: usize) -> Result<Vec<Sweep
     Ok(run_specs_timed(specs, threads)?.rows)
 }
 
+/// Like [`run_specs`], resolving trace-backed sources through `catalog`
+/// (shared read-only across the workers).
+///
+/// # Errors
+///
+/// Returns the first (by input order) [`BuildError`].
+pub fn run_specs_in(
+    specs: Vec<ExperimentSpec>,
+    threads: usize,
+    catalog: &TraceCatalog,
+) -> Result<Vec<SweepRow>, BuildError> {
+    Ok(run_specs_timed_in(specs, threads, catalog)?.rows)
+}
+
 /// Like [`run_specs`], but also measures wall-clock time per cell and for
 /// the whole grid.
 ///
@@ -257,13 +282,29 @@ pub fn run_specs(specs: Vec<ExperimentSpec>, threads: usize) -> Result<Vec<Sweep
 /// Returns the first (by input order) [`BuildError`]; the whole grid is
 /// validated before any simulation starts.
 pub fn run_specs_timed(specs: Vec<ExperimentSpec>, threads: usize) -> Result<SweepRun, BuildError> {
+    run_specs_timed_in(specs, threads, &TraceCatalog::new())
+}
+
+/// The catalog-threaded primitive under [`run_specs_timed`]: every worker
+/// resolves [`SourceKind::Trace`] entries through the same shared
+/// `catalog`.
+///
+/// # Errors
+///
+/// Returns the first (by input order) [`BuildError`]; the whole grid is
+/// validated (catalog resolution included) before any simulation starts.
+pub fn run_specs_timed_in(
+    specs: Vec<ExperimentSpec>,
+    threads: usize,
+    catalog: &TraceCatalog,
+) -> Result<SweepRun, BuildError> {
     for spec in &specs {
-        spec.validate()?;
+        spec.validate_in(catalog)?;
     }
     let started = Instant::now();
     let results = par_map(&specs, threads, |spec| {
         let cell_started = Instant::now();
-        let result = spec.run();
+        let result = spec.run_in(catalog);
         (result, cell_started.elapsed().as_secs_f64())
     });
     let total_s = started.elapsed().as_secs_f64();
@@ -292,9 +333,8 @@ pub fn run_specs_timed(specs: Vec<ExperimentSpec>, threads: usize) -> Result<Swe
 
 /// Deterministic scoped fan-out: workers claim items by index and results
 /// come back in input order, so thread count affects wall-clock only,
-/// never results. The primitive under [`run_specs_timed`], reused by
-/// `edc-fleet` for per-node runs that cannot be expressed as plain specs
-/// (trace-backed shared fields).
+/// never results. The primitive under [`run_specs_timed_in`], kept public
+/// for harnesses whose work items are not experiment specs at all.
 pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,

@@ -44,6 +44,7 @@ use edc_transient::{RunOutcome, Strategy, TransientRunner};
 use edc_units::{Farads, Ohms, Seconds, Volts};
 use edc_workloads::{VerifyError, Workload, WorkloadKind};
 
+use crate::catalog::TraceCatalog;
 use crate::scenarios::{SourceKind, StrategyKind};
 use crate::system::{adapt_source, SystemReport, Topology};
 use crate::telemetry::TelemetryReport;
@@ -250,7 +251,26 @@ impl ExperimentSpec {
     ///
     /// Returns the first violated constraint.
     pub fn validate(&self) -> Result<(), BuildError> {
-        self.source.validate().map_err(BuildError::InvalidSource)?;
+        self.validate_source(None)
+    }
+
+    /// [`ExperimentSpec::validate`], plus resolution of trace-backed
+    /// sources against the build catalog (see
+    /// [`SourceKind::validate_in`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate_in(&self, catalog: &TraceCatalog) -> Result<(), BuildError> {
+        self.validate_source(Some(catalog))
+    }
+
+    fn validate_source(&self, catalog: Option<&TraceCatalog>) -> Result<(), BuildError> {
+        match catalog {
+            Some(catalog) => self.source.validate_in(catalog),
+            None => self.source.validate(),
+        }
+        .map_err(BuildError::InvalidSource)?;
         self.workload
             .validate()
             .map_err(BuildError::InvalidWorkload)?;
@@ -287,15 +307,28 @@ impl ExperimentSpec {
     }
 
     /// Instantiates every component from its registry and assembles the
-    /// system.
+    /// system. Trace-backed sources need their samples resolved — use
+    /// [`ExperimentSpec::build_in`] with the catalog they were registered
+    /// in.
     ///
     /// # Errors
     ///
     /// Returns [`BuildError`] for invalid parameters (the spec always names
     /// all components, so the `Missing*` variants cannot occur here).
     pub fn build(&self) -> Result<System<'static>, BuildError> {
-        self.validate()?;
-        Experiment::from_spec(self).build()
+        self.build_in(&TraceCatalog::new())
+    }
+
+    /// Like [`ExperimentSpec::build`], resolving [`SourceKind::Trace`] (and
+    /// trace-backed field views) through `catalog`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] for invalid parameters or a trace handle the
+    /// catalog does not hold.
+    pub fn build_in(&self, catalog: &TraceCatalog) -> Result<System<'static>, BuildError> {
+        self.validate_in(catalog)?;
+        Experiment::from_spec_in(self, catalog).build()
     }
 
     /// Builds and runs to completion or `self.deadline`.
@@ -304,10 +337,20 @@ impl ExperimentSpec {
     ///
     /// Returns [`BuildError`] if assembly fails or the deadline is invalid.
     pub fn run(&self) -> Result<SystemReport, BuildError> {
+        self.run_in(&TraceCatalog::new())
+    }
+
+    /// Like [`ExperimentSpec::run`], resolving trace-backed sources
+    /// through `catalog`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if assembly fails or the deadline is invalid.
+    pub fn run_in(&self, catalog: &TraceCatalog) -> Result<SystemReport, BuildError> {
         if !(self.deadline.0 > 0.0 && self.deadline.0.is_finite()) {
             return Err(BuildError::InvalidDeadline(self.deadline.0));
         }
-        Ok(self.build()?.run(self.deadline))
+        Ok(self.build_in(catalog)?.run(self.deadline))
     }
 
     /// The spec as a JSON value (used by sweep trajectories). Lossless:
@@ -428,10 +471,24 @@ impl<'a> Experiment<'a> {
     }
 
     /// An experiment with every component instantiated from `spec`'s kind
-    /// registries.
+    /// registries. Panics for trace-backed sources (their samples live in
+    /// a [`TraceCatalog`]); use [`Experiment::from_spec_in`] for those.
     pub fn from_spec(spec: &ExperimentSpec) -> Experiment<'static> {
+        Self::from_spec_in(spec, &TraceCatalog::new())
+    }
+
+    /// An experiment with every component instantiated from `spec`'s kind
+    /// registries, resolving trace-backed sources through `catalog`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec's kind parameters are invalid or a trace
+    /// handle does not resolve; call
+    /// [`ExperimentSpec::validate_in`] first to get violations as values
+    /// (as [`ExperimentSpec::build_in`] does).
+    pub fn from_spec_in(spec: &ExperimentSpec, catalog: &TraceCatalog) -> Experiment<'static> {
         let mut e = Experiment::new()
-            .source(spec.source.make())
+            .source(spec.source.make_in(catalog))
             .topology(spec.topology)
             .decoupling(spec.decoupling)
             .strategy(spec.strategy.make())
@@ -451,14 +508,62 @@ impl<'a> Experiment<'a> {
     }
 
     /// The energy source (required).
+    ///
+    /// # Deprecation: recorded traces belong in the [`TraceCatalog`]
+    ///
+    /// This boxed override predates the trace catalog and used to be the
+    /// *only* way to run a recorded `P_h(t)` series. For recorded traces
+    /// it is now a legacy side door — a boxed source is invisible to
+    /// sweeps, `SpecSpace` searches and spec JSON. It keeps working, but
+    /// migrate trace harnesses to the spec-driven path:
+    ///
+    /// ```
+    /// use edc_core::catalog::TraceCatalog;
+    /// use edc_core::experiment::ExperimentSpec;
+    /// use edc_core::scenarios::{SourceKind, StrategyKind};
+    /// use edc_units::Seconds;
+    /// use edc_workloads::WorkloadKind;
+    ///
+    /// // Before: Experiment::new().source(TracePlayback::from_power_series(...))
+    /// // After: register once, then name the recording in plain spec data.
+    /// let mut catalog = TraceCatalog::new();
+    /// let site = catalog
+    ///     .register("site-a", vec![(0.0, 1e-3), (0.5, 3e-3), (1.0, 2e-3)])
+    ///     .expect("valid trace");
+    /// let spec = ExperimentSpec::new(
+    ///     SourceKind::Trace { id: site, decimate: 1, looped: true },
+    ///     StrategyKind::Hibernus,
+    ///     WorkloadKind::Crc16(64),
+    /// )
+    /// .deadline(Seconds(5.0));
+    /// assert!(spec.run_in(&catalog).expect("assembles").succeeded());
+    /// ```
+    ///
+    /// The reports are byte-identical between the two paths; the spec path
+    /// additionally composes with `Sweep`, `SpecSpace` axes and fleet
+    /// fields. Custom *synthetic* sources (closures, one-off models) remain
+    /// this method's legitimate use.
     pub fn source(mut self, s: impl EnergySource + 'a) -> Self {
         self.source = Some(Box::new(s));
         self
     }
 
-    /// Shorthand for [`Experiment::source`] via the kind registry.
+    /// Shorthand for [`Experiment::source`] via the kind registry. Panics
+    /// for trace-backed kinds; use [`Experiment::source_kind_in`].
     pub fn source_kind(self, kind: SourceKind) -> Self {
         self.source(kind.make())
+    }
+
+    /// Shorthand for [`Experiment::source`] via the kind registry,
+    /// resolving trace-backed kinds through `catalog`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the kind's parameters are invalid or its trace handle
+    /// does not resolve; call [`SourceKind::validate_in`] first to get the
+    /// violation as a value.
+    pub fn source_kind_in(self, kind: SourceKind, catalog: &TraceCatalog) -> Self {
+        self.source(kind.make_in(catalog))
     }
 
     /// Adds a rectifier stage in front of the node.

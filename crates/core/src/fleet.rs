@@ -45,6 +45,7 @@ use std::fmt;
 use edc_harvest::{EnergySource, FieldView, TracePlayback};
 use edc_units::{Seconds, Watts};
 
+use crate::catalog::{TraceCatalog, TraceError};
 use crate::experiment::{BuildError, ExperimentSpec};
 use crate::json::Json;
 use crate::scenarios::{FieldEnvelope, SourceKind};
@@ -74,6 +75,8 @@ pub enum FleetError {
     },
     /// The shared field's parameters are invalid.
     InvalidField(&'static str),
+    /// A recorded field could not be registered in the trace catalog.
+    Trace(TraceError),
     /// The per-node design failed experiment validation.
     Design(BuildError),
 }
@@ -95,6 +98,7 @@ impl fmt::Display for FleetError {
                 write!(f, "{placements} explicit placements for {nodes} nodes")
             }
             FleetError::InvalidField(why) => write!(f, "invalid shared field: {why}"),
+            FleetError::Trace(e) => write!(f, "invalid shared field: {e}"),
             FleetError::Design(e) => write!(f, "per-node design invalid: {e}"),
         }
     }
@@ -105,6 +109,12 @@ impl std::error::Error for FleetError {}
 impl From<BuildError> for FleetError {
     fn from(e: BuildError) -> Self {
         FleetError::Design(e)
+    }
+}
+
+impl From<TraceError> for FleetError {
+    fn from(e: TraceError) -> Self {
+        FleetError::Trace(e)
     }
 }
 
@@ -165,6 +175,37 @@ impl FieldSpec {
         match self {
             FieldSpec::Envelope(e) => e.name(),
             FieldSpec::PowerTrace { name, .. } => name,
+        }
+    }
+
+    /// The field as a `Copy` [`FieldEnvelope`], registering recorded
+    /// traces into `catalog` on the way (idempotent: re-registering the
+    /// same name-and-samples pair recalls the existing id). This is what
+    /// lets trace-backed fleets expand into ordinary per-node
+    /// [`SourceKind::FieldView`] specs and run through the same
+    /// `run_specs` path as synthetic envelopes.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Trace`] when the trace series is invalid or its name
+    /// is already bound to different samples.
+    pub fn register_in(&self, catalog: &mut TraceCatalog) -> Result<FieldEnvelope, FleetError> {
+        match self {
+            FieldSpec::Envelope(e) => Ok(*e),
+            FieldSpec::PowerTrace {
+                name,
+                samples,
+                looping,
+            } => {
+                // register_ref: after the first run the samples are only
+                // hashed, never copied again.
+                let id = catalog.register_ref(name, samples)?;
+                Ok(FieldEnvelope::Trace {
+                    id,
+                    decimate: 1,
+                    looped: *looping,
+                })
+            }
         }
     }
 
@@ -404,8 +445,10 @@ impl FleetSpec {
                     spec.validate()?;
                 }
             }
-            // Trace fields: node sources are boxed, so validate the design
-            // shell (everything but its replaced source).
+            // Trace fields: sample data is checked by `field.validate()`
+            // above and per-node specs are re-validated (with the catalog)
+            // when the runner expands them, so validate the design shell
+            // here (everything but its replaced source).
             None => self.design.validate()?,
         }
         Ok(())
@@ -413,24 +456,43 @@ impl FleetSpec {
 
     /// The per-node experiment specs, when the shared field is a synthetic
     /// [`FieldSpec::Envelope`] (per-node views are then plain
-    /// [`SourceKind::FieldView`] data and the whole fleet can run through
-    /// the sweep engine). `None` for trace fields, whose per-node sources
-    /// are boxed via [`FleetSpec::node_source`].
+    /// [`SourceKind::FieldView`] data). `None` for trace fields, whose
+    /// samples live in a catalog — use [`FleetSpec::node_specs_in`], which
+    /// covers *every* field kind.
     pub fn node_specs(&self) -> Option<Vec<ExperimentSpec>> {
         let FieldSpec::Envelope(envelope) = self.field else {
             return None;
         };
-        Some(
-            (0..self.nodes)
-                .map(|i| {
-                    self.design.source(SourceKind::FieldView {
-                        field: envelope,
-                        attenuation: self.attenuation(i),
-                        phase_s: self.phase(i).0,
-                    })
+        Some(self.specs_over(envelope))
+    }
+
+    /// The per-node experiment specs for **any** field kind: recorded
+    /// traces are registered into `catalog` (idempotently) and each node
+    /// becomes a plain [`SourceKind::FieldView`] over the resulting
+    /// envelope, so envelope and trace fleets run through one spec-driven
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::InvalidField`] when a recorded trace cannot be
+    /// registered.
+    pub fn node_specs_in(
+        &self,
+        catalog: &mut TraceCatalog,
+    ) -> Result<Vec<ExperimentSpec>, FleetError> {
+        Ok(self.specs_over(self.field.register_in(catalog)?))
+    }
+
+    fn specs_over(&self, envelope: FieldEnvelope) -> Vec<ExperimentSpec> {
+        (0..self.nodes)
+            .map(|i| {
+                self.design.source(SourceKind::FieldView {
+                    field: envelope,
+                    attenuation: self.attenuation(i),
+                    phase_s: self.phase(i).0,
                 })
-                .collect(),
-        )
+            })
+            .collect()
     }
 
     /// Node `i`'s boxed field view — works for every field kind.

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod experiment;
 pub mod fleet;
 pub mod json;
@@ -31,6 +32,7 @@ pub mod system;
 pub mod taxonomy;
 pub mod telemetry;
 
+pub use catalog::{TraceCatalog, TraceError, TraceId};
 pub use edc_telemetry::TelemetryKind;
 pub use experiment::{BuildError, Experiment, ExperimentSpec, System};
 pub use fleet::{FieldSpec, FleetError, FleetSpec, Placement};

@@ -11,6 +11,7 @@ use edc_transient::{
 };
 use edc_units::{Hertz, Ohms, Seconds, Volts};
 
+use crate::catalog::{TraceCatalog, TraceId};
 use crate::json::Json;
 
 /// The checkpoint strategies compared throughout the workspace.
@@ -125,6 +126,24 @@ pub enum SourceKind {
         /// `t + phase_s`.
         phase_s: f64,
     },
+    /// A recorded harvested-power trace from the
+    /// [`TraceCatalog`]: the spec names the
+    /// recording by its `Copy` [`TraceId`] handle (interned name + content
+    /// hash) and build-time consumers resolve the samples through the
+    /// catalog threaded into `build_in`/`run_specs_in`. Absent from
+    /// [`SourceKind::ALL`] because traces have no canonical parameters —
+    /// a catalog supplies them.
+    Trace {
+        /// The registered trace.
+        id: TraceId,
+        /// Fidelity knob: keep every `decimate`-th sample (`1` = full
+        /// fidelity). The explore evaluator discounts decimated runs the
+        /// same way it discounts coarse timesteps.
+        decimate: u64,
+        /// Repeat the recording indefinitely instead of holding its last
+        /// value.
+        looped: bool,
+    },
 }
 
 impl SourceKind {
@@ -141,6 +160,17 @@ impl SourceKind {
         SourceKind::OutdoorPv { seed: 7 },
     ];
 
+    /// A full-fidelity, non-looping spec handle for a registered trace —
+    /// the common case when building a `SpecSpace` source axis from
+    /// [`TraceCatalog::ids`].
+    pub fn trace(id: TraceId) -> SourceKind {
+        SourceKind::Trace {
+            id,
+            decimate: 1,
+            looped: false,
+        }
+    }
+
     /// Display name of the source class.
     pub fn name(self) -> &'static str {
         match self {
@@ -151,6 +181,22 @@ impl SourceKind {
             SourceKind::IndoorPv { .. } => "indoor-pv",
             SourceKind::OutdoorPv { .. } => "outdoor-pv",
             SourceKind::FieldView { .. } => "field-view",
+            SourceKind::Trace { .. } => "trace",
+        }
+    }
+
+    /// The fidelity discount a trace-backed kind runs at: its decimation
+    /// factor (`≥ 1`), or `1.0` for synthetic kinds. The explore
+    /// evaluator divides a run's cost by this, mirroring the coarse-`dt`
+    /// discount.
+    pub fn fidelity_discount(self) -> f64 {
+        match self {
+            SourceKind::Trace { decimate, .. }
+            | SourceKind::FieldView {
+                field: FieldEnvelope::Trace { decimate, .. },
+                ..
+            } => decimate.max(1) as f64,
+            _ => 1.0,
         }
     }
 
@@ -185,17 +231,39 @@ impl SourceKind {
                 }
                 Ok(())
             }
+            SourceKind::Trace { decimate: 0, .. } => Err("trace decimation must be ≥ 1"),
             _ => Ok(()),
         }
     }
 
-    /// Instantiates the source.
+    /// [`SourceKind::validate`], plus resolution of trace handles against
+    /// the build catalog — the check `build_in`/`run_specs_in` gate on, so
+    /// a spec naming a trace the catalog does not hold fails as a value,
+    /// never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated constraint.
+    pub fn validate_in(self, catalog: &TraceCatalog) -> Result<(), &'static str> {
+        self.validate()?;
+        match self {
+            SourceKind::Trace { id, .. }
+            | SourceKind::FieldView {
+                field: FieldEnvelope::Trace { id, .. },
+                ..
+            } if !catalog.contains(id) => Err("trace is not registered in the build catalog"),
+            _ => Ok(()),
+        }
+    }
+
+    /// Instantiates the source, resolving trace handles through `catalog`.
     ///
     /// # Panics
     ///
-    /// Panics when the parameters violate the constructor domain; call
-    /// [`SourceKind::validate`] first to get the violation as a value.
-    pub fn make(self) -> Box<dyn EnergySource> {
+    /// Panics when the parameters violate the constructor domain or a
+    /// trace handle does not resolve in `catalog`; call
+    /// [`SourceKind::validate_in`] first to get the violation as a value.
+    pub fn make_in(self, catalog: &TraceCatalog) -> Box<dyn EnergySource> {
         match self {
             SourceKind::RectifiedSine { hz } => Box::new(fig7_supply(Hertz(hz))),
             SourceKind::Turbine => Box::new(fig8_turbine()),
@@ -209,8 +277,32 @@ impl SourceKind {
                 field,
                 attenuation,
                 phase_s,
-            } => Box::new(FieldView::new(field.make(), attenuation, Seconds(phase_s))),
+            } => Box::new(FieldView::new(
+                field.make_in(catalog),
+                attenuation,
+                Seconds(phase_s),
+            )),
+            SourceKind::Trace {
+                id,
+                decimate,
+                looped,
+            } => Box::new(
+                catalog
+                    .playback(id, decimate, looped)
+                    .expect("validate_in gates unresolvable traces"),
+            ),
         }
+    }
+
+    /// Instantiates the source without a catalog.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parameters violate the constructor domain — and
+    /// always for trace-backed kinds, whose samples live in a
+    /// [`TraceCatalog`]; use [`SourceKind::make_in`] for those.
+    pub fn make(self) -> Box<dyn EnergySource> {
+        self.make_in(&TraceCatalog::new())
     }
 
     /// The kind as a JSON value, lossless: every parameter that
@@ -250,6 +342,20 @@ impl SourceKind {
                 ("attenuation", Json::Num(attenuation)),
                 ("phase_s", Json::Num(phase_s)),
             ]),
+            // Lossless by reference: name + content hash pin *which*
+            // recording this is; the samples themselves are serialised once
+            // by `TraceCatalog::to_json`, not per spec.
+            SourceKind::Trace {
+                id,
+                decimate,
+                looped,
+            } => Json::obj(vec![
+                ("kind", Json::Str("trace".into())),
+                ("name", Json::Str(id.name().into())),
+                ("hash", Json::Uint(id.content_hash())),
+                ("decimate", Json::Uint(decimate)),
+                ("looped", Json::Bool(looped)),
+            ]),
         }
     }
 }
@@ -258,10 +364,10 @@ impl SourceKind {
 ///
 /// A field is an *environment* — the wind over a deployment site, a room's
 /// light, a reader's carrier — where a [`SourceKind`] is one node's supply.
-/// The variants mirror the synthetic source kinds one-for-one (recorded
-/// traces enter through `edc_core::fleet::FieldSpec`, which is not `Copy`);
-/// `edc-fleet` hands each node a [`SourceKind::FieldView`] over the shared
-/// envelope.
+/// The variants mirror the synthetic source kinds one-for-one, plus
+/// [`FieldEnvelope::Trace`] for recorded fields named through the
+/// [`TraceCatalog`]; `edc-fleet` hands each node a
+/// [`SourceKind::FieldView`] over the shared envelope.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FieldEnvelope {
     /// Half-wave rectified sine ambient (the Fig. 7 stimulus).
@@ -291,6 +397,19 @@ pub enum FieldEnvelope {
         /// Deterministic noise seed.
         seed: u64,
     },
+    /// A recorded ambient field from the [`TraceCatalog`] — what
+    /// `edc_core::fleet::FieldSpec::PowerTrace` registers itself as, so
+    /// trace-backed fleets run through the same spec-driven path as
+    /// synthetic ones.
+    Trace {
+        /// The registered trace.
+        id: TraceId,
+        /// Fidelity knob: keep every `decimate`-th sample (`1` = full
+        /// fidelity).
+        decimate: u64,
+        /// Repeat the recording indefinitely.
+        looped: bool,
+    },
 }
 
 impl FieldEnvelope {
@@ -304,6 +423,15 @@ impl FieldEnvelope {
             FieldEnvelope::Dc { volts } => SourceKind::Dc { volts },
             FieldEnvelope::IndoorPv { seed } => SourceKind::IndoorPv { seed },
             FieldEnvelope::OutdoorPv { seed } => SourceKind::OutdoorPv { seed },
+            FieldEnvelope::Trace {
+                id,
+                decimate,
+                looped,
+            } => SourceKind::Trace {
+                id,
+                decimate,
+                looped,
+            },
         }
     }
 
@@ -321,12 +449,25 @@ impl FieldEnvelope {
         self.source_kind().validate()
     }
 
-    /// Instantiates the bare envelope as an energy source.
+    /// Instantiates the bare envelope as an energy source, resolving
+    /// trace-backed fields through `catalog`.
     ///
     /// # Panics
     ///
-    /// Panics when the parameters violate the constructor domain; call
-    /// [`FieldEnvelope::validate`] first to get the violation as a value.
+    /// Panics when the parameters violate the constructor domain or a
+    /// trace handle does not resolve; validate via
+    /// [`SourceKind::validate_in`] first to get the violation as a value.
+    pub fn make_in(self, catalog: &TraceCatalog) -> Box<dyn EnergySource> {
+        self.source_kind().make_in(catalog)
+    }
+
+    /// Instantiates the bare envelope without a catalog.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parameters violate the constructor domain — and
+    /// always for [`FieldEnvelope::Trace`]; use
+    /// [`FieldEnvelope::make_in`] for those.
     pub fn make(self) -> Box<dyn EnergySource> {
         self.source_kind().make()
     }
@@ -381,6 +522,81 @@ mod tests {
                 .any(|i| s.current_into(Volts(0.5), Seconds(i as f64 * 0.8641)).0 > 0.0);
             assert!(delivers, "{kind:?} never delivers current");
         }
+    }
+
+    #[test]
+    fn trace_kind_validates_resolves_and_serialises() {
+        let mut catalog = TraceCatalog::new();
+        let id = catalog
+            .register("site", vec![(0.0, 1e-3), (0.5, 3e-3), (1.0, 2e-3)])
+            .expect("valid trace");
+        let kind = SourceKind::Trace {
+            id,
+            decimate: 2,
+            looped: true,
+        };
+        assert_eq!(kind.name(), "trace");
+        assert_eq!(kind.fidelity_discount(), 2.0);
+        kind.validate().expect("kind-level checks pass");
+        kind.validate_in(&catalog).expect("resolves");
+        assert_eq!(
+            kind.validate_in(&TraceCatalog::new()),
+            Err("trace is not registered in the build catalog")
+        );
+        assert_eq!(
+            SourceKind::Trace {
+                id,
+                decimate: 0,
+                looped: false,
+            }
+            .validate(),
+            Err("trace decimation must be ≥ 1")
+        );
+        let mut source = kind.make_in(&catalog);
+        assert_eq!(source.name(), "site");
+        assert!(source.sample(Seconds(0.5)).power_into(Volts(1.0)).0 > 0.0);
+        let json = kind.to_json().to_string();
+        assert!(json.contains("\"kind\":\"trace\""), "{json}");
+        assert!(json.contains("\"name\":\"site\""), "{json}");
+        assert!(
+            json.contains(&format!("\"hash\":{}", id.content_hash())),
+            "{json}"
+        );
+        assert!(json.contains("\"decimate\":2"), "{json}");
+        assert!(json.contains("\"looped\":true"), "{json}");
+        // The shorthand constructor is full fidelity, non-looping.
+        assert_eq!(
+            SourceKind::trace(id),
+            SourceKind::Trace {
+                id,
+                decimate: 1,
+                looped: false,
+            }
+        );
+    }
+
+    #[test]
+    fn trace_envelope_views_resolve_through_the_catalog() {
+        let mut catalog = TraceCatalog::new();
+        let id = catalog
+            .register("field", vec![(0.0, 4e-3), (1.0, 4e-3)])
+            .expect("valid trace");
+        let view = SourceKind::FieldView {
+            field: FieldEnvelope::Trace {
+                id,
+                decimate: 1,
+                looped: true,
+            },
+            attenuation: 0.5,
+            phase_s: 0.25,
+        };
+        view.validate_in(&catalog).expect("resolves");
+        assert!(view.validate_in(&TraceCatalog::new()).is_err());
+        assert_eq!(view.fidelity_discount(), 1.0);
+        let mut source = view.make_in(&catalog);
+        // Half the field's regulated 4 mW.
+        let p = source.sample(Seconds(0.0)).power_into(Volts(1.0));
+        assert!((p.0 - 2e-3).abs() < 1e-12);
     }
 
     #[test]

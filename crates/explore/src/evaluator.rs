@@ -9,12 +9,19 @@
 //!   *or* across rungs of different fidelity (the timestep is part of the
 //!   key);
 //! - **enforces the budget**: a batch whose cache misses would exceed the
-//!   configured cost ceiling (in full-fidelity-equivalent units — coarse
-//!   runs charge fractionally) fails with
-//!   [`ExploreError::BudgetExhausted`] before any of them run;
+//!   configured cost ceiling (in full-fidelity-equivalent units) fails
+//!   with [`ExploreError::BudgetExhausted`] before any of them run. Cost
+//!   per miss is `(reference_dt / dt) × (deadline / reference_deadline) ÷
+//!   trace decimation × objective cost scale`: coarse timesteps, shortened
+//!   rung deadlines and decimated trace sources all charge fractionally,
+//!   while fleet objectives (which deploy every candidate as a whole
+//!   population) charge ≈ their node count per miss;
 //! - **fans out** cache misses across scoped worker threads via the sweep
-//!   engine's [`run_specs`], whose results come back in input order — so
-//!   thread count affects wall-clock only, never results;
+//!   engine's [`run_specs_in`], whose results come back in input order —
+//!   so thread count affects wall-clock only, never results — resolving
+//!   [`SourceKind::Trace`](edc_core::scenarios::SourceKind::Trace)
+//!   candidates through the catalog supplied by
+//!   [`Evaluator::with_catalog`];
 //! - **records a trace** entry per requested evaluation, in request order,
 //!   which is what makes [`ExploreReport`](crate::ExploreReport) JSON
 //!   byte-identical across repeated and serial-vs-parallel runs.
@@ -22,7 +29,8 @@
 use std::collections::HashMap;
 use std::collections::HashSet;
 
-use edc_bench::sweep::run_specs;
+use edc_bench::sweep::run_specs_in;
+use edc_core::catalog::TraceCatalog;
 use edc_core::experiment::ExperimentSpec;
 use edc_core::TelemetryKind;
 use edc_units::Seconds;
@@ -63,6 +71,9 @@ pub struct Evaluator<'a> {
     threads: usize,
     budget: Option<u64>,
     reference_dt: Seconds,
+    reference_deadline: Option<Seconds>,
+    cost_scale: f64,
+    catalog: TraceCatalog,
     cache: HashMap<String, Vec<f64>>,
     simulations: u64,
     cache_hits: u64,
@@ -81,6 +92,12 @@ impl<'a> Evaluator<'a> {
     /// scales inversely with the timestep. A budget of `N` therefore
     /// admits exactly an `N`-point exhaustive grid at full fidelity, or a
     /// proportionally larger number of cheap coarse runs.
+    ///
+    /// The scale also reflects what the objectives *do* with each miss:
+    /// every cache miss is charged `max` over the objectives of
+    /// [`Objective::cost_multiplier`], so a fleet objective that deploys
+    /// the candidate as an `n`-node population charges ≈ `n` units where a
+    /// single-node objective charges 1.
     pub fn new(
         objectives: &'a [Box<dyn Objective>],
         threads: usize,
@@ -89,16 +106,51 @@ impl<'a> Evaluator<'a> {
     ) -> Self {
         Self {
             force_stats: objectives.iter().any(|o| o.requires_stats()),
+            cost_scale: objectives
+                .iter()
+                .map(|o| o.cost_multiplier())
+                .fold(1.0, f64::max),
             objectives,
             threads: threads.max(1),
             budget,
             reference_dt,
+            reference_deadline: None,
+            catalog: TraceCatalog::new(),
             cache: HashMap::new(),
             simulations: 0,
             cache_hits: 0,
             cost_units: 0.0,
             trace: Vec::new(),
         }
+    }
+
+    /// Supplies the catalog trace-backed candidate specs resolve through.
+    pub fn with_catalog(mut self, catalog: TraceCatalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// Sets the full-horizon deadline cost is normalised against: a run
+    /// whose spec deadline is `d` charges a further factor `d /
+    /// reference_deadline`, so rung-shortened deadlines (see
+    /// [`SuccessiveHalving::deadline_divisors`](crate::SuccessiveHalving::deadline_divisors))
+    /// compound with coarse timesteps in the budget. Without a reference,
+    /// deadlines do not enter the cost model.
+    pub fn with_reference_deadline(mut self, deadline: Seconds) -> Self {
+        self.reference_deadline = Some(deadline);
+        self
+    }
+
+    /// What one cache miss of `spec` costs, in full-fidelity-equivalent
+    /// units: timestep ratio × deadline ratio ÷ trace-decimation discount,
+    /// scaled by the objectives' per-miss multiplier.
+    fn cost_of(&self, spec: &ExperimentSpec) -> f64 {
+        let dt_ratio = self.reference_dt.0 / spec.timestep.0;
+        let deadline_ratio = self
+            .reference_deadline
+            .map(|d| spec.deadline.0 / d.0)
+            .unwrap_or(1.0);
+        dt_ratio * deadline_ratio / spec.source.fidelity_discount() * self.cost_scale
     }
 
     /// Evaluates a batch of candidates, serving repeats from the memo
@@ -141,10 +193,7 @@ impl<'a> Evaluator<'a> {
         }
 
         if let Some(budget) = self.budget {
-            let batch_cost: f64 = missing
-                .iter()
-                .map(|&i| self.reference_dt.0 / prepared[i].timestep.0)
-                .sum();
+            let batch_cost: f64 = missing.iter().map(|&i| self.cost_of(&prepared[i])).sum();
             let needed = self.cost_units + batch_cost;
             if needed > budget as f64 {
                 return Err(ExploreError::BudgetExhausted { budget, needed });
@@ -153,7 +202,7 @@ impl<'a> Evaluator<'a> {
 
         if !missing.is_empty() {
             let batch: Vec<ExperimentSpec> = missing.iter().map(|&i| prepared[i]).collect();
-            let rows = run_specs(batch, self.threads)?;
+            let rows = run_specs_in(batch, self.threads, &self.catalog)?;
             for (&i, row) in missing.iter().zip(rows) {
                 let scores: Vec<f64> = self
                     .objectives
@@ -162,7 +211,7 @@ impl<'a> Evaluator<'a> {
                     .collect();
                 self.cache.insert(keys[i].clone(), scores);
                 self.simulations += 1;
-                self.cost_units += self.reference_dt.0 / prepared[i].timestep.0;
+                self.cost_units += self.cost_of(&prepared[i]);
             }
         }
 
@@ -201,7 +250,10 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Full-fidelity-equivalent simulation cost: each run contributes
-    /// `reference_dt / its_dt` (coarse-timestep prefilter runs are cheap).
+    /// `(reference_dt / its_dt) × (deadline / reference_deadline) ÷
+    /// trace decimation × objective cost scale` — coarse, short-horizon or
+    /// decimated prefilter runs are cheap, fleet-objective misses are
+    /// charged per node.
     pub fn cost_units(&self) -> f64 {
         self.cost_units
     }

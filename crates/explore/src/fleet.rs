@@ -27,10 +27,12 @@
 //! [`CompletionTime`](crate::CompletionTime)) trades population questions
 //! against lone-node behaviour in one Pareto front.
 //!
-//! The evaluator's budget meters *single-node* simulations; a fleet
-//! objective multiplies the real cost of each cache miss by roughly the
-//! template's node count, so budget fleet searches by space size rather
-//! than by cost units.
+//! The evaluator's budget is denominated in full-fidelity-equivalent
+//! single-node simulations, and fleet objectives report an honest
+//! [`cost_multiplier`](Objective::cost_multiplier) of their template's
+//! node count — so a budgeted search over an `n`-node template charges
+//! ≈ `n` units per cache miss instead of pretending a whole fleet costs
+//! one run.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -102,6 +104,12 @@ impl FleetTemplate {
         self
     }
 
+    /// Nodes this template deploys — also the honest per-candidate cost
+    /// its objectives report to the evaluator's budget.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
     /// The fleet this template deploys for a candidate design.
     pub fn fleet_for(&self, design: &ExperimentSpec) -> FleetSpec {
         FleetSpec::new(self.field.clone(), *design, self.nodes)
@@ -152,6 +160,10 @@ impl Objective for FleetNodesToCover {
             .map(|n| n as f64)
             .unwrap_or(f64::INFINITY)
     }
+
+    fn cost_multiplier(&self) -> f64 {
+        self.0.nodes().max(1) as f64
+    }
 }
 
 /// `1 − coverage` of the template fleet built from the candidate design
@@ -169,6 +181,10 @@ impl Objective for FleetCoverageShortfall {
             .metrics_for(spec)
             .map(|m| 1.0 - m.coverage)
             .unwrap_or(f64::INFINITY)
+    }
+
+    fn cost_multiplier(&self) -> f64 {
+        self.0.nodes().max(1) as f64
     }
 }
 
@@ -188,6 +204,10 @@ impl Objective for FleetEnergyPerTask {
             .and_then(|m| m.energy_per_completed_task_j)
             .unwrap_or(f64::INFINITY)
     }
+
+    fn cost_multiplier(&self) -> f64 {
+        self.0.nodes().max(1) as f64
+    }
 }
 
 /// `1 −` the fleet's brownout-free fraction (0 when every node rides the
@@ -205,6 +225,10 @@ impl Objective for FleetBrownoutShortfall {
             .metrics_for(spec)
             .map(|m| 1.0 - m.brownout_free_fraction)
             .unwrap_or(f64::INFINITY)
+    }
+
+    fn cost_multiplier(&self) -> f64 {
+        self.0.nodes().max(1) as f64
     }
 }
 

@@ -74,6 +74,7 @@ pub use space::{Point, SpecSpace, AXES, AXIS_NAMES};
 
 use std::fmt;
 
+use edc_core::catalog::TraceCatalog;
 use edc_core::experiment::{BuildError, ExperimentSpec};
 use edc_core::json::Json;
 use edc_power::sizing::SizingError;
@@ -158,6 +159,7 @@ pub struct Explorer {
     objectives: Vec<Box<dyn Objective>>,
     threads: Option<usize>,
     budget: Option<u64>,
+    catalog: TraceCatalog,
 }
 
 impl Explorer {
@@ -167,7 +169,18 @@ impl Explorer {
             objectives: Vec::new(),
             threads: None,
             budget: None,
+            catalog: TraceCatalog::new(),
         }
+    }
+
+    /// Supplies the trace catalog that
+    /// [`SourceKind::Trace`](edc_core::scenarios::SourceKind::Trace) axis
+    /// values resolve through, so searches can enumerate recorded power
+    /// profiles next to synthetic ones. Spaces without trace sources never
+    /// need one.
+    pub fn catalog(mut self, catalog: TraceCatalog) -> Self {
+        self.catalog = catalog;
+        self
     }
 
     /// Adds an objective; order fixes the score order everywhere
@@ -207,7 +220,7 @@ impl Explorer {
         if self.objectives.is_empty() {
             return Err(ExploreError::NoObjectives);
         }
-        space.validate()?;
+        space.validate_in(&self.catalog)?;
         let threads = self
             .threads
             .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
@@ -217,7 +230,9 @@ impl Explorer {
             threads,
             self.budget,
             space.finest_timestep(),
-        );
+        )
+        .with_catalog(self.catalog.clone())
+        .with_reference_deadline(space.base().deadline);
         let finals = searcher.search(space, &mut eval)?;
         let front = ParetoFront::from_evaluations(&finals);
         Ok(ExploreReport {

@@ -35,6 +35,19 @@ pub trait Objective {
     fn requires_stats(&self) -> bool {
         false
     }
+
+    /// How many full-fidelity-equivalent simulations scoring one *cache
+    /// miss* really costs. `1.0` (the default) means the objective only
+    /// reads the shared single-node report; objectives that launch extra
+    /// simulations per candidate — the fleet adapters deploy it as a whole
+    /// `n`-node population — return that true cost so budgeted searches
+    /// charge what they actually spend. The evaluator bills each miss at
+    /// the *maximum* multiplier across its objectives (the dominant cost;
+    /// cloned-template fleet objectives share one fleet run, so their
+    /// costs overlap rather than add).
+    fn cost_multiplier(&self) -> f64 {
+        1.0
+    }
 }
 
 /// Workload completion time in seconds; `INFINITY` when the run did not

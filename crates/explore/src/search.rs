@@ -125,7 +125,10 @@ fn draw_below(rng: &mut StdRng, n: u64) -> u64 {
 /// at finer timesteps, and finish the last rung at the space's own
 /// fidelity. Exploits that simulation cost scales inversely with the
 /// timestep, so a full coarse pass costs a fraction of a full-fidelity
-/// grid.
+/// grid. Early rungs can *also* shorten the run deadline (see
+/// [`SuccessiveHalving::deadline_divisors`]), which compounds the budget
+/// savings for long-horizon workloads: a design that cannot finish a
+/// quarter of the horizon rarely wins the full one.
 ///
 /// Between rungs, candidates are ranked by dominance depth (fewest
 /// dominators first), then lexicographic scores, then flat index — fully
@@ -138,6 +141,11 @@ pub struct SuccessiveHalving {
     rungs: Vec<f64>,
     /// Fraction of candidates kept after each non-final rung, in `(0, 1)`.
     keep: f64,
+    /// Optional per-rung deadline divisors (same length as `rungs`,
+    /// strictly decreasing to `1.0`): rung `r` runs each candidate to
+    /// `deadline / deadline_divisors[r]`. `None` leaves every rung at the
+    /// spec's own deadline.
+    deadline_divisors: Option<Vec<f64>>,
 }
 
 impl SuccessiveHalving {
@@ -149,10 +157,12 @@ impl SuccessiveHalving {
         Self {
             rungs: vec![16.0, 4.0, 1.0],
             keep: 0.25,
+            deadline_divisors: None,
         }
     }
 
-    /// Overrides the rung schedule.
+    /// Overrides the rung schedule. Clears any configured deadline
+    /// divisors (they are per-rung; set them after the schedule).
     ///
     /// # Panics
     ///
@@ -164,6 +174,32 @@ impl SuccessiveHalving {
             "rung factors must strictly decrease to 1.0"
         );
         self.rungs = factors.to_vec();
+        self.deadline_divisors = None;
+        self
+    }
+
+    /// Shortens early rungs' deadlines: rung `r` runs its candidates to
+    /// `deadline / divisors[r]`, so prefilter rungs spend less simulated
+    /// time *and* fewer budget units (the evaluator charges the deadline
+    /// ratio when given a reference deadline) before the final rung
+    /// restores the full horizon. Deadlines are monotonically
+    /// non-decreasing across rungs by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `divisors` has one entry per rung, strictly
+    /// decreasing to `1.0` (the final rung always runs the full deadline).
+    pub fn deadline_divisors(mut self, divisors: &[f64]) -> Self {
+        assert_eq!(
+            divisors.len(),
+            self.rungs.len(),
+            "one deadline divisor per rung"
+        );
+        assert!(
+            divisors.windows(2).all(|w| w[0] > w[1]) && divisors.last() == Some(&1.0),
+            "deadline divisors must strictly decrease to 1.0"
+        );
+        self.deadline_divisors = Some(divisors.to_vec());
         self
     }
 
@@ -197,11 +233,13 @@ impl Searcher for SuccessiveHalving {
     ) -> Result<Vec<Evaluation>, ExploreError> {
         let mut candidates: Vec<usize> = (0..space.len()).collect();
         for (r, &factor) in self.rungs.iter().enumerate() {
+            let divisor = self.deadline_divisors.as_ref().map(|d| d[r]).unwrap_or(1.0);
             let specs: Vec<ExperimentSpec> = candidates
                 .iter()
                 .map(|&i| {
                     let spec = space.spec_at(i);
                     spec.timestep(Seconds(spec.timestep.0 * factor))
+                        .deadline(Seconds(spec.deadline.0 / divisor))
                 })
                 .collect();
             let phase = format!("rung{r}@{factor}x");

@@ -12,6 +12,7 @@
 //! The space is *description*, not computation: searchers decide which of
 //! its points to evaluate.
 
+use edc_core::catalog::TraceCatalog;
 use edc_core::experiment::ExperimentSpec;
 use edc_core::scenarios::{SourceKind, StrategyKind};
 use edc_units::{Farads, Ohms, Seconds};
@@ -164,6 +165,22 @@ impl SpecSpace {
     ///
     /// Returns the first empty axis or the first invalid axis value.
     pub fn validate(&self) -> Result<(), ExploreError> {
+        self.validate_probes(None)
+    }
+
+    /// [`SpecSpace::validate`], plus resolution of every trace-backed
+    /// source-axis value against `catalog` — so a search over registered
+    /// recordings fails up front, as a value, when a handle belongs to a
+    /// different catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first empty axis or the first invalid axis value.
+    pub fn validate_in(&self, catalog: &TraceCatalog) -> Result<(), ExploreError> {
+        self.validate_probes(Some(catalog))
+    }
+
+    fn validate_probes(&self, catalog: Option<&TraceCatalog>) -> Result<(), ExploreError> {
         let dims = self.dims();
         for (axis, &n) in dims.iter().enumerate() {
             if n == 0 {
@@ -180,7 +197,11 @@ impl SpecSpace {
             for (axis, p) in probe.iter_mut().enumerate() {
                 *p = i.min(dims[axis] - 1);
             }
-            self.spec(probe).validate()?;
+            let spec = self.spec(probe);
+            match catalog {
+                Some(catalog) => spec.validate_in(catalog)?,
+                None => spec.validate()?,
+            }
         }
         Ok(())
     }

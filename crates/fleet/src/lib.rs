@@ -11,14 +11,14 @@
 //! many nodes of which design cover a sensing duty cycle?*
 //!
 //! - [`Fleet`] — the runner: expands a [`FleetSpec`] into per-node runs
-//!   and fans them out across worker threads. Envelope fields become plain
-//!   per-node [`ExperimentSpec`](edc_core::experiment::ExperimentSpec)s
-//!   (their field views are `Copy` spec data)
-//!   executed by the sweep engine's
-//!   [`run_specs`]; trace fields run through
-//!   the same deterministic [`par_map`]
-//!   primitive with boxed per-node sources. Either way, thread count
-//!   affects wall-clock only — never results.
+//!   and fans them out across worker threads. **Every** field kind becomes
+//!   plain per-node
+//!   [`ExperimentSpec`](edc_core::experiment::ExperimentSpec)s executed by
+//!   the sweep engine's [`run_specs_in`]: synthetic envelopes directly,
+//!   recorded power traces by registering themselves into the runner's
+//!   [`TraceCatalog`] and viewing the registered trace per node. One
+//!   spec-driven path — thread count affects wall-clock only, never
+//!   results.
 //! - [`FleetReport`] — per-node [`SystemReport`]s plus [`FleetMetrics`]
 //!   (duty-cycle coverage, sustainable task rate, the smallest covering
 //!   prefix of the placement, brownout-free fraction, fleet energy per
@@ -69,8 +69,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use edc_bench::sweep::{par_map, run_specs};
-use edc_core::experiment::Experiment;
+use edc_bench::sweep::run_specs_in;
+use edc_core::catalog::TraceCatalog;
 use edc_core::fleet::{FleetError, FleetSpec};
 use edc_core::json::Json;
 use edc_core::telemetry::{stats_json, TelemetryReport};
@@ -85,6 +85,7 @@ pub use edc_core::scenarios::FieldEnvelope;
 pub struct Fleet {
     spec: FleetSpec,
     threads: Option<usize>,
+    catalog: TraceCatalog,
 }
 
 impl Fleet {
@@ -93,6 +94,7 @@ impl Fleet {
         Self {
             spec,
             threads: None,
+            catalog: TraceCatalog::new(),
         }
     }
 
@@ -103,12 +105,26 @@ impl Fleet {
         self
     }
 
+    /// Seeds the runner's trace catalog. [`FieldSpec::PowerTrace`] fields
+    /// register themselves on [`Fleet::run`] regardless; supplying a
+    /// shared catalog lets the per-node design itself use
+    /// [`SourceKind::Trace`](edc_core::scenarios::SourceKind::Trace)
+    /// entries registered elsewhere.
+    pub fn catalog(mut self, catalog: TraceCatalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
     /// The spec this runner executes.
     pub fn spec(&self) -> &FleetSpec {
         &self.spec
     }
 
-    /// Runs every node and reports fleet-level metrics.
+    /// Runs every node and reports fleet-level metrics. Both field kinds
+    /// take the same path: the spec expands into per-node
+    /// [`SourceKind::FieldView`](edc_core::scenarios::SourceKind::FieldView)
+    /// specs (recorded traces are first registered into the runner's
+    /// catalog) and one [`run_specs_in`] batch executes them.
     ///
     /// # Errors
     ///
@@ -120,31 +136,13 @@ impl Fleet {
             .threads
             .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
             .unwrap_or(1);
-        let nodes: Vec<SystemReport> = match self.spec.node_specs() {
-            // Synthetic envelopes: per-node field views are plain spec
-            // data, so the whole fleet is one sweep-engine batch.
-            Some(specs) => run_specs(specs, threads)
-                .map_err(FleetError::Design)?
-                .into_iter()
-                .map(|row| row.report)
-                .collect(),
-            // Trace fields: per-node sources are boxed, so fan the nodes
-            // out through the same deterministic primitive the sweep
-            // engine uses.
-            None => {
-                let indices: Vec<usize> = (0..self.spec.nodes).collect();
-                let design = self.spec.design;
-                let results = par_map(&indices, threads, |&i| {
-                    Experiment::from_spec(&design)
-                        .source(self.spec.node_source(i))
-                        .run(design.deadline)
-                });
-                results
-                    .into_iter()
-                    .collect::<Result<Vec<_>, _>>()
-                    .map_err(FleetError::Design)?
-            }
-        };
+        let mut catalog = self.catalog.clone();
+        let specs = self.spec.node_specs_in(&mut catalog)?;
+        let nodes: Vec<SystemReport> = run_specs_in(specs, threads, &catalog)
+            .map_err(FleetError::Design)?
+            .into_iter()
+            .map(|row| row.report)
+            .collect();
         let metrics = FleetMetrics::from_reports(&self.spec, &nodes);
         Ok(FleetReport {
             spec: self.spec.clone(),

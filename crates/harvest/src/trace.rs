@@ -93,6 +93,33 @@ impl TracePlayback {
         self
     }
 
+    /// Reduces the trace's sample rate by keeping every `k`-th sample
+    /// (indices `0, k, 2k, …`) **plus the final sample**, so the decimated
+    /// trace always spans the original duration and stays at least two
+    /// samples long. `k = 1` is the identity. Values between the kept
+    /// samples change (linear interpolation now bridges a wider gap) — it
+    /// is a fidelity knob, exactly like coarsening the simulation
+    /// timestep, and the explore evaluator discounts it the same way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero (the trace would never sample).
+    pub fn decimated(self, k: u64) -> Self {
+        assert!(k >= 1, "decimation factor must be ≥ 1");
+        if k == 1 {
+            return self;
+        }
+        let last = self.samples.len() - 1;
+        let samples: Vec<(Seconds, f64)> = self
+            .samples
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| (i as u64).is_multiple_of(k) || i == last)
+            .map(|(_, &s)| s)
+            .collect();
+        Self { samples, ..self }
+    }
+
     /// Duration covered by the underlying samples.
     pub fn duration(&self) -> Seconds {
         Seconds(self.samples.last().unwrap().0 .0 - self.samples[0].0 .0)
@@ -323,6 +350,48 @@ mod tests {
     #[should_panic(expected = "at least two samples")]
     fn single_sample_rejected() {
         let _ = TracePlayback::from_power_series("bad", vec![(Seconds(0.0), Watts(0.0))]);
+    }
+
+    #[test]
+    fn decimation_keeps_anchors_and_widens_interpolation() {
+        let dense = TracePlayback::from_power_series(
+            "d",
+            (0..9)
+                .map(|i| (Seconds(i as f64 * 0.25), Watts((i % 3) as f64)))
+                .collect(),
+        );
+        let coarse = dense.clone().decimated(4);
+        // Kept anchors (indices 0, 4, 8) agree exactly with the original.
+        for &t in &[0.0, 1.0, 2.0] {
+            assert_eq!(coarse.power_at(Seconds(t)), dense.power_at(Seconds(t)));
+        }
+        assert_eq!(coarse.duration(), dense.duration(), "full span retained");
+        // Between anchors the coarse trace interpolates across the gap.
+        let mid = coarse.power_at(Seconds(0.5)).0;
+        assert!((mid - 0.5).abs() < 1e-12, "anchor 0 → anchor 4 midpoint");
+        // The final sample is always kept, even off the stride.
+        let coarse = dense.clone().decimated(5);
+        assert_eq!(coarse.duration(), dense.duration());
+        assert_eq!(
+            coarse.power_at(dense.duration()),
+            dense.power_at(dense.duration())
+        );
+    }
+
+    #[test]
+    fn decimation_by_one_is_the_identity() {
+        let tr = power_trace();
+        let same = tr.clone().decimated(1);
+        for i in 0..20 {
+            let t = Seconds(i as f64 * 0.173);
+            assert_eq!(same.power_at(t), tr.power_at(t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 1")]
+    fn zero_decimation_panics() {
+        let _ = power_trace().decimated(0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!    ≤ 25% of the grid's full-fidelity-equivalent cost.
 //! 3. A `ParetoFront` never contains a dominated point (property-based).
 
+use energy_driven::core::catalog::TraceCatalog;
 use energy_driven::core::experiment::ExperimentSpec;
 use energy_driven::core::scenarios::{SourceKind, StrategyKind};
 use energy_driven::explore::evaluator::Evaluation;
@@ -172,6 +173,226 @@ fn budget_is_a_hard_cap() {
         .run(&space, &ExhaustiveGrid)
         .expect_err("8 points > 3 budget");
     assert!(err.to_string().contains("budget"));
+}
+
+/// A catalog with two synthetic "recordings" plus a trace-axis space over
+/// them: 2 traces × 2 decimation levels × 2 strategies = 8 designs.
+fn trace_space() -> (TraceCatalog, SpecSpace) {
+    let mut catalog = TraceCatalog::new();
+    let mains: Vec<(f64, f64)> = (0..20)
+        .map(|i| {
+            let phase = (i as f64 / 20.0) * std::f64::consts::TAU;
+            (i as f64 * 1e-3, 8e-3 * phase.sin().max(0.0))
+        })
+        .collect();
+    let mains = catalog.register("mains-cycle", mains).expect("valid");
+    let bursty: Vec<(f64, f64)> = (0..16)
+        .map(|i| (i as f64 * 2e-3, if i % 4 < 2 { 6e-3 } else { 0.5e-3 }))
+        .collect();
+    let bursty = catalog.register("bursty-office", bursty).expect("valid");
+    let base = ExperimentSpec::new(
+        SourceKind::trace(mains),
+        StrategyKind::Restart,
+        WorkloadKind::Crc16(48),
+    )
+    .deadline(Seconds(2.0));
+    let sources: Vec<SourceKind> = [mains, bursty]
+        .iter()
+        .flat_map(|&id| {
+            [1u64, 4].iter().map(move |&decimate| SourceKind::Trace {
+                id,
+                decimate,
+                looped: true,
+            })
+        })
+        .collect();
+    let space = SpecSpace::over(base)
+        .sources(&sources)
+        .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus]);
+    (catalog, space)
+}
+
+/// The new-axis acceptance claim: all four searchers stay
+/// serial == parallel == repeat byte-identical over a source axis of ≥ 2
+/// registered traces with decimation as a fidelity knob.
+#[test]
+fn every_searcher_is_byte_deterministic_on_a_trace_axis() {
+    let (catalog, space) = trace_space();
+    assert_eq!(space.len(), 8);
+    let searchers: Vec<Box<dyn Searcher>> = vec![
+        Box::new(ExhaustiveGrid),
+        Box::new(RandomSearch::new(404, 5)),
+        Box::new(SuccessiveHalving::new().rungs(&[4.0, 1.0])),
+        Box::new(CoordinateDescent::new(2)),
+    ];
+    for searcher in &searchers {
+        let explorer = |threads: usize| {
+            Explorer::new()
+                .objective(CompletionTime)
+                .objective(BrownoutCount)
+                .catalog(catalog.clone())
+                .threads(threads)
+        };
+        let parallel = explorer(4)
+            .run(&space, searcher.as_ref())
+            .expect("explores")
+            .to_json()
+            .to_string();
+        let serial = explorer(1)
+            .run(&space, searcher.as_ref())
+            .expect("explores")
+            .to_json()
+            .to_string();
+        let again = explorer(3)
+            .run(&space, searcher.as_ref())
+            .expect("explores")
+            .to_json()
+            .to_string();
+        assert_eq!(parallel, serial, "{}: serial != parallel", searcher.name());
+        assert_eq!(parallel, again, "{}: repeat differs", searcher.name());
+        assert!(
+            parallel.contains("\"name\":\"bursty-office\""),
+            "{}: trace axis absent from report JSON",
+            searcher.name()
+        );
+    }
+}
+
+/// Decimation is a *budgeted* fidelity knob: a `k×`-decimated trace run
+/// charges `1/k` cost units, the same discount a `k×`-coarser timestep
+/// earns, so prefilters over long recordings are affordable.
+#[test]
+fn trace_decimation_discounts_the_evaluation_budget() {
+    use energy_driven::explore::{Evaluator, Objective};
+    let (catalog, space) = trace_space();
+    let objectives: Vec<Box<dyn Objective>> = vec![Box::new(CompletionTime)];
+    let mut eval =
+        Evaluator::new(&objectives, 1, None, space.finest_timestep()).with_catalog(catalog.clone());
+    // Flat order: decimate is part of the sources axis; index 0 is the
+    // full-fidelity mains trace, index 2 the 4×-decimated one.
+    let full = space.spec_at(0);
+    let coarse = space.spec_at(2);
+    assert_eq!(full.source.fidelity_discount(), 1.0);
+    assert_eq!(coarse.source.fidelity_discount(), 4.0);
+    eval.evaluate(vec![full], "full").expect("evaluates");
+    assert!((eval.cost_units() - 1.0).abs() < 1e-12);
+    eval.evaluate(vec![coarse], "coarse").expect("evaluates");
+    assert!(
+        (eval.cost_units() - 1.25).abs() < 1e-12,
+        "4× decimation must cost a quarter unit, got {}",
+        eval.cost_units()
+    );
+    // And the hard budget speaks the same currency: budget 1 admits four
+    // quarter-cost decimated runs, not five.
+    let mut capped =
+        Evaluator::new(&objectives, 1, Some(1), space.finest_timestep()).with_catalog(catalog);
+    let decimated: Vec<ExperimentSpec> = (0..4)
+        .map(|i| space.spec_at(2).workload(WorkloadKind::Crc16(40 + i)))
+        .collect();
+    capped.evaluate(decimated, "rung").expect("4 × 1/4 fits");
+    capped
+        .evaluate(
+            vec![space.spec_at(2).workload(WorkloadKind::Crc16(60))],
+            "over",
+        )
+        .expect_err("budget spent");
+}
+
+/// Fleet-level budget accounting: objectives that deploy each candidate as
+/// an `n`-node population charge ≈ `n` per cache miss instead of 1.
+#[test]
+fn fleet_objectives_charge_node_count_per_cache_miss() {
+    use energy_driven::core::fleet::FieldSpec;
+    use energy_driven::core::scenarios::FieldEnvelope;
+    use energy_driven::explore::{Evaluator, FleetNodesToCover, FleetTemplate, Objective};
+    let template = FleetTemplate::new(
+        FieldSpec::Envelope(FieldEnvelope::RectifiedSine { hz: 50.0 }),
+        3,
+    )
+    .threads(2);
+    let objectives: Vec<Box<dyn Objective>> = vec![
+        Box::new(CompletionTime),
+        Box::new(FleetNodesToCover(template)),
+    ];
+    assert_eq!(objectives[1].cost_multiplier(), 3.0);
+    let base = ExperimentSpec::new(
+        SourceKind::Dc { volts: 3.3 },
+        StrategyKind::Restart,
+        WorkloadKind::BusyLoop(120),
+    )
+    .deadline(Seconds(1.0));
+    let mut eval = Evaluator::new(&objectives, 2, None, base.timestep);
+    eval.evaluate(vec![base], "fleet").expect("evaluates");
+    assert!(
+        (eval.cost_units() - 3.0).abs() < 1e-12,
+        "a 3-node fleet objective must charge 3 units per miss, got {}",
+        eval.cost_units()
+    );
+    // A budget below the node count rejects even a single miss up front.
+    let mut capped = Evaluator::new(&objectives, 2, Some(2), base.timestep);
+    let err = capped
+        .evaluate(vec![base.workload(WorkloadKind::BusyLoop(121))], "over")
+        .expect_err("3 > 2");
+    assert!(err.to_string().contains("budget"), "{err}");
+    assert_eq!(capped.simulations(), 0, "nothing ran");
+}
+
+/// Per-cell deadlines in `SuccessiveHalving`: early rungs shorten the
+/// deadline as well as coarsening the timestep, rung-monotonically, and
+/// the evaluator's deadline-ratio accounting compounds the saving.
+#[test]
+fn halving_deadline_divisors_shorten_early_rungs_monotonically() {
+    let space = sizing_space();
+    let explorer = Explorer::new()
+        .objective(CompletionTime)
+        .objective(BrownoutCount);
+    let plain = explorer
+        .run(&space, &SuccessiveHalving::new())
+        .expect("explores");
+    let shortened_searcher = SuccessiveHalving::new().deadline_divisors(&[4.0, 2.0, 1.0]);
+    let shortened = explorer.run(&space, &shortened_searcher).expect("explores");
+
+    // Rung-monotone: within the trace, each rung's deadline is a fixed
+    // value, non-decreasing from rung to rung, ending at the full horizon.
+    let mut rung_deadlines: Vec<f64> = Vec::new();
+    for entry in shortened.trace.iter() {
+        let rung: usize = entry
+            .phase
+            .strip_prefix("rung")
+            .and_then(|s| s.split('@').next())
+            .and_then(|s| s.parse().ok())
+            .expect("halving phases are rungN@Fx");
+        if rung_deadlines.len() <= rung {
+            rung_deadlines.push(entry.spec.deadline.0);
+        }
+        assert_eq!(
+            entry.spec.deadline.0, rung_deadlines[rung],
+            "one deadline per rung"
+        );
+    }
+    assert_eq!(rung_deadlines.len(), 3);
+    assert!(
+        rung_deadlines.windows(2).all(|w| w[0] <= w[1]),
+        "deadlines must be rung-monotone (early rungs shortest): {rung_deadlines:?}"
+    );
+    assert_eq!(rung_deadlines[0], space.base().deadline.0 / 4.0);
+    assert_eq!(
+        *rung_deadlines.last().unwrap(),
+        space.base().deadline.0,
+        "the final rung restores the full horizon"
+    );
+
+    // The deadline discount compounds with the timestep discount.
+    assert!(
+        shortened.cost_units < plain.cost_units,
+        "shortened rungs must cost less: {} vs {}",
+        shortened.cost_units,
+        plain.cost_units
+    );
+
+    // Still deterministic.
+    let again = explorer.run(&space, &shortened_searcher).expect("explores");
+    assert_eq!(shortened.to_json().to_string(), again.to_json().to_string());
 }
 
 proptest! {
