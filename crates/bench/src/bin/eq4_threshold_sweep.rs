@@ -11,7 +11,7 @@ use edc_bench::{banner, TextTable};
 use edc_core::experiment::Experiment;
 use edc_core::scenarios::SourceKind;
 use edc_mcu::Mcu;
-use edc_power::sizing::hibernate_threshold;
+use edc_power::sizing::try_hibernate_threshold;
 use edc_transient::{LowVoltageResponse, Strategy};
 use edc_units::{Farads, Seconds, Volts};
 use edc_workloads::{Fourier, Workload, WorkloadKind};
@@ -62,7 +62,10 @@ fn main() {
     let mut t = TextTable::new(&["C", "V_H min (Eq. 4)", "feasible"]);
     for c_uf in [1.0, 2.2, 4.7, 10.0, 22.0, 47.0, 100.0] {
         let c = Farads::from_micro(c_uf);
-        match hibernate_threshold(e_s, c, v_min, v_max, 0.0) {
+        match try_hibernate_threshold(e_s, c, v_min, v_max, 0.0)
+            .ok()
+            .flatten()
+        {
             Some(v_h) => t.row(&[format!("{c}"), format!("{v_h:.3}"), "yes".to_string()]),
             None => t.row(&[
                 format!("{c}"),
@@ -75,7 +78,10 @@ fn main() {
 
     banner("Empirical boundary check at C = 10 µF");
     let c = Farads::from_micro(10.0);
-    let v_h_min = hibernate_threshold(e_s, c, v_min, v_max, 0.0).expect("feasible");
+    let v_h_min = try_hibernate_threshold(e_s, c, v_min, v_max, 0.0)
+        .ok()
+        .flatten()
+        .expect("feasible");
     let mut t = TextTable::new(&["V_H", "relation to Eq. 4", "sealed", "torn"]);
     for (dv, label) in [
         (-0.15, "below (violates Eq. 4)"),

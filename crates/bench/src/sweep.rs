@@ -170,6 +170,21 @@ impl Sweep {
             .unwrap_or(1);
         run_specs_timed_in(self.specs(), threads, &self.catalog)
     }
+
+    /// Statically lints every grid point without simulating anything.
+    /// Diagnostics are located at `$.specs[i]` in grid-row order, so a
+    /// flagged row is directly addressable in [`Sweep::run`]'s output.
+    /// Running this before a long sweep catches provably-infeasible rows
+    /// (`E0xx`) and simulation-wasting hazards (`W1xx`) for the cost of a
+    /// few closed-form checks per row.
+    pub fn lint(&self) -> edc_lint::LintReport {
+        let mut linter = edc_lint::Linter::with_catalog(self.catalog.clone());
+        let mut report = edc_lint::LintReport::new();
+        for (i, spec) in self.specs().iter().enumerate() {
+            report.merge_prefixed(&format!("$.specs[{i}]"), linter.lint_spec(spec));
+        }
+        report
+    }
 }
 
 /// Wall-clock timing of a sweep. **Not deterministic** — keep it out of

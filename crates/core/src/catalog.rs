@@ -475,6 +475,10 @@ fn num(j: &Json) -> Option<f64> {
 }
 
 #[cfg(test)]
+// Tests exercise the asserting wrappers on purpose (they are the
+// documented panic surface); production code is held to the try_* forms
+// via clippy.toml's disallowed-methods list.
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use edc_harvest::EnergySource as _;

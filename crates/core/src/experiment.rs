@@ -266,19 +266,49 @@ impl ExperimentSpec {
     }
 
     fn validate_source(&self, catalog: Option<&TraceCatalog>) -> Result<(), BuildError> {
-        match catalog {
+        // `validate` historically ignores the deadline (it only gates
+        // `run`), so the first-error path filters it back out of the
+        // collect-all list.
+        match self
+            .collect_violations(catalog)
+            .into_iter()
+            .find(|e| !matches!(e, BuildError::InvalidDeadline(_)))
+        {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Every violated constraint in the spec, in field order — the
+    /// collect-all companion to [`ExperimentSpec::validate`]. Unlike
+    /// `validate`, the deadline is checked too (last), so a lint pass over
+    /// a spec sees the full picture in one call.
+    pub fn violations(&self) -> Vec<BuildError> {
+        self.collect_violations(None)
+    }
+
+    /// [`ExperimentSpec::violations`], plus resolution of trace-backed
+    /// sources against the build catalog.
+    pub fn violations_in(&self, catalog: &TraceCatalog) -> Vec<BuildError> {
+        self.collect_violations(Some(catalog))
+    }
+
+    fn collect_violations(&self, catalog: Option<&TraceCatalog>) -> Vec<BuildError> {
+        let mut out = Vec::new();
+        if let Err(e) = match catalog {
             Some(catalog) => self.source.validate_in(catalog),
             None => self.source.validate(),
+        } {
+            out.push(BuildError::InvalidSource(e));
         }
-        .map_err(BuildError::InvalidSource)?;
-        self.workload
-            .validate()
-            .map_err(BuildError::InvalidWorkload)?;
+        if let Err(e) = self.workload.validate() {
+            out.push(BuildError::InvalidWorkload(e));
+        }
         if !(self.timestep.0 > 0.0 && self.timestep.0.is_finite()) {
-            return Err(BuildError::InvalidTimestep(self.timestep.0));
+            out.push(BuildError::InvalidTimestep(self.timestep.0));
         }
         if !(self.decoupling.0 > 0.0 && self.decoupling.0.is_finite()) {
-            return Err(BuildError::InvalidDecoupling(self.decoupling.0));
+            out.push(BuildError::InvalidDecoupling(self.decoupling.0));
         }
         if let Topology::Buffered {
             storage,
@@ -286,24 +316,27 @@ impl ExperimentSpec {
         } = self.topology
         {
             if !(storage.0 >= 0.0 && storage.0.is_finite()) {
-                return Err(BuildError::InvalidStorage(storage.0));
+                out.push(BuildError::InvalidStorage(storage.0));
             }
             if !(efficiency > 0.0 && efficiency <= 1.0) {
-                return Err(BuildError::InvalidEfficiency(efficiency));
+                out.push(BuildError::InvalidEfficiency(efficiency));
             }
         }
         if let Some(r) = self.leakage {
             if !(r.0 > 0.0 && r.0.is_finite()) {
-                return Err(BuildError::InvalidLeakage(r.0));
+                out.push(BuildError::InvalidLeakage(r.0));
             }
         }
         if self.trace == Some(0) {
-            return Err(BuildError::InvalidTrace);
+            out.push(BuildError::InvalidTrace);
         }
-        self.telemetry
-            .validate()
-            .map_err(BuildError::InvalidTelemetry)?;
-        Ok(())
+        if let Err(e) = self.telemetry.validate() {
+            out.push(BuildError::InvalidTelemetry(e));
+        }
+        if !(self.deadline.0 > 0.0 && self.deadline.0.is_finite()) {
+            out.push(BuildError::InvalidDeadline(self.deadline.0));
+        }
+        out
     }
 
     /// Instantiates every component from its registry and assembles the
@@ -431,6 +464,151 @@ impl ExperimentSpec {
             )),
         }
         Json::obj(pairs)
+    }
+
+    /// Rebuilds a spec from [`ExperimentSpec::to_json`] output, resolving
+    /// trace-backed sources through `catalog` — the inverse that lets
+    /// `edc_lint` (and any external tool) analyse spec JSON from disk.
+    /// Parsing is shape-only: the result may still fail
+    /// [`ExperimentSpec::validate_in`], which callers run separately.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shape mismatch, unknown kind name, or trace
+    /// reference the catalog does not hold.
+    pub fn from_json(
+        json: &crate::json::Json,
+        catalog: &TraceCatalog,
+    ) -> Result<Self, &'static str> {
+        use crate::json::Json;
+        let num = |j: Option<&Json>| match j {
+            Some(Json::Num(n)) => Some(*n),
+            Some(Json::Uint(u)) => Some(*u as f64),
+            _ => None,
+        };
+        let source =
+            SourceKind::from_json(json.get("source").ok_or("spec missing 'source'")?, catalog)?;
+        let Some(Json::Str(strategy)) = json.get("strategy") else {
+            return Err("spec missing 'strategy'");
+        };
+        let strategy = StrategyKind::from_name(strategy).ok_or("unknown strategy name")?;
+        let workload = workload_from_json(json.get("workload").ok_or("spec missing 'workload'")?)?;
+        let topology_json = json.get("topology").ok_or("spec missing 'topology'")?;
+        let topology = match topology_json.get("kind") {
+            Some(Json::Str(k)) if k == "direct" => Topology::Direct,
+            Some(Json::Str(k)) if k == "buffered" => Topology::Buffered {
+                storage: Farads(
+                    num(topology_json.get("storage_f"))
+                        .ok_or("buffered topology missing 'storage_f'")?,
+                ),
+                efficiency: num(topology_json.get("efficiency"))
+                    .ok_or("buffered topology missing 'efficiency'")?,
+            },
+            _ => return Err("unknown topology kind"),
+        };
+        let rectifier = match json.get("rectifier") {
+            None | Some(Json::Null) => None,
+            Some(r) => {
+                let kind = match r.get("kind") {
+                    Some(Json::Str(k)) if k == "halfwave" => edc_power::RectifierKind::HalfWave,
+                    Some(Json::Str(k)) if k == "fullwave" => edc_power::RectifierKind::FullWave,
+                    _ => return Err("unknown rectifier kind"),
+                };
+                let drop = num(r.get("diode_drop_v")).ok_or("rectifier missing 'diode_drop_v'")?;
+                if !(drop.is_finite() && drop >= 0.0) {
+                    return Err("rectifier diode drop must be finite and ≥ 0");
+                }
+                Some(Rectifier::new(kind, Volts(drop)))
+            }
+        };
+        let decoupling =
+            Farads(num(json.get("decoupling_f")).ok_or("spec missing 'decoupling_f'")?);
+        let timestep = Seconds(num(json.get("timestep_s")).ok_or("spec missing 'timestep_s'")?);
+        let deadline = Seconds(num(json.get("deadline_s")).ok_or("spec missing 'deadline_s'")?);
+        let leakage = match json.get("leakage_ohm") {
+            None | Some(Json::Null) => None,
+            j => Some(Ohms(num(j).ok_or("'leakage_ohm' is not a number")?)),
+        };
+        let trace = match json.get("trace") {
+            None | Some(Json::Null) => None,
+            Some(Json::Uint(u)) => Some(*u),
+            _ => return Err("'trace' is not an unsigned integer"),
+        };
+        let telemetry = match json.get("telemetry") {
+            None | Some(Json::Null) => TelemetryKind::Null,
+            Some(t) => match t.get("kind") {
+                Some(Json::Str(k)) if k == "ring" => match t.get("capacity") {
+                    Some(Json::Uint(c)) => TelemetryKind::Ring {
+                        capacity: *c as usize,
+                    },
+                    _ => return Err("ring telemetry missing 'capacity'"),
+                },
+                Some(Json::Str(k)) if k == "stats" => TelemetryKind::Stats,
+                _ => return Err("unknown telemetry kind"),
+            },
+        };
+        Ok(Self {
+            source,
+            rectifier,
+            topology,
+            decoupling,
+            strategy,
+            workload,
+            timestep,
+            deadline,
+            leakage,
+            trace,
+            telemetry,
+        })
+    }
+}
+
+/// Decodes the workload object emitted by [`ExperimentSpec::to_json`].
+fn workload_from_json(json: &crate::json::Json) -> Result<WorkloadKind, &'static str> {
+    use crate::json::Json;
+    let uint16 = |key: &str| match json.get(key) {
+        Some(Json::Uint(u)) if *u <= u16::MAX as u64 => Some(*u as u16),
+        _ => None,
+    };
+    let Some(Json::Str(kind)) = json.get("kind") else {
+        return Err("workload missing 'kind'");
+    };
+    match kind.as_str() {
+        "busy-loop" => Ok(WorkloadKind::BusyLoop(
+            uint16("n").ok_or("workload missing 'n'")?,
+        )),
+        "crc16" => Ok(WorkloadKind::Crc16(
+            uint16("n").ok_or("workload missing 'n'")?,
+        )),
+        "dot-product" => Ok(WorkloadKind::DotProduct(
+            uint16("n").ok_or("workload missing 'n'")?,
+        )),
+        "endless" => Ok(WorkloadKind::Endless),
+        "fir-filter" => Ok(WorkloadKind::FirFilter {
+            n: uint16("n").ok_or("workload missing 'n'")?,
+            taps: uint16("taps").ok_or("fir-filter missing 'taps'")?,
+        }),
+        "fourier" => Ok(WorkloadKind::Fourier(
+            uint16("n").ok_or("workload missing 'n'")?,
+        )),
+        "insertion-sort" => Ok(WorkloadKind::InsertionSort(
+            uint16("n").ok_or("workload missing 'n'")?,
+        )),
+        "matmul-8x8" => Ok(WorkloadKind::MatMul),
+        "prime-sieve" => Ok(WorkloadKind::PrimeSieve(
+            uint16("n").ok_or("workload missing 'n'")?,
+        )),
+        "radix2-fft" => Ok(WorkloadKind::RadixFft(
+            uint16("n").ok_or("workload missing 'n'")?,
+        )),
+        "rle" => Ok(WorkloadKind::RunLength(
+            uint16("n").ok_or("workload missing 'n'")?,
+        )),
+        "sense-pipeline" => Ok(WorkloadKind::SensePipeline {
+            windows: uint16("windows").ok_or("sense-pipeline missing 'windows'")?,
+            samples: uint16("samples").ok_or("sense-pipeline missing 'samples'")?,
+        }),
+        _ => Err("unknown workload kind"),
     }
 }
 

@@ -454,6 +454,66 @@ impl FleetSpec {
         Ok(())
     }
 
+    /// Every violated constraint in the fleet spec — the collect-all
+    /// companion to [`FleetSpec::validate`], mirroring
+    /// [`ExperimentSpec::violations`]. Design-level violations are reported
+    /// once (from node 0's derived spec); for the remaining nodes only
+    /// their placement-specific source violations are added.
+    pub fn violations(&self) -> Vec<FleetError> {
+        let mut out = Vec::new();
+        if self.nodes == 0 {
+            out.push(FleetError::NoNodes);
+        }
+        if !(self.stagger.0.is_finite() && self.stagger.0 >= 0.0) {
+            out.push(FleetError::InvalidStagger(self.stagger.0));
+        }
+        if !(self.duty_period.0 > 0.0 && self.duty_period.0.is_finite()) {
+            out.push(FleetError::InvalidDutyPeriod(self.duty_period.0));
+        }
+        if let Placement::Explicit(a) = &self.placement {
+            if a.len() != self.nodes {
+                out.push(FleetError::PlacementCount {
+                    nodes: self.nodes,
+                    placements: a.len(),
+                });
+            }
+        }
+        if let Err(e) = self.field.validate() {
+            out.push(e);
+        }
+        for i in 0..self.nodes {
+            let a = self.attenuation(i);
+            if !(a.is_finite() && a > 0.0 && a <= 1.0) {
+                out.push(FleetError::InvalidAttenuation { node: i, value: a });
+            }
+        }
+        if !(self.design.deadline.0 > 0.0 && self.design.deadline.0.is_finite()) {
+            out.push(FleetError::Design(BuildError::InvalidDeadline(
+                self.design.deadline.0,
+            )));
+        }
+        // The deadline is already reported at fleet level above, so the
+        // per-spec lists drop their copy of it.
+        let not_deadline = |e: &BuildError| !matches!(e, BuildError::InvalidDeadline(_));
+        match self.node_specs() {
+            Some(specs) => {
+                for (i, spec) in specs.iter().enumerate() {
+                    for e in spec.violations().into_iter().filter(not_deadline) {
+                        if i == 0 || matches!(e, BuildError::InvalidSource(_)) {
+                            out.push(FleetError::Design(e));
+                        }
+                    }
+                }
+            }
+            None => {
+                for e in self.design.violations().into_iter().filter(not_deadline) {
+                    out.push(FleetError::Design(e));
+                }
+            }
+        }
+        out
+    }
+
     /// The per-node experiment specs, when the shared field is a synthetic
     /// [`FieldSpec::Envelope`] (per-node views are then plain
     /// [`SourceKind::FieldView`] data). `None` for trace fields, whose

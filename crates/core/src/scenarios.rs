@@ -58,6 +58,11 @@ impl StrategyKind {
         }
     }
 
+    /// The kind with the given [`StrategyKind::name`], for JSON decoding.
+    pub fn from_name(name: &str) -> Option<StrategyKind> {
+        Self::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
     /// Instantiates the strategy with its default calibration.
     pub fn make(self) -> Box<dyn Strategy> {
         match self {
@@ -358,6 +363,77 @@ impl SourceKind {
             ]),
         }
     }
+
+    /// Rebuilds a kind from [`SourceKind::to_json`] output, resolving trace
+    /// references (name + content hash) through `catalog`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shape mismatch, unknown kind, or trace reference
+    /// the catalog does not hold.
+    pub fn from_json(json: &Json, catalog: &TraceCatalog) -> Result<SourceKind, &'static str> {
+        let num = |key: &str| match json.get(key) {
+            Some(Json::Num(n)) => Some(*n),
+            Some(Json::Uint(u)) => Some(*u as f64),
+            _ => None,
+        };
+        let uint = |key: &str| match json.get(key) {
+            Some(Json::Uint(u)) => Some(*u),
+            _ => None,
+        };
+        let Some(Json::Str(kind)) = json.get("kind") else {
+            return Err("source missing 'kind'");
+        };
+        match kind.as_str() {
+            "rectified-sine" => Ok(SourceKind::RectifiedSine {
+                hz: num("hz").ok_or("rectified-sine missing 'hz'")?,
+            }),
+            "turbine" => Ok(SourceKind::Turbine),
+            "interrupted" => Ok(SourceKind::Interrupted {
+                hz: num("hz").ok_or("interrupted missing 'hz'")?,
+            }),
+            "dc" => Ok(SourceKind::Dc {
+                volts: num("volts").ok_or("dc missing 'volts'")?,
+            }),
+            "indoor-pv" => Ok(SourceKind::IndoorPv {
+                seed: uint("seed").ok_or("indoor-pv missing 'seed'")?,
+            }),
+            "outdoor-pv" => Ok(SourceKind::OutdoorPv {
+                seed: uint("seed").ok_or("outdoor-pv missing 'seed'")?,
+            }),
+            "field-view" => {
+                let field = json.get("field").ok_or("field-view missing 'field'")?;
+                let field = FieldEnvelope::from_source_kind(Self::from_json(field, catalog)?)
+                    .ok_or("field-view cannot nest another field-view")?;
+                Ok(SourceKind::FieldView {
+                    field,
+                    attenuation: num("attenuation").ok_or("field-view missing 'attenuation'")?,
+                    phase_s: num("phase_s").ok_or("field-view missing 'phase_s'")?,
+                })
+            }
+            "trace" => {
+                let Some(Json::Str(name)) = json.get("name") else {
+                    return Err("trace missing 'name'");
+                };
+                let hash = uint("hash").ok_or("trace missing 'hash'")?;
+                let decimate = uint("decimate").ok_or("trace missing 'decimate'")?;
+                let Some(Json::Bool(looped)) = json.get("looped") else {
+                    return Err("trace missing 'looped'");
+                };
+                let id = catalog
+                    .ids()
+                    .into_iter()
+                    .find(|id| id.name() == name && id.content_hash() == hash)
+                    .ok_or("trace is not registered in the build catalog")?;
+                Ok(SourceKind::Trace {
+                    id,
+                    decimate,
+                    looped: *looped,
+                })
+            }
+            _ => Err("unknown source kind"),
+        }
+    }
 }
 
 /// The ambient envelope of a shared harvest field, as plain `Copy` data.
@@ -413,6 +489,30 @@ pub enum FieldEnvelope {
 }
 
 impl FieldEnvelope {
+    /// The inverse of [`FieldEnvelope::source_kind`]: every standalone kind
+    /// maps to its envelope; [`SourceKind::FieldView`] (already a view of a
+    /// field) has none.
+    pub fn from_source_kind(kind: SourceKind) -> Option<FieldEnvelope> {
+        match kind {
+            SourceKind::RectifiedSine { hz } => Some(FieldEnvelope::RectifiedSine { hz }),
+            SourceKind::Turbine => Some(FieldEnvelope::Turbine),
+            SourceKind::Interrupted { hz } => Some(FieldEnvelope::Interrupted { hz }),
+            SourceKind::Dc { volts } => Some(FieldEnvelope::Dc { volts }),
+            SourceKind::IndoorPv { seed } => Some(FieldEnvelope::IndoorPv { seed }),
+            SourceKind::OutdoorPv { seed } => Some(FieldEnvelope::OutdoorPv { seed }),
+            SourceKind::Trace {
+                id,
+                decimate,
+                looped,
+            } => Some(FieldEnvelope::Trace {
+                id,
+                decimate,
+                looped,
+            }),
+            SourceKind::FieldView { .. } => None,
+        }
+    }
+
     /// The equivalent standalone source kind (the envelope sampled at full
     /// strength, zero stagger).
     pub fn source_kind(self) -> SourceKind {

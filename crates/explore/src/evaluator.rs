@@ -33,6 +33,7 @@ use edc_bench::sweep::run_specs_in;
 use edc_core::catalog::TraceCatalog;
 use edc_core::experiment::ExperimentSpec;
 use edc_core::TelemetryKind;
+use edc_lint::Linter;
 use edc_units::Seconds;
 
 use crate::objective::Objective;
@@ -62,6 +63,10 @@ pub struct TraceEntry {
     pub scores: Vec<f64>,
     /// `true` when the memo cache served the request without simulating.
     pub cached: bool,
+    /// `true` when the lint prefilter scored the candidate statically —
+    /// it was never simulated and its scores are the objectives' DNF
+    /// values.
+    pub pruned: bool,
 }
 
 /// The memoised, budgeted, parallel evaluation engine.
@@ -79,6 +84,11 @@ pub struct Evaluator<'a> {
     cache_hits: u64,
     cost_units: f64,
     trace: Vec<TraceEntry>,
+    prefilter: bool,
+    linter: Option<Linter>,
+    pruned: HashSet<String>,
+    lint_checks: u64,
+    lint_pruned: u64,
 }
 
 impl<'a> Evaluator<'a> {
@@ -121,12 +131,33 @@ impl<'a> Evaluator<'a> {
             cache_hits: 0,
             cost_units: 0.0,
             trace: Vec::new(),
+            prefilter: false,
+            linter: None,
+            pruned: HashSet::new(),
+            lint_checks: 0,
+            lint_pruned: 0,
         }
     }
 
     /// Supplies the catalog trace-backed candidate specs resolve through.
     pub fn with_catalog(mut self, catalog: TraceCatalog) -> Self {
         self.catalog = catalog;
+        self.linter = None; // rebuilt lazily against the new catalog
+        self
+    }
+
+    /// Enables the static lint prefilter: before simulating a cache miss,
+    /// the spec is linted ([`Linter::lint_spec`]) and, if any `E`-severity
+    /// diagnostic fires, scored with the objectives' [DNF
+    /// values](crate::objective::Objective::dnf_score) at zero simulation
+    /// cost. Pruning only happens when *every* objective declares a DNF
+    /// score — otherwise (brownout counts, outage percentiles) the flagged
+    /// candidate is simulated as usual, so enabling the prefilter never
+    /// changes any score, only what it costs to obtain them. Lint work is
+    /// billed separately ([`Evaluator::lint_checks`] /
+    /// [`Evaluator::lint_pruned`]), never against the simulation budget.
+    pub fn with_prefilter(mut self, on: bool) -> Self {
+        self.prefilter = on;
         self
     }
 
@@ -192,6 +223,30 @@ impl<'a> Evaluator<'a> {
             }
         }
 
+        // Lint prefilter: score statically-infeasible misses without
+        // simulating. Only sound when every objective has a declared DNF
+        // score; the budget below then only sees the surviving misses.
+        if self.prefilter {
+            let dnf: Option<Vec<f64>> = self.objectives.iter().map(|o| o.dnf_score()).collect();
+            if let Some(dnf_scores) = dnf {
+                let linter = self
+                    .linter
+                    .get_or_insert_with(|| Linter::with_catalog(self.catalog.clone()));
+                let mut survivors = Vec::with_capacity(missing.len());
+                for &i in &missing {
+                    self.lint_checks += 1;
+                    if linter.lint_spec(&prepared[i]).has_errors() {
+                        self.cache.insert(keys[i].clone(), dnf_scores.clone());
+                        self.pruned.insert(keys[i].clone());
+                        self.lint_pruned += 1;
+                    } else {
+                        survivors.push(i);
+                    }
+                }
+                missing = survivors;
+            }
+        }
+
         if let Some(budget) = self.budget {
             let batch_cost: f64 = missing.iter().map(|&i| self.cost_of(&prepared[i])).sum();
             let needed = self.cost_units + batch_cost;
@@ -219,7 +274,10 @@ impl<'a> Evaluator<'a> {
         let mut evaluations = Vec::with_capacity(prepared.len());
         for (i, (spec, key)) in prepared.into_iter().zip(keys).enumerate() {
             let scores = self.cache[&key].clone();
-            let cached = !fresh.contains(&i);
+            // A pruned candidate was never simulated: its entries are
+            // marked pruned, not cached, and don't count as cache hits.
+            let pruned = self.pruned.contains(&key);
+            let cached = !pruned && !fresh.contains(&i);
             if cached {
                 self.cache_hits += 1;
             }
@@ -228,6 +286,7 @@ impl<'a> Evaluator<'a> {
                 spec,
                 scores: scores.clone(),
                 cached,
+                pruned,
             });
             evaluations.push(Evaluation { spec, key, scores });
         }
@@ -256,6 +315,19 @@ impl<'a> Evaluator<'a> {
     /// charged per node.
     pub fn cost_units(&self) -> f64 {
         self.cost_units
+    }
+
+    /// Number of specs the lint prefilter examined (cache misses seen
+    /// while the prefilter was enabled and every objective had a DNF
+    /// score).
+    pub fn lint_checks(&self) -> u64 {
+        self.lint_checks
+    }
+
+    /// Number of specs the lint prefilter scored statically instead of
+    /// simulating.
+    pub fn lint_pruned(&self) -> u64 {
+        self.lint_pruned
     }
 
     /// The recorded trace, in evaluation-request order.

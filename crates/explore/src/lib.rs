@@ -56,6 +56,7 @@
 
 pub mod evaluator;
 pub mod fleet;
+pub mod lint;
 pub mod objective;
 pub mod pareto;
 pub mod search;
@@ -67,6 +68,7 @@ pub use fleet::{
     FleetBrownoutShortfall, FleetCoverageShortfall, FleetEnergyPerTask, FleetNodesToCover,
     FleetTemplate,
 };
+pub use lint::lint_space;
 pub use objective::{BrownoutCount, CompletionTime, EnergyPerTask, Objective, P99Outage};
 pub use pareto::{dominates, FrontPoint, ParetoFront};
 pub use search::{CoordinateDescent, ExhaustiveGrid, RandomSearch, Searcher, SuccessiveHalving};
@@ -160,6 +162,7 @@ pub struct Explorer {
     threads: Option<usize>,
     budget: Option<u64>,
     catalog: TraceCatalog,
+    prefilter: bool,
 }
 
 impl Explorer {
@@ -170,6 +173,7 @@ impl Explorer {
             threads: None,
             budget: None,
             catalog: TraceCatalog::new(),
+            prefilter: false,
         }
     }
 
@@ -206,6 +210,17 @@ impl Explorer {
         self
     }
 
+    /// Enables the static lint prefilter
+    /// ([`Evaluator::with_prefilter`]): candidates `edc-lint` proves
+    /// infeasible (`E`-severity diagnostics) are scored with the
+    /// objectives' DNF values instead of being simulated. Fronts and every
+    /// score are unchanged — only the simulation cost drops; prefilter
+    /// work is reported separately under `lint` in the report JSON.
+    pub fn prefilter(mut self, on: bool) -> Self {
+        self.prefilter = on;
+        self
+    }
+
     /// Explores `space` with `searcher` and reports the front.
     ///
     /// # Errors
@@ -232,7 +247,8 @@ impl Explorer {
             space.finest_timestep(),
         )
         .with_catalog(self.catalog.clone())
-        .with_reference_deadline(space.base().deadline);
+        .with_reference_deadline(space.base().deadline)
+        .with_prefilter(self.prefilter);
         let finals = searcher.search(space, &mut eval)?;
         let front = ParetoFront::from_evaluations(&finals);
         Ok(ExploreReport {
@@ -246,6 +262,9 @@ impl Explorer {
             evaluations: eval.simulations(),
             cache_hits: eval.cache_hits(),
             cost_units: eval.cost_units(),
+            prefilter: self.prefilter,
+            lint_checks: eval.lint_checks(),
+            lint_pruned: eval.lint_pruned(),
             front,
             trace: eval.into_trace(),
         })
@@ -278,6 +297,12 @@ pub struct ExploreReport {
     /// Full-fidelity-equivalent simulation cost (coarse rungs cost
     /// fractionally; see [`Evaluator::cost_units`]).
     pub cost_units: f64,
+    /// Whether the static lint prefilter was enabled for this search.
+    pub prefilter: bool,
+    /// Specs the lint prefilter examined (0 when disabled).
+    pub lint_checks: u64,
+    /// Specs the prefilter scored statically instead of simulating.
+    pub lint_pruned: u64,
     /// The non-dominated designs among the searcher's final candidates.
     pub front: ParetoFront,
     /// Every evaluation request, in order.
@@ -301,9 +326,12 @@ impl ExploreReport {
         self.front.points().first()
     }
 
-    /// The report as a JSON value with deterministic field order.
+    /// The report as a JSON value with deterministic field order. The
+    /// `lint` section only appears when the prefilter was enabled, so
+    /// reports from prefilter-free searches are byte-identical to those of
+    /// earlier versions.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("searcher", Json::Str(self.searcher.clone())),
             (
                 "objectives",
@@ -319,24 +347,36 @@ impl ExploreReport {
             ("cache_hits", Json::Uint(self.cache_hits)),
             ("cache_hit_rate", Json::Num(self.cache_hit_rate())),
             ("cost_units", Json::Num(self.cost_units)),
-            ("front", self.front.to_json(&self.objectives)),
-            (
-                "trace",
-                Json::Arr(
-                    self.trace
-                        .iter()
-                        .map(|t| trace_json(t, &self.objectives))
-                        .collect(),
-                ),
+        ];
+        if self.prefilter {
+            fields.push((
+                "lint",
+                Json::obj(vec![
+                    ("checks", Json::Uint(self.lint_checks)),
+                    ("pruned", Json::Uint(self.lint_pruned)),
+                ]),
+            ));
+        }
+        fields.push(("front", self.front.to_json(&self.objectives)));
+        fields.push((
+            "trace",
+            Json::Arr(
+                self.trace
+                    .iter()
+                    .map(|t| trace_json(t, &self.objectives))
+                    .collect(),
             ),
-        ])
+        ));
+        Json::obj(fields)
     }
 }
 
 /// One trace entry as JSON (scores keyed by objective name; non-finite
-/// scores emit as `null`).
+/// scores emit as `null`). The `pruned` key only appears on entries the
+/// lint prefilter scored statically, keeping prefilter-free trace JSON
+/// unchanged.
 fn trace_json(t: &TraceEntry, objectives: &[String]) -> Json {
-    Json::obj(vec![
+    let mut fields = vec![
         ("phase", Json::Str(t.phase.clone())),
         ("spec", t.spec.to_json()),
         (
@@ -350,7 +390,11 @@ fn trace_json(t: &TraceEntry, objectives: &[String]) -> Json {
             ),
         ),
         ("cached", Json::Bool(t.cached)),
-    ])
+    ];
+    if t.pruned {
+        fields.push(("pruned", Json::Bool(true)));
+    }
+    Json::obj(fields)
 }
 
 /// Re-exported spec type, so downstream callers can name candidate specs

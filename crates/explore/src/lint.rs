@@ -1,0 +1,154 @@
+//! Static analysis over a whole [`SpecSpace`]: per-point diagnostics plus
+//! the space-level dead-axis check (`W105`).
+//!
+//! [`lint_space`] probes the space the same way
+//! [`SpecSpace::validate_in`] does — axis values are independent spec
+//! fields, so linting each value once (others held at the base position)
+//! covers what every cartesian combination can add — and reports:
+//!
+//! - the base point's diagnostics under `$.base`;
+//! - each non-base axis value's diagnostics under `$.axes.<name>[i]`;
+//! - `W105` at `$.axes.<name>` when an axis is *dead*: every one of its
+//!   values lints to the identical non-clean outcome, so sweeping it
+//!   multiplies the search without differentiating designs.
+
+use edc_lint::{Code, Diagnostic, LintReport, Linter};
+
+use crate::space::{SpecSpace, AXES, AXIS_NAMES};
+
+/// Lints every axis value of `space` (others held at the base position)
+/// and flags dead axes.
+///
+/// A clean report means the space is worth searching: no point is provably
+/// infeasible for a spec-level reason an axis value introduces, and no
+/// axis is statically inert. `Linter` state (the workload cycle memo) is
+/// reused across probes, so wide spaces lint in milliseconds.
+///
+/// # W105: dead axis
+///
+/// ```
+/// use edc_core::experiment::ExperimentSpec;
+/// use edc_core::scenarios::{SourceKind, StrategyKind};
+/// use edc_explore::{lint_space, SpecSpace};
+/// use edc_lint::{Code, Linter};
+/// use edc_units::{Farads, Seconds};
+/// use edc_workloads::WorkloadKind;
+///
+/// // A 1.5 V rail can never reach any boot threshold: E002 fires for
+/// // every decoupling value, so the decoupling axis differentiates
+/// // nothing — it is dead, and searching it is pure waste.
+/// let base = ExperimentSpec::new(
+///     SourceKind::Dc { volts: 1.5 },
+///     StrategyKind::Restart,
+///     WorkloadKind::Crc16(64),
+/// )
+/// .deadline(Seconds(0.5));
+/// let space = SpecSpace::over(base)
+///     .decoupling(&[Farads::from_micro(4.7), Farads::from_micro(10.0)]);
+/// let report = lint_space(&space, &mut Linter::new());
+/// assert!(report
+///     .diagnostics()
+///     .iter()
+///     .any(|d| d.code == Code::W105 && d.path == "$.axes.decoupling"));
+/// ```
+pub fn lint_space(space: &SpecSpace, linter: &mut Linter) -> LintReport {
+    let mut report = LintReport::new();
+    let dims = space.dims();
+    for (axis, &n) in dims.iter().enumerate() {
+        if n == 0 {
+            report.push(Diagnostic::new(
+                Code::E001,
+                format!("$.axes.{}", AXIS_NAMES[axis]),
+                format!("axis '{}' has no values", AXIS_NAMES[axis]),
+            ));
+        }
+    }
+    if report.has_errors() {
+        return report;
+    }
+
+    let base_report = linter.lint_spec(&space.spec([0; AXES]));
+    report.merge_prefixed("$.base", base_report.clone());
+
+    for (axis, &n) in dims.iter().enumerate() {
+        let mut value_reports = Vec::with_capacity(n);
+        value_reports.push(base_report.clone()); // index 0 IS the base probe
+        for i in 1..n {
+            let mut point = [0usize; AXES];
+            point[axis] = i;
+            let probe = linter.lint_spec(&space.spec(point));
+            report.merge_prefixed(&format!("$.axes.{}[{i}]", AXIS_NAMES[axis]), probe.clone());
+            value_reports.push(probe);
+        }
+        let dead = n >= 2
+            && !value_reports[0].is_clean()
+            && value_reports.iter().all(|r| *r == value_reports[0]);
+        if dead {
+            report.push(Diagnostic::new(
+                Code::W105,
+                format!("$.axes.{}", AXIS_NAMES[axis]),
+                format!(
+                    "dead axis: all {n} values of '{}' lint to the identical non-clean outcome \
+                     ({} error(s), {} warning(s)); sweeping it multiplies the search space \
+                     without differentiating designs",
+                    AXIS_NAMES[axis],
+                    value_reports[0].error_count(),
+                    value_reports[0].warning_count(),
+                ),
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edc_core::experiment::ExperimentSpec;
+    use edc_core::scenarios::{SourceKind, StrategyKind};
+    use edc_units::{Farads, Seconds};
+    use edc_workloads::WorkloadKind;
+
+    fn base() -> ExperimentSpec {
+        ExperimentSpec::new(
+            SourceKind::RectifiedSine { hz: 50.0 },
+            StrategyKind::Hibernus,
+            WorkloadKind::Crc16(64),
+        )
+        .deadline(Seconds(0.5))
+    }
+
+    #[test]
+    fn healthy_space_is_clean() {
+        let space = SpecSpace::over(base())
+            .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus])
+            .decoupling(&[Farads::from_micro(4.7), Farads::from_micro(10.0)]);
+        let report = lint_space(&space, &mut Linter::new());
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn differentiating_axis_is_not_dead() {
+        // Sub-boot DC base, but the source axis also offers a healthy
+        // supply: per-value outcomes differ, so no W105 on `source`.
+        let space = SpecSpace::over(base().source(SourceKind::Dc { volts: 1.5 })).sources(&[
+            SourceKind::Dc { volts: 1.5 },
+            SourceKind::RectifiedSine { hz: 50.0 },
+        ]);
+        let report = lint_space(&space, &mut Linter::new());
+        assert!(!report.diagnostics().iter().any(|d| d.code == Code::W105));
+        // The broken base still surfaces, located at the base point.
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == Code::E002 && d.path == "$.base.source"));
+    }
+
+    #[test]
+    fn empty_axis_reports_instead_of_panicking() {
+        let space = SpecSpace::over(base()).strategies(&[]);
+        let report = lint_space(&space, &mut Linter::new());
+        assert!(report.has_errors());
+        assert_eq!(report.diagnostics()[0].path, "$.axes.strategy");
+    }
+}

@@ -36,6 +36,17 @@ pub trait Objective {
         false
     }
 
+    /// The score this objective provably assigns to a candidate that can
+    /// never complete its workload — a statically-known DNF. `Some(score)`
+    /// lets the evaluator's lint prefilter score `E`-flagged candidates
+    /// without simulating them; `None` (the default) means the objective's
+    /// value on a DNF depends on how the run fails (brownout counts,
+    /// outage percentiles), so flagged candidates must still be simulated
+    /// whenever this objective is in play.
+    fn dnf_score(&self) -> Option<f64> {
+        None
+    }
+
     /// How many full-fidelity-equivalent simulations scoring one *cache
     /// miss* really costs. `1.0` (the default) means the objective only
     /// reads the shared single-node report; objectives that launch extra
@@ -66,6 +77,10 @@ impl Objective for CompletionTime {
             .completed_at
             .map(|t| t.0)
             .unwrap_or(f64::INFINITY)
+    }
+
+    fn dnf_score(&self) -> Option<f64> {
+        Some(f64::INFINITY)
     }
 }
 
@@ -123,6 +138,10 @@ impl Objective for EnergyPerTask {
         } else {
             f64::INFINITY
         }
+    }
+
+    fn dnf_score(&self) -> Option<f64> {
+        Some(f64::INFINITY)
     }
 }
 

@@ -150,6 +150,15 @@ impl Fleet {
             metrics,
         })
     }
+
+    /// Statically lints the fleet without deploying it: collect-all spec
+    /// validation (`E001`), duplicate placement buckets (`W104`), and each
+    /// node's derived single-node spec under `$.nodes[i]` — so a placement
+    /// whose attenuation statically brownouts a node surfaces as that
+    /// node's `E002` before any simulation is paid for.
+    pub fn lint(&self) -> edc_lint::LintReport {
+        edc_lint::Linter::with_catalog(self.catalog.clone()).lint_fleet(&self.spec)
+    }
 }
 
 /// Fleet-level figures of merit, derived from the per-node reports in

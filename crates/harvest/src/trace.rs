@@ -228,6 +228,10 @@ impl EnergySource for TracePlayback {
 }
 
 #[cfg(test)]
+// Tests exercise the asserting wrappers on purpose (they are the
+// documented panic surface); production code is held to the try_* forms
+// via clippy.toml's disallowed-methods list.
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use proptest::prelude::*;

@@ -1,0 +1,190 @@
+//! `edc_lint` — lint experiment-spec and trace-catalog JSON from disk.
+//!
+//! Usage: `edc_lint [--json] FILE.json [FILE.json ...]`
+//!
+//! Each file is parsed and walked recursively. Arrays whose every element
+//! carries `name`/`hash`/`samples` are treated as trace-catalog sections
+//! and merged into one shared catalog (across *all* files, so a catalog
+//! committed in one artifact resolves traces referenced by another).
+//! Objects carrying `source`/`strategy`/`workload`/`decoupling_f` are
+//! treated as experiment specs and linted; diagnostics are printed with
+//! the file and the spec's JSON path. Exit status is non-zero when any
+//! `E`-severity diagnostic (or a malformed file/spec) is found.
+//!
+//! With `--json` the combined reports are emitted as a single JSON object
+//! keyed by file path instead of text lines.
+
+use std::process::ExitCode;
+
+use edc_core::catalog::TraceCatalog;
+use edc_core::experiment::ExperimentSpec;
+use edc_core::json::Json;
+use edc_lint::{Code, Diagnostic, LintReport, Linter};
+
+fn main() -> ExitCode {
+    let mut json_output = false;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json_output = true,
+            "--help" | "-h" => {
+                println!("usage: edc_lint [--json] FILE.json [FILE.json ...]");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: edc_lint [--json] FILE.json [FILE.json ...]");
+        return ExitCode::FAILURE;
+    }
+
+    // Pass 1: parse every file and merge every catalog section found.
+    let mut parsed: Vec<(String, Option<Json>)> = Vec::new();
+    let mut catalog = TraceCatalog::new();
+    let mut io_errors = false;
+    for file in files {
+        let doc = match std::fs::read_to_string(&file) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(doc) => Some(doc),
+                Err(e) => {
+                    eprintln!("{file}: not valid JSON: {e}");
+                    io_errors = true;
+                    None
+                }
+            },
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                io_errors = true;
+                None
+            }
+        };
+        if let Some(doc) = &doc {
+            collect_catalogs(doc, &mut catalog, &file);
+        }
+        parsed.push((file, doc));
+    }
+
+    // Pass 2: lint every spec object against the merged catalog.
+    let mut linter = Linter::with_catalog(catalog);
+    let mut reports: Vec<(String, LintReport)> = Vec::new();
+    for (file, doc) in &parsed {
+        let mut report = LintReport::new();
+        if let Some(doc) = doc {
+            lint_specs(doc, "$", &mut linter, &mut report);
+        }
+        reports.push((file.clone(), report));
+    }
+
+    let any_errors = io_errors || reports.iter().any(|(_, r)| r.has_errors());
+    if json_output {
+        let obj = Json::Obj(
+            reports
+                .into_iter()
+                .map(|(file, r)| (file, r.to_json()))
+                .collect(),
+        );
+        println!("{obj}");
+    } else {
+        let mut total = (0usize, 0usize);
+        for (file, report) in &reports {
+            for d in report.diagnostics() {
+                println!("{file}: {d}");
+            }
+            total.0 += report.error_count();
+            total.1 += report.warning_count();
+        }
+        println!(
+            "edc_lint: {} error(s), {} warning(s) across {} file(s)",
+            total.0,
+            total.1,
+            reports.len(),
+        );
+    }
+    if any_errors {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// True for an array that looks like [`TraceCatalog::to_json`] output.
+fn is_catalog_array(json: &Json) -> bool {
+    match json {
+        Json::Arr(items) => {
+            !items.is_empty()
+                && items.iter().all(|i| {
+                    i.get("name").is_some() && i.get("hash").is_some() && i.get("samples").is_some()
+                })
+        }
+        _ => false,
+    }
+}
+
+/// True for an object that looks like [`ExperimentSpec::to_json`] output.
+fn is_spec_object(json: &Json) -> bool {
+    json.get("source").is_some()
+        && json.get("strategy").is_some()
+        && json.get("workload").is_some()
+        && json.get("decoupling_f").is_some()
+}
+
+/// Walks `json` merging every catalog section into `catalog`. A section
+/// that fails hash re-verification is reported but does not abort the walk.
+fn collect_catalogs(json: &Json, catalog: &mut TraceCatalog, file: &str) {
+    if is_catalog_array(json) {
+        match TraceCatalog::from_json(json) {
+            Ok(found) => {
+                for id in found.ids() {
+                    if let Some(samples) = found.samples(id) {
+                        // Same name+content is idempotent; a name bound to
+                        // different content elsewhere is a real conflict.
+                        if let Err(e) = catalog.register_ref(id.name(), samples) {
+                            eprintln!("{file}: catalog entry '{}': {e}", id.name());
+                        }
+                    }
+                }
+            }
+            Err(e) => eprintln!("{file}: malformed trace catalog: {e}"),
+        }
+        return;
+    }
+    match json {
+        Json::Arr(items) => items
+            .iter()
+            .for_each(|i| collect_catalogs(i, catalog, file)),
+        Json::Obj(pairs) => pairs
+            .iter()
+            .for_each(|(_, v)| collect_catalogs(v, catalog, file)),
+        _ => {}
+    }
+}
+
+/// Walks `json` linting every spec object, merging diagnostics (prefixed
+/// with the spec's JSON path) into `report`.
+fn lint_specs(json: &Json, path: &str, linter: &mut Linter, report: &mut LintReport) {
+    if is_spec_object(json) {
+        match ExperimentSpec::from_json(json, linter.catalog()) {
+            Ok(spec) => report.merge_prefixed(path, linter.lint_spec(&spec)),
+            Err(msg) => report.push(Diagnostic::new(
+                Code::E001,
+                path,
+                format!("unparseable experiment spec: {msg}"),
+            )),
+        }
+        return;
+    }
+    match json {
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                lint_specs(item, &format!("{path}[{i}]"), linter, report);
+            }
+        }
+        Json::Obj(pairs) => {
+            for (k, v) in pairs {
+                lint_specs(v, &format!("{path}.{k}"), linter, report);
+            }
+        }
+        _ => {}
+    }
+}

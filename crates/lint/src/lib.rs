@@ -1,0 +1,27 @@
+//! Static feasibility analysis for experiment specs, fleets and traces.
+//!
+//! The transient runner answers "what happens when this design runs"; this
+//! crate answers the cheaper question "could it possibly work" — without
+//! simulating a single tick. Diagnostics carry stable codes (`E0xx` for
+//! provably infeasible designs, `W1xx` for hazards that waste simulation
+//! time or mislead analysis), a severity, and a JSON-path location into the
+//! spec's serialized form.
+//!
+//! The `E` codes are *sound*: a spec flagged with any `E` diagnostic can
+//! never complete its workload, under any strategy the spec names. That
+//! guarantee is what lets `edc-explore`'s evaluator prefilter score flagged
+//! designs [`f64::INFINITY`] at zero simulation cost while provably
+//! preserving Pareto fronts. The `W` codes are heuristic and carry no such
+//! guarantee.
+//!
+//! See [`Code`] for the full table with triggering examples, and
+//! [`Linter`] for the analyzer entry points.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod linter;
+mod report;
+
+pub use linter::{Linter, CYCLE_FLOOR_CAP, SUPPLY_SCAN_CAP};
+pub use report::{Code, Diagnostic, LintReport, Severity};

@@ -1,0 +1,638 @@
+//! The analyzer: every pass derives its verdict from the spec, the trace
+//! catalog and the platform's closed forms — never from a transient run.
+//!
+//! Soundness is the contract that makes the `E` codes safe to act on (the
+//! explore prefilter scores `E`-flagged specs `INFINITY` without
+//! simulating): each bound below is provably on the safe side of the
+//! runner's arithmetic.
+//!
+//! - **Supply upper bound** (`E004`): the supply node integrates charge,
+//!   so one tick's stored-energy gain is `i·dt·v₀ + (i·dt)²/(2C)`. Both
+//!   terms are bounded per sample kind — a Thévenin source by its maximum
+//!   power transfer `v_oc²/(4r)`, a constant-power sample by `p` itself
+//!   (current is clamped at `p / 0.2 V`, so `i·v ≤ p` uniformly), a
+//!   current source by `i·v_compliance` — with the discretisation term
+//!   added explicitly.
+//! - **Rail upper bound** (`E002`): the voltage after one tick is a
+//!   convex combination of `v₀` and the (rectified) open-circuit voltage
+//!   when `η·dt/(rC) ≤ 1`, and bounded by `v_oc·η·dt/(rC)` otherwise;
+//!   current sources cannot exceed compliance plus one tick of charge;
+//!   constant-power samples are unbounded (the bound collapses to the
+//!   clamp and `E002` cannot fire). Booting — from `Off` or `Sleep` —
+//!   requires the rail to reach the strategy's restore threshold, so a
+//!   rail bound below it proves the MCU never executes.
+//! - **Cycle lower bound** (`E003`): `Mcu::run` charges each
+//!   instruction's base cycles independently of frequency and residence,
+//!   so a bare run's cycle count is *the* demand in cycles; the runner
+//!   grants at most `⌊f_max·dt⌋ + 1` cycles per tick (carry included)
+//!   over at most `⌊deadline/dt⌋ + 1` ticks.
+
+use std::collections::HashMap;
+
+use edc_core::catalog::TraceCatalog;
+use edc_core::experiment::{BuildError, ExperimentSpec};
+use edc_core::fleet::{FleetError, FleetSpec};
+use edc_core::scenarios::{FieldEnvelope, SourceKind, StrategyKind};
+use edc_core::system::Topology;
+use edc_harvest::{SourceSample, POWER_SOURCE_COMPLIANCE_FLOOR};
+use edc_mcu::{Mcu, RunExit};
+use edc_power::sizing::try_hibernate_threshold;
+use edc_units::{Farads, Seconds, Volts};
+use edc_workloads::WorkloadKind;
+
+use crate::report::{Code, Diagnostic, LintReport};
+
+/// The runner's overvoltage clamp — specs never override it.
+const V_MAX: Volts = Volts(3.6);
+
+/// Cycle budget for the bare demand run. A workload that exhausts it
+/// still yields a sound lower bound (`≥ CYCLE_FLOOR_CAP` cycles).
+pub const CYCLE_FLOOR_CAP: u64 = 1_000_000_000;
+
+/// Ceiling on supply-scan length (ticks). Past this the scan would cost
+/// more than it saves; the supply passes are skipped (no diagnostic is
+/// emitted, which is always sound — lint incompleteness, never
+/// unsoundness).
+pub const SUPPLY_SCAN_CAP: u64 = 4_000_000;
+
+/// The static analyzer. Holds the trace catalog specs resolve against and
+/// a memo of workload cycle counts (the one genuinely expensive input, so
+/// a sweep over 100 specs of the same workload counts cycles once).
+#[derive(Debug, Default)]
+pub struct Linter {
+    catalog: TraceCatalog,
+    cycle_memo: HashMap<WorkloadKind, u64>,
+}
+
+impl Linter {
+    /// A linter with an empty catalog (synthetic sources only).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A linter resolving trace-backed sources through `catalog`.
+    pub fn with_catalog(catalog: TraceCatalog) -> Self {
+        Self {
+            catalog,
+            cycle_memo: HashMap::new(),
+        }
+    }
+
+    /// The catalog specs resolve against.
+    pub fn catalog(&self) -> &TraceCatalog {
+        &self.catalog
+    }
+
+    /// Runs every spec pass, in fixed order: `E001` (collect-all
+    /// validation, which gates the rest), `W101`–`W103`, `E005`, `E003`,
+    /// then the supply scan (`E002`/`E004`). Deterministic: same spec +
+    /// same catalog → byte-identical report.
+    pub fn lint_spec(&mut self, spec: &ExperimentSpec) -> LintReport {
+        let mut report = LintReport::new();
+        let violations = spec.violations_in(&self.catalog);
+        for e in &violations {
+            report.push(Diagnostic::new(
+                Code::E001,
+                build_error_path(e),
+                e.to_string(),
+            ));
+        }
+        if !violations.is_empty() {
+            // Components may not instantiate; the deeper passes assume a
+            // well-formed spec.
+            return report;
+        }
+
+        // Instantiate exactly what the runner's build step would.
+        let workload = spec.workload.make();
+        let mut strategy = spec.strategy.make();
+        let mut mcu = Mcu::new(workload.program()).with_residence(strategy.residence());
+        if let Some(pm) = strategy.power_model() {
+            mcu = mcu.with_power_model(pm);
+        }
+        let v_min = mcu.power_model().v_min;
+        let (capacitance, efficiency) = match spec.topology {
+            Topology::Direct => (spec.decoupling, 1.0),
+            Topology::Buffered {
+                storage,
+                efficiency,
+            } => (Farads(spec.decoupling.0 + storage.0), efficiency),
+        };
+        let (_v_low, v_high) = strategy.thresholds(&mcu, capacitance, v_min, V_MAX);
+
+        // W101: Eq. (4) floor. Only meaningful for strategies that snapshot.
+        if spec.strategy != StrategyKind::Restart {
+            if let Ok(None) =
+                try_hibernate_threshold(mcu.snapshot_energy(), capacitance, v_min, V_MAX, 0.0)
+            {
+                report.push(Diagnostic::new(
+                    Code::W101,
+                    "$.decoupling_f",
+                    format!(
+                        "{:.3} µF cannot fund a {:.2} µJ snapshot between {:.2} V and {:.2} V \
+                         even with zero margin (Eq. 4); every snapshot will tear",
+                        capacitance.as_micro(),
+                        mcu.snapshot_energy().as_micro(),
+                        V_MAX.0,
+                        v_min.0,
+                    ),
+                ));
+            }
+        }
+
+        // Bare execution cycle count: frequency- and residence-independent.
+        let endless = spec.workload == WorkloadKind::Endless;
+        let bare_cycles = if endless {
+            None
+        } else {
+            Some(self.cycle_floor(spec.workload))
+        };
+
+        // W102/W103: recorded-trace coverage hazards.
+        let boot_hz = mcu.clock().frequency().0;
+        let bare_duration = bare_cycles.map(|n| n as f64 / boot_hz);
+        self.trace_hazards(spec, bare_duration, &mut report);
+
+        if endless {
+            report.push(Diagnostic::new(
+                Code::E005,
+                "$.workload",
+                "the 'endless' workload has no completion state; no run of this spec can succeed",
+            ));
+            // Demand-based passes are meaningless without a finite demand.
+            return report;
+        }
+        let demand_cycles = match bare_cycles {
+            Some(n) => n,
+            None => return report,
+        };
+
+        // E003: deadline below the cycle lower bound.
+        let dt = spec.timestep.0;
+        let ticks_ub = (spec.deadline.0 / dt).floor() as u64 + 1;
+        let ladder = mcu.clock().levels().to_vec();
+        let f_max = ladder.iter().map(|f| f.0).fold(0.0f64, f64::max);
+        let per_tick_ub = (f_max * dt).floor() as u64 + 1;
+        if (ticks_ub as u128) * (per_tick_ub as u128) < demand_cycles as u128 {
+            report.push(Diagnostic::new(
+                Code::E003,
+                "$.deadline_s",
+                format!(
+                    "deadline {} s grants at most {} ticks × {} cycles at {:.0} MHz = {} cycles, \
+                     but the workload needs {} cycles uninterrupted",
+                    spec.deadline.0,
+                    ticks_ub,
+                    per_tick_ub,
+                    f_max / 1e6,
+                    (ticks_ub as u128) * (per_tick_ub as u128),
+                    demand_cycles,
+                ),
+            ));
+        }
+
+        // Demand lower bound: cheapest clock level, actual residence and
+        // power model, no boot/restore/checkpoint overhead.
+        let pm = mcu.power_model();
+        let residence = mcu.residence();
+        let demand_lb = ladder
+            .iter()
+            .map(|&f| pm.execution_energy(demand_cycles, f, residence).0)
+            .fold(f64::INFINITY, f64::min);
+
+        // E002/E004: one shared scan over the deadline window, sampling
+        // the actually-constructed source and replicating the runner's
+        // rectifier/efficiency adaptation.
+        if ticks_ub <= SUPPLY_SCAN_CAP {
+            self.supply_scan(
+                spec,
+                ticks_ub,
+                efficiency,
+                capacitance,
+                v_high,
+                demand_lb,
+                &mut report,
+            );
+        }
+        report
+    }
+
+    /// Fleet passes: `E001` over the collect-all fleet violations, `W104`
+    /// duplicate placement buckets, then every node's derived spec linted
+    /// under `$.nodes[i]` (so a placement whose attenuation statically
+    /// brownouts a node surfaces as that node's `E002`).
+    pub fn lint_fleet(&mut self, fleet: &FleetSpec) -> LintReport {
+        let mut report = LintReport::new();
+        let violations = fleet.violations();
+        for e in &violations {
+            report.push(Diagnostic::new(
+                Code::E001,
+                fleet_error_path(e),
+                e.to_string(),
+            ));
+        }
+        if !violations.is_empty() {
+            return report;
+        }
+
+        // W104: identical (attenuation, phase) buckets run byte-identical
+        // experiments.
+        let mut seen: HashMap<(u64, u64), usize> = HashMap::new();
+        for i in 0..fleet.nodes {
+            let key = (fleet.attenuation(i).to_bits(), fleet.phase(i).0.to_bits());
+            if let Some(&first) = seen.get(&key) {
+                report.push(Diagnostic::new(
+                    Code::W104,
+                    format!("$.nodes[{i}]"),
+                    format!(
+                        "node {i} duplicates node {first}'s placement bucket \
+                         (attenuation {}, phase {} s); it adds wall-clock, not information",
+                        fleet.attenuation(i),
+                        fleet.phase(i).0,
+                    ),
+                ));
+            } else {
+                seen.insert(key, i);
+            }
+        }
+
+        // Per-node lint against a catalog the field registers into.
+        let mut catalog = self.catalog.clone();
+        let specs = match fleet.node_specs_in(&mut catalog) {
+            Ok(specs) => specs,
+            // `violations` was empty, so registration cannot fail; if it
+            // somehow does, report it rather than panic.
+            Err(e) => {
+                report.push(Diagnostic::new(
+                    Code::E001,
+                    fleet_error_path(&e),
+                    e.to_string(),
+                ));
+                return report;
+            }
+        };
+        let mut sub = Linter {
+            catalog,
+            cycle_memo: std::mem::take(&mut self.cycle_memo),
+        };
+        // Nodes sharing a bucket produce identical reports; lint each
+        // bucket once.
+        let mut bucket_reports: HashMap<(u64, u64), LintReport> = HashMap::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let key = (fleet.attenuation(i).to_bits(), fleet.phase(i).0.to_bits());
+            let node_report = bucket_reports
+                .entry(key)
+                .or_insert_with(|| sub.lint_spec(spec))
+                .clone();
+            report.merge_prefixed(&format!("$.nodes[{i}]"), node_report);
+        }
+        self.cycle_memo = sub.cycle_memo;
+        report
+    }
+
+    /// The workload's bare cycle demand (memoized). Sound lower bound even
+    /// when the cap is exhausted.
+    fn cycle_floor(&mut self, kind: WorkloadKind) -> u64 {
+        if let Some(&n) = self.cycle_memo.get(&kind) {
+            return n;
+        }
+        let workload = kind.make();
+        let mut mcu = Mcu::new(workload.program());
+        let run = mcu.run(CYCLE_FLOOR_CAP, false);
+        let n = match run.exit {
+            RunExit::Completed => run.cycles,
+            RunExit::BudgetExhausted => CYCLE_FLOOR_CAP,
+            // A faulting or marker-stopped bare run still consumed its
+            // cycles; use them as a conservative floor.
+            _ => run.cycles,
+        };
+        self.cycle_memo.insert(kind, n);
+        n
+    }
+
+    /// `W102`/`W103` for recorded traces (standalone or behind a field
+    /// view).
+    fn trace_hazards(
+        &self,
+        spec: &ExperimentSpec,
+        bare_duration: Option<f64>,
+        report: &mut LintReport,
+    ) {
+        let (id, decimate, looped) = match spec.source {
+            SourceKind::Trace {
+                id,
+                decimate,
+                looped,
+            }
+            | SourceKind::FieldView {
+                field:
+                    FieldEnvelope::Trace {
+                        id,
+                        decimate,
+                        looped,
+                    },
+                ..
+            } => (id, decimate, looped),
+            _ => return,
+        };
+        let Some(samples) = self.catalog.samples(id) else {
+            return; // unresolved traces were already E001
+        };
+        if samples.len() < 2 {
+            return;
+        }
+        let duration = samples[samples.len() - 1].0;
+        let spacing = duration / (samples.len() - 1) as f64;
+        let effective = spacing * decimate as f64;
+        if let Some(bare) = bare_duration {
+            if decimate > 1 && effective > bare {
+                report.push(Diagnostic::new(
+                    Code::W102,
+                    "$.source.decimate",
+                    format!(
+                        "decimation {decimate} stretches the sample spacing to {effective} s, \
+                         longer than the workload's entire bare execution ({bare:.3e} s at boot \
+                         clock); the recording's dynamics are aliased away",
+                    ),
+                ));
+            }
+        }
+        if !looped && duration < spec.deadline.0 {
+            let held = samples[samples.len() - 1].1;
+            report.push(Diagnostic::new(
+                Code::W103,
+                "$.source.looped",
+                format!(
+                    "non-looped trace ends at {duration} s but the deadline is {} s; playback \
+                     holds the final sample ({held} W) for the remaining {:.3} s",
+                    spec.deadline.0,
+                    spec.deadline.0 - duration,
+                ),
+            ));
+        }
+    }
+
+    /// The shared `E002`/`E004` scan (see the module docs for the bound
+    /// derivations). Breaks early once both verdicts are settled feasible.
+    #[allow(clippy::too_many_arguments)]
+    fn supply_scan(
+        &self,
+        spec: &ExperimentSpec,
+        ticks_ub: u64,
+        efficiency: f64,
+        capacitance: Farads,
+        v_high: Volts,
+        demand_lb: f64,
+        report: &mut LintReport,
+    ) {
+        let dt = spec.timestep.0;
+        let c = capacitance.0;
+        let mut source = spec.source.make_in(&self.catalog);
+        let mut supply_ub = 0.0f64;
+        let mut rail_ub = 0.0f64;
+        for tick in 0..ticks_ub {
+            let t = Seconds(tick as f64 * dt);
+            let (e_ub, v_ub) = match source.sample(t) {
+                SourceSample::Thevenin { v_oc, r_s } => {
+                    let v = spec.rectifier.map_or(v_oc, |r| r.rectify(v_oc)).0.max(0.0);
+                    let r = r_s.0;
+                    let i_max = efficiency * v / r;
+                    (
+                        efficiency * v * v / (4.0 * r) * dt + i_max * i_max * dt * dt / (2.0 * c),
+                        v * (efficiency * dt / (r * c)).max(1.0),
+                    )
+                }
+                SourceSample::Power(p) => {
+                    if p.0 > 0.0 {
+                        let i_max = efficiency * p.0 / POWER_SOURCE_COMPLIANCE_FLOOR.0;
+                        (
+                            efficiency * p.0 * dt + i_max * i_max * dt * dt / (2.0 * c),
+                            // A constant-power sample has no open-circuit
+                            // ceiling: the rail bound collapses to the clamp.
+                            f64::INFINITY,
+                        )
+                    } else {
+                        (0.0, 0.0)
+                    }
+                }
+                SourceSample::Current { i, v_compliance } => {
+                    let i = i.0.max(0.0) * efficiency;
+                    let vc = v_compliance.0.max(0.0);
+                    (i * vc * dt + i * i * dt * dt / (2.0 * c), vc + i * dt / c)
+                }
+            };
+            supply_ub += e_ub;
+            rail_ub = rail_ub.max(v_ub.min(V_MAX.0));
+            if supply_ub >= demand_lb && rail_ub + 1e-9 >= v_high.0 {
+                return; // both passes settled feasible
+            }
+        }
+        if rail_ub + 1e-9 < v_high.0 {
+            report.push(Diagnostic::new(
+                Code::E002,
+                "$.source",
+                format!(
+                    "the supply can never raise the rail to the boot threshold: \
+                     max achievable ≈ {rail_ub:.3} V < V_boot {:.3} V ({}); \
+                     the MCU never powers on",
+                    v_high.0,
+                    spec.strategy.name(),
+                ),
+            ));
+        } else if supply_ub < demand_lb {
+            report.push(Diagnostic::new(
+                Code::E004,
+                "$.source",
+                format!(
+                    "supply energy upper bound {supply_ub:.3e} J over the {} s deadline window \
+                     is below the workload's demand lower bound {demand_lb:.3e} J \
+                     (cheapest clock level, zero overhead)",
+                    spec.deadline.0,
+                ),
+            ));
+        }
+    }
+}
+
+/// JSON-path location of a spec-level violation, matching
+/// [`ExperimentSpec::to_json`] key names.
+fn build_error_path(e: &BuildError) -> String {
+    match e {
+        BuildError::InvalidSource(_) => "$.source",
+        BuildError::InvalidWorkload(_) => "$.workload",
+        BuildError::InvalidTimestep(_) => "$.timestep_s",
+        BuildError::InvalidDecoupling(_) => "$.decoupling_f",
+        BuildError::InvalidStorage(_) => "$.topology.storage_f",
+        BuildError::InvalidEfficiency(_) => "$.topology.efficiency",
+        BuildError::InvalidLeakage(_) => "$.leakage_ohm",
+        BuildError::InvalidTrace => "$.trace",
+        BuildError::InvalidTelemetry(_) => "$.telemetry",
+        BuildError::InvalidDeadline(_) => "$.deadline_s",
+        _ => "$",
+    }
+    .to_string()
+}
+
+/// JSON-path location of a fleet-level violation, matching
+/// [`FleetSpec::to_json`] key names.
+fn fleet_error_path(e: &FleetError) -> String {
+    match e {
+        FleetError::NoNodes => "$.nodes".into(),
+        FleetError::InvalidStagger(_) => "$.stagger_s".into(),
+        FleetError::InvalidDutyPeriod(_) => "$.duty_period_s".into(),
+        FleetError::InvalidAttenuation { node, .. } => format!("$.placement[{node}]"),
+        FleetError::PlacementCount { .. } => "$.placement".into(),
+        FleetError::InvalidField(_) | FleetError::Trace(_) => "$.field".into(),
+        FleetError::Design(inner) => {
+            let inner = build_error_path(inner);
+            let tail = inner.strip_prefix('$').unwrap_or(&inner);
+            format!("$.design{tail}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edc_core::fleet::{FieldSpec, Placement};
+    use edc_core::scenarios::FieldEnvelope;
+
+    fn spec(source: SourceKind) -> ExperimentSpec {
+        ExperimentSpec::new(source, StrategyKind::Hibernus, WorkloadKind::Crc16(64))
+            .deadline(Seconds(0.5))
+    }
+
+    #[test]
+    fn healthy_spec_is_clean() {
+        let report = Linter::new().lint_spec(&spec(SourceKind::RectifiedSine { hz: 50.0 }));
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn e001_collects_every_violation() {
+        let bad = spec(SourceKind::RectifiedSine { hz: -1.0 })
+            .timestep(Seconds(0.0))
+            .decoupling(Farads(f64::NAN));
+        let report = Linter::new().lint_spec(&bad);
+        let codes: Vec<Code> = report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::E001, Code::E001, Code::E001]);
+        let paths: Vec<&str> = report
+            .diagnostics()
+            .iter()
+            .map(|d| d.path.as_str())
+            .collect();
+        assert_eq!(paths, vec!["$.source", "$.timestep_s", "$.decoupling_f"]);
+    }
+
+    #[test]
+    fn e002_fires_for_sub_boot_dc() {
+        // 1.5 V EMF < any boot threshold above V_min = 2.0 V.
+        let report = Linter::new().lint_spec(&spec(SourceKind::Dc { volts: 1.5 }));
+        assert!(report.diagnostics().iter().any(|d| d.code == Code::E002));
+    }
+
+    #[test]
+    fn e003_fires_for_impossible_deadline() {
+        let tight = spec(SourceKind::RectifiedSine { hz: 50.0 }).deadline(Seconds(10e-6));
+        let report = Linter::new().lint_spec(&tight);
+        assert!(report.diagnostics().iter().any(|d| d.code == Code::E003));
+    }
+
+    #[test]
+    fn e005_fires_for_endless() {
+        let endless = spec(SourceKind::Dc { volts: 3.3 }).workload(WorkloadKind::Endless);
+        let report = Linter::new().lint_spec(&endless);
+        assert!(report.diagnostics().iter().any(|d| d.code == Code::E005));
+    }
+
+    #[test]
+    fn w101_fires_below_eq4_floor() {
+        let starved =
+            spec(SourceKind::RectifiedSine { hz: 50.0 }).decoupling(Farads::from_micro(0.1));
+        let report = Linter::new().lint_spec(&starved);
+        assert!(report.diagnostics().iter().any(|d| d.code == Code::W101));
+        // A hazard, not a proof of infeasibility.
+        assert!(!report.has_errors(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn e004_and_w103_fire_for_starved_short_trace() {
+        let mut catalog = TraceCatalog::new();
+        let id = catalog
+            .register_uniform("dim", Seconds(1e-3), &[1e-6, 1e-6, 1e-6])
+            .expect("valid trace");
+        let starved = spec(SourceKind::Trace {
+            id,
+            decimate: 1,
+            looped: false,
+        });
+        let report = Linter::with_catalog(catalog).lint_spec(&starved);
+        assert!(report.diagnostics().iter().any(|d| d.code == Code::E004));
+        assert!(report.diagnostics().iter().any(|d| d.code == Code::W103));
+    }
+
+    #[test]
+    fn w104_and_node_paths_in_fleet_lint() {
+        let design = ExperimentSpec::new(
+            SourceKind::Dc { volts: 3.3 },
+            StrategyKind::Hibernus,
+            WorkloadKind::Crc16(64),
+        )
+        .deadline(Seconds(0.5));
+        let fleet = FleetSpec::new(
+            FieldSpec::Envelope(FieldEnvelope::RectifiedSine { hz: 50.0 }),
+            design,
+            3,
+        );
+        let report = Linter::new().lint_fleet(&fleet);
+        let w104: Vec<&Diagnostic> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == Code::W104)
+            .collect();
+        assert_eq!(w104.len(), 2);
+        assert_eq!(w104[0].path, "$.nodes[1]");
+    }
+
+    #[test]
+    fn fleet_attenuation_brownout_is_node_e002() {
+        let design = ExperimentSpec::new(
+            SourceKind::Dc { volts: 3.3 },
+            StrategyKind::Restart,
+            WorkloadKind::Crc16(64),
+        )
+        .deadline(Seconds(0.5));
+        // The far node sees 3.3 V × 0.05 = 0.165 V — statically dark.
+        let fleet = FleetSpec::new(
+            FieldSpec::Envelope(FieldEnvelope::Dc { volts: 3.3 }),
+            design,
+            2,
+        )
+        .placement(Placement::Explicit(vec![1.0, 0.05]));
+        let report = Linter::new().lint_fleet(&fleet);
+        let e002: Vec<&Diagnostic> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == Code::E002)
+            .collect();
+        assert_eq!(e002.len(), 1, "{}", report.render_text());
+        assert_eq!(e002[0].path, "$.nodes[1].source");
+    }
+
+    #[test]
+    fn fleet_collects_all_violations() {
+        let design = ExperimentSpec::new(
+            SourceKind::Dc { volts: 3.3 },
+            StrategyKind::Hibernus,
+            WorkloadKind::Crc16(0),
+        );
+        let fleet = FleetSpec::new(
+            FieldSpec::Envelope(FieldEnvelope::RectifiedSine { hz: -4.0 }),
+            design,
+            0,
+        )
+        .stagger(Seconds(-1.0));
+        let report = Linter::new().lint_fleet(&fleet);
+        assert!(report.error_count() >= 3, "{}", report.render_text());
+        assert!(report.diagnostics().iter().all(|d| d.code == Code::E001));
+    }
+}

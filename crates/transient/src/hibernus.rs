@@ -8,7 +8,7 @@
 //! hibernation during shallow supply dips.
 
 use edc_mcu::Mcu;
-use edc_power::sizing::hibernate_threshold;
+use edc_power::sizing::try_hibernate_threshold;
 use edc_units::{Farads, Volts};
 
 use crate::{LowVoltageResponse, Strategy};
@@ -55,11 +55,14 @@ impl Hibernus {
     /// annotates `V_H` and `V_R`).
     pub fn calibrate(&self, mcu: &Mcu, c: Farads, v_min: Volts, v_max: Volts) -> (Volts, Volts) {
         let e_s = mcu.snapshot_energy();
-        let v_h = hibernate_threshold(e_s, c, v_min, v_max, self.margin)
-            // If the capacitance cannot fund a snapshot at all, park the
-            // threshold just under the clamp: the system will hibernate
-            // almost immediately and limp along (matching the paper's
-            // description of an under-provisioned Hibernus).
+        let v_h = try_hibernate_threshold(e_s, c, v_min, v_max, self.margin)
+            .ok()
+            .flatten()
+            // If the arguments are degenerate or the capacitance cannot
+            // fund a snapshot at all, park the threshold just under the
+            // clamp: the system will hibernate almost immediately and limp
+            // along (matching the paper's description of an
+            // under-provisioned Hibernus).
             .unwrap_or(v_max - Volts(0.05));
         let v_r = (v_h + self.restore_headroom).min(v_max - Volts(0.01));
         (v_h, v_r)

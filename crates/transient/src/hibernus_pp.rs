@@ -16,7 +16,7 @@
 //!   Hibernus++ still operates.
 
 use edc_mcu::Mcu;
-use edc_power::sizing::hibernate_threshold;
+use edc_power::sizing::try_hibernate_threshold;
 use edc_units::{Farads, Volts};
 
 use crate::{LowVoltageResponse, SnapshotObservation, Strategy};
@@ -111,7 +111,9 @@ impl Strategy for HibernusPP {
         }
         let c_est = Farads(2.0 * obs.energy.0 / dv2);
         self.c_estimate = Some(c_est);
-        let v_h = hibernate_threshold(obs.energy, c_est, self.v_min, self.v_max, self.margin)
+        let v_h = try_hibernate_threshold(obs.energy, c_est, self.v_min, self.v_max, self.margin)
+            .ok()
+            .flatten()
             .unwrap_or(self.v_max - Volts(0.05));
         let v_r = (v_h + Volts(0.35)).min(self.v_max - Volts(0.01));
         self.calibrations += 1;

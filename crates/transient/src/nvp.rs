@@ -7,7 +7,7 @@
 //! slightly higher active power for the shadow cells.
 
 use edc_mcu::{Mcu, PowerModel};
-use edc_power::sizing::hibernate_threshold;
+use edc_power::sizing::try_hibernate_threshold;
 use edc_units::{Amps, Farads, Joules, Volts};
 
 use crate::{LowVoltageResponse, Strategy};
@@ -57,7 +57,9 @@ impl Strategy for Nvp {
 
     fn thresholds(&mut self, mcu: &Mcu, c: Farads, v_min: Volts, v_max: Volts) -> (Volts, Volts) {
         let e_s = mcu.snapshot_energy();
-        let v_h = hibernate_threshold(e_s, c, v_min, v_max, self.margin)
+        let v_h = try_hibernate_threshold(e_s, c, v_min, v_max, self.margin)
+            .ok()
+            .flatten()
             .unwrap_or(v_max - Volts(0.05))
             .max(v_min + Volts(0.03));
         (v_h, (v_h + Volts(0.25)).min(v_max - Volts(0.01)))

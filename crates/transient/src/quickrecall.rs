@@ -8,7 +8,7 @@
 //! against Hibernus (see [`crate::crossover`]).
 
 use edc_mcu::{ExecutionResidence, Mcu};
-use edc_power::sizing::hibernate_threshold;
+use edc_power::sizing::try_hibernate_threshold;
 use edc_units::{Farads, Volts};
 
 use crate::{LowVoltageResponse, Strategy};
@@ -57,7 +57,9 @@ impl Strategy for QuickRecall {
 
     fn thresholds(&mut self, mcu: &Mcu, c: Farads, v_min: Volts, v_max: Volts) -> (Volts, Volts) {
         let e_s = mcu.snapshot_energy();
-        let v_h = hibernate_threshold(e_s, c, v_min, v_max, self.margin)
+        let v_h = try_hibernate_threshold(e_s, c, v_min, v_max, self.margin)
+            .ok()
+            .flatten()
             .unwrap_or(v_max - Volts(0.05))
             // Keep a minimum of comparator headroom above V_min even when
             // the register frame is nearly free.
