@@ -48,9 +48,7 @@ fn timing_line(label: &str, run: &SweepRun) -> String {
 }
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let path = edc_bench::artifact_path("BENCH_sweep.json");
 
     let null_run = grid(TelemetryKind::Null).run_timed().unwrap_or_else(|e| {
         eprintln!("baseline sweep failed to assemble: {e}");
@@ -82,11 +80,5 @@ fn main() {
         ("stats_timing", stats_run.timing.to_json()),
         ("telemetry", stats_run.telemetry_json()),
     ]);
-    match std::fs::write(&path, format!("{artifact}\n")) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => {
-            eprintln!("could not write {path}: {e}");
-            std::process::exit(1);
-        }
-    }
+    edc_bench::write_artifact(&path, &artifact);
 }

@@ -14,6 +14,47 @@ pub use sweep::{par_map, render_json, render_text, Sweep, SweepRow, SweepRun, Sw
 
 use std::fmt::Display;
 
+use edc_core::json::Json;
+
+/// The artifact path a BENCH binary writes to: the first CLI argument, or
+/// `default` (the committed-baseline name) when none is given. CI passes a
+/// `target/`-prefixed path so committed baselines are only rewritten when
+/// intentionally regenerated.
+///
+/// # Examples
+///
+/// ```
+/// let path = edc_bench::artifact_path("BENCH_example.json");
+/// assert!(path.ends_with(".json"));
+/// ```
+pub fn artifact_path(default: &str) -> String {
+    std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| default.to_string())
+}
+
+/// Writes a BENCH artifact (the JSON plus a trailing newline) to `path`,
+/// logging the destination. Exits the process with status 1 when the write
+/// fails, so CI never mistakes a missing artifact for success.
+///
+/// # Examples
+///
+/// ```no_run
+/// use edc_core::json::Json;
+///
+/// let artifact = Json::obj(vec![("bench", Json::Str("example".into()))]);
+/// edc_bench::write_artifact("target/BENCH_example.json", &artifact);
+/// ```
+pub fn write_artifact(path: &str, artifact: &Json) {
+    match std::fs::write(path, format!("{artifact}\n")) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// A minimal aligned-text table builder for harness output.
 #[derive(Debug, Clone)]
 pub struct TextTable {

@@ -40,6 +40,7 @@ use edc_core::json::Json;
 use edc_core::scenarios::{SourceKind, StrategyKind};
 use edc_core::telemetry::{stats_json, TelemetryReport};
 use edc_core::SystemReport;
+use edc_obs::{ProfileReport, ProfileSpan};
 use edc_telemetry::StatsSink;
 use edc_workloads::WorkloadKind;
 
@@ -259,6 +260,27 @@ impl SweepRun {
             ("telemetry", self.telemetry_json()),
             ("timing", self.timing.to_json()),
         ])
+    }
+
+    /// The sweep as a per-cell [`ProfileReport`]: one span per grid row,
+    /// named `cell{index}/{label}`, carrying deterministic run counters
+    /// (boots, brownouts, snapshots, restores, retired cycles) and the
+    /// cell's quarantined wall-clock reading.
+    pub fn profile(&self) -> ProfileReport {
+        let mut profile = ProfileReport::new();
+        for (row, &wall_s) in self.rows.iter().zip(&self.timing.per_cell_s) {
+            let s = &row.report.stats;
+            profile.push(
+                ProfileSpan::new(format!("cell{}/{}", row.index, row.spec.label()))
+                    .counter("boots", s.boots as f64)
+                    .counter("brownouts", s.brownouts as f64)
+                    .counter("snapshots", s.snapshots as f64)
+                    .counter("restores", s.restores as f64)
+                    .counter("cycles", s.cycles as f64)
+                    .wall(wall_s),
+            );
+        }
+        profile
     }
 }
 
@@ -480,6 +502,27 @@ mod tests {
         let json = run.to_json().to_string();
         assert!(json.contains("\"timing\""));
         assert!(json.contains("\"per_cell_s\""));
+    }
+
+    #[test]
+    fn sweep_profile_has_one_span_per_cell_with_deterministic_counters() {
+        let run = || {
+            Sweep::over(small_base())
+                .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus])
+                .run_timed()
+                .expect("sweep runs")
+        };
+        let a = run();
+        let profile = a.profile();
+        assert_eq!(profile.spans().len(), a.rows.len());
+        assert!(profile.spans()[0].name.starts_with("cell0/"));
+        assert!(profile.spans().iter().all(|s| s.wall_s > 0.0));
+        // Counters are a pure function of the grid; wall-clock is not.
+        let b = run();
+        assert_eq!(
+            profile.counters_json().to_string(),
+            b.profile().counters_json().to_string()
+        );
     }
 
     #[test]

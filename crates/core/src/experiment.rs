@@ -462,6 +462,10 @@ impl ExperimentSpec {
                 "telemetry",
                 Json::obj(vec![("kind", Json::Str("stats".into()))]),
             )),
+            TelemetryKind::Timeline => pairs.push((
+                "telemetry",
+                Json::obj(vec![("kind", Json::Str("timeline".into()))]),
+            )),
         }
         Json::obj(pairs)
     }
@@ -544,6 +548,7 @@ impl ExperimentSpec {
                     _ => return Err("ring telemetry missing 'capacity'"),
                 },
                 Some(Json::Str(k)) if k == "stats" => TelemetryKind::Stats,
+                Some(Json::Str(k)) if k == "timeline" => TelemetryKind::Timeline,
                 _ => return Err("unknown telemetry kind"),
             },
         };

@@ -263,6 +263,75 @@ impl FieldSpec {
             ]),
         }
     }
+
+    /// Parses a field from its [`FieldSpec::to_json`] form. Trace-backed
+    /// envelopes resolve their ids through `catalog`.
+    ///
+    /// # Errors
+    ///
+    /// A static string naming the malformed key.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use edc_core::catalog::TraceCatalog;
+    /// use edc_core::fleet::FieldSpec;
+    /// use edc_core::scenarios::FieldEnvelope;
+    ///
+    /// let field = FieldSpec::Envelope(FieldEnvelope::Turbine);
+    /// let round = FieldSpec::from_json(&field.to_json(), &TraceCatalog::new())?;
+    /// assert_eq!(round, field);
+    /// # Ok::<(), &'static str>(())
+    /// ```
+    pub fn from_json(json: &Json, catalog: &TraceCatalog) -> Result<Self, &'static str> {
+        match json.get("kind") {
+            Some(Json::Str(k)) if k == "envelope" => {
+                let Some(envelope) = json.get("envelope") else {
+                    return Err("envelope field missing 'envelope'");
+                };
+                let kind = SourceKind::from_json(envelope, catalog)?;
+                FieldEnvelope::from_source_kind(kind)
+                    .map(FieldSpec::Envelope)
+                    .ok_or("field envelope is not a standalone source kind")
+            }
+            Some(Json::Str(k)) if k == "power-trace" => {
+                let Some(Json::Str(name)) = json.get("name") else {
+                    return Err("power-trace field missing 'name'");
+                };
+                let Some(Json::Bool(looping)) = json.get("looping") else {
+                    return Err("power-trace field missing 'looping'");
+                };
+                let Some(Json::Arr(pairs)) = json.get("samples") else {
+                    return Err("power-trace field missing 'samples'");
+                };
+                let mut samples = Vec::with_capacity(pairs.len());
+                for pair in pairs {
+                    let Json::Arr(tw) = pair else {
+                        return Err("trace sample is not a [t, w] pair");
+                    };
+                    match (tw.first().and_then(as_f64), tw.get(1).and_then(as_f64)) {
+                        (Some(t), Some(w)) if tw.len() == 2 => samples.push((t, w)),
+                        _ => return Err("trace sample is not a [t, w] pair"),
+                    }
+                }
+                Ok(FieldSpec::PowerTrace {
+                    name: name.clone(),
+                    samples,
+                    looping: *looping,
+                })
+            }
+            _ => Err("unknown field kind"),
+        }
+    }
+}
+
+/// Numeric JSON values arrive as `Num` or (for whole numbers) `Uint`.
+fn as_f64(json: &Json) -> Option<f64> {
+    match json {
+        Json::Num(n) => Some(*n),
+        Json::Uint(u) => Some(*u as f64),
+        _ => None,
+    }
 }
 
 /// How a fleet's nodes are placed relative to the field source, as a
@@ -321,6 +390,50 @@ impl Placement {
                     Json::Arr(a.iter().map(|&x| Json::Num(x)).collect()),
                 ),
             ]),
+        }
+    }
+
+    /// Parses a placement from its [`Placement::to_json`] form.
+    ///
+    /// # Errors
+    ///
+    /// A static string naming the malformed key.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use edc_core::fleet::Placement;
+    ///
+    /// let p = Placement::Line { near: 1.0, far: 0.5 };
+    /// assert_eq!(Placement::from_json(&p.to_json())?, p);
+    /// # Ok::<(), &'static str>(())
+    /// ```
+    pub fn from_json(json: &Json) -> Result<Self, &'static str> {
+        match json.get("kind") {
+            Some(Json::Str(k)) if k == "colocated" => Ok(Placement::Colocated),
+            Some(Json::Str(k)) if k == "line" => {
+                match (
+                    json.get("near").and_then(as_f64),
+                    json.get("far").and_then(as_f64),
+                ) {
+                    (Some(near), Some(far)) => Ok(Placement::Line { near, far }),
+                    _ => Err("line placement missing 'near'/'far'"),
+                }
+            }
+            Some(Json::Str(k)) if k == "explicit" => {
+                let Some(Json::Arr(items)) = json.get("attenuations") else {
+                    return Err("explicit placement missing 'attenuations'");
+                };
+                let mut a = Vec::with_capacity(items.len());
+                for item in items {
+                    match as_f64(item) {
+                        Some(x) => a.push(x),
+                        None => return Err("attenuation is not a number"),
+                    }
+                }
+                Ok(Placement::Explicit(a))
+            }
+            _ => Err("unknown placement kind"),
         }
     }
 }
@@ -578,6 +691,65 @@ impl FleetSpec {
             ("duty_period_s", Json::Num(self.duty_period.0)),
         ])
     }
+
+    /// Parses a fleet spec from its [`FleetSpec::to_json`] form — the
+    /// inverse the `edc_timeline` CLI uses to run fleet scenarios from
+    /// disk. Trace-backed designs resolve through `catalog`.
+    ///
+    /// # Errors
+    ///
+    /// A static string naming the malformed key.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use edc_core::catalog::TraceCatalog;
+    /// use edc_core::experiment::ExperimentSpec;
+    /// use edc_core::fleet::{FieldSpec, FleetSpec};
+    /// use edc_core::scenarios::{FieldEnvelope, SourceKind, StrategyKind};
+    /// use edc_workloads::WorkloadKind;
+    ///
+    /// let fleet = FleetSpec::new(
+    ///     FieldSpec::Envelope(FieldEnvelope::RectifiedSine { hz: 50.0 }),
+    ///     ExperimentSpec::new(
+    ///         SourceKind::Dc { volts: 3.3 },
+    ///         StrategyKind::Hibernus,
+    ///         WorkloadKind::Crc16(64),
+    ///     ),
+    ///     4,
+    /// );
+    /// let round = FleetSpec::from_json(&fleet.to_json(), &TraceCatalog::new())?;
+    /// assert_eq!(round, fleet);
+    /// # Ok::<(), &'static str>(())
+    /// ```
+    pub fn from_json(json: &Json, catalog: &TraceCatalog) -> Result<Self, &'static str> {
+        let Some(field) = json.get("field") else {
+            return Err("fleet spec missing 'field'");
+        };
+        let Some(design) = json.get("design") else {
+            return Err("fleet spec missing 'design'");
+        };
+        let Some(Json::Uint(nodes)) = json.get("nodes") else {
+            return Err("fleet spec missing 'nodes'");
+        };
+        let Some(placement) = json.get("placement") else {
+            return Err("fleet spec missing 'placement'");
+        };
+        let Some(stagger) = json.get("stagger_s").and_then(as_f64) else {
+            return Err("fleet spec missing 'stagger_s'");
+        };
+        let Some(duty_period) = json.get("duty_period_s").and_then(as_f64) else {
+            return Err("fleet spec missing 'duty_period_s'");
+        };
+        Ok(Self {
+            field: FieldSpec::from_json(field, catalog)?,
+            design: ExperimentSpec::from_json(design, catalog)?,
+            nodes: *nodes as usize,
+            placement: Placement::from_json(placement)?,
+            stagger: Seconds(stagger),
+            duty_period: Seconds(duty_period),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -737,6 +909,37 @@ mod tests {
             "parse → emit round-trips byte-identically"
         );
         assert_eq!(fleet.label(), "site×4/restart/busy-loop");
+    }
+
+    #[test]
+    fn fleet_json_round_trips_through_from_json() {
+        let trace_fleet = FleetSpec::new(
+            FieldSpec::PowerTrace {
+                name: "site".into(),
+                samples: vec![(0.0, 1e-3), (0.5, 2e-3), (1.0, 0.0)],
+                looping: true,
+            },
+            design(),
+            4,
+        )
+        .placement(Placement::Explicit(vec![1.0, 0.75, 0.5, 0.25]))
+        .stagger(Seconds(0.125))
+        .duty_period(Seconds(2.0));
+        let envelope_fleet = FleetSpec::new(envelope(), design(), 3).placement(Placement::Line {
+            near: 1.0,
+            far: 0.5,
+        });
+        let catalog = TraceCatalog::new();
+        for fleet in [trace_fleet, envelope_fleet] {
+            let json = fleet.to_json();
+            // Parse from the *emitted text*, so whole-number floats that
+            // round-trip through `Uint` are covered too.
+            let parsed = Json::parse(&json.to_string()).expect("valid JSON");
+            let round = FleetSpec::from_json(&parsed, &catalog).expect("parses back");
+            assert_eq!(round, fleet);
+            assert_eq!(round.to_json().to_string(), json.to_string());
+        }
+        assert!(FleetSpec::from_json(&Json::obj(vec![]), &catalog).is_err());
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! plain value that `SystemReport` can carry, sweeps can aggregate, and
 //! [`crate::json`] can serialise with deterministic field order.
 
-use edc_telemetry::{Event, Record, RingBuffer, Sink, StatsSink, Summary, TelemetryKind};
+use edc_telemetry::{
+    Event, GaugeSample, PhaseChange, Record, RingBuffer, Sink, StatsSink, Summary, TelemetryKind,
+    TimelineSink,
+};
 
 use crate::json::Json;
 
@@ -24,6 +27,9 @@ pub enum TelemetryReport {
     /// A finished [`StatsSink`] (mergeable across sweep cells). Boxed so
     /// the variant stays pointer-sized next to `Ring`.
     Stats(Box<StatsSink>),
+    /// A finished [`TimelineSink`]: the run's complete record, phase, and
+    /// gauge streams, exportable as a Perfetto timeline by `edc-obs`.
+    Timeline(Box<TimelineSink>),
 }
 
 impl TelemetryReport {
@@ -39,8 +45,11 @@ impl TelemetryReport {
                 records: ring.records(),
             });
         }
-        any.downcast_ref::<StatsSink>()
-            .map(|stats| TelemetryReport::Stats(Box::new(stats.clone())))
+        if let Some(stats) = any.downcast_ref::<StatsSink>() {
+            return Some(TelemetryReport::Stats(Box::new(stats.clone())));
+        }
+        any.downcast_ref::<TimelineSink>()
+            .map(|tl| TelemetryReport::Timeline(Box::new(tl.clone())))
     }
 
     /// The kind of sink this report came from.
@@ -50,6 +59,7 @@ impl TelemetryReport {
                 capacity: *capacity,
             },
             TelemetryReport::Stats(_) => TelemetryKind::Stats,
+            TelemetryReport::Timeline(_) => TelemetryKind::Timeline,
         }
     }
 
@@ -70,8 +80,46 @@ impl TelemetryReport {
                 ),
             ]),
             TelemetryReport::Stats(stats) => stats_json(stats),
+            TelemetryReport::Timeline(tl) => timeline_json(tl),
         }
     }
+}
+
+/// One phase transition as JSON.
+fn phase_json(p: &PhaseChange) -> Json {
+    Json::obj(vec![
+        ("t_s", Json::Num(p.t.0)),
+        ("phase", Json::Str(p.phase.name().into())),
+    ])
+}
+
+/// One gauge sample as JSON.
+fn gauge_json(g: &GaugeSample) -> Json {
+    Json::obj(vec![
+        ("t_s", Json::Num(g.t.0)),
+        ("stored_j", Json::Num(g.stored.0)),
+        ("supply_w", Json::Num(g.supply.0)),
+    ])
+}
+
+/// A [`TimelineSink`]'s retained streams as JSON — the lossless,
+/// deterministic account `edc-obs` maps onto Perfetto tracks.
+pub fn timeline_json(tl: &TimelineSink) -> Json {
+    Json::obj(vec![
+        ("kind", Json::Str("timeline".into())),
+        (
+            "events",
+            Json::Arr(tl.records().iter().map(record_json).collect()),
+        ),
+        (
+            "phases",
+            Json::Arr(tl.phases().iter().map(phase_json).collect()),
+        ),
+        (
+            "gauges",
+            Json::Arr(tl.gauges().iter().map(gauge_json).collect()),
+        ),
+    ])
 }
 
 /// One event record as JSON (`cost_j` only on snapshot events).
@@ -97,6 +145,7 @@ pub fn summary_json(s: &Summary) -> Json {
         ("p50", Json::Num(s.p50)),
         ("p90", Json::Num(s.p90)),
         ("p99", Json::Num(s.p99)),
+        ("p999", Json::Num(s.p999)),
     ])
 }
 
@@ -201,6 +250,44 @@ mod tests {
             "snapshot_j",
             "energy_breakdown_j",
             "completed_at_s",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(
+            Json::parse(&json).unwrap().to_string(),
+            json,
+            "parse → emit is byte-identical"
+        );
+        assert!(
+            json.contains("\"p99\":") && json.contains("\"p999\":"),
+            "summaries carry the tail percentile"
+        );
+    }
+
+    #[test]
+    fn timeline_report_serialises_all_three_streams() {
+        use edc_telemetry::Phase;
+        use edc_units::Watts;
+        let mut tl = TimelineSink::new();
+        tl.phase(Seconds(0.0), Phase::Off);
+        tl.gauge(Seconds(0.0), Joules::ZERO, Watts::ZERO);
+        tl.record(Record {
+            t: Seconds(0.1),
+            energy: Joules(1e-6),
+            event: Event::Boot,
+        });
+        tl.phase(Seconds(0.1), Phase::Active);
+        let report = TelemetryReport::from_sink(&tl).expect("timeline is readable");
+        assert_eq!(report.kind(), TelemetryKind::Timeline);
+        let json = report.to_json().to_string();
+        for key in [
+            "\"kind\":\"timeline\"",
+            "\"events\"",
+            "\"phases\"",
+            "\"gauges\"",
+            "\"phase\":\"off\"",
+            "\"stored_j\"",
+            "\"supply_w\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

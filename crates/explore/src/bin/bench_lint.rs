@@ -95,9 +95,7 @@ fn space(catalog: &TraceCatalog) -> SpecSpace {
 }
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_lint.json".to_string());
+    let path = edc_bench::artifact_path("BENCH_lint.json");
     let catalog = catalog();
     let space = space(&catalog);
 
@@ -208,11 +206,5 @@ fn main() {
             ]),
         ),
     ]);
-    match std::fs::write(&path, format!("{artifact}\n")) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => {
-            eprintln!("could not write {path}: {e}");
-            std::process::exit(1);
-        }
-    }
+    edc_bench::write_artifact(&path, &artifact);
 }

@@ -132,9 +132,7 @@ fn front_table(report: &ExploreReport) -> String {
 }
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_trace.json".to_string());
+    let path = edc_bench::artifact_path("BENCH_trace.json");
     let catalog = catalog();
     let space = space(&catalog);
     let explorer = Explorer::new()
@@ -219,11 +217,5 @@ fn main() {
             ]),
         ),
     ]);
-    match std::fs::write(&path, format!("{artifact}\n")) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => {
-            eprintln!("could not write {path}: {e}");
-            std::process::exit(1);
-        }
-    }
+    edc_bench::write_artifact(&path, &artifact);
 }

@@ -28,12 +28,14 @@
 
 use std::collections::HashMap;
 use std::collections::HashSet;
+use std::time::Instant;
 
 use edc_bench::sweep::run_specs_in;
 use edc_core::catalog::TraceCatalog;
 use edc_core::experiment::ExperimentSpec;
 use edc_core::TelemetryKind;
 use edc_lint::Linter;
+use edc_obs::{ProfileReport, ProfileSpan};
 use edc_units::Seconds;
 
 use crate::objective::Objective;
@@ -89,6 +91,7 @@ pub struct Evaluator<'a> {
     pruned: HashSet<String>,
     lint_checks: u64,
     lint_pruned: u64,
+    profile: ProfileReport,
 }
 
 impl<'a> Evaluator<'a> {
@@ -136,6 +139,7 @@ impl<'a> Evaluator<'a> {
             pruned: HashSet::new(),
             lint_checks: 0,
             lint_pruned: 0,
+            profile: ProfileReport::new(),
         }
     }
 
@@ -202,6 +206,13 @@ impl<'a> Evaluator<'a> {
         specs: Vec<ExperimentSpec>,
         phase: &str,
     ) -> Result<Vec<Evaluation>, ExploreError> {
+        let started = Instant::now();
+        let before = (
+            self.cache_hits,
+            self.lint_checks,
+            self.lint_pruned,
+            self.cost_units,
+        );
         let prepared: Vec<ExperimentSpec> = specs
             .into_iter()
             .map(|s| {
@@ -290,6 +301,16 @@ impl<'a> Evaluator<'a> {
             });
             evaluations.push(Evaluation { spec, key, scores });
         }
+        self.profile.push(
+            ProfileSpan::new(phase)
+                .counter("requests", evaluations.len() as f64)
+                .counter("misses", missing.len() as f64)
+                .counter("cache_hits", (self.cache_hits - before.0) as f64)
+                .counter("lint_checks", (self.lint_checks - before.1) as f64)
+                .counter("lint_pruned", (self.lint_pruned - before.2) as f64)
+                .counter("cost", self.cost_units - before.3)
+                .wall(started.elapsed().as_secs_f64()),
+        );
         Ok(evaluations)
     }
 
@@ -333,6 +354,17 @@ impl<'a> Evaluator<'a> {
     /// The recorded trace, in evaluation-request order.
     pub fn trace(&self) -> &[TraceEntry] {
         &self.trace
+    }
+
+    /// Per-phase profiling: one [`ProfileSpan`] per successful
+    /// [`Evaluator::evaluate`] call, named after its search phase, whose
+    /// counters (`requests`, `misses`, `cache_hits`, `lint_checks`,
+    /// `lint_pruned`, `cost`) are the call's deltas of the corresponding
+    /// totals — deterministic — while `wall_s` carries the call's real
+    /// duration, quarantined by [`ProfileReport`]. Calls that fail (budget
+    /// exhaustion, validation) record no span.
+    pub fn profile(&self) -> &ProfileReport {
+        &self.profile
     }
 
     /// Consumes the evaluator, yielding its trace.
@@ -425,6 +457,36 @@ mod tests {
         assert_eq!(evals[0].spec.telemetry, TelemetryKind::Stats);
         assert!(evals[0].key.contains("\"telemetry\""));
         assert!(evals[0].scores[0].is_finite());
+    }
+
+    #[test]
+    fn profile_records_one_span_per_call_with_delta_counters() {
+        let objectives = objectives();
+        let mut eval = Evaluator::new(&objectives, 2, None, Seconds(20e-6));
+        eval.evaluate(vec![spec(100), spec(200), spec(100)], "grid")
+            .expect("evaluates");
+        eval.evaluate(vec![spec(200)], "rung0@4x")
+            .expect("evaluates");
+        let spans = eval.profile().spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "grid");
+        assert_eq!(
+            spans[0].counters,
+            vec![
+                ("requests".to_string(), 3.0),
+                ("misses".to_string(), 2.0),
+                ("cache_hits".to_string(), 1.0),
+                ("lint_checks".to_string(), 0.0),
+                ("lint_pruned".to_string(), 0.0),
+                ("cost".to_string(), 2.0),
+            ]
+        );
+        // The second call is a pure cache hit: no misses, no new cost.
+        assert_eq!(spans[1].name, "rung0@4x");
+        assert_eq!(spans[1].counters[1], ("misses".to_string(), 0.0));
+        assert_eq!(spans[1].counters[2], ("cache_hits".to_string(), 1.0));
+        assert_eq!(spans[1].counters[5], ("cost".to_string(), 0.0));
+        assert!(spans.iter().all(|s| s.wall_s >= 0.0));
     }
 
     #[test]

@@ -266,6 +266,7 @@ impl Explorer {
             lint_checks: eval.lint_checks(),
             lint_pruned: eval.lint_pruned(),
             front,
+            profile: eval.profile().clone(),
             trace: eval.into_trace(),
         })
     }
@@ -305,6 +306,13 @@ pub struct ExploreReport {
     pub lint_pruned: u64,
     /// The non-dominated designs among the searcher's final candidates.
     pub front: ParetoFront,
+    /// Per-phase profiling: one span per [`Evaluator::evaluate`] call,
+    /// with deterministic counters and quarantined wall-clock readings.
+    /// Deliberately **not** part of [`ExploreReport::to_json`] — its
+    /// deterministic half is available as `profile.counters_json()`, its
+    /// wall-clock half as `profile.timing_json()`, mirroring how
+    /// `SweepRun.timing` stays out of committed artifacts.
+    pub profile: edc_obs::ProfileReport,
     /// Every evaluation request, in order.
     pub trace: Vec<TraceEntry>,
 }

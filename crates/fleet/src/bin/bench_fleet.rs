@@ -102,9 +102,7 @@ fn run(spec: FleetSpec) -> (FleetReport, f64) {
 }
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_fleet.json".to_string());
+    let path = edc_bench::artifact_path("BENCH_fleet.json");
 
     let sizes = [1usize, 2, 4, 8, 16];
     let mut scaling: Vec<(usize, FleetReport, f64)> = Vec::new();
@@ -186,11 +184,5 @@ fn main() {
             ]),
         ),
     ]);
-    match std::fs::write(&path, format!("{artifact}\n")) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => {
-            eprintln!("could not write {path}: {e}");
-            std::process::exit(1);
-        }
-    }
+    edc_bench::write_artifact(&path, &artifact);
 }

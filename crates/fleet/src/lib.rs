@@ -14,7 +14,7 @@
 //!   and fans them out across worker threads. **Every** field kind becomes
 //!   plain per-node
 //!   [`ExperimentSpec`](edc_core::experiment::ExperimentSpec)s executed by
-//!   the sweep engine's [`run_specs_in`]: synthetic envelopes directly,
+//!   the sweep engine's [`run_specs_timed_in`]: synthetic envelopes directly,
 //!   recorded power traces by registering themselves into the runner's
 //!   [`TraceCatalog`] and viewing the registered trace per node. One
 //!   spec-driven path — thread count affects wall-clock only, never
@@ -69,12 +69,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use edc_bench::sweep::run_specs_in;
+use edc_bench::sweep::run_specs_timed_in;
 use edc_core::catalog::TraceCatalog;
 use edc_core::fleet::{FleetError, FleetSpec};
 use edc_core::json::Json;
 use edc_core::telemetry::{stats_json, TelemetryReport};
 use edc_core::SystemReport;
+use edc_obs::ProfileReport;
 use edc_telemetry::StatsSink;
 
 pub use edc_core::fleet::{FieldSpec, Placement};
@@ -124,13 +125,28 @@ impl Fleet {
     /// take the same path: the spec expands into per-node
     /// [`SourceKind::FieldView`](edc_core::scenarios::SourceKind::FieldView)
     /// specs (recorded traces are first registered into the runner's
-    /// catalog) and one [`run_specs_in`] batch executes them.
+    /// catalog) and one [`run_specs_timed_in`] batch executes them.
     ///
     /// # Errors
     ///
     /// Returns the first violated constraint of the spec; once validation
     /// passes, per-node assembly cannot fail.
     pub fn run(&self) -> Result<FleetReport, FleetError> {
+        Ok(self.run_profiled()?.0)
+    }
+
+    /// Like [`Fleet::run`], additionally yielding a per-node wall-clock
+    /// profile: one [`ProfileSpan`](edc_obs::ProfileSpan) per node (via
+    /// [`SweepRun::profile`](edc_bench::sweep::SweepRun::profile)), whose
+    /// counters are deterministic lifecycle counts and whose `wall_s` is
+    /// that node's real simulation time — quarantined from the
+    /// [`FleetReport`], which stays byte-stable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint of the spec; once validation
+    /// passes, per-node assembly cannot fail.
+    pub fn run_profiled(&self) -> Result<(FleetReport, ProfileReport), FleetError> {
         self.spec.validate()?;
         let threads = self
             .threads
@@ -138,17 +154,18 @@ impl Fleet {
             .unwrap_or(1);
         let mut catalog = self.catalog.clone();
         let specs = self.spec.node_specs_in(&mut catalog)?;
-        let nodes: Vec<SystemReport> = run_specs_in(specs, threads, &catalog)
-            .map_err(FleetError::Design)?
-            .into_iter()
-            .map(|row| row.report)
-            .collect();
+        let run = run_specs_timed_in(specs, threads, &catalog).map_err(FleetError::Design)?;
+        let profile = run.profile();
+        let nodes: Vec<SystemReport> = run.rows.into_iter().map(|row| row.report).collect();
         let metrics = FleetMetrics::from_reports(&self.spec, &nodes);
-        Ok(FleetReport {
-            spec: self.spec.clone(),
-            nodes,
-            metrics,
-        })
+        Ok((
+            FleetReport {
+                spec: self.spec.clone(),
+                nodes,
+                metrics,
+            },
+            profile,
+        ))
     }
 
     /// Statically lints the fleet without deploying it: collect-all spec
@@ -422,6 +439,28 @@ mod tests {
             .sum();
         assert_eq!(merged.counts().boots, boots);
         assert!(report.to_json().to_string().contains("\"aggregate\":{"));
+    }
+
+    #[test]
+    fn run_profiled_yields_one_span_per_node_and_the_same_report() {
+        let fleet = Fleet::new(envelope_spec(3)).threads(2);
+        let (report, profile) = fleet.run_profiled().expect("runs");
+        assert_eq!(profile.spans().len(), 3);
+        assert!(profile.spans().iter().all(|s| s.wall_s > 0.0));
+        // The profile is quarantined: the report itself is byte-stable.
+        let plain = fleet.run().expect("runs");
+        assert_eq!(
+            report.to_json().to_string(),
+            plain.to_json().to_string(),
+            "profiling never perturbs the deterministic report"
+        );
+        let boots = profile.spans()[0]
+            .counters
+            .iter()
+            .find(|(k, _)| k == "boots")
+            .expect("boots counter")
+            .1;
+        assert_eq!(boots, report.nodes[0].stats.boots as f64);
     }
 
     #[test]

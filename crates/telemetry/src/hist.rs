@@ -3,10 +3,12 @@
 //! The sinks must produce **byte-identical** JSON across repeated runs and
 //! across serial vs. parallel sweep execution, so the histogram here is a
 //! pure function of the inserted multiset: fixed geometric bins (no
-//! adaptive resizing, no randomised sketches), exact `count`/`sum`/`min`/
-//! `max`, and quantiles answered from bin midpoints. Memory is O(1) per
-//! histogram regardless of run length, which is what lets a sweep keep one
-//! per grid cell and merge them afterwards.
+//! adaptive resizing, no randomised sketches), exact `count`/`min`/`max`,
+//! an order-invariant fixed-point `sum` (see `FixedSum`), and quantiles
+//! answered from bin midpoints. Memory is O(1) per histogram regardless of
+//! run length, which is what lets a sweep keep one per grid cell and merge
+//! them afterwards — in *any* grouping order — without changing a byte of
+//! the aggregate JSON.
 
 /// Number of bins per decade. Eight gives ~33% relative quantile error,
 /// plenty for outage/overhead distributions that span many decades.
@@ -19,6 +21,36 @@ const HI_EXP: i32 = 4;
 /// Total bin count.
 const NBINS: usize = ((HI_EXP - LO_EXP) as usize) * BINS_PER_DECADE;
 
+/// Fixed-point scale for [`FixedSum`]: 2⁶⁰ keeps ~18 decimal digits below
+/// the unit, far finer than any simulated duration or energy, while an
+/// `i128` total still spans ±10²⁰ units before saturating.
+const FIXED_SCALE: f64 = (1u128 << 60) as f64;
+
+/// An exactly associative-and-commutative accumulator: observations are
+/// quantised once (to 2⁻⁶⁰) and summed in integer arithmetic, so any
+/// merge grouping or order produces the *identical* total — which is what
+/// lets merged-sink JSON stay byte-stable no matter how a sweep's cells
+/// were combined. (Plain `f64 +=` is order-sensitive in the last ulp.)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct FixedSum(i128);
+
+impl FixedSum {
+    /// Adds one observation (quantised to the fixed-point grid).
+    pub(crate) fn add(&mut self, x: f64) {
+        self.0 += (x * FIXED_SCALE) as i128;
+    }
+
+    /// Folds another accumulator in — exact integer addition.
+    pub(crate) fn merge(&mut self, other: &FixedSum) {
+        self.0 += other.0;
+    }
+
+    /// The accumulated total as an `f64`.
+    pub(crate) fn value(&self) -> f64 {
+        self.0 as f64 / FIXED_SCALE
+    }
+}
+
 /// A fixed-bin geometric histogram over positive values.
 ///
 /// Values `≤ 0` are counted in a dedicated zero bucket (torn snapshots can
@@ -30,7 +62,7 @@ pub struct Histogram {
     bins: Vec<u64>,
     zeros: u64,
     count: u64,
-    sum: f64,
+    sum: FixedSum,
     min: f64,
     max: f64,
 }
@@ -48,7 +80,7 @@ impl Histogram {
             bins: vec![0; NBINS],
             zeros: 0,
             count: 0,
-            sum: 0.0,
+            sum: FixedSum::default(),
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -81,7 +113,7 @@ impl Histogram {
             self.bins[Self::bin_index(x)] += 1;
         }
         self.count += 1;
-        self.sum += x;
+        self.sum.add(x);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
     }
@@ -96,9 +128,11 @@ impl Histogram {
         self.count == 0
     }
 
-    /// Exact sum of observations.
+    /// Sum of observations, accumulated in order-invariant fixed-point
+    /// arithmetic (quantised at 2⁻⁶⁰): merging histograms in any grouping
+    /// order yields the bit-identical total.
     pub fn sum(&self) -> f64 {
-        self.sum
+        self.sum.value()
     }
 
     /// Exact minimum, or `None` when empty.
@@ -111,9 +145,10 @@ impl Histogram {
         (self.count > 0).then_some(self.max)
     }
 
-    /// Exact arithmetic mean, or `None` when empty.
+    /// Arithmetic mean over the order-invariant [`Histogram::sum`], or
+    /// `None` when empty.
     pub fn mean(&self) -> Option<f64> {
-        (self.count > 0).then_some(self.sum / self.count as f64)
+        (self.count > 0).then_some(self.sum.value() / self.count as f64)
     }
 
     /// The `q`-quantile (`0 ≤ q ≤ 1`) estimated from bin midpoints and
@@ -145,13 +180,13 @@ impl Histogram {
         }
         self.zeros += other.zeros;
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum.merge(&other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
 
-    /// The fixed summary (count, exact min/max/mean, p50/p90/p99) every
-    /// JSON emitter reports.
+    /// The fixed summary (count, exact min/max/mean, p50/p90/p99/p999)
+    /// every JSON emitter reports.
     pub fn summary(&self) -> Summary {
         Summary {
             count: self.count,
@@ -161,6 +196,7 @@ impl Histogram {
             p50: self.quantile(0.50).unwrap_or(0.0),
             p90: self.quantile(0.90).unwrap_or(0.0),
             p99: self.quantile(0.99).unwrap_or(0.0),
+            p999: self.quantile(0.999).unwrap_or(0.0),
         }
     }
 }
@@ -182,6 +218,9 @@ pub struct Summary {
     pub p90: f64,
     /// 99th-percentile estimate.
     pub p99: f64,
+    /// 99.9th-percentile estimate — resolves tail outages that p99 hides
+    /// once sweeps aggregate thousands of cells.
+    pub p999: f64,
 }
 
 #[cfg(test)]
@@ -263,9 +302,9 @@ mod tests {
         assert_eq!(m.max, w.max);
         assert_eq!(m.p50, w.p50);
         assert_eq!(m.p99, w.p99);
-        // Sums accumulate in a different order, so the mean may differ in
-        // the last ulp — but no more.
-        assert!((m.mean - w.mean).abs() < 1e-12 * w.mean.abs());
+        // Fixed-point accumulation makes the sum order-invariant, so even
+        // the mean is bit-identical across merge orders.
+        assert_eq!(m.mean, w.mean);
     }
 
     #[test]
@@ -274,6 +313,22 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.mean, 0.0);
         assert_eq!(s.p99, 0.0);
+        assert_eq!(s.p999, 0.0);
+    }
+
+    #[test]
+    fn p999_resolves_the_tail_p99_hides() {
+        let mut h = Histogram::new();
+        for _ in 0..1995 {
+            h.add(1e-3);
+        }
+        for _ in 0..5 {
+            h.add(10.0);
+        }
+        let s = h.summary();
+        assert!(s.p99 < 1e-2, "p99 {} still in the bulk", s.p99);
+        assert!(s.p999 > 1.0, "p999 {} reaches the tail", s.p999);
+        assert!(s.p99 <= s.p999 && s.p999 <= s.max, "quantiles are ordered");
     }
 
     #[test]

@@ -43,13 +43,15 @@
 
 pub mod hist;
 mod stats;
+mod timeline;
 
 pub use hist::{Histogram, Summary};
 pub use stats::{EnergyBreakdown, EventCounts, StatsSink};
+pub use timeline::{GaugeSample, PhaseChange, TimelineSink};
 
 use std::fmt;
 
-use edc_units::{Joules, Seconds};
+use edc_units::{Joules, Seconds, Watts};
 
 /// One event in the intermittent-computing lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,6 +106,55 @@ impl fmt::Display for Event {
     }
 }
 
+/// The coarse lifecycle state a node is in between [`Event`]s.
+///
+/// Phases partition a run's time axis: the runner is always in exactly one
+/// phase, and transitions coincide with lifecycle events (boot → `Active`,
+/// brownout/power-fail → `Off`, hibernate/completion → `Sleep`). Timeline
+/// sinks turn consecutive phase changes into duration spans.
+///
+/// # Examples
+///
+/// ```
+/// use edc_telemetry::Phase;
+///
+/// assert_eq!(Phase::Active.name(), "active");
+/// assert_eq!(Phase::Off.to_string(), "off");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// The rail is below `V_min`; the machine is dead.
+    Off,
+    /// The machine is powered but parked (hibernating after a snapshot, or
+    /// idle after completing its task).
+    Sleep,
+    /// The machine is executing its workload.
+    Active,
+}
+
+impl Phase {
+    /// Stable machine-readable name (used by JSON emitters).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// assert_eq!(edc_telemetry::Phase::Sleep.name(), "sleep");
+    /// ```
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Off => "off",
+            Phase::Sleep => "sleep",
+            Phase::Active => "active",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One emitted event, timestamped in simulation seconds and energy-stamped
 /// with the cumulative energy the system had consumed at emission.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -125,6 +176,21 @@ pub trait Sink {
     /// Consumes one record.
     fn record(&mut self, rec: Record);
 
+    /// Consumes a lifecycle-phase transition. The default is a no-op so
+    /// existing sinks (and the pinned `Record` streams they observe) are
+    /// unaffected; timeline sinks override it to build duration spans.
+    fn phase(&mut self, t: Seconds, phase: Phase) {
+        let _ = (t, phase);
+    }
+
+    /// Consumes a gauge sample: the energy stored in the node's reservoir
+    /// and the instantaneous supply power, both at time `t`. Emitted at
+    /// lifecycle events and phase transitions (not every tick), so the
+    /// stream stays bounded by the event count. No-op by default.
+    fn gauge(&mut self, t: Seconds, stored: Joules, supply: Watts) {
+        let _ = (t, stored, supply);
+    }
+
     /// Downcast hook used by report emitters to recover a concrete sink
     /// after a run. Sinks that carry no readable state (e.g. [`NullSink`],
     /// borrowed adapters) return `None`.
@@ -141,11 +207,27 @@ impl<S: Sink + ?Sized> Sink for &mut S {
     fn record(&mut self, rec: Record) {
         (**self).record(rec);
     }
+
+    fn phase(&mut self, t: Seconds, phase: Phase) {
+        (**self).phase(t, phase);
+    }
+
+    fn gauge(&mut self, t: Seconds, stored: Joules, supply: Watts) {
+        (**self).gauge(t, stored, supply);
+    }
 }
 
 impl<S: Sink + ?Sized> Sink for Box<S> {
     fn record(&mut self, rec: Record) {
         (**self).record(rec);
+    }
+
+    fn phase(&mut self, t: Seconds, phase: Phase) {
+        (**self).phase(t, phase);
+    }
+
+    fn gauge(&mut self, t: Seconds, stored: Joules, supply: Watts) {
+        (**self).gauge(t, stored, supply);
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
@@ -260,6 +342,9 @@ pub enum TelemetryKind {
     },
     /// A [`StatsSink`].
     Stats,
+    /// A [`TimelineSink`]: the complete record/phase/gauge streams,
+    /// exportable as a Perfetto timeline.
+    Timeline,
 }
 
 impl TelemetryKind {
@@ -269,6 +354,7 @@ impl TelemetryKind {
             TelemetryKind::Null => "null",
             TelemetryKind::Ring { .. } => "ring",
             TelemetryKind::Stats => "stats",
+            TelemetryKind::Timeline => "timeline",
         }
     }
 
@@ -297,6 +383,7 @@ impl TelemetryKind {
             TelemetryKind::Null => None,
             TelemetryKind::Ring { capacity } => Some(Box::new(RingBuffer::with_capacity(capacity))),
             TelemetryKind::Stats => Some(Box::new(StatsSink::new())),
+            TelemetryKind::Timeline => Some(Box::new(TimelineSink::new())),
         }
     }
 }
@@ -371,5 +458,8 @@ mod tests {
         assert!(TelemetryKind::Ring { capacity: 0 }.validate().is_err());
         assert_eq!(TelemetryKind::default(), TelemetryKind::Null);
         assert_eq!(TelemetryKind::Stats.name(), "stats");
+        assert_eq!(TelemetryKind::Timeline.name(), "timeline");
+        assert!(TelemetryKind::Timeline.validate().is_ok());
+        assert!(TelemetryKind::Timeline.make().is_some());
     }
 }

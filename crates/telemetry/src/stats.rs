@@ -5,11 +5,13 @@
 //! breakdown by phase, all derived purely from the ordered record stream —
 //! so two identical runs always summarise byte-identically, and per-cell
 //! sinks from a sweep can be [`StatsSink::merge`]d into grid-level
-//! distributions.
+//! distributions. Every floating-point accumulator is order-invariant
+//! fixed-point, so the merge is exactly associative *and* commutative:
+//! any grouping of the same cells produces byte-identical aggregate JSON.
 
 use edc_units::{Joules, Seconds};
 
-use crate::hist::Histogram;
+use crate::hist::{FixedSum, Histogram};
 use crate::{Event, Record, Sink};
 
 /// Event counts accumulated by a [`StatsSink`].
@@ -85,6 +87,35 @@ impl EnergyBreakdown {
     }
 }
 
+/// Internal order-invariant accumulator behind [`EnergyBreakdown`]: the
+/// four phase sums in fixed-point, so merging sinks in any grouping order
+/// reproduces the bit-identical breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct BreakdownAcc {
+    run: FixedSum,
+    snapshot: FixedSum,
+    restore: FixedSum,
+    idle: FixedSum,
+}
+
+impl BreakdownAcc {
+    fn merge(&mut self, other: &BreakdownAcc) {
+        self.run.merge(&other.run);
+        self.snapshot.merge(&other.snapshot);
+        self.restore.merge(&other.restore);
+        self.idle.merge(&other.idle);
+    }
+
+    fn view(&self) -> EnergyBreakdown {
+        EnergyBreakdown {
+            run_j: self.run.value(),
+            snapshot_j: self.snapshot.value(),
+            restore_j: self.restore.value(),
+            idle_j: self.idle.value(),
+        }
+    }
+}
+
 /// Streaming analytics sink: histograms and counters, O(1) memory.
 #[derive(Debug, Clone, Default)]
 pub struct StatsSink {
@@ -92,7 +123,7 @@ pub struct StatsSink {
     outage_s: Histogram,
     between_brownouts_s: Histogram,
     snapshot_j: Histogram,
-    breakdown: EnergyBreakdown,
+    breakdown: BreakdownAcc,
     // --- streaming state ---
     last_energy: Joules,
     /// Set while the machine is down: the collapse timestamp.
@@ -131,9 +162,11 @@ impl StatsSink {
         &self.snapshot_j
     }
 
-    /// Energy attribution by lifecycle phase.
-    pub fn energy_breakdown(&self) -> &EnergyBreakdown {
-        &self.breakdown
+    /// Energy attribution by lifecycle phase. Accumulated in
+    /// order-invariant fixed-point arithmetic, so merged sinks report the
+    /// bit-identical breakdown regardless of merge grouping.
+    pub fn energy_breakdown(&self) -> EnergyBreakdown {
+        self.breakdown.view()
     }
 
     /// When the workload completed, if it did.
@@ -173,16 +206,16 @@ impl Sink for StatsSink {
                     self.counts.snapshots_torn += 1;
                 }
                 self.snapshot_j.add(cost.0);
-                self.breakdown.snapshot_j += cost.0;
-                self.breakdown.run_j += (delta - cost.0).max(0.0);
+                self.breakdown.snapshot.add(cost.0);
+                self.breakdown.run.add((delta - cost.0).max(0.0));
             }
             Event::Restore => {
                 self.counts.restores += 1;
-                self.breakdown.restore_j += delta;
+                self.breakdown.restore.add(delta);
             }
             Event::Boot => {
                 self.counts.boots += 1;
-                self.breakdown.idle_j += delta;
+                self.breakdown.idle.add(delta);
                 if let Some(t0) = self.down_since.take() {
                     self.outage_s.add((rec.t - t0).0);
                 }
@@ -194,7 +227,7 @@ impl Sink for StatsSink {
                 } else {
                     self.counts.power_fails += 1;
                 }
-                self.breakdown.run_j += delta;
+                self.breakdown.run.add(delta);
                 if let Some(tb) = self.last_power_loss {
                     self.between_brownouts_s.add((rec.t - tb).0);
                 }
@@ -209,13 +242,13 @@ impl Sink for StatsSink {
                     self.counts.crossings_falling += 1;
                 }
                 if self.up {
-                    self.breakdown.run_j += delta;
+                    self.breakdown.run.add(delta);
                 } else {
-                    self.breakdown.idle_j += delta;
+                    self.breakdown.idle.add(delta);
                 }
             }
             Event::TaskComplete => {
-                self.breakdown.run_j += delta;
+                self.breakdown.run.add(delta);
                 self.counts.completions += 1;
                 if self.completed_at.is_none() {
                     self.completed_at = Some(rec.t);

@@ -9,8 +9,8 @@
 use edc_mcu::{Mcu, PowerState, RunExit};
 use edc_power::{MonitorEvent, VoltageMonitor};
 use edc_sim::{EventLog, SupplyNode, TimeSeries};
-use edc_telemetry::{Event, Record, Sink};
-use edc_units::{Amps, Farads, Joules, Seconds, Volts};
+use edc_telemetry::{Event, Phase, Record, Sink};
+use edc_units::{Amps, Farads, Joules, Seconds, Volts, Watts};
 
 use crate::{LowVoltageResponse, MarkerResponse, SnapshotObservation, Strategy};
 
@@ -224,7 +224,8 @@ impl<'a> RunnerBuilder<'a> {
             node = node.with_leakage(r);
         }
         let monitor = VoltageMonitor::new(v_low, v_high);
-        TransientRunner {
+        let mut runner = TransientRunner {
+            phase: phase_of(mcu.state()),
             mcu,
             node,
             monitor,
@@ -244,8 +245,29 @@ impl<'a> RunnerBuilder<'a> {
                 .trace_decimation
                 .map(|d| TimeSeries::with_decimation("f_core_MHz", d)),
             faulted: false,
+            supply_power: Watts::ZERO,
             sink: self.sink,
+        };
+        // Open the initial phase span (and a t = 0 gauge) so timelines
+        // start at the origin rather than at the first transition.
+        if runner.sink.is_some() {
+            let phase = runner.phase;
+            let stored = runner.stored_energy();
+            if let Some(sink) = &mut runner.sink {
+                sink.phase(Seconds(0.0), phase);
+                sink.gauge(Seconds(0.0), stored, Watts::ZERO);
+            }
         }
+        runner
+    }
+}
+
+/// The lifecycle phase a power state maps to.
+fn phase_of(state: PowerState) -> Phase {
+    match state {
+        PowerState::Off => Phase::Off,
+        PowerState::Sleep => Phase::Sleep,
+        PowerState::Active => Phase::Active,
     }
 }
 
@@ -270,6 +292,12 @@ pub struct TransientRunner<'a> {
     vcc_trace: Option<TimeSeries>,
     freq_trace: Option<TimeSeries>,
     faulted: bool,
+    /// The lifecycle phase last reported to the sink; transitions are
+    /// emitted only on change.
+    phase: Phase,
+    /// Supply power at the last step, sampled only while a sink is
+    /// installed (gauge emission reads it at event time).
+    supply_power: Watts,
     sink: Option<Box<dyn Sink + 'a>>,
 }
 
@@ -334,15 +362,42 @@ impl<'a> TransientRunner<'a> {
         self.log.push(self.time, e);
     }
 
+    /// Energy currently stored in the supply-node capacitance.
+    fn stored_energy(&self) -> Joules {
+        self.node
+            .capacitance()
+            .energy_between(self.node.voltage(), Volts::ZERO)
+            .max(Joules::ZERO)
+    }
+
     /// Stamps `event` with the current time and cumulative consumed energy
-    /// and hands it to the sink. With no sink installed this is one branch.
+    /// and hands it to the sink, preceded by a gauge sample (stored energy
+    /// and supply power) at the same instant. With no sink installed this
+    /// is one branch.
     fn tap(&mut self, event: Event) {
-        if let Some(sink) = &mut self.sink {
-            sink.record(Record {
+        if self.sink.is_some() {
+            let stored = self.stored_energy();
+            let supply = self.supply_power;
+            let rec = Record {
                 t: self.time,
                 energy: self.stats.energy_consumed,
                 event,
-            });
+            };
+            if let Some(sink) = &mut self.sink {
+                sink.gauge(rec.t, stored, supply);
+                sink.record(rec);
+            }
+        }
+    }
+
+    /// Reports a lifecycle-phase transition to the sink, once per change.
+    fn set_phase(&mut self, phase: Phase) {
+        if phase == self.phase {
+            return;
+        }
+        self.phase = phase;
+        if let Some(sink) = &mut self.sink {
+            sink.phase(self.time, phase);
         }
     }
 
@@ -401,6 +456,7 @@ impl<'a> TransientRunner<'a> {
             }
         }
         self.hibernated = false;
+        self.set_phase(Phase::Active);
     }
 
     /// Advances the simulation by one timestep. Returns `false` once the
@@ -412,6 +468,9 @@ impl<'a> TransientRunner<'a> {
         // 1. Source charges the node; static (sleep/off) load discharges it.
         let v = self.node.voltage();
         let i_src = (self.source)(v, t);
+        if self.sink.is_some() {
+            self.supply_power = v * i_src;
+        }
         let i_static = match self.mcu.state() {
             PowerState::Active => Amps::ZERO, // drawn as lump energy below
             _ => self.mcu.supply_current(),
@@ -453,6 +512,7 @@ impl<'a> TransientRunner<'a> {
                     self.stats.brownouts += 1;
                     self.emit(TransientEvent::Brownout);
                     self.tap(Event::PowerFail);
+                    self.set_phase(Phase::Off);
                     self.stats.sleep_time += dt;
                 } else if self.mcu.is_halted() {
                     self.stats.sleep_time += dt;
@@ -463,6 +523,7 @@ impl<'a> TransientRunner<'a> {
                     self.hibernated = false;
                     self.emit(TransientEvent::WakeWithoutRestore);
                     self.tap(Event::SupplyCrossing { rising: true });
+                    self.set_phase(Phase::Active);
                     self.stats.sleep_time += dt;
                 } else {
                     self.stats.sleep_time += dt;
@@ -476,6 +537,7 @@ impl<'a> TransientRunner<'a> {
                     self.stats.brownouts += 1;
                     self.emit(TransientEvent::Brownout);
                     self.tap(Event::Brownout);
+                    self.set_phase(Phase::Off);
                     return true;
                 }
                 self.strategy.on_tick(v, &mut self.mcu);
@@ -488,6 +550,7 @@ impl<'a> TransientRunner<'a> {
                         self.hibernated = true;
                         self.cycle_carry = 0;
                         self.emit(TransientEvent::Hibernate);
+                        self.set_phase(Phase::Sleep);
                         self.stats.active_time += dt;
                         return true;
                     }
@@ -513,6 +576,7 @@ impl<'a> TransientRunner<'a> {
                                 // A finished program must not be resurrected.
                                 self.mcu.invalidate_snapshot();
                                 self.mcu.sleep();
+                                self.set_phase(Phase::Sleep);
                             }
                             self.stats.active_time += dt;
                             return false;
@@ -668,6 +732,42 @@ mod tests {
             assert!(w[1].energy >= w[0].energy, "energy stamps are monotone");
             assert!(w[1].t >= w[0].t, "timestamps are monotone");
         }
+    }
+
+    #[test]
+    fn timeline_sink_sees_phases_and_gauges() {
+        use edc_telemetry::TimelineSink;
+        let wl = BusyLoop::new(500);
+        let mut tl = TimelineSink::new();
+        let mut runner = TransientRunner::builder()
+            .strategy(Box::new(Restart::new()))
+            .program(wl.program())
+            .source(dc_source(3.3, 10.0))
+            .telemetry(Box::new(&mut tl))
+            .build();
+        let out = runner.run_until_complete(Seconds(1.0));
+        assert_eq!(out, RunOutcome::Completed);
+        drop(runner);
+        let phases: Vec<Phase> = tl.phases().iter().map(|p| p.phase).collect();
+        assert_eq!(
+            phases,
+            vec![Phase::Off, Phase::Active, Phase::Sleep],
+            "cold start → boot → completion"
+        );
+        assert_eq!(tl.phases()[0].t, Seconds(0.0), "initial span opens at 0");
+        assert_eq!(
+            tl.gauges().len(),
+            tl.records().len() + 1,
+            "one gauge per event plus the t = 0 sample"
+        );
+        for w in tl.phases().windows(2) {
+            assert!(w[1].t >= w[0].t, "phase stamps are monotone");
+        }
+        assert!(
+            tl.gauges().iter().skip(1).any(|g| g.supply.0 > 0.0),
+            "supply power is sampled"
+        );
+        assert!(tl.gauges().iter().all(|g| g.stored.0 >= 0.0));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use energy_driven::core::experiment::{BuildError, ExperimentSpec};
 use energy_driven::core::scenarios::{SourceKind, StrategyKind};
 use energy_driven::core::{TelemetryKind, TelemetryReport};
+use energy_driven::obs::PerfettoTrace;
 use energy_driven::units::{Ohms, Seconds};
 use energy_driven::workloads::WorkloadKind;
 
@@ -57,5 +58,20 @@ fn main() -> Result<(), BuildError> {
         );
     }
     println!("\nas JSON: {}", report.to_json());
+
+    // One more knob again: full-retention timeline telemetry, exported as a
+    // Perfetto/Chrome trace you can open in ui.perfetto.dev. Timestamps are
+    // simulation time, so the file is byte-identical across runs.
+    let timeline_report = spec.telemetry(TelemetryKind::Timeline).run()?;
+    if let Some(TelemetryReport::Timeline(tl)) = &timeline_report.telemetry {
+        let mut trace = PerfettoTrace::new();
+        let end = timeline_report.stats.completed_at.unwrap_or(spec.deadline);
+        trace.add_track("quickstart", tl, end);
+        let out = "target/quickstart.perfetto.json";
+        match std::fs::write(out, format!("{}\n", trace.to_json())) {
+            Ok(()) => println!("timeline:  {} trace events -> {out}", trace.len()),
+            Err(e) => println!("timeline:  could not write {out}: {e}"),
+        }
+    }
     Ok(())
 }

@@ -7,6 +7,7 @@ pub use edc_lint as lint;
 pub use edc_mcu as mcu;
 pub use edc_mpsoc as mpsoc;
 pub use edc_neutral as neutral;
+pub use edc_obs as obs;
 pub use edc_power as power;
 pub use edc_sim as sim;
 pub use edc_telemetry as telemetry;
