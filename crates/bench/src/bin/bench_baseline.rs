@@ -64,21 +64,25 @@ fn main() {
     banner("Wall-clock");
     println!("{}", timing_line("null", &null_run));
     println!("{}", timing_line("stats", &stats_run));
+    banner("Metrics");
+    print!("{}", edc_metrics::global().render_text());
 
-    let artifact = Json::obj(vec![
-        ("bench", Json::Str("sweep_baseline".into())),
-        (
-            "grid",
-            Json::obj(vec![
-                ("source", Json::Str("rectified-sine@50Hz".into())),
-                ("strategies", Json::Uint(StrategyKind::ALL.len() as u64)),
-                ("workloads", Json::Uint(2)),
-                ("deadline_s", Json::Num(20.0)),
-            ]),
-        ),
-        ("null_timing", null_run.timing.to_json()),
-        ("stats_timing", stats_run.timing.to_json()),
-        ("telemetry", stats_run.telemetry_json()),
-    ]);
+    let artifact = edc_bench::artifact(
+        "sweep_baseline",
+        vec![
+            (
+                "grid",
+                Json::obj(vec![
+                    ("source", Json::Str("rectified-sine@50Hz".into())),
+                    ("strategies", Json::Uint(StrategyKind::ALL.len() as u64)),
+                    ("workloads", Json::Uint(2)),
+                    ("deadline_s", Json::Num(20.0)),
+                ]),
+            ),
+            ("null_timing", null_run.timing.to_json()),
+            ("stats_timing", stats_run.timing.to_json()),
+            ("telemetry", stats_run.telemetry_json()),
+        ],
+    );
     edc_bench::write_artifact(&path, &artifact);
 }

@@ -1,0 +1,81 @@
+//! The BENCH regression gate: compares a fresh artifact against its
+//! committed baseline under a tolerance policy.
+//!
+//! Deterministic fields must match exactly; quarantined wall-clock
+//! sections are checked shape-only (or within a tolerance) per the policy
+//! file. Every difference is printed with its JSON path, so a regression
+//! names the exact field that moved.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_diff [--policy FILE] [--json] BASELINE CANDIDATE
+//! ```
+//!
+//! Exit status: `0` when the artifacts agree under the policy, `1` when
+//! differences were found, `2` on usage, I/O or parse errors. With
+//! `--json` the machine-readable [`DiffReport`](edc_bench::DiffReport)
+//! JSON is printed instead of text.
+//!
+//! CI runs this after every BENCH binary, e.g.:
+//!
+//! ```text
+//! cargo run --release -p edc-bench --bin bench_diff -- \
+//!     --policy BENCH_policy.json BENCH_sweep.json target/BENCH_sweep.json
+//! ```
+
+use edc_bench::diff::{diff_artifacts, Policy};
+use edc_core::json::Json;
+
+const USAGE: &str = "usage: bench_diff [--policy FILE] [--json] BASELINE CANDIDATE";
+
+fn fail(message: &str) -> ! {
+    eprintln!("bench_diff: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("could not read {path}: {e}")));
+    Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e:?}")))
+}
+
+fn main() {
+    let mut policy = Policy::exact();
+    let mut as_json = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--policy" => {
+                let file = args
+                    .next()
+                    .unwrap_or_else(|| fail("--policy needs a file argument"));
+                let text = std::fs::read_to_string(&file)
+                    .unwrap_or_else(|e| fail(&format!("could not read {file}: {e}")));
+                policy = Policy::parse(&text)
+                    .unwrap_or_else(|e| fail(&format!("bad policy {file}: {e}")));
+            }
+            "--json" => as_json = true,
+            other if other.starts_with("--") => fail(&format!("unknown flag {other}")),
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        fail("expected exactly two artifact paths");
+    };
+
+    let baseline = load(baseline_path);
+    let candidate = load(candidate_path);
+    let report = diff_artifacts(&baseline, &candidate, &policy);
+    if as_json {
+        println!("{}", report.to_json());
+    } else {
+        print!(
+            "{baseline_path} vs {candidate_path}\n{}",
+            report.render_text()
+        );
+    }
+    std::process::exit(i32::from(!report.is_clean()));
+}

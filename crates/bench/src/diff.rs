@@ -1,0 +1,660 @@
+//! The BENCH regression gate: policy-driven comparison of two artifacts.
+//!
+//! A BENCH artifact mixes two kinds of data. Most fields are
+//! **deterministic** — byte-identical across repeated runs, thread counts
+//! and machines — and any change to them is a real behavioural change
+//! worth failing CI over. A few quarantined sections (`timing`,
+//! `null_timing`, `stats_timing`) carry **wall-clock** measurements that
+//! legitimately differ between runs. [`diff_artifacts`] walks a fresh
+//! artifact against a committed baseline under a [`Policy`] that says, per
+//! JSON path, how strictly to compare: exactly, within a numeric
+//! tolerance, shape-only, or not at all. The result is a machine-readable
+//! [`DiffReport`] naming every offending path.
+//!
+//! # Path patterns
+//!
+//! Policy rules select paths with a `$`-rooted pattern:
+//!
+//! - `name` matches that object key; `*` matches any one key
+//! - `[3]` matches that array index; `[*]` matches any index
+//! - a final `**` matches any non-empty remainder of the path
+//!
+//! The first matching rule wins; paths no rule matches use the policy's
+//! default. Rules apply while *descending*, so `$.timing.**` shape-checks
+//! every leaf under `$.timing` while the `$.timing` object itself still
+//! has its keys checked by the default rule.
+//!
+//! # Examples
+//!
+//! ```
+//! use edc_bench::diff::{diff_artifacts, Policy};
+//! use edc_core::json::Json;
+//!
+//! let policy = Policy::parse(
+//!     r#"{"default":"exact","rules":[{"path":"$.timing.**","rule":"shape"}]}"#,
+//! )?;
+//! let baseline = Json::parse(r#"{"cells":4,"timing":{"total_s":1.5}}"#).unwrap();
+//! let fresh = Json::parse(r#"{"cells":4,"timing":{"total_s":9.9}}"#).unwrap();
+//! assert!(diff_artifacts(&baseline, &fresh, &policy).is_clean());
+//!
+//! let changed = Json::parse(r#"{"cells":5,"timing":{"total_s":1.5}}"#).unwrap();
+//! let report = diff_artifacts(&baseline, &changed, &policy);
+//! assert!(!report.is_clean());
+//! assert_eq!(report.differences[0].path, "$.cells");
+//! # Ok::<(), String>(())
+//! ```
+
+use edc_core::json::Json;
+
+/// How strictly one JSON path is compared.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Rule {
+    /// Values must be identical (the default for deterministic fields).
+    Exact,
+    /// Numbers must agree within a relative tolerance:
+    /// `|a − b| ≤ tol · max(|a|, |b|)`. Non-numbers compare exactly.
+    Rel(f64),
+    /// Numbers must agree within an absolute tolerance: `|a − b| ≤ tol`.
+    /// Non-numbers compare exactly.
+    Abs(f64),
+    /// Only the shape must match — same types, same object keys, same
+    /// array lengths — values are ignored. The rule for quarantined
+    /// wall-clock sections.
+    Shape,
+    /// The path is skipped entirely (shape included).
+    Ignore,
+}
+
+/// One path pattern bound to a comparison rule.
+#[derive(Debug, Clone)]
+struct PolicyRule {
+    segments: Vec<Segment>,
+    rule: Rule,
+}
+
+/// One parsed pattern segment.
+#[derive(Debug, Clone, PartialEq)]
+enum Segment {
+    /// A literal object key.
+    Key(String),
+    /// `*`: any one object key.
+    AnyKey,
+    /// `[3]`: a literal array index.
+    Index(usize),
+    /// `[*]`: any one array index.
+    AnyIndex,
+    /// `**`: any non-empty remainder (final segment only).
+    Rest,
+}
+
+/// A comparison policy: a default [`Rule`] plus path-pattern overrides
+/// (first match wins).
+#[derive(Debug, Clone)]
+pub struct Policy {
+    default: Rule,
+    rules: Vec<PolicyRule>,
+}
+
+impl Policy {
+    /// The strictest policy: every path compares exactly.
+    pub fn exact() -> Self {
+        Self {
+            default: Rule::Exact,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a pattern → rule override (evaluated before earlier adds only
+    /// if added earlier; first match wins in insertion order).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the pattern does not parse (must start with
+    /// `$`, `**` only last, indices must be numeric).
+    pub fn rule(mut self, pattern: &str, rule: Rule) -> Result<Self, String> {
+        self.rules.push(PolicyRule {
+            segments: parse_pattern(pattern)?,
+            rule,
+        });
+        Ok(self)
+    }
+
+    /// Parses a policy from its JSON text form:
+    ///
+    /// ```json
+    /// {
+    ///   "default": "exact",
+    ///   "rules": [
+    ///     {"path": "$.timing.**", "rule": "shape"},
+    ///     {"path": "$.score", "rule": "rel", "tolerance": 0.05}
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// Rule names are `exact`, `shape`, `ignore`, `rel` and `abs`; the
+    /// last two require a numeric `tolerance`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field when the text is not
+    /// valid JSON or does not follow the schema above.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let json = Json::parse(text).map_err(|e| format!("policy is not valid JSON: {e:?}"))?;
+        let default = match json.get("default") {
+            None => Rule::Exact,
+            Some(v) => parse_rule_value(v, None)?,
+        };
+        let mut policy = Policy {
+            default,
+            rules: Vec::new(),
+        };
+        if let Some(rules) = json.get("rules") {
+            let Json::Arr(items) = rules else {
+                return Err("policy \"rules\" must be an array".into());
+            };
+            for item in items {
+                let Some(Json::Str(path)) = item.get("path") else {
+                    return Err("every rule needs a string \"path\"".into());
+                };
+                let rule = parse_rule_value(
+                    item.get("rule").ok_or("every rule needs a \"rule\"")?,
+                    item.get("tolerance"),
+                )?;
+                policy = policy.rule(path, rule)?;
+            }
+        }
+        Ok(policy)
+    }
+
+    /// The rule governing `path` (first matching pattern, else default).
+    fn rule_for(&self, path: &[PathStep]) -> Rule {
+        for rule in &self.rules {
+            if matches(&rule.segments, path) {
+                return rule.rule;
+            }
+        }
+        self.default
+    }
+}
+
+/// Parses `"exact"` / `"shape"` / `"ignore"` / `"rel"` / `"abs"` (the
+/// latter two with a tolerance).
+fn parse_rule_value(value: &Json, tolerance: Option<&Json>) -> Result<Rule, String> {
+    let Json::Str(name) = value else {
+        return Err(format!("rule must be a string, got {value}"));
+    };
+    let tol = || -> Result<f64, String> {
+        match tolerance {
+            Some(Json::Num(t)) if *t >= 0.0 => Ok(*t),
+            Some(Json::Uint(t)) => Ok(*t as f64),
+            _ => Err(format!(
+                "rule \"{name}\" needs a non-negative \"tolerance\""
+            )),
+        }
+    };
+    match name.as_str() {
+        "exact" => Ok(Rule::Exact),
+        "shape" => Ok(Rule::Shape),
+        "ignore" => Ok(Rule::Ignore),
+        "rel" => Ok(Rule::Rel(tol()?)),
+        "abs" => Ok(Rule::Abs(tol()?)),
+        other => Err(format!(
+            "unknown rule \"{other}\" (expected exact, shape, ignore, rel or abs)"
+        )),
+    }
+}
+
+/// Parses `$.a.b[*].c.**` into segments.
+fn parse_pattern(pattern: &str) -> Result<Vec<Segment>, String> {
+    let rest = pattern
+        .strip_prefix('$')
+        .ok_or_else(|| format!("pattern {pattern:?} must start with '$'"))?;
+    let mut segments = Vec::new();
+    let mut chars = rest.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '.' => {
+                let mut key = String::new();
+                while let Some(&n) = chars.peek() {
+                    if n == '.' || n == '[' {
+                        break;
+                    }
+                    key.push(n);
+                    chars.next();
+                }
+                if key.is_empty() {
+                    return Err(format!("pattern {pattern:?} has an empty key segment"));
+                }
+                segments.push(match key.as_str() {
+                    "*" => Segment::AnyKey,
+                    "**" => Segment::Rest,
+                    _ => Segment::Key(key),
+                });
+            }
+            '[' => {
+                let mut idx = String::new();
+                for n in chars.by_ref() {
+                    if n == ']' {
+                        break;
+                    }
+                    idx.push(n);
+                }
+                segments.push(if idx == "*" {
+                    Segment::AnyIndex
+                } else {
+                    Segment::Index(
+                        idx.parse()
+                            .map_err(|_| format!("pattern {pattern:?}: bad index [{idx}]"))?,
+                    )
+                });
+            }
+            other => {
+                return Err(format!(
+                    "pattern {pattern:?}: expected '.' or '[', found {other:?}"
+                ))
+            }
+        }
+    }
+    if let Some(pos) = segments.iter().position(|s| *s == Segment::Rest) {
+        if pos + 1 != segments.len() {
+            return Err(format!("pattern {pattern:?}: '**' must be last"));
+        }
+    }
+    Ok(segments)
+}
+
+/// One step of a concrete (pattern-free) path.
+#[derive(Debug, Clone)]
+enum PathStep {
+    Key(String),
+    Index(usize),
+}
+
+/// Whether a pattern matches a concrete path.
+fn matches(pattern: &[Segment], path: &[PathStep]) -> bool {
+    let mut p = 0;
+    for segment in pattern {
+        if let Segment::Rest = segment {
+            return p < path.len();
+        }
+        let Some(step) = path.get(p) else {
+            return false;
+        };
+        let ok = match (segment, step) {
+            (Segment::Key(k), PathStep::Key(key)) => k == key,
+            (Segment::AnyKey, PathStep::Key(_)) => true,
+            (Segment::Index(i), PathStep::Index(idx)) => i == idx,
+            (Segment::AnyIndex, PathStep::Index(_)) => true,
+            _ => false,
+        };
+        if !ok {
+            return false;
+        }
+        p += 1;
+    }
+    p == path.len()
+}
+
+/// Renders a concrete path as `$.a.b[3].c`.
+fn render_path(path: &[PathStep]) -> String {
+    let mut out = String::from("$");
+    for step in path {
+        match step {
+            PathStep::Key(k) => {
+                out.push('.');
+                out.push_str(k);
+            }
+            PathStep::Index(i) => out.push_str(&format!("[{i}]")),
+        }
+    }
+    out
+}
+
+/// One difference between baseline and candidate.
+#[derive(Debug, Clone)]
+pub struct Difference {
+    /// The offending JSON path, e.g. `$.telemetry.rows[3].report.energy_j`.
+    pub path: String,
+    /// What kind of mismatch: `value`, `tolerance`, `type`, `missing-key`,
+    /// `extra-key` or `length`.
+    pub kind: &'static str,
+    /// The rule the path was compared under.
+    pub rule: Rule,
+    /// The baseline side (`Json::Null` for `extra-key`).
+    pub baseline: Json,
+    /// The candidate side (`Json::Null` for `missing-key`).
+    pub candidate: Json,
+}
+
+/// The outcome of comparing a candidate artifact against its baseline.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Leaf values actually compared (ignored subtrees excluded).
+    pub leaves_compared: u64,
+    /// Every difference found, in document order.
+    pub differences: Vec<Difference>,
+}
+
+impl DiffReport {
+    /// `true` when no differences were found.
+    pub fn is_clean(&self) -> bool {
+        self.differences.is_empty()
+    }
+
+    /// The report as deterministic JSON:
+    /// `{"clean":…,"leaves_compared":…,"differences":[{"path":…,"kind":…,
+    /// "rule":…,"baseline":…,"candidate":…}]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("clean", Json::Bool(self.is_clean())),
+            ("leaves_compared", Json::Uint(self.leaves_compared)),
+            (
+                "differences",
+                Json::Arr(
+                    self.differences
+                        .iter()
+                        .map(|d| {
+                            Json::obj(vec![
+                                ("path", Json::Str(d.path.clone())),
+                                ("kind", Json::Str(d.kind.into())),
+                                ("rule", Json::Str(rule_name(d.rule).into())),
+                                ("baseline", d.baseline.clone()),
+                                ("candidate", d.candidate.clone()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// A human-readable account: one line per difference, or a clean
+    /// confirmation.
+    pub fn render_text(&self) -> String {
+        if self.is_clean() {
+            return format!(
+                "OK: {} leaves compared, no differences\n",
+                self.leaves_compared
+            );
+        }
+        let mut out = format!(
+            "REGRESSION: {} difference(s) over {} compared leaves\n",
+            self.differences.len(),
+            self.leaves_compared
+        );
+        for d in &self.differences {
+            out.push_str(&format!(
+                "  {} [{}, rule {}]: baseline {} vs candidate {}\n",
+                d.path,
+                d.kind,
+                rule_name(d.rule),
+                d.baseline,
+                d.candidate
+            ));
+        }
+        out
+    }
+}
+
+/// The rule's policy-file name.
+fn rule_name(rule: Rule) -> &'static str {
+    match rule {
+        Rule::Exact => "exact",
+        Rule::Rel(_) => "rel",
+        Rule::Abs(_) => "abs",
+        Rule::Shape => "shape",
+        Rule::Ignore => "ignore",
+    }
+}
+
+/// Compares `candidate` against `baseline` under `policy` and reports
+/// every difference with its JSON path. Deterministic: identical inputs
+/// produce identical reports.
+pub fn diff_artifacts(baseline: &Json, candidate: &Json, policy: &Policy) -> DiffReport {
+    let mut report = DiffReport::default();
+    let mut path = Vec::new();
+    walk(baseline, candidate, policy, &mut path, &mut report);
+    report
+}
+
+/// The scalar type's name, for `type` mismatches.
+fn type_name(v: &Json) -> &'static str {
+    match v {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::Uint(_) | Json::Num(_) => "number",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+/// A leaf value as f64, when it is numeric.
+fn as_number(v: &Json) -> Option<f64> {
+    match v {
+        Json::Uint(n) => Some(*n as f64),
+        Json::Num(n) => Some(*n),
+        _ => None,
+    }
+}
+
+fn push_diff(
+    report: &mut DiffReport,
+    path: &[PathStep],
+    kind: &'static str,
+    rule: Rule,
+    baseline: &Json,
+    candidate: &Json,
+) {
+    report.differences.push(Difference {
+        path: render_path(path),
+        kind,
+        rule,
+        baseline: baseline.clone(),
+        candidate: candidate.clone(),
+    });
+}
+
+fn walk(
+    baseline: &Json,
+    candidate: &Json,
+    policy: &Policy,
+    path: &mut Vec<PathStep>,
+    report: &mut DiffReport,
+) {
+    let rule = policy.rule_for(path);
+    if rule == Rule::Ignore {
+        return;
+    }
+    match (baseline, candidate) {
+        (Json::Obj(b), Json::Obj(c)) => {
+            for (key, bv) in b {
+                path.push(PathStep::Key(key.clone()));
+                match c.iter().find(|(k, _)| k == key) {
+                    Some((_, cv)) => walk(bv, cv, policy, path, report),
+                    None => {
+                        let child_rule = policy.rule_for(path);
+                        if child_rule != Rule::Ignore {
+                            push_diff(report, path, "missing-key", child_rule, bv, &Json::Null);
+                        }
+                    }
+                }
+                path.pop();
+            }
+            for (key, cv) in c {
+                if b.iter().all(|(k, _)| k != key) {
+                    path.push(PathStep::Key(key.clone()));
+                    let child_rule = policy.rule_for(path);
+                    if child_rule != Rule::Ignore {
+                        push_diff(report, path, "extra-key", child_rule, &Json::Null, cv);
+                    }
+                    path.pop();
+                }
+            }
+        }
+        (Json::Arr(b), Json::Arr(c)) => {
+            if b.len() != c.len() {
+                push_diff(
+                    report,
+                    path,
+                    "length",
+                    rule,
+                    &Json::Uint(b.len() as u64),
+                    &Json::Uint(c.len() as u64),
+                );
+            }
+            for (i, (bv, cv)) in b.iter().zip(c).enumerate() {
+                path.push(PathStep::Index(i));
+                walk(bv, cv, policy, path, report);
+                path.pop();
+            }
+        }
+        _ => {
+            report.leaves_compared += 1;
+            if type_name(baseline) != type_name(candidate) {
+                push_diff(report, path, "type", rule, baseline, candidate);
+                return;
+            }
+            match rule {
+                Rule::Shape | Rule::Ignore => {}
+                Rule::Exact => {
+                    if baseline != candidate {
+                        push_diff(report, path, "value", rule, baseline, candidate);
+                    }
+                }
+                Rule::Rel(tol) | Rule::Abs(tol) => {
+                    match (as_number(baseline), as_number(candidate)) {
+                        (Some(a), Some(b)) => {
+                            let limit = match rule {
+                                Rule::Rel(_) => tol * a.abs().max(b.abs()),
+                                _ => tol,
+                            };
+                            if (a - b).abs() > limit {
+                                push_diff(report, path, "tolerance", rule, baseline, candidate);
+                            }
+                        }
+                        _ => {
+                            if baseline != candidate {
+                                push_diff(report, path, "value", rule, baseline, candidate);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(text: &str) -> Json {
+        Json::parse(text).expect("valid JSON")
+    }
+
+    #[test]
+    fn identical_artifacts_are_clean() {
+        let a = j(r#"{"bench":"x","schema":1,"rows":[{"n":1},{"n":2}]}"#);
+        let report = diff_artifacts(&a, &a.clone(), &Policy::exact());
+        assert!(report.is_clean());
+        assert_eq!(report.leaves_compared, 4);
+    }
+
+    #[test]
+    fn a_changed_value_names_its_path() {
+        let a = j(r#"{"rows":[{"n":1},{"n":2}]}"#);
+        let b = j(r#"{"rows":[{"n":1},{"n":3}]}"#);
+        let report = diff_artifacts(&a, &b, &Policy::exact());
+        assert_eq!(report.differences.len(), 1);
+        assert_eq!(report.differences[0].path, "$.rows[1].n");
+        assert_eq!(report.differences[0].kind, "value");
+    }
+
+    #[test]
+    fn shape_rule_ignores_values_but_not_structure() {
+        let policy = Policy::exact().rule("$.timing.**", Rule::Shape).unwrap();
+        let a = j(r#"{"timing":{"total_s":1.0,"per_cell_s":[0.5,0.5]}}"#);
+        let b = j(r#"{"timing":{"total_s":9.0,"per_cell_s":[4.0,5.0]}}"#);
+        assert!(diff_artifacts(&a, &b, &policy).is_clean());
+        // A dropped cell is a structural change even under shape.
+        let c = j(r#"{"timing":{"total_s":9.0,"per_cell_s":[4.0]}}"#);
+        let report = diff_artifacts(&a, &c, &policy);
+        assert_eq!(report.differences.len(), 1);
+        assert_eq!(report.differences[0].kind, "length");
+        assert_eq!(report.differences[0].path, "$.timing.per_cell_s");
+        // So is a type change.
+        let d = j(r#"{"timing":{"total_s":"fast","per_cell_s":[0.5,0.5]}}"#);
+        let report = diff_artifacts(&a, &d, &policy);
+        assert_eq!(report.differences[0].kind, "type");
+    }
+
+    #[test]
+    fn missing_and_extra_keys_are_reported() {
+        let a = j(r#"{"x":1,"y":2}"#);
+        let b = j(r#"{"x":1,"z":3}"#);
+        let report = diff_artifacts(&a, &b, &Policy::exact());
+        let kinds: Vec<&str> = report.differences.iter().map(|d| d.kind).collect();
+        assert_eq!(kinds, vec!["missing-key", "extra-key"]);
+        assert_eq!(report.differences[0].path, "$.y");
+        assert_eq!(report.differences[1].path, "$.z");
+    }
+
+    #[test]
+    fn tolerances_gate_numeric_drift() {
+        let a = j(r#"{"score":100.0}"#);
+        let near = j(r#"{"score":104.0}"#);
+        let far = j(r#"{"score":120.0}"#);
+        let rel = Policy::exact().rule("$.score", Rule::Rel(0.05)).unwrap();
+        assert!(diff_artifacts(&a, &near, &rel).is_clean());
+        let report = diff_artifacts(&a, &far, &rel);
+        assert_eq!(report.differences[0].kind, "tolerance");
+        let abs = Policy::exact().rule("$.score", Rule::Abs(10.0)).unwrap();
+        assert!(diff_artifacts(&a, &near, &abs).is_clean());
+        assert!(!diff_artifacts(&a, &far, &abs).is_clean());
+    }
+
+    #[test]
+    fn ignore_skips_subtrees_entirely() {
+        let policy = Policy::exact().rule("$.noise.**", Rule::Ignore).unwrap();
+        let a = j(r#"{"x":1,"noise":{"a":1}}"#);
+        let b = j(r#"{"x":1,"noise":{"b":"other"}}"#);
+        assert!(diff_artifacts(&a, &b, &policy).is_clean());
+    }
+
+    #[test]
+    fn policy_parses_from_json_text() {
+        let policy = Policy::parse(
+            r#"{"default":"exact","rules":[
+                {"path":"$.timing.**","rule":"shape"},
+                {"path":"$.rows[*].score","rule":"rel","tolerance":0.1}
+            ]}"#,
+        )
+        .expect("parses");
+        let a = j(r#"{"timing":{"t":1.0},"rows":[{"score":10.0}]}"#);
+        let b = j(r#"{"timing":{"t":2.0},"rows":[{"score":10.5}]}"#);
+        assert!(diff_artifacts(&a, &b, &policy).is_clean());
+        let c = j(r#"{"timing":{"t":2.0},"rows":[{"score":20.0}]}"#);
+        assert!(!diff_artifacts(&a, &c, &policy).is_clean());
+    }
+
+    #[test]
+    fn malformed_policies_are_errors() {
+        assert!(Policy::parse("not json").is_err());
+        assert!(Policy::parse(r#"{"rules":[{"path":"$.x","rule":"warp"}]}"#).is_err());
+        assert!(Policy::parse(r#"{"rules":[{"path":"$.x","rule":"rel"}]}"#).is_err());
+        assert!(Policy::parse(r#"{"rules":[{"path":"x","rule":"shape"}]}"#).is_err());
+        assert!(Policy::parse(r#"{"rules":[{"path":"$.**.x","rule":"shape"}]}"#).is_err());
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let a = j(r#"{"x":1}"#);
+        let b = j(r#"{"x":2}"#);
+        let report = diff_artifacts(&a, &b, &Policy::exact());
+        let text = report.to_json().to_string();
+        assert_eq!(Json::parse(&text).unwrap().to_string(), text);
+        assert!(text.contains("\"clean\":false"));
+        assert!(text.contains("\"path\":\"$.x\""));
+    }
+}

@@ -8,13 +8,47 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod sweep;
 
+pub use diff::{diff_artifacts, DiffReport, Policy, Rule};
 pub use sweep::{par_map, render_json, render_text, Sweep, SweepRow, SweepRun, SweepTiming};
 
 use std::fmt::Display;
 
 use edc_core::json::Json;
+
+/// Version of the BENCH artifact envelope written by [`artifact`]. Bump it
+/// whenever the meaning or layout of a shared section changes, so
+/// [`diff_artifacts`] flags a cross-version comparison as a schema
+/// difference instead of a forest of spurious leaf diffs.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Wraps a BENCH binary's sections in the versioned artifact envelope:
+/// `bench` (the artifact's name) and `schema` ([`SCHEMA_VERSION`]) first,
+/// then the sections in the given order.
+///
+/// # Examples
+///
+/// ```
+/// use edc_core::json::Json;
+///
+/// let artifact = edc_bench::artifact(
+///     "example",
+///     vec![("cells", Json::Uint(12))],
+/// );
+/// let text = artifact.to_string();
+/// assert!(text.starts_with("{\"bench\":\"example\",\"schema\":"));
+/// assert!(text.ends_with("\"cells\":12}"));
+/// ```
+pub fn artifact(name: &str, sections: Vec<(&str, Json)>) -> Json {
+    let mut pairs = vec![
+        ("bench", Json::Str(name.into())),
+        ("schema", Json::Uint(SCHEMA_VERSION)),
+    ];
+    pairs.extend(sections);
+    Json::obj(pairs)
+}
 
 /// The artifact path a BENCH binary writes to: the first CLI argument, or
 /// `default` (the committed-baseline name) when none is given. CI passes a

@@ -78,6 +78,7 @@ pub struct Sweep {
     workloads: Vec<WorkloadKind>,
     threads: Option<usize>,
     catalog: TraceCatalog,
+    metrics: Option<edc_metrics::Registry>,
 }
 
 impl Sweep {
@@ -92,6 +93,7 @@ impl Sweep {
             base,
             threads: None,
             catalog: TraceCatalog::new(),
+            metrics: None,
         }
     }
 
@@ -125,6 +127,15 @@ impl Sweep {
     /// Thread count never affects results, only wall-clock time.
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Records sweep and runner counters into `registry` instead of the
+    /// process-global [`edc_metrics::global`] one — the registry
+    /// counterpart of [`Sweep::catalog`], used by determinism tests that
+    /// need an isolated exposition.
+    pub fn metrics(mut self, registry: edc_metrics::Registry) -> Self {
+        self.metrics = Some(registry);
         self
     }
 
@@ -169,7 +180,8 @@ impl Sweep {
             .threads
             .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
             .unwrap_or(1);
-        run_specs_timed_in(self.specs(), threads, &self.catalog)
+        let registry = self.metrics.clone().unwrap_or_else(edc_metrics::global);
+        run_specs_timed_metered(self.specs(), threads, &self.catalog, &registry)
     }
 
     /// Statically lints every grid point without simulating anything.
@@ -335,16 +347,60 @@ pub fn run_specs_timed_in(
     threads: usize,
     catalog: &TraceCatalog,
 ) -> Result<SweepRun, BuildError> {
+    run_specs_timed_metered(specs, threads, catalog, &edc_metrics::global())
+}
+
+/// Histogram bounds for fan-out batch sizes (cells per `par_map` batch,
+/// nodes per fleet): powers of two out to 256, `+Inf` beyond.
+pub const BATCH_SIZE_BOUNDS: [f64; 9] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// The registry-threaded primitive under [`run_specs_timed_in`]: records
+/// batch-level sweep counters (batches, cells, the batch-size histogram)
+/// and every cell's runner lifecycle counters into `metrics`, and the
+/// batch's wall-clock total into a quarantined wall gauge. The returned
+/// rows are unchanged — metrics are an aggregate side channel.
+///
+/// # Errors
+///
+/// Returns the first (by input order) [`BuildError`]; the whole grid is
+/// validated (catalog resolution included) before any simulation starts.
+pub fn run_specs_timed_metered(
+    specs: Vec<ExperimentSpec>,
+    threads: usize,
+    catalog: &TraceCatalog,
+    metrics: &edc_metrics::Registry,
+) -> Result<SweepRun, BuildError> {
     for spec in &specs {
         spec.validate_in(catalog)?;
     }
+    metrics
+        .counter("edc_sweep_batches", "Spec batches fanned out.", &[])
+        .inc();
+    metrics
+        .counter("edc_sweep_cells", "Grid cells simulated.", &[])
+        .inc_by(specs.len() as u64);
+    metrics
+        .histogram(
+            "edc_sweep_batch_cells",
+            "Cells per fanned-out batch.",
+            &[],
+            &BATCH_SIZE_BOUNDS,
+        )
+        .observe(specs.len() as f64);
     let started = Instant::now();
     let results = par_map(&specs, threads, |spec| {
         let cell_started = Instant::now();
-        let result = spec.run_in(catalog);
+        let result = spec.run_metered_in(catalog, metrics);
         (result, cell_started.elapsed().as_secs_f64())
     });
     let total_s = started.elapsed().as_secs_f64();
+    metrics
+        .wall_gauge(
+            "edc_sweep_wall_seconds",
+            "Cumulative wall-clock of fanned-out batches (quarantined).",
+            &[],
+        )
+        .add(total_s);
     let mut per_cell_s = Vec::with_capacity(specs.len());
     let rows = specs
         .into_iter()

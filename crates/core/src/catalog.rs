@@ -290,6 +290,14 @@ impl TraceCatalog {
             .find(|(_, e)| e.name == name)
         {
             if entry.hash == hash {
+                edc_metrics::global()
+                    .counter(
+                        "edc_catalog_reverifications",
+                        "Idempotent re-registrations whose content hash verified \
+                         against the existing entry.",
+                        &[],
+                    )
+                    .inc();
                 return Ok(Ok(TraceId {
                     index: index as u32,
                     name: entry.name,
@@ -315,6 +323,13 @@ impl TraceCatalog {
             samples,
             hash,
         }));
+        edc_metrics::global()
+            .counter(
+                "edc_catalog_registrations",
+                "Traces registered into catalogs (distinct per catalog).",
+                &[],
+            )
+            .inc();
         TraceId { index, name, hash }
     }
 

@@ -386,6 +386,27 @@ impl ExperimentSpec {
         Ok(self.build_in(catalog)?.run(self.deadline))
     }
 
+    /// Like [`ExperimentSpec::run_in`], recording runner lifecycle
+    /// counters into `metrics` instead of the process-global registry —
+    /// the registry-threading counterpart of `run_in`'s catalog
+    /// threading, used by the sweep engine and determinism tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if assembly fails or the deadline is invalid.
+    pub fn run_metered_in(
+        &self,
+        catalog: &TraceCatalog,
+        metrics: &edc_metrics::Registry,
+    ) -> Result<SystemReport, BuildError> {
+        if !(self.deadline.0 > 0.0 && self.deadline.0.is_finite()) {
+            return Err(BuildError::InvalidDeadline(self.deadline.0));
+        }
+        let mut system = self.build_in(catalog)?;
+        system.set_metrics(metrics.clone());
+        Ok(system.run(self.deadline))
+    }
+
     /// The spec as a JSON value (used by sweep trajectories). Lossless:
     /// every field that distinguishes one grid point from another is
     /// serialised, including kind parameters.
@@ -632,6 +653,7 @@ pub struct Experiment<'a> {
     trace_decimation: Option<u64>,
     telemetry_kind: TelemetryKind,
     custom_sink: Option<Box<dyn Sink + 'a>>,
+    metrics: Option<edc_metrics::Registry>,
 }
 
 impl<'a> Experiment<'a> {
@@ -650,6 +672,7 @@ impl<'a> Experiment<'a> {
             trace_decimation: None,
             telemetry_kind: TelemetryKind::Null,
             custom_sink: None,
+            metrics: None,
         }
     }
 
@@ -821,6 +844,15 @@ impl<'a> Experiment<'a> {
         self
     }
 
+    /// Records runner lifecycle counters into `registry` instead of the
+    /// process-global [`edc_metrics::global`] registry. The report itself
+    /// is unaffected — metrics are an aggregate side channel, exactly like
+    /// telemetry sinks are a per-run one.
+    pub fn metrics(mut self, registry: edc_metrics::Registry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Assembles the system.
     ///
     /// # Errors
@@ -886,6 +918,7 @@ impl<'a> Experiment<'a> {
             runner: builder.build(),
             workload,
             strategy_name,
+            metrics: self.metrics,
         })
     }
 
@@ -913,6 +946,7 @@ pub struct System<'a> {
     runner: TransientRunner<'a>,
     workload: Box<dyn Workload + 'a>,
     strategy_name: String,
+    metrics: Option<edc_metrics::Registry>,
 }
 
 impl<'a> System<'a> {
@@ -951,10 +985,96 @@ impl<'a> System<'a> {
         self.workload.verify(self.runner.mcu())
     }
 
-    /// Runs to completion or `deadline` and reports.
+    /// Redirects this system's runner lifecycle counters into `registry`
+    /// (the default is the process-global [`edc_metrics::global`] one).
+    pub fn set_metrics(&mut self, registry: edc_metrics::Registry) {
+        self.metrics = Some(registry);
+    }
+
+    /// Runs to completion or `deadline` and reports, recording the run's
+    /// lifecycle counters (ticks, instruction retirements, brownouts,
+    /// snapshot/restore counts, cycle-carry activations) into the metrics
+    /// registry, labelled by strategy.
     pub fn run(&mut self, deadline: Seconds) -> SystemReport {
         let outcome = self.runner.run_until_complete(deadline);
+        self.record_metrics(outcome);
         self.report(outcome)
+    }
+
+    /// Records the final [`RunnerStats`](edc_transient::RunnerStats) into
+    /// the configured (or global) metrics registry. Counters are pure
+    /// functions of the deterministic simulation, so the exposition stays
+    /// byte-stable across serial/parallel/repeated execution.
+    fn record_metrics(&self, outcome: RunOutcome) {
+        let registry = self.metrics.clone().unwrap_or_else(edc_metrics::global);
+        let stats = self.runner.stats();
+        let strategy: &str = &self.strategy_name;
+        let by_strategy: [(&str, &str); 1] = [("strategy", strategy)];
+        registry
+            .counter("edc_runner_runs", "Transient runs executed.", &by_strategy)
+            .inc();
+        if outcome == RunOutcome::Completed {
+            registry
+                .counter(
+                    "edc_runner_completions",
+                    "Runs whose workload completed by the deadline.",
+                    &by_strategy,
+                )
+                .inc();
+        }
+        registry
+            .counter(
+                "edc_runner_ticks",
+                "Simulation timesteps advanced.",
+                &by_strategy,
+            )
+            .inc_by(stats.ticks);
+        registry
+            .counter(
+                "edc_runner_instructions",
+                "Instructions retired by workloads.",
+                &by_strategy,
+            )
+            .inc_by(stats.instructions);
+        registry
+            .counter(
+                "edc_runner_brownouts",
+                "Rail collapses below V_min while the machine was up.",
+                &by_strategy,
+            )
+            .inc_by(stats.brownouts);
+        registry
+            .counter(
+                "edc_runner_snapshots",
+                "Snapshot attempts, by whether the copy sealed.",
+                &[("strategy", strategy), ("sealed", "true")],
+            )
+            .inc_by(stats.snapshots);
+        registry
+            .counter(
+                "edc_runner_snapshots",
+                "Snapshot attempts, by whether the copy sealed.",
+                &[("strategy", strategy), ("sealed", "false")],
+            )
+            .inc_by(stats.torn_snapshots);
+        registry
+            .counter(
+                "edc_runner_restores",
+                "Successful snapshot restores.",
+                &by_strategy,
+            )
+            .inc_by(stats.restores);
+        registry
+            .counter("edc_runner_boots", "Cold boots.", &by_strategy)
+            .inc_by(stats.boots);
+        registry
+            .counter(
+                "edc_runner_cycle_carry_activations",
+                "Ticks that banked their whole cycle budget for a starved \
+                 head instruction.",
+                &by_strategy,
+            )
+            .inc_by(stats.carry_activations);
     }
 
     /// Runs for a fixed duration regardless of completion (throughput

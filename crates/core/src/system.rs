@@ -123,6 +123,12 @@ impl SystemReport {
                         Json::option(self.stats.completed_at, |t| Json::Num(t.0)),
                     ),
                     ("energy_j", Json::Num(self.stats.energy_consumed.0)),
+                    ("ticks", Json::Uint(self.stats.ticks)),
+                    ("instructions", Json::Uint(self.stats.instructions)),
+                    (
+                        "carry_activations",
+                        Json::Uint(self.stats.carry_activations),
+                    ),
                 ]),
             ),
         ];

@@ -6,8 +6,8 @@
 //! [`crate::json`] can serialise with deterministic field order.
 
 use edc_telemetry::{
-    Event, GaugeSample, PhaseChange, Record, RingBuffer, Sink, StatsSink, Summary, TelemetryKind,
-    TimelineSink,
+    Event, GaugeSample, Histogram, PhaseChange, Record, RingBuffer, Sink, StatsSink, Summary,
+    TelemetryKind, TimelineSink,
 };
 
 use crate::json::Json;
@@ -149,6 +149,39 @@ pub fn summary_json(s: &Summary) -> Json {
     ])
 }
 
+/// A [`Histogram`]'s summary *plus* its explicit cumulative `le` buckets
+/// as JSON — the exposition-style view that resolves the blind spot a
+/// fixed summary leaves between p999 and max. Buckets are compact (only
+/// populated bounds appear; see [`Histogram::le_buckets`]) and close with
+/// a `+Inf` entry whose `le` serialises as the string `"+Inf"`.
+pub fn histogram_json(h: &Histogram) -> Json {
+    let s = h.summary();
+    Json::obj(vec![
+        ("count", Json::Uint(s.count)),
+        ("min", Json::Num(s.min)),
+        ("max", Json::Num(s.max)),
+        ("mean", Json::Num(s.mean)),
+        ("p50", Json::Num(s.p50)),
+        ("p90", Json::Num(s.p90)),
+        ("p99", Json::Num(s.p99)),
+        ("p999", Json::Num(s.p999)),
+        (
+            "buckets",
+            Json::Arr(
+                h.le_buckets()
+                    .into_iter()
+                    .map(|(le, n)| {
+                        Json::obj(vec![
+                            ("le", le.map_or_else(|| Json::Str("+Inf".into()), Json::Num)),
+                            ("count", Json::Uint(n)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// A [`StatsSink`]'s aggregates as JSON — also used by the sweep engine
 /// for grid-level (merged) summaries.
 pub fn stats_json(stats: &StatsSink) -> Json {
@@ -171,12 +204,12 @@ pub fn stats_json(stats: &StatsSink) -> Json {
                 ("completions", Json::Uint(c.completions)),
             ]),
         ),
-        ("outage_s", summary_json(&stats.outage_s().summary())),
+        ("outage_s", histogram_json(stats.outage_s())),
         (
             "between_brownouts_s",
-            summary_json(&stats.between_brownouts_s().summary()),
+            histogram_json(stats.between_brownouts_s()),
         ),
-        ("snapshot_j", summary_json(&stats.snapshot_j().summary())),
+        ("snapshot_j", histogram_json(stats.snapshot_j())),
         (
             "energy_breakdown_j",
             Json::obj(vec![

@@ -149,34 +149,39 @@ fn main() {
         halving.front.len()
     );
 
-    let artifact = Json::obj(vec![
-        ("bench", Json::Str("explore".into())),
-        ("exhaustive", grid.to_json()),
-        ("halving", halving.to_json()),
-        (
-            "comparison",
-            Json::obj(vec![
-                ("grid_simulations", Json::Uint(grid.evaluations)),
-                ("halving_simulations", Json::Uint(halving.evaluations)),
-                (
-                    "halving_full_fidelity_simulations",
-                    Json::Uint(halving_full_fidelity as u64),
-                ),
-                ("grid_cost_units", Json::Num(grid.cost_units)),
-                ("halving_cost_units", Json::Num(halving.cost_units)),
-                ("cost_ratio", Json::Num(cost_ratio)),
-                ("halving_best_on_grid_front", Json::Bool(best_on_grid_front)),
-                ("front_overlap", Json::Uint(front_overlap as u64)),
-            ]),
-        ),
-        // Non-deterministic section, deliberately outside both reports.
-        (
-            "timing",
-            Json::obj(vec![
-                ("grid_s", Json::Num(grid_s)),
-                ("halving_s", Json::Num(halving_s)),
-            ]),
-        ),
-    ]);
+    edc_bench::banner("Metrics");
+    print!("{}", edc_metrics::global().render_text());
+
+    let artifact = edc_bench::artifact(
+        "explore",
+        vec![
+            ("exhaustive", grid.to_json()),
+            ("halving", halving.to_json()),
+            (
+                "comparison",
+                Json::obj(vec![
+                    ("grid_simulations", Json::Uint(grid.evaluations)),
+                    ("halving_simulations", Json::Uint(halving.evaluations)),
+                    (
+                        "halving_full_fidelity_simulations",
+                        Json::Uint(halving_full_fidelity as u64),
+                    ),
+                    ("grid_cost_units", Json::Num(grid.cost_units)),
+                    ("halving_cost_units", Json::Num(halving.cost_units)),
+                    ("cost_ratio", Json::Num(cost_ratio)),
+                    ("halving_best_on_grid_front", Json::Bool(best_on_grid_front)),
+                    ("front_overlap", Json::Uint(front_overlap as u64)),
+                ]),
+            ),
+            // Non-deterministic section, deliberately outside both reports.
+            (
+                "timing",
+                Json::obj(vec![
+                    ("grid_s", Json::Num(grid_s)),
+                    ("halving_s", Json::Num(halving_s)),
+                ]),
+            ),
+        ],
+    );
     edc_bench::write_artifact(&path, &artifact);
 }

@@ -176,35 +176,40 @@ fn main() {
         (1.0 - prefiltered.cost_units / baseline.cost_units) * 100.0
     );
 
-    let artifact = Json::obj(vec![
-        ("bench", Json::Str("lint".into())),
-        ("catalog", catalog.to_json()),
-        ("space_lint", space_lint.to_json()),
-        ("baseline", baseline.to_json()),
-        ("prefiltered", prefiltered.to_json()),
-        (
-            "comparison",
-            Json::obj(vec![
-                ("fronts_identical", Json::Bool(fronts_identical)),
-                ("baseline_simulations", Json::Uint(baseline.evaluations)),
-                (
-                    "prefiltered_simulations",
-                    Json::Uint(prefiltered.evaluations),
-                ),
-                ("baseline_cost_units", Json::Num(baseline.cost_units)),
-                ("prefiltered_cost_units", Json::Num(prefiltered.cost_units)),
-                ("lint_checks", Json::Uint(prefiltered.lint_checks)),
-                ("lint_pruned", Json::Uint(prefiltered.lint_pruned)),
-            ]),
-        ),
-        // Non-deterministic section, deliberately outside both reports.
-        (
-            "timing",
-            Json::obj(vec![
-                ("baseline_s", Json::Num(baseline_s)),
-                ("prefiltered_s", Json::Num(prefiltered_s)),
-            ]),
-        ),
-    ]);
+    edc_bench::banner("Metrics");
+    print!("{}", edc_metrics::global().render_text());
+
+    let artifact = edc_bench::artifact(
+        "lint",
+        vec![
+            ("catalog", catalog.to_json()),
+            ("space_lint", space_lint.to_json()),
+            ("baseline", baseline.to_json()),
+            ("prefiltered", prefiltered.to_json()),
+            (
+                "comparison",
+                Json::obj(vec![
+                    ("fronts_identical", Json::Bool(fronts_identical)),
+                    ("baseline_simulations", Json::Uint(baseline.evaluations)),
+                    (
+                        "prefiltered_simulations",
+                        Json::Uint(prefiltered.evaluations),
+                    ),
+                    ("baseline_cost_units", Json::Num(baseline.cost_units)),
+                    ("prefiltered_cost_units", Json::Num(prefiltered.cost_units)),
+                    ("lint_checks", Json::Uint(prefiltered.lint_checks)),
+                    ("lint_pruned", Json::Uint(prefiltered.lint_pruned)),
+                ]),
+            ),
+            // Non-deterministic section, deliberately outside both reports.
+            (
+                "timing",
+                Json::obj(vec![
+                    ("baseline_s", Json::Num(baseline_s)),
+                    ("prefiltered_s", Json::Num(prefiltered_s)),
+                ]),
+            ),
+        ],
+    );
     edc_bench::write_artifact(&path, &artifact);
 }

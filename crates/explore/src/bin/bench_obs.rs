@@ -144,29 +144,34 @@ fn main() {
         std::process::exit(1);
     }
 
-    let artifact = Json::obj(vec![
-        ("bench", Json::Str("obs".into())),
-        ("designs", Json::Uint(specs.len() as u64)),
-        (
-            "capture",
-            Json::obj(vec![
-                ("events", Json::Uint(events)),
-                ("phases", Json::Uint(phases)),
-                ("gauges", Json::Uint(gauges)),
-            ]),
-        ),
-        ("stats_match_null", Json::Bool(stats_match)),
-        ("capture_deterministic", Json::Bool(capture_deterministic)),
-        // Non-deterministic section, deliberately quarantined.
-        (
-            "timing",
-            Json::obj(vec![
-                ("null_s", Json::Num(null_s)),
-                ("timeline_s", Json::Num(timeline_s)),
-                ("overhead_ratio", Json::Num(overhead)),
-                ("reps", Json::Uint(REPS as u64)),
-            ]),
-        ),
-    ]);
+    banner("Metrics");
+    print!("{}", edc_metrics::global().render_text());
+
+    let artifact = edc_bench::artifact(
+        "obs",
+        vec![
+            ("designs", Json::Uint(specs.len() as u64)),
+            (
+                "capture",
+                Json::obj(vec![
+                    ("events", Json::Uint(events)),
+                    ("phases", Json::Uint(phases)),
+                    ("gauges", Json::Uint(gauges)),
+                ]),
+            ),
+            ("stats_match_null", Json::Bool(stats_match)),
+            ("capture_deterministic", Json::Bool(capture_deterministic)),
+            // Non-deterministic section, deliberately quarantined.
+            (
+                "timing",
+                Json::obj(vec![
+                    ("null_s", Json::Num(null_s)),
+                    ("timeline_s", Json::Num(timeline_s)),
+                    ("overhead_ratio", Json::Num(overhead)),
+                    ("reps", Json::Uint(REPS as u64)),
+                ]),
+            ),
+        ],
+    );
     edc_bench::write_artifact(&path, &artifact);
 }

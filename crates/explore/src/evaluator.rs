@@ -17,7 +17,8 @@
 //!   while fleet objectives (which deploy every candidate as a whole
 //!   population) charge ≈ their node count per miss;
 //! - **fans out** cache misses across scoped worker threads via the sweep
-//!   engine's [`run_specs_in`], whose results come back in input order —
+//!   engine's [`run_specs_timed_metered`], whose results come back in
+//!   input order —
 //!   so thread count affects wall-clock only, never results — resolving
 //!   [`SourceKind::Trace`](edc_core::scenarios::SourceKind::Trace)
 //!   candidates through the catalog supplied by
@@ -30,7 +31,7 @@ use std::collections::HashMap;
 use std::collections::HashSet;
 use std::time::Instant;
 
-use edc_bench::sweep::run_specs_in;
+use edc_bench::sweep::run_specs_timed_metered;
 use edc_core::catalog::TraceCatalog;
 use edc_core::experiment::ExperimentSpec;
 use edc_core::TelemetryKind;
@@ -92,7 +93,13 @@ pub struct Evaluator<'a> {
     lint_checks: u64,
     lint_pruned: u64,
     profile: ProfileReport,
+    metrics: Option<edc_metrics::Registry>,
 }
+
+/// Histogram bounds for per-miss simulation cost in
+/// full-fidelity-equivalent units: powers of four from a 64×-discounted
+/// prefilter run up to a 64-node fleet deployment, `+Inf` beyond.
+pub const COST_UNIT_BOUNDS: [f64; 7] = [0.015625, 0.0625, 0.25, 1.0, 4.0, 16.0, 64.0];
 
 impl<'a> Evaluator<'a> {
     /// An evaluator scoring with `objectives`, fanning cache misses out
@@ -140,6 +147,7 @@ impl<'a> Evaluator<'a> {
             lint_checks: 0,
             lint_pruned: 0,
             profile: ProfileReport::new(),
+            metrics: None,
         }
     }
 
@@ -162,6 +170,28 @@ impl<'a> Evaluator<'a> {
     /// [`Evaluator::lint_pruned`]), never against the simulation budget.
     pub fn with_prefilter(mut self, on: bool) -> Self {
         self.prefilter = on;
+        self
+    }
+
+    /// Routes this evaluator's process metrics into `registry` instead of
+    /// [`edc_metrics::global`]: per-phase request/hit/miss/lint counters,
+    /// a per-miss cost histogram, and the sweep-layer counters of every
+    /// miss batch it fans out. Point different evaluators at different
+    /// registries to compare their expositions in isolation.
+    ///
+    /// ```
+    /// use edc_explore::evaluator::Evaluator;
+    /// use edc_explore::objective::CompletionTime;
+    /// use edc_explore::objective::Objective;
+    /// use edc_units::Seconds;
+    ///
+    /// let objectives: Vec<Box<dyn Objective>> = vec![Box::new(CompletionTime)];
+    /// let registry = edc_metrics::Registry::new();
+    /// let eval = Evaluator::new(&objectives, 1, None, Seconds(20e-6))
+    ///     .with_metrics(registry.clone());
+    /// ```
+    pub fn with_metrics(mut self, registry: edc_metrics::Registry) -> Self {
+        self.metrics = Some(registry);
         self
     }
 
@@ -266,9 +296,16 @@ impl<'a> Evaluator<'a> {
             }
         }
 
+        let registry = self.metrics.clone().unwrap_or_else(edc_metrics::global);
         if !missing.is_empty() {
             let batch: Vec<ExperimentSpec> = missing.iter().map(|&i| prepared[i]).collect();
-            let rows = run_specs_in(batch, self.threads, &self.catalog)?;
+            let rows = run_specs_timed_metered(batch, self.threads, &self.catalog, &registry)?.rows;
+            let miss_cost = registry.histogram(
+                "edc_eval_miss_cost_units",
+                "Per-miss simulation cost in full-fidelity-equivalent units.",
+                &[("phase", phase)],
+                &COST_UNIT_BOUNDS,
+            );
             for (&i, row) in missing.iter().zip(rows) {
                 let scores: Vec<f64> = self
                     .objectives
@@ -277,7 +314,9 @@ impl<'a> Evaluator<'a> {
                     .collect();
                 self.cache.insert(keys[i].clone(), scores);
                 self.simulations += 1;
-                self.cost_units += self.cost_of(&prepared[i]);
+                let cost = self.cost_of(&prepared[i]);
+                self.cost_units += cost;
+                miss_cost.observe(cost);
             }
         }
 
@@ -301,6 +340,42 @@ impl<'a> Evaluator<'a> {
             });
             evaluations.push(Evaluation { spec, key, scores });
         }
+        let phase_label = [("phase", phase)];
+        registry
+            .counter(
+                "edc_eval_requests",
+                "Evaluation requests, per search phase.",
+                &phase_label,
+            )
+            .inc_by(evaluations.len() as u64);
+        registry
+            .counter(
+                "edc_eval_misses",
+                "Evaluation requests that simulated (memo-cache misses), per search phase.",
+                &phase_label,
+            )
+            .inc_by(missing.len() as u64);
+        registry
+            .counter(
+                "edc_eval_cache_hits",
+                "Evaluation requests served by the memo cache, per search phase.",
+                &phase_label,
+            )
+            .inc_by(self.cache_hits - before.0);
+        registry
+            .counter(
+                "edc_eval_lint_checks",
+                "Cache misses the lint prefilter examined, per search phase.",
+                &phase_label,
+            )
+            .inc_by(self.lint_checks - before.1);
+        registry
+            .counter(
+                "edc_eval_lint_pruned",
+                "Cache misses the lint prefilter scored statically, per search phase.",
+                &phase_label,
+            )
+            .inc_by(self.lint_pruned - before.2);
         self.profile.push(
             ProfileSpan::new(phase)
                 .counter("requests", evaluations.len() as f64)

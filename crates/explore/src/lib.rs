@@ -163,6 +163,7 @@ pub struct Explorer {
     budget: Option<u64>,
     catalog: TraceCatalog,
     prefilter: bool,
+    metrics: Option<edc_metrics::Registry>,
 }
 
 impl Explorer {
@@ -174,6 +175,7 @@ impl Explorer {
             budget: None,
             catalog: TraceCatalog::new(),
             prefilter: false,
+            metrics: None,
         }
     }
 
@@ -221,6 +223,15 @@ impl Explorer {
         self
     }
 
+    /// Routes the search's process metrics (the evaluator's per-phase
+    /// counters plus the sweep- and runner-level counters of every miss
+    /// batch; see [`Evaluator::with_metrics`]) into `registry` instead of
+    /// the process-wide [`edc_metrics::global`] registry.
+    pub fn metrics(mut self, registry: edc_metrics::Registry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Explores `space` with `searcher` and reports the front.
     ///
     /// # Errors
@@ -249,6 +260,9 @@ impl Explorer {
         .with_catalog(self.catalog.clone())
         .with_reference_deadline(space.base().deadline)
         .with_prefilter(self.prefilter);
+        if let Some(registry) = &self.metrics {
+            eval = eval.with_metrics(registry.clone());
+        }
         let finals = searcher.search(space, &mut eval)?;
         let front = ParetoFront::from_evaluations(&finals);
         Ok(ExploreReport {

@@ -155,34 +155,39 @@ fn main() {
             .unwrap_or_else(|| "never".to_string()),
     );
 
-    let artifact = Json::obj(vec![
-        ("bench", Json::Str("fleet".into())),
-        (
-            "scaling",
-            Json::Arr(
-                scaling
-                    .iter()
-                    .map(|(_, report, _)| report.to_json())
-                    .collect(),
-            ),
-        ),
-        ("trace_fleet", trace_report.to_json()),
-        // Non-deterministic section, deliberately outside the reports.
-        (
-            "timing",
-            Json::obj(vec![
-                (
-                    "scaling_s",
-                    Json::Arr(
-                        scaling
-                            .iter()
-                            .map(|&(_, _, wall_s)| Json::Num(wall_s))
-                            .collect(),
-                    ),
+    banner("Metrics");
+    print!("{}", edc_metrics::global().render_text());
+
+    let artifact = edc_bench::artifact(
+        "fleet",
+        vec![
+            (
+                "scaling",
+                Json::Arr(
+                    scaling
+                        .iter()
+                        .map(|(_, report, _)| report.to_json())
+                        .collect(),
                 ),
-                ("trace_fleet_s", Json::Num(trace_s)),
-            ]),
-        ),
-    ]);
+            ),
+            ("trace_fleet", trace_report.to_json()),
+            // Non-deterministic section, deliberately outside the reports.
+            (
+                "timing",
+                Json::obj(vec![
+                    (
+                        "scaling_s",
+                        Json::Arr(
+                            scaling
+                                .iter()
+                                .map(|&(_, _, wall_s)| Json::Num(wall_s))
+                                .collect(),
+                        ),
+                    ),
+                    ("trace_fleet_s", Json::Num(trace_s)),
+                ]),
+            ),
+        ],
+    );
     edc_bench::write_artifact(&path, &artifact);
 }

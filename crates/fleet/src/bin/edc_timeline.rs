@@ -17,6 +17,10 @@
 //! `.perfetto.json`) is classic Chrome trace-event JSON, loadable in
 //! `chrome://tracing` or <https://ui.perfetto.dev>. Timestamps are
 //! simulation time, so the file is byte-identical across repeated runs.
+//!
+//! With `--metrics PATH` the process's metrics registry (runner lifecycle
+//! counters, sweep/fleet fan-out counters, catalog registrations) is
+//! written to `PATH` as OpenMetrics text on exit.
 
 use std::process::ExitCode;
 
@@ -29,16 +33,24 @@ use edc_core::TelemetryKind;
 use edc_fleet::Fleet;
 use edc_obs::PerfettoTrace;
 
-const USAGE: &str = "usage: edc_timeline [-o OUT.perfetto.json] FILE.json";
+const USAGE: &str = "usage: edc_timeline [-o OUT.perfetto.json] [--metrics PATH] FILE.json";
 
 fn main() -> ExitCode {
     let mut out: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut file: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "-o" | "--out" => match args.next() {
                 Some(path) => out = Some(path),
+                None => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--metrics" => match args.next() {
+                Some(path) => metrics_path = Some(path),
                 None => {
                     eprintln!("{USAGE}");
                     return ExitCode::FAILURE;
@@ -91,6 +103,15 @@ fn main() -> ExitCode {
     if let Err(e) = std::fs::write(&out, format!("{}\n", trace.to_json())) {
         eprintln!("could not write {out}: {e}");
         return ExitCode::FAILURE;
+    }
+    if let Some(path) = &metrics_path {
+        // The runs above record runner/sweep/fleet counters into the
+        // process-wide registry; dump the full exposition (quarantined
+        // wall gauges included) for offline inspection.
+        if let Err(e) = std::fs::write(path, edc_metrics::global().render_text_full()) {
+            eprintln!("could not write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     println!(
         "edc_timeline: {} track(s), {} trace event(s) -> {out}",

@@ -14,7 +14,8 @@
 //!   and fans them out across worker threads. **Every** field kind becomes
 //!   plain per-node
 //!   [`ExperimentSpec`](edc_core::experiment::ExperimentSpec)s executed by
-//!   the sweep engine's [`run_specs_timed_in`]: synthetic envelopes directly,
+//!   the sweep engine's [`run_specs_timed_metered`]: synthetic envelopes
+//!   directly,
 //!   recorded power traces by registering themselves into the runner's
 //!   [`TraceCatalog`] and viewing the registered trace per node. One
 //!   spec-driven path — thread count affects wall-clock only, never
@@ -69,7 +70,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use edc_bench::sweep::run_specs_timed_in;
+use std::collections::HashMap;
+
+use edc_bench::sweep::{run_specs_timed_metered, BATCH_SIZE_BOUNDS};
 use edc_core::catalog::TraceCatalog;
 use edc_core::fleet::{FleetError, FleetSpec};
 use edc_core::json::Json;
@@ -87,6 +90,8 @@ pub struct Fleet {
     spec: FleetSpec,
     threads: Option<usize>,
     catalog: TraceCatalog,
+    dedup: bool,
+    metrics: Option<edc_metrics::Registry>,
 }
 
 impl Fleet {
@@ -96,6 +101,8 @@ impl Fleet {
             spec,
             threads: None,
             catalog: TraceCatalog::new(),
+            dedup: true,
+            metrics: None,
         }
     }
 
@@ -116,6 +123,27 @@ impl Fleet {
         self
     }
 
+    /// Enables or disables placement-bucket deduplication (on by
+    /// default): nodes whose derived per-node specs are byte-identical
+    /// (same attenuation bucket, same phase) simulate **once** and share
+    /// the report. Runs are deterministic functions of their spec, so the
+    /// report is byte-identical either way — only the simulation cost
+    /// changes. Dedup hits are counted by the
+    /// `edc_fleet_bucket_dedup_hits` metric.
+    pub fn dedup(mut self, on: bool) -> Self {
+        self.dedup = on;
+        self
+    }
+
+    /// Routes this runner's process metrics (fleet deployment counters,
+    /// bucket-dedup hits, and the sweep/runner counters of the node batch)
+    /// into `registry` instead of the process-wide [`edc_metrics::global`]
+    /// registry.
+    pub fn metrics(mut self, registry: edc_metrics::Registry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// The spec this runner executes.
     pub fn spec(&self) -> &FleetSpec {
         &self.spec
@@ -125,7 +153,8 @@ impl Fleet {
     /// take the same path: the spec expands into per-node
     /// [`SourceKind::FieldView`](edc_core::scenarios::SourceKind::FieldView)
     /// specs (recorded traces are first registered into the runner's
-    /// catalog) and one [`run_specs_timed_in`] batch executes them.
+    /// catalog) and one [`run_specs_timed_metered`] batch executes the
+    /// distinct placement buckets (see [`Fleet::dedup`]).
     ///
     /// # Errors
     ///
@@ -135,12 +164,13 @@ impl Fleet {
         Ok(self.run_profiled()?.0)
     }
 
-    /// Like [`Fleet::run`], additionally yielding a per-node wall-clock
-    /// profile: one [`ProfileSpan`](edc_obs::ProfileSpan) per node (via
-    /// [`SweepRun::profile`](edc_bench::sweep::SweepRun::profile)), whose
-    /// counters are deterministic lifecycle counts and whose `wall_s` is
-    /// that node's real simulation time — quarantined from the
-    /// [`FleetReport`], which stays byte-stable.
+    /// Like [`Fleet::run`], additionally yielding a wall-clock profile:
+    /// one [`ProfileSpan`](edc_obs::ProfileSpan) per *simulated* node (via
+    /// [`SweepRun::profile`](edc_bench::sweep::SweepRun::profile)) — with
+    /// [`Fleet::dedup`] on, nodes served by cloning an identical bucket's
+    /// report record no span. Span counters are deterministic lifecycle
+    /// counts; `wall_s` is that node's real simulation time — quarantined
+    /// from the [`FleetReport`], which stays byte-stable.
     ///
     /// # Errors
     ///
@@ -154,9 +184,62 @@ impl Fleet {
             .unwrap_or(1);
         let mut catalog = self.catalog.clone();
         let specs = self.spec.node_specs_in(&mut catalog)?;
-        let run = run_specs_timed_in(specs, threads, &catalog).map_err(FleetError::Design)?;
+        let registry = self.metrics.clone().unwrap_or_else(edc_metrics::global);
+        registry
+            .counter("edc_fleet_runs", "Fleet deployments executed.", &[])
+            .inc();
+        registry
+            .counter(
+                "edc_fleet_nodes",
+                "Fleet nodes deployed (simulated or served by bucket dedup).",
+                &[],
+            )
+            .inc_by(specs.len() as u64);
+        registry
+            .histogram(
+                "edc_fleet_batch_nodes",
+                "Nodes per fleet deployment.",
+                &[],
+                &BATCH_SIZE_BOUNDS,
+            )
+            .observe(specs.len() as f64);
+
+        // Bucket dedup: nodes whose derived specs are byte-identical (the
+        // canonical JSON is the bucket key, as in the evaluator's memo
+        // cache) simulate once; the rest clone the bucket's report.
+        let (unique, assignment) = if self.dedup {
+            let mut bucket_of: HashMap<String, usize> = HashMap::new();
+            let mut unique = Vec::new();
+            let mut assignment = Vec::with_capacity(specs.len());
+            for spec in specs {
+                let key = spec.to_json().to_string();
+                let bucket = *bucket_of.entry(key).or_insert_with(|| {
+                    unique.push(spec);
+                    unique.len() - 1
+                });
+                assignment.push(bucket);
+            }
+            (unique, assignment)
+        } else {
+            let assignment = (0..specs.len()).collect();
+            (specs, assignment)
+        };
+        registry
+            .counter(
+                "edc_fleet_bucket_dedup_hits",
+                "Fleet nodes served by cloning an identical bucket's report instead of simulating.",
+                &[],
+            )
+            .inc_by((assignment.len() - unique.len()) as u64);
+        let run = run_specs_timed_metered(unique, threads, &catalog, &registry)
+            .map_err(FleetError::Design)?;
         let profile = run.profile();
-        let nodes: Vec<SystemReport> = run.rows.into_iter().map(|row| row.report).collect();
+        let bucket_reports: Vec<SystemReport> =
+            run.rows.into_iter().map(|row| row.report).collect();
+        let nodes: Vec<SystemReport> = assignment
+            .into_iter()
+            .map(|bucket| bucket_reports[bucket].clone())
+            .collect();
         let metrics = FleetMetrics::from_reports(&self.spec, &nodes);
         Ok((
             FleetReport {
@@ -461,6 +544,51 @@ mod tests {
             .expect("boots counter")
             .1;
         assert_eq!(boots, report.nodes[0].stats.boots as f64);
+    }
+
+    #[test]
+    fn bucket_dedup_simulates_once_and_preserves_the_report() {
+        // No placement gradient and no stagger: all 3 node specs are
+        // byte-identical, so dedup collapses them to one simulation.
+        let spec = FleetSpec::new(
+            FieldSpec::Envelope(FieldEnvelope::RectifiedSine { hz: 50.0 }),
+            design(),
+            3,
+        );
+        let registry = edc_metrics::Registry::new();
+        let fleet = Fleet::new(spec.clone())
+            .threads(2)
+            .metrics(registry.clone());
+        let (deduped, profile) = fleet.run_profiled().expect("runs");
+        assert_eq!(profile.spans().len(), 1, "one bucket simulated");
+        let text = registry.render_text();
+        assert!(
+            text.contains("edc_fleet_bucket_dedup_hits_total 2"),
+            "{text}"
+        );
+        assert!(text.contains("edc_fleet_nodes_total 3"), "{text}");
+        assert!(text.contains("edc_sweep_cells_total 1"), "{text}");
+        let plain = Fleet::new(spec)
+            .threads(2)
+            .dedup(false)
+            .run()
+            .expect("runs");
+        assert_eq!(
+            deduped.to_json().to_string(),
+            plain.to_json().to_string(),
+            "dedup never perturbs the deterministic report"
+        );
+    }
+
+    #[test]
+    fn distinct_placements_never_dedup() {
+        let registry = edc_metrics::Registry::new();
+        let fleet = Fleet::new(envelope_spec(3)).metrics(registry.clone());
+        let (_, profile) = fleet.run_profiled().expect("runs");
+        assert_eq!(profile.spans().len(), 3, "all buckets distinct");
+        assert!(registry
+            .render_text()
+            .contains("edc_fleet_bucket_dedup_hits_total 0"));
     }
 
     #[test]

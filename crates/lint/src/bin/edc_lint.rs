@@ -12,7 +12,10 @@
 //! `E`-severity diagnostic (or a malformed file/spec) is found.
 //!
 //! With `--json` the combined reports are emitted as a single JSON object
-//! keyed by file path instead of text lines.
+//! keyed by file path instead of text lines. With `--metrics PATH` the
+//! process's metrics registry (files linted, diagnostics by severity, the
+//! catalog's registration counters) is written to `PATH` as OpenMetrics
+//! text on exit.
 
 use std::process::ExitCode;
 
@@ -21,21 +24,32 @@ use edc_core::experiment::ExperimentSpec;
 use edc_core::json::Json;
 use edc_lint::{Code, Diagnostic, LintReport, Linter};
 
+const USAGE: &str = "usage: edc_lint [--json] [--metrics PATH] FILE.json [FILE.json ...]";
+
 fn main() -> ExitCode {
     let mut json_output = false;
+    let mut metrics_path: Option<String> = None;
     let mut files = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json_output = true,
+            "--metrics" => match args.next() {
+                Some(path) => metrics_path = Some(path),
+                None => {
+                    eprintln!("--metrics needs a path argument\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: edc_lint [--json] FILE.json [FILE.json ...]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             _ => files.push(arg),
         }
     }
     if files.is_empty() {
-        eprintln!("usage: edc_lint [--json] FILE.json [FILE.json ...]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     }
 
@@ -74,6 +88,31 @@ fn main() -> ExitCode {
             lint_specs(doc, "$", &mut linter, &mut report);
         }
         reports.push((file.clone(), report));
+    }
+
+    let registry = edc_metrics::global();
+    registry
+        .counter("edc_lint_files", "Files linted.", &[])
+        .inc_by(reports.len() as u64);
+    registry
+        .counter(
+            "edc_lint_diagnostics",
+            "Diagnostics emitted, by severity.",
+            &[("severity", "error")],
+        )
+        .inc_by(reports.iter().map(|(_, r)| r.error_count() as u64).sum());
+    registry
+        .counter(
+            "edc_lint_diagnostics",
+            "Diagnostics emitted, by severity.",
+            &[("severity", "warning")],
+        )
+        .inc_by(reports.iter().map(|(_, r)| r.warning_count() as u64).sum());
+    if let Some(path) = &metrics_path {
+        if let Err(e) = std::fs::write(path, registry.render_text_full()) {
+            eprintln!("could not write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
 
     let any_errors = io_errors || reports.iter().any(|(_, r)| r.has_errors());

@@ -101,6 +101,11 @@ impl Histogram {
         10f64.powf(LO_EXP as f64 + (i as f64 + 0.5) / BINS_PER_DECADE as f64)
     }
 
+    /// Upper bound of bin `i` — the `le` label bucket exposition uses.
+    fn bin_upper(i: usize) -> f64 {
+        10f64.powf(LO_EXP as f64 + (i as f64 + 1.0) / BINS_PER_DECADE as f64)
+    }
+
     /// Records one observation. Non-finite values are ignored (they cannot
     /// be binned deterministically and indicate an upstream bug, not data).
     pub fn add(&mut self, x: f64) {
@@ -171,6 +176,53 @@ impl Histogram {
             }
         }
         Some(self.max)
+    }
+
+    /// The distribution as cumulative `(le, count)` buckets, exposition
+    /// style: each entry counts observations `≤ le`, with `None` standing
+    /// for `+Inf`. This resolves the blind spot a fixed summary leaves
+    /// between p999 and max.
+    ///
+    /// The list is compact — only bounds where the cumulative count
+    /// increases appear (the zero bucket surfaces as `le = 0` when
+    /// populated) — and always closes with the `+Inf` entry at the total
+    /// count. The top geometric bin folds into `+Inf` rather than
+    /// reporting its finite bound, because out-of-range values clamp into
+    /// it and would make that bound a lie. Empty histograms yield an empty
+    /// list.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let mut h = edc_telemetry::Histogram::new();
+    /// h.add(0.0);
+    /// h.add(0.5);
+    /// let buckets = h.le_buckets();
+    /// assert_eq!(buckets.first(), Some(&(Some(0.0), 1)), "zero bucket");
+    /// assert_eq!(buckets.last(), Some(&(None, 2)), "+Inf closes the list");
+    /// ```
+    pub fn le_buckets(&self) -> Vec<(Option<f64>, u64)> {
+        if self.count == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        if self.zeros > 0 {
+            cumulative += self.zeros;
+            out.push((Some(0.0), cumulative));
+        }
+        for (i, &n) in self.bins.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cumulative += n;
+            if i + 1 == NBINS {
+                break;
+            }
+            out.push((Some(Self::bin_upper(i)), cumulative));
+        }
+        out.push((None, self.count));
+        out
     }
 
     /// Folds another histogram into this one (used by sweep aggregation).
@@ -329,6 +381,41 @@ mod tests {
         assert!(s.p99 < 1e-2, "p99 {} still in the bulk", s.p99);
         assert!(s.p999 > 1.0, "p999 {} reaches the tail", s.p999);
         assert!(s.p99 <= s.p999 && s.p999 <= s.max, "quantiles are ordered");
+    }
+
+    #[test]
+    fn le_buckets_are_cumulative_compact_and_closed_by_inf() {
+        let mut h = Histogram::new();
+        assert!(h.le_buckets().is_empty(), "empty histogram, no buckets");
+        h.add(0.0);
+        h.add(1e-3);
+        h.add(1e-3);
+        h.add(5.0);
+        h.add(1e9); // clamps into the top bin → folded into +Inf
+        let buckets = h.le_buckets();
+        assert_eq!(buckets[0], (Some(0.0), 1), "zero bucket first");
+        let last = *buckets.last().unwrap();
+        assert_eq!(last, (None, 5), "+Inf carries the total count");
+        for w in buckets.windows(2) {
+            assert!(w[1].1 > w[0].1, "cumulative counts strictly increase");
+            if let (Some(a), Some(b)) = (w[0].0, w[1].0) {
+                assert!(a < b, "bounds strictly increase");
+            }
+        }
+        // Every finite bound really covers its cumulative count.
+        for &(le, n) in &buckets {
+            if let Some(le) = le {
+                let covered = [0.0, 1e-3, 1e-3, 5.0, 1e9]
+                    .iter()
+                    .filter(|&&x| x <= le)
+                    .count() as u64;
+                assert_eq!(n, covered, "le = {le} counts everything ≤ it");
+            }
+        }
+        assert!(
+            buckets.len() <= 4,
+            "only populated bounds appear, got {buckets:?}"
+        );
     }
 
     #[test]

@@ -76,6 +76,14 @@ pub struct RunnerStats {
     pub completed_at: Option<Seconds>,
     /// Energy drawn by execution, snapshots and restores.
     pub energy_consumed: Joules,
+    /// Simulation timesteps advanced.
+    pub ticks: u64,
+    /// Instructions retired by the workload.
+    pub instructions: u64,
+    /// Ticks that banked their whole cycle budget because even the head
+    /// instruction could not be funded (see `TransientRunner`'s
+    /// `cycle_carry`).
+    pub carry_activations: u64,
 }
 
 impl RunnerStats {
@@ -464,6 +472,7 @@ impl<'a> TransientRunner<'a> {
     pub fn step(&mut self) -> bool {
         let t = self.time;
         let dt = self.dt;
+        self.stats.ticks += 1;
 
         // 1. Source charges the node; static (sleep/off) load discharges it.
         let v = self.node.voltage();
@@ -565,6 +574,7 @@ impl<'a> TransientRunner<'a> {
                     let report = self.mcu.run(budget, stop_at_markers);
                     self.draw(report.energy);
                     self.stats.cycles += report.cycles;
+                    self.stats.instructions += report.instructions;
                     retired_this_tick += report.instructions;
                     let remaining = budget.saturating_sub(report.cycles.max(1));
                     match report.exit {
@@ -602,6 +612,7 @@ impl<'a> TransientRunner<'a> {
                                 // progress discard their remainder exactly
                                 // as before.
                                 self.cycle_carry = budget;
+                                self.stats.carry_activations += 1;
                             }
                             break;
                         }

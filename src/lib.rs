@@ -5,6 +5,7 @@ pub use edc_fleet as fleet;
 pub use edc_harvest as harvest;
 pub use edc_lint as lint;
 pub use edc_mcu as mcu;
+pub use edc_metrics as metrics;
 pub use edc_mpsoc as mpsoc;
 pub use edc_neutral as neutral;
 pub use edc_obs as obs;

@@ -1,0 +1,101 @@
+//! The BENCH regression gate against the *committed* artifacts: every
+//! baseline must be clean against itself under the committed policy, a
+//! perturbed deterministic leaf must be flagged with its JSON path, and
+//! perturbed wall-clock leaves must pass shape-only.
+
+use edc_bench::diff::{diff_artifacts, Policy};
+use energy_driven::core::json::Json;
+
+fn committed(name: &str) -> Json {
+    let path = format!("{}/{}", env!("CARGO_MANIFEST_DIR"), name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("{path} is not valid JSON: {e:?}"))
+}
+
+fn committed_policy() -> Policy {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_policy.json");
+    Policy::parse(&std::fs::read_to_string(path).expect("policy present")).expect("policy parses")
+}
+
+const ARTIFACTS: [&str; 6] = [
+    "BENCH_sweep.json",
+    "BENCH_explore.json",
+    "BENCH_fleet.json",
+    "BENCH_lint.json",
+    "BENCH_obs.json",
+    "BENCH_trace.json",
+];
+
+/// Self-comparison of every committed baseline is clean — the gate's
+/// no-false-positives guarantee: an unchanged artifact can never fail CI.
+#[test]
+fn every_committed_artifact_is_clean_against_itself() {
+    let policy = committed_policy();
+    for name in ARTIFACTS {
+        let artifact = committed(name);
+        let report = diff_artifacts(&artifact, &artifact.clone(), &policy);
+        assert!(
+            report.is_clean(),
+            "{name} differs from itself: {}",
+            report.render_text()
+        );
+        assert!(report.leaves_compared > 0, "{name} compared nothing");
+    }
+}
+
+/// Perturbing one deterministic leaf of a committed artifact is flagged
+/// with the exact offending JSON path.
+#[test]
+fn a_perturbed_deterministic_leaf_is_flagged_by_path() {
+    let baseline = committed("BENCH_sweep.json");
+    let mut perturbed = baseline.clone();
+    let Json::Obj(pairs) = &mut perturbed else {
+        panic!("artifact is an object");
+    };
+    let schema = pairs
+        .iter_mut()
+        .find(|(k, _)| k == "schema")
+        .expect("schema key present");
+    schema.1 = Json::Uint(999);
+    let report = diff_artifacts(&baseline, &perturbed, &committed_policy());
+    assert_eq!(report.differences.len(), 1);
+    assert_eq!(report.differences[0].path, "$.schema");
+    assert_eq!(report.differences[0].kind, "value");
+}
+
+/// Perturbing every wall-clock leaf passes: the quarantined timing
+/// sections are shape-checked only.
+#[test]
+fn perturbed_wall_clock_sections_pass_shape_only() {
+    let baseline = committed("BENCH_sweep.json");
+    let mut perturbed = baseline.clone();
+    let Json::Obj(pairs) = &mut perturbed else {
+        panic!("artifact is an object");
+    };
+    let mut scaled = 0usize;
+    for (key, value) in pairs {
+        if key == "null_timing" || key == "stats_timing" {
+            scale_numbers(value, &mut scaled);
+        }
+    }
+    assert!(scaled > 0, "timing sections carry numeric leaves");
+    let report = diff_artifacts(&baseline, &perturbed, &committed_policy());
+    assert!(report.is_clean(), "{}", report.render_text());
+}
+
+/// Doubles (plus one) every numeric leaf in place, counting them.
+fn scale_numbers(value: &mut Json, scaled: &mut usize) {
+    match value {
+        Json::Num(n) => {
+            *n = *n * 2.0 + 1.0;
+            *scaled += 1;
+        }
+        Json::Uint(n) => {
+            *n = *n * 2 + 1;
+            *scaled += 1;
+        }
+        Json::Arr(items) => items.iter_mut().for_each(|v| scale_numbers(v, scaled)),
+        Json::Obj(pairs) => pairs.iter_mut().for_each(|(_, v)| scale_numbers(v, scaled)),
+        _ => {}
+    }
+}
