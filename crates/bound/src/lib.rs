@@ -1,0 +1,821 @@
+//! `edc-bound`: sound interval abstract interpretation of experiment-spec
+//! dynamics.
+//!
+//! The linter (`edc-lint`) answers the boolean question "could this design
+//! possibly work"; this crate answers the quantitative one "how well could
+//! it possibly do". For a valid [`ExperimentSpec`] the [`Bounder`] derives
+//! a [`BoundReport`] — one [`ScoreBracket`] `{lo, hi}` per built-in
+//! objective — by propagating interval closed forms through the supply
+//! (per-sample Thévenin/power/current envelopes), the storage RC, the
+//! strategy's rail thresholds and the workload's cycle demand. Every
+//! bracket is **sound**: the simulated score of the spec provably lands in
+//! `[lo, hi]` (lower-is-better scores; `INFINITY` encodes "did not
+//! finish").
+//!
+//! The arithmetic here is the single source of truth the linter's
+//! `E002`–`E005` passes are built from (the linter is a thin client that
+//! formats [`DynamicsFacts`] into diagnostics), and what the explore
+//! evaluator's branch-and-bound pruning consumes: a candidate whose
+//! objective *lower* bounds are dominated by an already-simulated exact
+//! score can be scored statically, because its true score can only be
+//! worse.
+//!
+//! # Bound derivations
+//!
+//! - **Supply energy upper bound**: the supply node integrates charge, so
+//!   one tick's stored-energy gain is `i·dt·v₀ + (i·dt)²/(2C)`. Both terms
+//!   are bounded per sample kind — a Thévenin source by its maximum power
+//!   transfer `v_oc²/(4r)`, a constant-power sample by `p` itself (current
+//!   is clamped at `p / 0.2 V`, so `i·v ≤ p` uniformly), a current source
+//!   by `i·v_compliance` — with the discretisation term added explicitly.
+//! - **Rail upper bound**: the voltage after one tick is a convex
+//!   combination of `v₀` and the (rectified) open-circuit voltage when
+//!   `η·dt/(rC) ≤ 1`, and bounded by `v_oc·η·dt/(rC)` otherwise; current
+//!   sources cannot exceed compliance plus one tick of charge;
+//!   constant-power samples are unbounded (the bound collapses to the
+//!   overvoltage clamp). A full-window rail bound below the strategy's
+//!   restore threshold proves the MCU never executes.
+//! - **Boot-time lower bound**: the node starts at 0 V and boots when the
+//!   rail reaches `v_high`, i.e. when the stored energy reaches
+//!   `C·v_high²/2`. Stored energy at tick `k` is at most the cumulative
+//!   per-tick supply upper bound, so the first tick whose cumulative bound
+//!   reaches the boot energy is a lower bound on the boot tick — and a
+//!   full window that never reaches it proves the MCU never powers on
+//!   (which pins the brownout count and outage tail to exactly zero:
+//!   brownouts and outages are only recorded after a boot).
+//! - **Cycle lower bound**: a bare run's cycle count is *the* demand in
+//!   cycles (frequency- and residence-independent); the runner grants at
+//!   most `⌊f_max·dt⌋ + 1` cycles per tick over at most `⌊deadline/dt⌋ +
+//!   1` ticks, so completion at tick-start time `m·dt` needs
+//!   `(m+1)·per_tick_ub ≥ demand`.
+//! - **Energy lower bound**: a completed run's consumed energy is at least
+//!   the execution energy of its cycle demand at the cheapest clock level
+//!   with zero boot/restore/checkpoint overhead; a run that does not
+//!   complete scores `INFINITY`, which any lower bound is below.
+//!
+//! # Example
+//!
+//! ```
+//! use edc_bound::Bounder;
+//! use edc_core::experiment::ExperimentSpec;
+//! use edc_core::scenarios::{SourceKind, StrategyKind};
+//! use edc_units::Seconds;
+//! use edc_workloads::WorkloadKind;
+//!
+//! // A 1.5 V rail can never reach any boot threshold above V_min = 2 V:
+//! // the bracket proves the MCU never powers on, so the brownout count
+//! // is *exactly* zero and completion is provably infinite.
+//! let spec = ExperimentSpec::new(
+//!     SourceKind::Dc { volts: 1.5 },
+//!     StrategyKind::Restart,
+//!     WorkloadKind::Crc16(64),
+//! )
+//! .deadline(Seconds(0.1));
+//! let report = Bounder::new().bound_spec(&spec).expect("valid spec");
+//! assert!(report.never_boots && report.proven_dnf);
+//! assert_eq!(report.completion_s.lo, f64::INFINITY);
+//! assert!(report.brownouts.is_exact() && report.brownouts.lo == 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use edc_core::catalog::TraceCatalog;
+use edc_core::experiment::ExperimentSpec;
+use edc_core::system::Topology;
+use edc_harvest::{SourceSample, POWER_SOURCE_COMPLIANCE_FLOOR};
+use edc_mcu::{Mcu, RunExit};
+use edc_units::{Farads, Joules, Seconds, Volts};
+use edc_workloads::WorkloadKind;
+
+/// The runner's overvoltage clamp — specs never override it.
+pub const V_MAX: Volts = Volts(3.6);
+
+/// Cycle budget for the bare demand run. A workload that exhausts it
+/// still yields a sound lower bound (`≥ CYCLE_FLOOR_CAP` cycles).
+pub const CYCLE_FLOOR_CAP: u64 = 1_000_000_000;
+
+/// Ceiling on supply-scan length (ticks). Past this the scan would cost
+/// more than it saves; the supply-dependent brackets widen to their
+/// trivial values (analysis incompleteness, never unsoundness).
+pub const SUPPLY_SCAN_CAP: u64 = 4_000_000;
+
+/// A sound closed interval `[lo, hi]` around a score (lower is better;
+/// `INFINITY` encodes "did not finish").
+///
+/// ```
+/// use edc_bound::ScoreBracket;
+///
+/// let b = ScoreBracket::new(1.0, f64::INFINITY);
+/// assert!(b.contains(2.5) && b.contains(f64::INFINITY));
+/// assert!(!b.contains(0.5));
+/// assert!(ScoreBracket::exact(0.0).is_exact());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreBracket {
+    /// Inclusive lower bound on the score.
+    pub lo: f64,
+    /// Inclusive upper bound on the score.
+    pub hi: f64,
+}
+
+impl ScoreBracket {
+    /// The bracket `[lo, hi]`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        Self { lo, hi }
+    }
+
+    /// The degenerate bracket `[v, v]` — the score is statically known.
+    pub fn exact(v: f64) -> Self {
+        Self { lo: v, hi: v }
+    }
+
+    /// Whether `v` lies inside the bracket (inclusive on both ends;
+    /// `INFINITY` is inside `[x, INFINITY]`).
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// `true` when the bracket pins the score to a single value.
+    pub fn is_exact(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// `{"lo": .., "hi": ..}` with non-finite ends emitted as `null`,
+    /// matching the explore trace's score convention.
+    pub fn to_json(&self) -> edc_core::json::Json {
+        edc_core::json::Json::obj(vec![
+            ("lo", edc_core::json::Json::Num(self.lo)),
+            ("hi", edc_core::json::Json::Num(self.hi)),
+        ])
+    }
+}
+
+/// What the supply scan established over the deadline window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupplyFacts {
+    /// Upper bound on total harvestable energy over the scanned ticks, J.
+    pub supply_ub: f64,
+    /// Upper bound on the rail voltage over the scanned ticks, V (capped
+    /// at [`V_MAX`]).
+    pub rail_ub: f64,
+    /// First tick whose cumulative supply-energy upper bound reaches the
+    /// boot energy `C·v_high²/2` — a lower bound on the boot tick. `None`
+    /// after a full scan proves the MCU can never boot in the window.
+    pub boot_tick: Option<u64>,
+    /// `true` when the scan covered every tick of the window (no early
+    /// feasibility exit); only then are the "never" verdicts sound.
+    pub scanned_full: bool,
+}
+
+/// Closed-form facts about a valid spec's dynamics — everything the
+/// linter formats into diagnostics and the bracket derivations consume.
+#[derive(Debug, Clone)]
+pub struct DynamicsFacts {
+    /// The platform's brownout threshold, V.
+    pub v_min: Volts,
+    /// The strategy's boot/restore threshold for this spec, V.
+    pub v_high: Volts,
+    /// Effective storage the runner integrates into (decoupling plus any
+    /// buffered storage), F.
+    pub capacitance: Farads,
+    /// Harvest-path efficiency (1.0 for a direct topology).
+    pub efficiency: f64,
+    /// Energy one snapshot costs on this platform, J.
+    pub snapshot_energy: Joules,
+    /// The MCU's boot clock frequency, Hz.
+    pub boot_hz: f64,
+    /// `true` for the `endless` workload (no completion state).
+    pub endless: bool,
+    /// The workload's bare cycle demand; `None` for endless workloads.
+    pub demand_cycles: Option<u64>,
+    /// Upper bound on runner ticks in the deadline window.
+    pub ticks_ub: u64,
+    /// Upper bound on cycles the runner grants per tick.
+    pub per_tick_ub: u64,
+    /// The clock ladder's maximum frequency, Hz.
+    pub f_max: f64,
+    /// Lower bound on the energy a completed run consumes, J (cheapest
+    /// clock level, zero overhead); `None` for endless workloads.
+    pub demand_lb: Option<f64>,
+    /// The supply scan's verdicts; `None` when the workload is endless or
+    /// the window exceeds [`SUPPLY_SCAN_CAP`].
+    pub supply: Option<SupplyFacts>,
+}
+
+impl DynamicsFacts {
+    /// Total cycles the runner can grant in the window (`ticks × per-tick`).
+    pub fn granted_cycles(&self) -> u128 {
+        (self.ticks_ub as u128) * (self.per_tick_ub as u128)
+    }
+
+    /// `true` when the deadline provably grants fewer cycles than the
+    /// workload demands (the `E003` condition).
+    pub fn deadline_infeasible(&self) -> bool {
+        match self.demand_cycles {
+            Some(demand) => self.granted_cycles() < demand as u128,
+            None => false,
+        }
+    }
+}
+
+/// Sound score brackets for one spec, one per built-in explore objective.
+///
+/// ```
+/// use edc_bound::Bounder;
+/// use edc_core::experiment::ExperimentSpec;
+/// use edc_core::scenarios::{SourceKind, StrategyKind};
+/// use edc_units::Seconds;
+/// use edc_workloads::WorkloadKind;
+///
+/// let spec = ExperimentSpec::new(
+///     SourceKind::Dc { volts: 3.3 },
+///     StrategyKind::Restart,
+///     WorkloadKind::BusyLoop(100),
+/// )
+/// .deadline(Seconds(0.05));
+/// let report = Bounder::new().bound_spec(&spec).expect("valid spec");
+/// // Brackets are addressable by the objectives' stable names.
+/// let by_name = report.bracket("completion_s").expect("built-in name");
+/// assert_eq!(*by_name, report.completion_s);
+/// assert!(!report.proven_dnf);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundReport {
+    /// Bracket on the `completion_s` objective.
+    pub completion_s: ScoreBracket,
+    /// Bracket on the `energy_per_task_j` objective.
+    pub energy_per_task_j: ScoreBracket,
+    /// Bracket on the `brownouts` objective.
+    pub brownouts: ScoreBracket,
+    /// Bracket on the `p99_outage_s` objective.
+    pub p99_outage_s: ScoreBracket,
+    /// `true` when the spec provably never completes its workload (the
+    /// completion and energy brackets are exactly `INFINITY`).
+    pub proven_dnf: bool,
+    /// `true` when the MCU provably never powers on — which pins the
+    /// brownout count and the outage tail to exactly zero.
+    pub never_boots: bool,
+}
+
+impl BoundReport {
+    /// The bracket for a built-in objective by its stable name, if any.
+    pub fn bracket(&self, objective: &str) -> Option<&ScoreBracket> {
+        match objective {
+            "completion_s" => Some(&self.completion_s),
+            "energy_per_task_j" => Some(&self.energy_per_task_j),
+            "brownouts" => Some(&self.brownouts),
+            "p99_outage_s" => Some(&self.p99_outage_s),
+            _ => None,
+        }
+    }
+
+    /// Deterministic JSON: the four brackets keyed by objective name plus
+    /// the two proof flags.
+    pub fn to_json(&self) -> edc_core::json::Json {
+        edc_core::json::Json::obj(vec![
+            ("completion_s", self.completion_s.to_json()),
+            ("energy_per_task_j", self.energy_per_task_j.to_json()),
+            ("brownouts", self.brownouts.to_json()),
+            ("p99_outage_s", self.p99_outage_s.to_json()),
+            ("proven_dnf", edc_core::json::Json::Bool(self.proven_dnf)),
+            ("never_boots", edc_core::json::Json::Bool(self.never_boots)),
+        ])
+    }
+}
+
+/// The interval engine. Holds the trace catalog specs resolve against, a
+/// memo of workload cycle demands (the one genuinely expensive input) and
+/// a per-spec memo of finished bound reports.
+///
+/// ```
+/// use edc_bound::Bounder;
+/// use edc_core::experiment::ExperimentSpec;
+/// use edc_core::scenarios::{SourceKind, StrategyKind};
+/// use edc_units::Seconds;
+/// use edc_workloads::WorkloadKind;
+///
+/// let spec = ExperimentSpec::new(
+///     SourceKind::Dc { volts: 3.3 },
+///     StrategyKind::Restart,
+///     WorkloadKind::Crc16(64),
+/// )
+/// .deadline(Seconds(0.5));
+/// let report = Bounder::new().bound_spec(&spec).expect("valid spec");
+/// assert!(!report.proven_dnf);
+/// assert!(report.completion_s.lo > 0.0, "boot takes at least one tick");
+/// ```
+#[derive(Debug, Default)]
+pub struct Bounder {
+    catalog: TraceCatalog,
+    cycle_memo: HashMap<WorkloadKind, u64>,
+    memo: HashMap<String, Option<BoundReport>>,
+}
+
+/// The catalog-independent memo state of a [`Bounder`], so a caller that
+/// needs a temporary bounder against a different catalog (fleet linting
+/// derives per-node specs into a field-registered catalog) can move the
+/// workload cycle memo across instead of re-counting cycles.
+#[derive(Debug, Default)]
+pub struct CycleMemo(HashMap<WorkloadKind, u64>);
+
+impl Bounder {
+    /// A bounder with an empty catalog (synthetic sources only).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A bounder resolving trace-backed sources through `catalog`.
+    pub fn with_catalog(catalog: TraceCatalog) -> Self {
+        Self {
+            catalog,
+            cycle_memo: HashMap::new(),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The catalog specs resolve against.
+    pub fn catalog(&self) -> &TraceCatalog {
+        &self.catalog
+    }
+
+    /// Moves the workload cycle memo out (leaving an empty one), for
+    /// transfer into a sub-bounder over a different catalog.
+    pub fn take_cycle_memo(&mut self) -> CycleMemo {
+        CycleMemo(std::mem::take(&mut self.cycle_memo))
+    }
+
+    /// Restores a cycle memo taken with [`Bounder::take_cycle_memo`].
+    pub fn restore_cycle_memo(&mut self, memo: CycleMemo) {
+        self.cycle_memo = memo.0;
+    }
+
+    /// The workload's bare cycle demand (memoized). Sound lower bound even
+    /// when the cap is exhausted.
+    pub fn cycle_floor(&mut self, kind: WorkloadKind) -> u64 {
+        if let Some(&n) = self.cycle_memo.get(&kind) {
+            return n;
+        }
+        let workload = kind.make();
+        let mut mcu = Mcu::new(workload.program());
+        let run = mcu.run(CYCLE_FLOOR_CAP, false);
+        let n = match run.exit {
+            RunExit::Completed => run.cycles,
+            RunExit::BudgetExhausted => CYCLE_FLOOR_CAP,
+            // A faulting or marker-stopped bare run still consumed its
+            // cycles; use them as a conservative floor.
+            _ => run.cycles,
+        };
+        self.cycle_memo.insert(kind, n);
+        n
+    }
+
+    /// Derives the closed-form dynamics facts for `spec`, or `None` when
+    /// the spec fails validation (no component can be instantiated).
+    pub fn facts(&mut self, spec: &ExperimentSpec) -> Option<DynamicsFacts> {
+        if !spec.violations_in(&self.catalog).is_empty() {
+            return None;
+        }
+
+        // Instantiate exactly what the runner's build step would.
+        let workload = spec.workload.make();
+        let mut strategy = spec.strategy.make();
+        let mut mcu = Mcu::new(workload.program()).with_residence(strategy.residence());
+        if let Some(pm) = strategy.power_model() {
+            mcu = mcu.with_power_model(pm);
+        }
+        let v_min = mcu.power_model().v_min;
+        let (capacitance, efficiency) = match spec.topology {
+            Topology::Direct => (spec.decoupling, 1.0),
+            Topology::Buffered {
+                storage,
+                efficiency,
+            } => (Farads(spec.decoupling.0 + storage.0), efficiency),
+        };
+        let (_v_low, v_high) = strategy.thresholds(&mcu, capacitance, v_min, V_MAX);
+
+        let endless = spec.workload == WorkloadKind::Endless;
+        let demand_cycles = if endless {
+            None
+        } else {
+            Some(self.cycle_floor(spec.workload))
+        };
+        let boot_hz = mcu.clock().frequency().0;
+
+        let dt = spec.timestep.0;
+        let ticks_ub = (spec.deadline.0 / dt).floor() as u64 + 1;
+        let ladder = mcu.clock().levels().to_vec();
+        let f_max = ladder.iter().map(|f| f.0).fold(0.0f64, f64::max);
+        let per_tick_ub = (f_max * dt).floor() as u64 + 1;
+
+        // Demand lower bound: cheapest clock level, actual residence and
+        // power model, no boot/restore/checkpoint overhead.
+        let pm = mcu.power_model();
+        let residence = mcu.residence();
+        let demand_lb = demand_cycles.map(|n| {
+            ladder
+                .iter()
+                .map(|&f| pm.execution_energy(n, f, residence).0)
+                .fold(f64::INFINITY, f64::min)
+        });
+
+        let supply = match demand_lb {
+            Some(dlb) if ticks_ub <= SUPPLY_SCAN_CAP => {
+                Some(self.supply_scan(spec, ticks_ub, efficiency, capacitance, v_high, dlb))
+            }
+            _ => None,
+        };
+
+        Some(DynamicsFacts {
+            v_min,
+            v_high,
+            capacitance,
+            efficiency,
+            snapshot_energy: mcu.snapshot_energy(),
+            boot_hz,
+            endless,
+            demand_cycles,
+            ticks_ub,
+            per_tick_ub,
+            f_max,
+            demand_lb,
+            supply,
+        })
+    }
+
+    /// Brackets every built-in objective for `spec`, or `None` when the
+    /// spec fails validation. Results are memoized per spec (keyed by its
+    /// canonical JSON), so scoring several objectives of one candidate
+    /// costs one analysis.
+    pub fn bound_spec(&mut self, spec: &ExperimentSpec) -> Option<BoundReport> {
+        let key = spec.to_json().to_string();
+        if let Some(report) = self.memo.get(&key) {
+            return report.clone();
+        }
+        let report = self.facts(spec).map(|facts| bound_from_facts(spec, &facts));
+        self.memo.insert(key, report.clone());
+        report
+    }
+
+    /// The shared supply scan: per-tick energy and rail upper bounds over
+    /// the deadline window, plus the boot-tick lower bound. Exits early
+    /// once every verdict is settled feasible — which is exactly when no
+    /// full-window value is needed (the linter only formats full-scan
+    /// values into diagnostics, and the "never" proofs require a full
+    /// scan).
+    fn supply_scan(
+        &self,
+        spec: &ExperimentSpec,
+        ticks_ub: u64,
+        efficiency: f64,
+        capacitance: Farads,
+        v_high: Volts,
+        demand_lb: f64,
+    ) -> SupplyFacts {
+        let dt = spec.timestep.0;
+        let c = capacitance.0;
+        // Boot needs the stored energy to reach C·v_high²/2 from 0 V; a
+        // hair of relative slack keeps float rounding on the sound side
+        // (an earlier boot bound is always sound).
+        let e_boot = 0.5 * c * v_high.0 * v_high.0 * (1.0 - 1e-9);
+        let mut source = spec.source.make_in(&self.catalog);
+        let mut supply_ub = 0.0f64;
+        let mut rail_ub = 0.0f64;
+        let mut boot_tick: Option<u64> = None;
+        for tick in 0..ticks_ub {
+            let t = Seconds(tick as f64 * dt);
+            let (e_ub, v_ub) = match source.sample(t) {
+                SourceSample::Thevenin { v_oc, r_s } => {
+                    let v = spec.rectifier.map_or(v_oc, |r| r.rectify(v_oc)).0.max(0.0);
+                    let r = r_s.0;
+                    let i_max = efficiency * v / r;
+                    (
+                        efficiency * v * v / (4.0 * r) * dt + i_max * i_max * dt * dt / (2.0 * c),
+                        v * (efficiency * dt / (r * c)).max(1.0),
+                    )
+                }
+                SourceSample::Power(p) => {
+                    if p.0 > 0.0 {
+                        let i_max = efficiency * p.0 / POWER_SOURCE_COMPLIANCE_FLOOR.0;
+                        (
+                            efficiency * p.0 * dt + i_max * i_max * dt * dt / (2.0 * c),
+                            // A constant-power sample has no open-circuit
+                            // ceiling: the rail bound collapses to the clamp.
+                            f64::INFINITY,
+                        )
+                    } else {
+                        (0.0, 0.0)
+                    }
+                }
+                SourceSample::Current { i, v_compliance } => {
+                    let i = i.0.max(0.0) * efficiency;
+                    let vc = v_compliance.0.max(0.0);
+                    (i * vc * dt + i * i * dt * dt / (2.0 * c), vc + i * dt / c)
+                }
+            };
+            supply_ub += e_ub;
+            rail_ub = rail_ub.max(v_ub.min(V_MAX.0));
+            if boot_tick.is_none() && supply_ub >= e_boot {
+                boot_tick = Some(tick);
+            }
+            if supply_ub >= demand_lb && rail_ub + 1e-9 >= v_high.0 && boot_tick.is_some() {
+                return SupplyFacts {
+                    supply_ub,
+                    rail_ub,
+                    boot_tick,
+                    scanned_full: false,
+                };
+            }
+        }
+        SupplyFacts {
+            supply_ub,
+            rail_ub,
+            boot_tick,
+            scanned_full: true,
+        }
+    }
+}
+
+/// Derives the per-objective brackets from a spec's dynamics facts.
+fn bound_from_facts(spec: &ExperimentSpec, facts: &DynamicsFacts) -> BoundReport {
+    let dt = spec.timestep.0;
+    let mut proven_dnf = facts.endless || facts.deadline_infeasible();
+    let mut never_boots = false;
+    if let Some(supply) = &facts.supply {
+        if supply.scanned_full {
+            if supply.rail_ub + 1e-9 < facts.v_high.0 || supply.boot_tick.is_none() {
+                // The rail can never reach the restore threshold, or the
+                // whole window's energy cannot charge the node to it.
+                never_boots = true;
+                proven_dnf = true;
+            } else if let Some(demand_lb) = facts.demand_lb {
+                if supply.supply_ub < demand_lb {
+                    proven_dnf = true;
+                }
+            }
+        }
+    }
+
+    let completion_s = if proven_dnf {
+        ScoreBracket::exact(f64::INFINITY)
+    } else {
+        // Completion cannot precede the boot-tick lower bound, nor the
+        // tick by which the granted cycles first cover the demand.
+        let boot_lb = facts
+            .supply
+            .as_ref()
+            .and_then(|s| s.boot_tick)
+            .map(|k| k as f64 * dt)
+            .unwrap_or(0.0);
+        let cycle_lb = facts
+            .demand_cycles
+            .map(|n| (n as f64 / facts.per_tick_ub as f64 - 1.0).max(0.0) * dt)
+            .unwrap_or(0.0);
+        ScoreBracket::new(boot_lb.max(cycle_lb), f64::INFINITY)
+    };
+
+    let energy_per_task_j = if proven_dnf {
+        ScoreBracket::exact(f64::INFINITY)
+    } else {
+        // The runner accumulates per-tick energies while the demand bound
+        // is one closed-form product; a hair of relative slack keeps the
+        // ULP-level summation difference on the sound side.
+        ScoreBracket::new(facts.demand_lb.unwrap_or(0.0) * (1.0 - 1e-9), f64::INFINITY)
+    };
+
+    // Brownouts and outages are only recorded after a boot, so a proven
+    // never-boot pins both to exactly zero.
+    let (brownouts, p99_outage_s) = if never_boots {
+        (ScoreBracket::exact(0.0), ScoreBracket::exact(0.0))
+    } else {
+        (
+            ScoreBracket::new(0.0, f64::INFINITY),
+            ScoreBracket::new(0.0, f64::INFINITY),
+        )
+    };
+
+    BoundReport {
+        completion_s,
+        energy_per_task_j,
+        brownouts,
+        p99_outage_s,
+        proven_dnf,
+        never_boots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edc_core::scenarios::{SourceKind, StrategyKind};
+    use edc_core::TelemetryKind;
+    use edc_core::{SystemReport, TelemetryReport};
+
+    fn spec(source: SourceKind) -> ExperimentSpec {
+        ExperimentSpec::new(source, StrategyKind::Hibernus, WorkloadKind::Crc16(64))
+            .deadline(Seconds(0.5))
+    }
+
+    /// The four built-in objective scores, computed the way
+    /// `edc-explore`'s objectives do (this crate cannot depend on it).
+    fn scores(report: &SystemReport) -> [f64; 4] {
+        let completion = report
+            .stats
+            .completed_at
+            .map(|t| t.0)
+            .unwrap_or(f64::INFINITY);
+        let energy = if report.stats.completed_at.is_some() {
+            report.stats.energy_consumed.0
+        } else {
+            f64::INFINITY
+        };
+        let brownouts = report.stats.brownouts as f64;
+        let p99 = match &report.telemetry {
+            Some(TelemetryReport::Stats(stats)) => stats.outage_s().summary().p99,
+            _ => f64::INFINITY,
+        };
+        [completion, energy, brownouts, p99]
+    }
+
+    fn assert_sound(spec: &ExperimentSpec, catalog: &TraceCatalog) {
+        let report = Bounder::with_catalog(catalog.clone())
+            .bound_spec(spec)
+            .expect("valid spec");
+        let run = spec
+            .telemetry(TelemetryKind::Stats)
+            .run_in(catalog)
+            .expect("spec runs");
+        let [completion, energy, brownouts, p99] = scores(&run);
+        assert!(
+            report.completion_s.contains(completion),
+            "completion {completion} outside {:?} for {}",
+            report.completion_s,
+            spec.to_json(),
+        );
+        assert!(
+            report.energy_per_task_j.contains(energy),
+            "energy {energy} outside {:?} for {}",
+            report.energy_per_task_j,
+            spec.to_json(),
+        );
+        assert!(
+            report.brownouts.contains(brownouts),
+            "brownouts {brownouts} outside {:?} for {}",
+            report.brownouts,
+            spec.to_json(),
+        );
+        assert!(
+            report.p99_outage_s.contains(p99),
+            "p99 outage {p99} outside {:?} for {}",
+            report.p99_outage_s,
+            spec.to_json(),
+        );
+    }
+
+    #[test]
+    fn healthy_spec_brackets_contain_simulated_scores() {
+        let catalog = TraceCatalog::new();
+        assert_sound(&spec(SourceKind::Dc { volts: 3.3 }), &catalog);
+        assert_sound(&spec(SourceKind::RectifiedSine { hz: 50.0 }), &catalog);
+    }
+
+    #[test]
+    fn sub_boot_dc_proves_never_boot_with_exact_zero_brownouts() {
+        let report = Bounder::new()
+            .bound_spec(&spec(SourceKind::Dc { volts: 1.5 }))
+            .expect("valid spec");
+        assert!(report.never_boots);
+        assert!(report.proven_dnf);
+        assert_eq!(report.brownouts, ScoreBracket::exact(0.0));
+        assert_eq!(report.p99_outage_s, ScoreBracket::exact(0.0));
+        assert_eq!(report.completion_s, ScoreBracket::exact(f64::INFINITY));
+        assert_sound(&spec(SourceKind::Dc { volts: 1.5 }), &TraceCatalog::new());
+    }
+
+    #[test]
+    fn starved_trace_proves_dnf_but_not_never_boot_exactness() {
+        let mut catalog = TraceCatalog::new();
+        let id = catalog
+            .register_uniform("dim", Seconds(1e-3), &[1e-6, 1e-6, 1e-6])
+            .expect("valid trace");
+        let starved = spec(SourceKind::Trace {
+            id,
+            decimate: 1,
+            looped: false,
+        });
+        let report = Bounder::with_catalog(catalog.clone())
+            .bound_spec(&starved)
+            .expect("valid spec");
+        assert!(report.proven_dnf, "E004-style energy starvation");
+        // 1 µW over 0.5 s cannot even charge 10 µF to the boot threshold.
+        assert!(report.never_boots);
+        assert_sound(&starved, &catalog);
+    }
+
+    #[test]
+    fn endless_workload_is_proven_dnf_with_open_brownouts() {
+        let endless = spec(SourceKind::Dc { volts: 3.3 }).workload(WorkloadKind::Endless);
+        let report = Bounder::new().bound_spec(&endless).expect("valid spec");
+        assert!(report.proven_dnf);
+        assert!(!report.never_boots, "a powered endless spec does boot");
+        assert_eq!(report.brownouts, ScoreBracket::new(0.0, f64::INFINITY));
+        assert_sound(&endless, &TraceCatalog::new());
+    }
+
+    #[test]
+    fn impossible_deadline_is_proven_dnf() {
+        let tight = spec(SourceKind::RectifiedSine { hz: 50.0 }).deadline(Seconds(10e-6));
+        let report = Bounder::new().bound_spec(&tight).expect("valid spec");
+        assert!(report.proven_dnf, "E003-style deadline starvation");
+        assert_sound(&tight, &TraceCatalog::new());
+    }
+
+    #[test]
+    fn invalid_spec_gets_no_report() {
+        let bad = spec(SourceKind::RectifiedSine { hz: -1.0 });
+        assert!(Bounder::new().bound_spec(&bad).is_none());
+        assert!(Bounder::new().facts(&bad).is_none());
+    }
+
+    #[test]
+    fn completion_lower_bound_combines_boot_and_cycle_floors() {
+        let healthy = spec(SourceKind::Dc { volts: 3.3 });
+        let mut bounder = Bounder::new();
+        let facts = bounder.facts(&healthy).expect("valid spec");
+        let supply = facts.supply.expect("window under the scan cap");
+        let boot = supply.boot_tick.expect("3.3 V boots");
+        assert!(boot > 0, "charging 10 µF from 0 V takes more than a tick");
+        let report = bounder.bound_spec(&healthy).expect("valid spec");
+        assert!(report.completion_s.lo >= boot as f64 * healthy.timestep.0);
+    }
+
+    #[test]
+    fn memo_serves_repeat_specs_and_cycle_memo_moves() {
+        let mut bounder = Bounder::new();
+        let s = spec(SourceKind::Dc { volts: 3.3 });
+        let a = bounder.bound_spec(&s).expect("valid");
+        let b = bounder.bound_spec(&s).expect("valid");
+        assert_eq!(a, b);
+        let memo = bounder.take_cycle_memo();
+        let mut other = Bounder::new();
+        other.restore_cycle_memo(memo);
+        assert_eq!(other.cycle_floor(WorkloadKind::Crc16(64)), {
+            let mut fresh = Bounder::new();
+            fresh.cycle_floor(WorkloadKind::Crc16(64))
+        });
+    }
+
+    #[test]
+    fn bracket_json_is_deterministic_and_null_for_infinities() {
+        let report = Bounder::new()
+            .bound_spec(&spec(SourceKind::Dc { volts: 1.5 }))
+            .expect("valid spec");
+        let json = report.to_json().to_string();
+        assert_eq!(json, report.to_json().to_string());
+        assert!(json.contains("\"completion_s\""));
+        assert!(json.contains("\"never_boots\":true"));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+            /// Soundness property: across DC levels, strategies, workload
+            /// sizes and decoupling values, every simulated score lands
+            /// inside its bracket.
+            #[test]
+            fn brackets_contain_simulated_scores(
+                volts in 0.5f64..3.5,
+                strategy_i in 0usize..StrategyKind::ALL.len(),
+                words in 16u16..96,
+                decoupling_uf in 4.0f64..22.0,
+            ) {
+                let s = ExperimentSpec::new(
+                    SourceKind::Dc { volts },
+                    StrategyKind::ALL[strategy_i],
+                    WorkloadKind::Crc16(words),
+                )
+                .decoupling(Farads::from_micro(decoupling_uf))
+                .deadline(Seconds(0.2));
+                let catalog = TraceCatalog::new();
+                let report = Bounder::new().bound_spec(&s);
+                prop_assert!(report.is_some(), "generated specs are valid");
+                let report = report.expect("checked above");
+                let run = s
+                    .telemetry(TelemetryKind::Stats)
+                    .run_in(&catalog)
+                    .expect("spec runs");
+                let [completion, energy, brownouts, p99] = scores(&run);
+                prop_assert!(report.completion_s.contains(completion));
+                prop_assert!(report.energy_per_task_j.contains(energy));
+                prop_assert!(report.brownouts.contains(brownouts));
+                prop_assert!(report.p99_outage_s.contains(p99));
+            }
+        }
+    }
+}

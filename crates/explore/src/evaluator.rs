@@ -40,6 +40,7 @@ use edc_obs::{ProfileReport, ProfileSpan};
 use edc_units::Seconds;
 
 use crate::objective::Objective;
+use crate::pareto::dominates;
 use crate::ExploreError;
 
 /// One evaluated candidate: its (canonicalised) spec, the cache key, and
@@ -70,6 +71,12 @@ pub struct TraceEntry {
     /// it was never simulated and its scores are the objectives' DNF
     /// values.
     pub pruned: bool,
+    /// `true` when branch-and-bound dominance pruned the candidate — it
+    /// was never simulated and its scores are its objectives' static
+    /// lower bounds (sound optimistic stand-ins; an already-simulated
+    /// incumbent dominates even these, so the true scores cannot reach
+    /// the Pareto front).
+    pub bound_pruned: bool,
 }
 
 /// The memoised, budgeted, parallel evaluation engine.
@@ -92,6 +99,14 @@ pub struct Evaluator<'a> {
     pruned: HashSet<String>,
     lint_checks: u64,
     lint_pruned: u64,
+    bound: bool,
+    bound_checks: u64,
+    bound_pruned: u64,
+    bound_pruned_keys: HashSet<String>,
+    /// Exact score vectors (simulated or statically-exact) that serve as
+    /// dominance incumbents for branch-and-bound pruning. Never contains
+    /// a bound-pruned candidate's lower-bound stand-in.
+    incumbents: Vec<Vec<f64>>,
     profile: ProfileReport,
     metrics: Option<edc_metrics::Registry>,
 }
@@ -100,6 +115,12 @@ pub struct Evaluator<'a> {
 /// full-fidelity-equivalent units: powers of four from a 64×-discounted
 /// prefilter run up to a 64-node fleet deployment, `+Inf` beyond.
 pub const COST_UNIT_BOUNDS: [f64; 7] = [0.015625, 0.0625, 0.25, 1.0, 4.0, 16.0, 64.0];
+
+/// Chunk size for branch-and-bound evaluation: surviving cache misses are
+/// simulated in fixed input-order chunks of this many specs, with a
+/// dominance-pruning pass over the remaining misses between chunks.
+/// Input-order chunking keeps results thread-independent and repeatable.
+const BOUND_CHUNK: usize = 16;
 
 impl<'a> Evaluator<'a> {
     /// An evaluator scoring with `objectives`, fanning cache misses out
@@ -146,6 +167,11 @@ impl<'a> Evaluator<'a> {
             pruned: HashSet::new(),
             lint_checks: 0,
             lint_pruned: 0,
+            bound: false,
+            bound_checks: 0,
+            bound_pruned: 0,
+            bound_pruned_keys: HashSet::new(),
+            incumbents: Vec::new(),
             profile: ProfileReport::new(),
             metrics: None,
         }
@@ -170,6 +196,35 @@ impl<'a> Evaluator<'a> {
     /// [`Evaluator::lint_pruned`]), never against the simulation budget.
     pub fn with_prefilter(mut self, on: bool) -> Self {
         self.prefilter = on;
+        self
+    }
+
+    /// Enables branch-and-bound dominance pruning on top of (and
+    /// independently of) the lint prefilter. Before simulating, every
+    /// cache miss gets a vector of static score *lower* bounds — one
+    /// [`Objective::static_bracket`] `lo` per objective, from the shared
+    /// interval engine. Misses are then simulated in fixed input-order
+    /// chunks; between chunks, any pending miss whose lower-bound vector
+    /// is dominated by an already-exact incumbent score is cached at its
+    /// lower bounds without simulating (billed as
+    /// [`Evaluator::bound_pruned`]). Sound by construction: the true
+    /// score is no better than its lower bound, so a candidate dominated
+    /// *at its lower bounds* is dominated at its true scores too and can
+    /// never reach the Pareto front.
+    ///
+    /// With bound pruning enabled, the prefilter can also statically
+    /// score `E`-flagged candidates whose objectives lack a constant
+    /// [`Objective::dnf_score`] whenever their brackets are *exact*
+    /// (e.g. a proven never-boot pins the brownout count to zero).
+    ///
+    /// Two behavioural caveats versus the plain path, both only when
+    /// enabled: a batch is budget-checked chunk by chunk (a mid-batch
+    /// exhaustion can leave earlier chunks simulated and charged), and a
+    /// bound-pruned candidate's recorded scores are its lower bounds, not
+    /// its true scores — fine for front construction (it provably cannot
+    /// be on the front), misleading if read as measurements.
+    pub fn with_bound(mut self, on: bool) -> Self {
+        self.bound = on;
         self
     }
 
@@ -242,7 +297,10 @@ impl<'a> Evaluator<'a> {
             self.lint_checks,
             self.lint_pruned,
             self.cost_units,
+            self.bound_checks,
+            self.bound_pruned,
         );
+        let objectives = self.objectives;
         let prepared: Vec<ExperimentSpec> = specs
             .into_iter()
             .map(|s| {
@@ -265,11 +323,13 @@ impl<'a> Evaluator<'a> {
         }
 
         // Lint prefilter: score statically-infeasible misses without
-        // simulating. Only sound when every objective has a declared DNF
-        // score; the budget below then only sees the surviving misses.
+        // simulating. Only sound when every objective's static score is
+        // exact — a declared constant DNF score, or (with bound pruning
+        // enabled) a degenerate `lo == hi` bracket from the shared
+        // engine. The budget below then only sees the surviving misses.
         if self.prefilter {
-            let dnf: Option<Vec<f64>> = self.objectives.iter().map(|o| o.dnf_score()).collect();
-            if let Some(dnf_scores) = dnf {
+            let dnf: Option<Vec<f64>> = objectives.iter().map(|o| o.dnf_score()).collect();
+            if dnf.is_some() || self.bound {
                 let linter = self
                     .linter
                     .get_or_insert_with(|| Linter::with_catalog(self.catalog.clone()));
@@ -277,9 +337,33 @@ impl<'a> Evaluator<'a> {
                 for &i in &missing {
                     self.lint_checks += 1;
                     if linter.lint_spec(&prepared[i]).has_errors() {
-                        self.cache.insert(keys[i].clone(), dnf_scores.clone());
-                        self.pruned.insert(keys[i].clone());
-                        self.lint_pruned += 1;
+                        let static_scores: Option<Vec<f64>> = if self.bound {
+                            objectives
+                                .iter()
+                                .map(|o| {
+                                    o.dnf_score().or_else(|| {
+                                        o.static_bracket(&prepared[i], linter.bounder())
+                                            .filter(|b| b.is_exact())
+                                            .map(|b| b.lo)
+                                    })
+                                })
+                                .collect()
+                        } else {
+                            dnf.clone()
+                        };
+                        match static_scores {
+                            Some(scores) => {
+                                if self.bound {
+                                    // Statically-exact scores are valid
+                                    // dominance incumbents.
+                                    self.incumbents.push(scores.clone());
+                                }
+                                self.cache.insert(keys[i].clone(), scores);
+                                self.pruned.insert(keys[i].clone());
+                                self.lint_pruned += 1;
+                            }
+                            None => survivors.push(i),
+                        }
                     } else {
                         survivors.push(i);
                     }
@@ -288,35 +372,115 @@ impl<'a> Evaluator<'a> {
             }
         }
 
-        if let Some(budget) = self.budget {
-            let batch_cost: f64 = missing.iter().map(|&i| self.cost_of(&prepared[i])).sum();
-            let needed = self.cost_units + batch_cost;
-            if needed > budget as f64 {
-                return Err(ExploreError::BudgetExhausted { budget, needed });
+        if self.budget.is_some() && !self.bound {
+            // With bound pruning the batch is charged chunk by chunk
+            // below (later chunks may never run); without it the whole
+            // batch is admitted or rejected up front.
+            if let Some(budget) = self.budget {
+                let batch_cost: f64 = missing.iter().map(|&i| self.cost_of(&prepared[i])).sum();
+                let needed = self.cost_units + batch_cost;
+                if needed > budget as f64 {
+                    return Err(ExploreError::BudgetExhausted { budget, needed });
+                }
             }
         }
 
         let registry = self.metrics.clone().unwrap_or_else(edc_metrics::global);
         if !missing.is_empty() {
-            let batch: Vec<ExperimentSpec> = missing.iter().map(|&i| prepared[i]).collect();
-            let rows = run_specs_timed_metered(batch, self.threads, &self.catalog, &registry)?.rows;
             let miss_cost = registry.histogram(
                 "edc_eval_miss_cost_units",
                 "Per-miss simulation cost in full-fidelity-equivalent units.",
                 &[("phase", phase)],
                 &COST_UNIT_BOUNDS,
             );
-            for (&i, row) in missing.iter().zip(rows) {
-                let scores: Vec<f64> = self
-                    .objectives
-                    .iter()
-                    .map(|o| o.score(&prepared[i], &row.report))
-                    .collect();
-                self.cache.insert(keys[i].clone(), scores);
-                self.simulations += 1;
-                let cost = self.cost_of(&prepared[i]);
-                self.cost_units += cost;
-                miss_cost.observe(cost);
+            if self.bound {
+                // Branch-and-bound: a per-miss lower-bound vector, then
+                // chunked simulation with a dominance-pruning pass over
+                // the pending misses before each chunk.
+                let mut lo_vecs: HashMap<usize, Vec<f64>> = HashMap::new();
+                {
+                    let linter = self
+                        .linter
+                        .get_or_insert_with(|| Linter::with_catalog(self.catalog.clone()));
+                    for &i in &missing {
+                        self.bound_checks += 1;
+                        let lo: Option<Vec<f64>> = objectives
+                            .iter()
+                            .map(|o| {
+                                o.static_bracket(&prepared[i], linter.bounder())
+                                    .map(|b| b.lo)
+                            })
+                            .collect();
+                        if let Some(lo) = lo {
+                            lo_vecs.insert(i, lo);
+                        }
+                    }
+                }
+                let mut pending = missing.clone();
+                while !pending.is_empty() {
+                    let mut survivors = Vec::with_capacity(pending.len());
+                    for &i in &pending {
+                        let dominated = lo_vecs
+                            .get(&i)
+                            .is_some_and(|lo| self.incumbents.iter().any(|inc| dominates(inc, lo)));
+                        if dominated {
+                            // An exact incumbent dominates this candidate
+                            // even at its optimistic lower bounds; its true
+                            // scores can never reach the front. Cache the
+                            // bounds as a sound stand-in.
+                            self.cache.insert(keys[i].clone(), lo_vecs[&i].clone());
+                            self.bound_pruned_keys.insert(keys[i].clone());
+                            self.bound_pruned += 1;
+                        } else {
+                            survivors.push(i);
+                        }
+                    }
+                    pending = survivors;
+                    if pending.is_empty() {
+                        break;
+                    }
+                    let take = pending.len().min(BOUND_CHUNK);
+                    let chunk: Vec<usize> = pending.drain(..take).collect();
+                    if let Some(budget) = self.budget {
+                        let chunk_cost: f64 =
+                            chunk.iter().map(|&i| self.cost_of(&prepared[i])).sum();
+                        let needed = self.cost_units + chunk_cost;
+                        if needed > budget as f64 {
+                            return Err(ExploreError::BudgetExhausted { budget, needed });
+                        }
+                    }
+                    let batch: Vec<ExperimentSpec> = chunk.iter().map(|&i| prepared[i]).collect();
+                    let rows =
+                        run_specs_timed_metered(batch, self.threads, &self.catalog, &registry)?
+                            .rows;
+                    for (&i, row) in chunk.iter().zip(rows) {
+                        let scores: Vec<f64> = objectives
+                            .iter()
+                            .map(|o| o.score(&prepared[i], &row.report))
+                            .collect();
+                        self.incumbents.push(scores.clone());
+                        self.cache.insert(keys[i].clone(), scores);
+                        self.simulations += 1;
+                        let cost = self.cost_of(&prepared[i]);
+                        self.cost_units += cost;
+                        miss_cost.observe(cost);
+                    }
+                }
+            } else {
+                let batch: Vec<ExperimentSpec> = missing.iter().map(|&i| prepared[i]).collect();
+                let rows =
+                    run_specs_timed_metered(batch, self.threads, &self.catalog, &registry)?.rows;
+                for (&i, row) in missing.iter().zip(rows) {
+                    let scores: Vec<f64> = objectives
+                        .iter()
+                        .map(|o| o.score(&prepared[i], &row.report))
+                        .collect();
+                    self.cache.insert(keys[i].clone(), scores);
+                    self.simulations += 1;
+                    let cost = self.cost_of(&prepared[i]);
+                    self.cost_units += cost;
+                    miss_cost.observe(cost);
+                }
             }
         }
 
@@ -325,9 +489,11 @@ impl<'a> Evaluator<'a> {
         for (i, (spec, key)) in prepared.into_iter().zip(keys).enumerate() {
             let scores = self.cache[&key].clone();
             // A pruned candidate was never simulated: its entries are
-            // marked pruned, not cached, and don't count as cache hits.
+            // marked pruned (or bound-pruned), not cached, and don't count
+            // as cache hits.
             let pruned = self.pruned.contains(&key);
-            let cached = !pruned && !fresh.contains(&i);
+            let bound_pruned = self.bound_pruned_keys.contains(&key);
+            let cached = !pruned && !bound_pruned && !fresh.contains(&i);
             if cached {
                 self.cache_hits += 1;
             }
@@ -337,6 +503,7 @@ impl<'a> Evaluator<'a> {
                 scores: scores.clone(),
                 cached,
                 pruned,
+                bound_pruned,
             });
             evaluations.push(Evaluation { spec, key, scores });
         }
@@ -376,6 +543,21 @@ impl<'a> Evaluator<'a> {
                 &phase_label,
             )
             .inc_by(self.lint_pruned - before.2);
+        registry
+            .counter(
+                "edc_eval_bound_checks",
+                "Cache misses branch-and-bound derived static lower bounds for, per search phase.",
+                &phase_label,
+            )
+            .inc_by(self.bound_checks - before.4);
+        registry
+            .counter(
+                "edc_eval_bound_pruned",
+                "Cache misses branch-and-bound dominance-pruned without simulating, per search \
+                 phase.",
+                &phase_label,
+            )
+            .inc_by(self.bound_pruned - before.5);
         self.profile.push(
             ProfileSpan::new(phase)
                 .counter("requests", evaluations.len() as f64)
@@ -383,6 +565,8 @@ impl<'a> Evaluator<'a> {
                 .counter("cache_hits", (self.cache_hits - before.0) as f64)
                 .counter("lint_checks", (self.lint_checks - before.1) as f64)
                 .counter("lint_pruned", (self.lint_pruned - before.2) as f64)
+                .counter("bound_checks", (self.bound_checks - before.4) as f64)
+                .counter("bound_pruned", (self.bound_pruned - before.5) as f64)
                 .counter("cost", self.cost_units - before.3)
                 .wall(started.elapsed().as_secs_f64()),
         );
@@ -426,6 +610,21 @@ impl<'a> Evaluator<'a> {
         self.lint_pruned
     }
 
+    /// Number of cache misses branch-and-bound examined for static lower
+    /// bounds (bound pruning enabled; misses where an objective produced
+    /// no bracket are still counted, they just can never be pruned).
+    pub fn bound_checks(&self) -> u64 {
+        self.bound_checks
+    }
+
+    /// Number of cache misses branch-and-bound dominance-pruned: scored
+    /// at their static lower bounds instead of simulating, because an
+    /// already-exact incumbent dominates even their most optimistic
+    /// possible scores.
+    pub fn bound_pruned(&self) -> u64 {
+        self.bound_pruned
+    }
+
     /// The recorded trace, in evaluation-request order.
     pub fn trace(&self) -> &[TraceEntry] {
         &self.trace
@@ -434,7 +633,8 @@ impl<'a> Evaluator<'a> {
     /// Per-phase profiling: one [`ProfileSpan`] per successful
     /// [`Evaluator::evaluate`] call, named after its search phase, whose
     /// counters (`requests`, `misses`, `cache_hits`, `lint_checks`,
-    /// `lint_pruned`, `cost`) are the call's deltas of the corresponding
+    /// `lint_pruned`, `bound_checks`, `bound_pruned`, `cost`) are the
+    /// call's deltas of the corresponding
     /// totals — deterministic — while `wall_s` carries the call's real
     /// duration, quarantined by [`ProfileReport`]. Calls that fail (budget
     /// exhaustion, validation) record no span.
@@ -553,6 +753,8 @@ mod tests {
                 ("cache_hits".to_string(), 1.0),
                 ("lint_checks".to_string(), 0.0),
                 ("lint_pruned".to_string(), 0.0),
+                ("bound_checks".to_string(), 0.0),
+                ("bound_pruned".to_string(), 0.0),
                 ("cost".to_string(), 2.0),
             ]
         );
@@ -560,8 +762,35 @@ mod tests {
         assert_eq!(spans[1].name, "rung0@4x");
         assert_eq!(spans[1].counters[1], ("misses".to_string(), 0.0));
         assert_eq!(spans[1].counters[2], ("cache_hits".to_string(), 1.0));
-        assert_eq!(spans[1].counters[5], ("cost".to_string(), 0.0));
+        assert_eq!(spans[1].counters[7], ("cost".to_string(), 0.0));
         assert!(spans.iter().all(|s| s.wall_s >= 0.0));
+    }
+
+    #[test]
+    fn bound_prunes_dominated_misses_without_simulating() {
+        let objectives: Vec<Box<dyn Objective>> =
+            vec![Box::new(CompletionTime), Box::new(BrownoutCount)];
+        let mut eval = Evaluator::new(&objectives, 1, None, Seconds(20e-6)).with_bound(true);
+        let seeded = eval.evaluate(vec![spec(100)], "seed").expect("evaluates");
+        assert_eq!(eval.simulations(), 1);
+        assert!(seeded[0].scores[0].is_finite());
+        assert_eq!(seeded[0].scores[1], 0.0, "DC supply never browns out");
+
+        // 1.5 V provably never boots: bracket (∞, [0,0]) — dominated by
+        // the completed zero-brownout incumbent, so it is never simulated.
+        let dark = ExperimentSpec::new(
+            SourceKind::Dc { volts: 1.5 },
+            StrategyKind::Restart,
+            WorkloadKind::BusyLoop(100),
+        )
+        .deadline(Seconds(1.0));
+        let evals = eval.evaluate(vec![dark], "probe").expect("evaluates");
+        assert_eq!(eval.simulations(), 1, "dominated candidate skipped");
+        assert_eq!(eval.bound_checks(), 2);
+        assert_eq!(eval.bound_pruned(), 1);
+        assert_eq!(evals[0].scores, vec![f64::INFINITY, 0.0]);
+        let entry = &eval.trace()[1];
+        assert!(entry.bound_pruned && !entry.cached && !entry.pruned);
     }
 
     #[test]

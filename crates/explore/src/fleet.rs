@@ -38,6 +38,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use edc_bound::{Bounder, ScoreBracket};
 use edc_core::experiment::ExperimentSpec;
 use edc_core::fleet::{FieldSpec, FleetSpec, Placement};
 use edc_core::scenarios::SourceKind;
@@ -46,6 +47,25 @@ use edc_fleet::{Fleet, FleetMetrics};
 use edc_units::Seconds;
 
 use crate::objective::Objective;
+
+/// Sound static facts about one template fleet, aggregated across the
+/// per-node brackets of the shared interval engine. All fields describe
+/// *every* node, so a `true` flag is a proof about the whole population.
+#[derive(Debug, Clone, Copy)]
+struct NodeBrackets {
+    /// Every node's spec is a statically-proven DNF: no node ever
+    /// completes, so coverage is exactly 0 and nothing covers the duty
+    /// cycle.
+    all_dnf: bool,
+    /// Every node's supply provably never boots the MCU, so every node
+    /// records exactly zero brownouts.
+    all_never_boot: bool,
+    /// Minimum over the nodes of the per-node energy-bracket lower bound
+    /// (`INFINITY` when every node is a proven DNF) — a lower bound on
+    /// fleet energy per completed task, since each completion costs at
+    /// least its own node's demand.
+    energy_lo: f64,
+}
 
 /// A fleet deployment with the per-node design left open: the adapter
 /// between spec-space searchers and fleet-level questions.
@@ -62,6 +82,7 @@ pub struct FleetTemplate {
     duty_period: Seconds,
     threads: Option<usize>,
     cache: Rc<RefCell<HashMap<String, Option<FleetMetrics>>>>,
+    bracket_cache: Rc<RefCell<HashMap<String, Option<NodeBrackets>>>>,
 }
 
 impl FleetTemplate {
@@ -76,6 +97,7 @@ impl FleetTemplate {
             duty_period: Seconds(1.0),
             threads: None,
             cache: Rc::new(RefCell::new(HashMap::new())),
+            bracket_cache: Rc::new(RefCell::new(HashMap::new())),
         }
     }
 
@@ -121,14 +143,7 @@ impl FleetTemplate {
     /// Runs (or recalls) the template's fleet for `design` and returns its
     /// metrics; `None` when the fleet cannot be assembled for this design.
     pub fn metrics_for(&self, design: &ExperimentSpec) -> Option<FleetMetrics> {
-        // The design's source is replaced by each node's field view, so two
-        // designs differing only there build identical fleets — normalise
-        // it out of the memo key or a sources axis would re-simulate the
-        // same fleet once per source kind.
-        let key = design
-            .source(SourceKind::Dc { volts: 0.0 })
-            .to_json()
-            .to_string();
+        let key = Self::memo_key(design);
         if let Some(metrics) = self.cache.borrow().get(&key) {
             return *metrics;
         }
@@ -139,6 +154,67 @@ impl FleetTemplate {
         let metrics = fleet.run().ok().map(|report| report.metrics);
         self.cache.borrow_mut().insert(key, metrics);
         metrics
+    }
+
+    /// The design's source is replaced by each node's field view, so two
+    /// designs differing only there build identical fleets — normalise it
+    /// out of the memo keys or a sources axis would redo the same fleet
+    /// work once per source kind.
+    fn memo_key(design: &ExperimentSpec) -> String {
+        design
+            .source(SourceKind::Dc { volts: 0.0 })
+            .to_json()
+            .to_string()
+    }
+
+    /// Statically bounds (or recalls) the per-node dynamics of the
+    /// template's fleet for `design`; `None` when the fleet spec has
+    /// violations, so no bracket is ever claimed for a fleet whose run
+    /// could fail.
+    fn node_brackets(
+        &self,
+        design: &ExperimentSpec,
+        bounder: &mut Bounder,
+    ) -> Option<NodeBrackets> {
+        let key = Self::memo_key(design);
+        if let Some(cached) = self.bracket_cache.borrow().get(&key) {
+            return *cached;
+        }
+        let summary = self.bound_nodes(design, bounder);
+        self.bracket_cache.borrow_mut().insert(key, summary);
+        summary
+    }
+
+    fn bound_nodes(&self, design: &ExperimentSpec, bounder: &mut Bounder) -> Option<NodeBrackets> {
+        let fleet = self.fleet_for(design);
+        if !fleet.violations().is_empty() {
+            return None;
+        }
+        // Node specs may reference traces registered while expanding the
+        // field, so the sub-bounder gets its own catalog clone; the cycle
+        // memo rides along both ways because cycle floors are
+        // catalog-independent.
+        let mut catalog = bounder.catalog().clone();
+        let specs = fleet.node_specs_in(&mut catalog).ok()?;
+        let mut sub = Bounder::with_catalog(catalog);
+        sub.restore_cycle_memo(bounder.take_cycle_memo());
+        let mut summary = NodeBrackets {
+            all_dnf: true,
+            all_never_boot: true,
+            energy_lo: f64::INFINITY,
+        };
+        let mut bounded_all = !specs.is_empty();
+        for spec in &specs {
+            let Some(report) = sub.bound_spec(spec) else {
+                bounded_all = false;
+                break;
+            };
+            summary.all_dnf &= report.proven_dnf;
+            summary.all_never_boot &= report.never_boots;
+            summary.energy_lo = summary.energy_lo.min(report.energy_per_task_j.lo);
+        }
+        bounder.restore_cycle_memo(sub.take_cycle_memo());
+        bounded_all.then_some(summary)
     }
 }
 
@@ -159,6 +235,16 @@ impl Objective for FleetNodesToCover {
             .and_then(|m| m.nodes_to_cover)
             .map(|n| n as f64)
             .unwrap_or(f64::INFINITY)
+    }
+
+    fn static_bracket(&self, spec: &ExperimentSpec, bounder: &mut Bounder) -> Option<ScoreBracket> {
+        let nodes = self.0.node_brackets(spec, bounder)?;
+        Some(if nodes.all_dnf {
+            // No node can ever complete, so no prefix reaches coverage 1.
+            ScoreBracket::exact(f64::INFINITY)
+        } else {
+            ScoreBracket::new(1.0, f64::INFINITY)
+        })
     }
 
     fn cost_multiplier(&self) -> f64 {
@@ -183,6 +269,17 @@ impl Objective for FleetCoverageShortfall {
             .unwrap_or(f64::INFINITY)
     }
 
+    fn static_bracket(&self, spec: &ExperimentSpec, bounder: &mut Bounder) -> Option<ScoreBracket> {
+        let nodes = self.0.node_brackets(spec, bounder)?;
+        Some(if nodes.all_dnf {
+            // Zero completions means zero task rate, so coverage is
+            // exactly 0 and the shortfall exactly 1.
+            ScoreBracket::exact(1.0)
+        } else {
+            ScoreBracket::new(0.0, 1.0)
+        })
+    }
+
     fn cost_multiplier(&self) -> f64 {
         self.0.nodes().max(1) as f64
     }
@@ -205,6 +302,15 @@ impl Objective for FleetEnergyPerTask {
             .unwrap_or(f64::INFINITY)
     }
 
+    fn static_bracket(&self, spec: &ExperimentSpec, bounder: &mut Bounder) -> Option<ScoreBracket> {
+        // Fleet energy over completed tasks averages at least the
+        // cheapest node's own demand (non-completing nodes only add to
+        // the numerator); `INFINITY` on both ends when every node is a
+        // proven DNF and nothing ever completes.
+        let nodes = self.0.node_brackets(spec, bounder)?;
+        Some(ScoreBracket::new(nodes.energy_lo, f64::INFINITY))
+    }
+
     fn cost_multiplier(&self) -> f64 {
         self.0.nodes().max(1) as f64
     }
@@ -225,6 +331,17 @@ impl Objective for FleetBrownoutShortfall {
             .metrics_for(spec)
             .map(|m| 1.0 - m.brownout_free_fraction)
             .unwrap_or(f64::INFINITY)
+    }
+
+    fn static_bracket(&self, spec: &ExperimentSpec, bounder: &mut Bounder) -> Option<ScoreBracket> {
+        let nodes = self.0.node_brackets(spec, bounder)?;
+        Some(if nodes.all_never_boot {
+            // A node that never boots never browns out, so every node is
+            // brownout-free and the shortfall is exactly 0.
+            ScoreBracket::exact(0.0)
+        } else {
+            ScoreBracket::new(0.0, 1.0)
+        })
     }
 
     fn cost_multiplier(&self) -> f64 {
@@ -303,6 +420,75 @@ mod tests {
         let b = objective.score(&spec_sine, &report);
         assert_eq!(a.to_bits(), b.to_bits());
         assert_eq!(template.cache.borrow().len(), 1, "one fleet run, not two");
+    }
+
+    #[test]
+    fn fleet_brackets_contain_fleet_scores() {
+        let template = template();
+        let spec = design();
+        let report = spec.run().expect("single-node run");
+        let mut bounder = Bounder::new();
+        let objectives: [&dyn Objective; 4] = [
+            &FleetNodesToCover(template.clone()),
+            &FleetCoverageShortfall(template.clone()),
+            &FleetEnergyPerTask(template.clone()),
+            &FleetBrownoutShortfall(template.clone()),
+        ];
+        for o in objectives {
+            let bracket = o
+                .static_bracket(&spec, &mut bounder)
+                .expect("valid fleet has a bracket");
+            assert!(
+                bracket.contains(o.score(&spec, &report)),
+                "{} fleet score outside its bracket",
+                o.name()
+            );
+        }
+        assert_eq!(
+            template.bracket_cache.borrow().len(),
+            1,
+            "objectives share one node-bounding pass per design"
+        );
+    }
+
+    #[test]
+    fn dark_field_pins_fleet_brackets_exactly() {
+        // A 1.5 V field attenuated below every boot threshold: each node's
+        // bracket proves it never boots, so the aggregates are exact.
+        let template =
+            FleetTemplate::new(FieldSpec::Envelope(FieldEnvelope::Dc { volts: 1.5 }), 3).threads(2);
+        let spec = design();
+        let mut bounder = Bounder::new();
+        let nodes = FleetNodesToCover(template.clone())
+            .static_bracket(&spec, &mut bounder)
+            .expect("valid fleet");
+        assert!(nodes.is_exact() && nodes.lo == f64::INFINITY);
+        let coverage = FleetCoverageShortfall(template.clone())
+            .static_bracket(&spec, &mut bounder)
+            .expect("valid fleet");
+        assert!(coverage.is_exact() && coverage.lo == 1.0);
+        let energy = FleetEnergyPerTask(template.clone())
+            .static_bracket(&spec, &mut bounder)
+            .expect("valid fleet");
+        assert!(energy.is_exact() && energy.lo == f64::INFINITY);
+        let brownouts = FleetBrownoutShortfall(template.clone())
+            .static_bracket(&spec, &mut bounder)
+            .expect("valid fleet");
+        assert!(brownouts.is_exact() && brownouts.lo == 0.0);
+        // The static proof matches the simulated fleet.
+        let report = spec.run().expect("single-node run");
+        let metrics = template.metrics_for(&spec).expect("fleet runs");
+        assert_eq!(metrics.completed_nodes, 0);
+        assert_eq!(metrics.brownout_free_fraction, 1.0);
+        assert_eq!(FleetCoverageShortfall(template).score(&spec, &report), 1.0);
+    }
+
+    #[test]
+    fn invalid_fleets_claim_no_bracket() {
+        let template = template().duty_period(Seconds(0.0));
+        assert!(FleetNodesToCover(template)
+            .static_bracket(&design(), &mut Bounder::new())
+            .is_none());
     }
 
     #[test]

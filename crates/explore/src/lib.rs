@@ -163,6 +163,7 @@ pub struct Explorer {
     budget: Option<u64>,
     catalog: TraceCatalog,
     prefilter: bool,
+    bound: bool,
     metrics: Option<edc_metrics::Registry>,
 }
 
@@ -175,6 +176,7 @@ impl Explorer {
             budget: None,
             catalog: TraceCatalog::new(),
             prefilter: false,
+            bound: false,
             metrics: None,
         }
     }
@@ -223,6 +225,46 @@ impl Explorer {
         self
     }
 
+    /// Enables branch-and-bound dominance pruning
+    /// ([`Evaluator::with_bound`]): every cache miss gets a static score
+    /// *lower-bound* vector from the shared interval engine
+    /// ([`edc_bound::Bounder`]), misses are simulated in fixed
+    /// input-order chunks, and a pending miss dominated at its lower
+    /// bounds by an already-simulated score is cached at those bounds
+    /// without simulating. For an exhaustive grid the Pareto front is
+    /// provably unchanged (every incumbent is a final candidate, and a
+    /// candidate dominated at its optimistic bounds is dominated at its
+    /// true scores); pruning work is reported under `bound` in the
+    /// report JSON.
+    ///
+    /// ```
+    /// use edc_core::experiment::ExperimentSpec;
+    /// use edc_core::scenarios::{SourceKind, StrategyKind};
+    /// use edc_explore::{BrownoutCount, CompletionTime, ExhaustiveGrid, Explorer, SpecSpace};
+    /// use edc_units::Seconds;
+    /// use edc_workloads::WorkloadKind;
+    ///
+    /// let base = ExperimentSpec::new(
+    ///     SourceKind::Dc { volts: 3.3 },
+    ///     StrategyKind::Restart,
+    ///     WorkloadKind::BusyLoop(100),
+    /// )
+    /// .deadline(Seconds(0.05));
+    /// let space = SpecSpace::over(base)
+    ///     .sources(&[SourceKind::Dc { volts: 3.3 }, SourceKind::Dc { volts: 1.5 }]);
+    /// let report = Explorer::new()
+    ///     .objective(CompletionTime)
+    ///     .objective(BrownoutCount) // no DNF score — the lint prefilter abstains
+    ///     .bound(true)
+    ///     .run(&space, &ExhaustiveGrid)?;
+    /// assert_eq!(report.bound_checks, 2);
+    /// # Ok::<(), edc_explore::ExploreError>(())
+    /// ```
+    pub fn bound(mut self, on: bool) -> Self {
+        self.bound = on;
+        self
+    }
+
     /// Routes the search's process metrics (the evaluator's per-phase
     /// counters plus the sweep- and runner-level counters of every miss
     /// batch; see [`Evaluator::with_metrics`]) into `registry` instead of
@@ -259,7 +301,8 @@ impl Explorer {
         )
         .with_catalog(self.catalog.clone())
         .with_reference_deadline(space.base().deadline)
-        .with_prefilter(self.prefilter);
+        .with_prefilter(self.prefilter)
+        .with_bound(self.bound);
         if let Some(registry) = &self.metrics {
             eval = eval.with_metrics(registry.clone());
         }
@@ -279,6 +322,9 @@ impl Explorer {
             prefilter: self.prefilter,
             lint_checks: eval.lint_checks(),
             lint_pruned: eval.lint_pruned(),
+            bound: self.bound,
+            bound_checks: eval.bound_checks(),
+            bound_pruned: eval.bound_pruned(),
             front,
             profile: eval.profile().clone(),
             trace: eval.into_trace(),
@@ -318,6 +364,13 @@ pub struct ExploreReport {
     pub lint_checks: u64,
     /// Specs the prefilter scored statically instead of simulating.
     pub lint_pruned: u64,
+    /// Whether branch-and-bound dominance pruning was enabled.
+    pub bound: bool,
+    /// Cache misses branch-and-bound examined for static lower bounds
+    /// (0 when disabled).
+    pub bound_checks: u64,
+    /// Cache misses branch-and-bound dominance-pruned without simulating.
+    pub bound_pruned: u64,
     /// The non-dominated designs among the searcher's final candidates.
     pub front: ParetoFront,
     /// Per-phase profiling: one span per [`Evaluator::evaluate`] call,
@@ -379,6 +432,15 @@ impl ExploreReport {
                 ]),
             ));
         }
+        if self.bound {
+            fields.push((
+                "bound",
+                Json::obj(vec![
+                    ("checks", Json::Uint(self.bound_checks)),
+                    ("pruned", Json::Uint(self.bound_pruned)),
+                ]),
+            ));
+        }
         fields.push(("front", self.front.to_json(&self.objectives)));
         fields.push((
             "trace",
@@ -394,9 +456,9 @@ impl ExploreReport {
 }
 
 /// One trace entry as JSON (scores keyed by objective name; non-finite
-/// scores emit as `null`). The `pruned` key only appears on entries the
-/// lint prefilter scored statically, keeping prefilter-free trace JSON
-/// unchanged.
+/// scores emit as `null`). The `pruned` / `bound_pruned` keys only appear
+/// on entries a static pass scored without simulating, keeping
+/// prefilter-free trace JSON unchanged.
 fn trace_json(t: &TraceEntry, objectives: &[String]) -> Json {
     let mut fields = vec![
         ("phase", Json::Str(t.phase.clone())),
@@ -415,6 +477,9 @@ fn trace_json(t: &TraceEntry, objectives: &[String]) -> Json {
     ];
     if t.pruned {
         fields.push(("pruned", Json::Bool(true)));
+    }
+    if t.bound_pruned {
+        fields.push(("bound_pruned", Json::Bool(true)));
     }
     Json::obj(fields)
 }

@@ -8,13 +8,33 @@
 //!
 //! - the base point's diagnostics under `$.base`;
 //! - each non-base axis value's diagnostics under `$.axes.<name>[i]`;
-//! - `W105` at `$.axes.<name>` when an axis is *dead*: every one of its
-//!   values lints to the identical non-clean outcome, so sweeping it
-//!   multiplies the search without differentiating designs.
+//! - `W105` at `$.axes.<name>` when an axis is *dead*, for either of two
+//!   statically-provable reasons: every one of its values lints to the
+//!   identical non-clean outcome, or — even when the per-value diagnostics
+//!   differ — every value's probe is a proven DNF or bracket-dominated by
+//!   another value of the same axis (its whole score bracket is no better
+//!   than a sibling's on every built-in objective). Either way, sweeping
+//!   the axis multiplies the search without differentiating designs.
 
+use edc_bound::BoundReport;
 use edc_lint::{Code, Diagnostic, LintReport, Linter};
 
 use crate::space::{SpecSpace, AXES, AXIS_NAMES};
+
+/// `true` when `winner`'s bracket is no worse than `loser`'s on every
+/// built-in objective even in the worst case (`winner.hi <= loser.lo`
+/// dimension-wise) and strictly better somewhere: any design at `loser`'s
+/// axis value is then provably dominated by the same design at
+/// `winner`'s.
+fn bracket_dominates(winner: &BoundReport, loser: &BoundReport) -> bool {
+    let dims = [
+        (&winner.completion_s, &loser.completion_s),
+        (&winner.energy_per_task_j, &loser.energy_per_task_j),
+        (&winner.brownouts, &loser.brownouts),
+        (&winner.p99_outage_s, &loser.p99_outage_s),
+    ];
+    dims.iter().all(|(w, l)| w.hi <= l.lo) && dims.iter().any(|(w, l)| w.hi < l.lo)
+}
 
 /// Lints every axis value of `space` (others held at the base position)
 /// and flags dead axes.
@@ -72,13 +92,17 @@ pub fn lint_space(space: &SpecSpace, linter: &mut Linter) -> LintReport {
 
     for (axis, &n) in dims.iter().enumerate() {
         let mut value_reports = Vec::with_capacity(n);
+        let mut value_specs = Vec::with_capacity(n);
         value_reports.push(base_report.clone()); // index 0 IS the base probe
+        value_specs.push(space.spec([0; AXES]));
         for i in 1..n {
             let mut point = [0usize; AXES];
             point[axis] = i;
-            let probe = linter.lint_spec(&space.spec(point));
+            let spec = space.spec(point);
+            let probe = linter.lint_spec(&spec);
             report.merge_prefixed(&format!("$.axes.{}[{i}]", AXIS_NAMES[axis]), probe.clone());
             value_reports.push(probe);
+            value_specs.push(spec);
         }
         let dead = n >= 2
             && !value_reports[0].is_clean()
@@ -96,6 +120,44 @@ pub fn lint_space(space: &SpecSpace, linter: &mut Linter) -> LintReport {
                     value_reports[0].warning_count(),
                 ),
             ));
+        } else if n >= 2 {
+            // Identical diagnostics are not the only way an axis dies: the
+            // interval engine can prove every value hopeless even when they
+            // fail *differently* (one value never boots, another starves on
+            // energy), or prove one value's whole bracket no better than a
+            // sibling's.
+            let brackets: Vec<Option<BoundReport>> = value_specs
+                .iter()
+                .map(|spec| linter.bounder().bound_spec(spec))
+                .collect();
+            let value_is_dead = |i: usize| {
+                let Some(bracket) = &brackets[i] else {
+                    return false;
+                };
+                bracket.proven_dnf
+                    || brackets.iter().enumerate().any(|(j, other)| {
+                        j != i
+                            && other
+                                .as_ref()
+                                .is_some_and(|winner| bracket_dominates(winner, bracket))
+                    })
+            };
+            let infeasible = (0..n)
+                .filter(|&i| brackets[i].as_ref().is_some_and(|b| b.proven_dnf))
+                .count();
+            if (0..n).all(value_is_dead) {
+                report.push(Diagnostic::new(
+                    Code::W105,
+                    format!("$.axes.{}", AXIS_NAMES[axis]),
+                    format!(
+                        "dead axis: all {n} values of '{}' are statically infeasible \
+                         ({infeasible} proven DNF) or bracket-dominated by a sibling value; \
+                         sweeping it multiplies the search space without differentiating \
+                         viable designs",
+                        AXIS_NAMES[axis],
+                    ),
+                ));
+            }
         }
     }
     report
@@ -142,6 +204,67 @@ mod tests {
             .diagnostics()
             .iter()
             .any(|d| d.code == Code::E002 && d.path == "$.base.source"));
+    }
+
+    #[test]
+    fn statically_dead_axis_with_differing_reports_is_flagged() {
+        // A sub-boot DC value (E002, never boots) and a starved dim trace
+        // (E004, boots but drowns): the per-value diagnostics differ, so
+        // the identical-outcome rule misses the axis — but the interval
+        // engine proves both values DNF, so the bracket rule flags it.
+        let mut catalog = edc_core::catalog::TraceCatalog::new();
+        let id = catalog
+            .register_uniform("dim", Seconds(1e-3), &[1e-6, 1e-6, 1e-6])
+            .expect("valid trace");
+        let mut linter = Linter::with_catalog(catalog);
+        let space = SpecSpace::over(base().source(SourceKind::Dc { volts: 1.5 })).sources(&[
+            SourceKind::Dc { volts: 1.5 },
+            SourceKind::Trace {
+                id,
+                decimate: 1,
+                looped: false,
+            },
+        ]);
+        let report = lint_space(&space, &mut linter);
+        let w105 = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == Code::W105)
+            .expect("bracket rule flags the axis");
+        assert_eq!(w105.path, "$.axes.source");
+        assert!(w105.message.contains("statically infeasible"));
+        // The differing per-value errors still surface individually.
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == Code::E002 && d.path.starts_with("$.base")));
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == Code::E004 && d.path.starts_with("$.axes.source[1]")));
+    }
+
+    #[test]
+    fn identical_outcome_message_takes_priority_over_bracket_rule() {
+        // Both values fail identically (and are proven DNF): exactly one
+        // W105 fires, with the original identical-outcome message, so
+        // existing reports stay byte-stable.
+        let dark = ExperimentSpec::new(
+            SourceKind::Dc { volts: 1.5 },
+            StrategyKind::Restart,
+            WorkloadKind::Crc16(64),
+        )
+        .deadline(Seconds(0.5));
+        let space =
+            SpecSpace::over(dark).decoupling(&[Farads::from_micro(4.7), Farads::from_micro(10.0)]);
+        let report = lint_space(&space, &mut Linter::new());
+        let w105s: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == Code::W105)
+            .collect();
+        assert_eq!(w105s.len(), 1);
+        assert!(w105s[0].message.contains("identical non-clean outcome"));
     }
 
     #[test]

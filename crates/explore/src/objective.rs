@@ -15,6 +15,7 @@
 //! completed), which dominance handles naturally: an infeasible design can
 //! never dominate a feasible one on that objective.
 
+use edc_bound::{Bounder, ScoreBracket};
 use edc_core::experiment::ExperimentSpec;
 use edc_core::telemetry::TelemetryReport;
 use edc_core::SystemReport;
@@ -44,6 +45,39 @@ pub trait Objective {
     /// outage percentiles), so flagged candidates must still be simulated
     /// whenever this objective is in play.
     fn dnf_score(&self) -> Option<f64> {
+        None
+    }
+
+    /// A sound static bracket `[lo, hi]` on this objective's score for
+    /// `spec`, derived without simulating: the simulated score provably
+    /// lands inside it. `None` (the default) means the objective has no
+    /// static theory — the evaluator then cannot bound-prune candidates
+    /// for it. Implementations delegate to the shared [`Bounder`] so one
+    /// interval analysis per spec serves every objective.
+    ///
+    /// ```
+    /// use edc_bound::Bounder;
+    /// use edc_core::experiment::ExperimentSpec;
+    /// use edc_core::scenarios::{SourceKind, StrategyKind};
+    /// use edc_explore::{BrownoutCount, Objective};
+    /// use edc_units::Seconds;
+    /// use edc_workloads::WorkloadKind;
+    ///
+    /// // 1.5 V can never reach a boot threshold: the brownout bracket is
+    /// // exactly [0, 0] even though the objective has no DNF score.
+    /// let dark = ExperimentSpec::new(
+    ///     SourceKind::Dc { volts: 1.5 },
+    ///     StrategyKind::Restart,
+    ///     WorkloadKind::BusyLoop(100),
+    /// )
+    /// .deadline(Seconds(0.05));
+    /// let bracket = BrownoutCount
+    ///     .static_bracket(&dark, &mut Bounder::new())
+    ///     .expect("valid spec");
+    /// assert!(bracket.is_exact() && bracket.lo == 0.0);
+    /// ```
+    fn static_bracket(&self, spec: &ExperimentSpec, bounder: &mut Bounder) -> Option<ScoreBracket> {
+        let _ = (spec, bounder);
         None
     }
 
@@ -82,9 +116,21 @@ impl Objective for CompletionTime {
     fn dnf_score(&self) -> Option<f64> {
         Some(f64::INFINITY)
     }
+
+    fn static_bracket(&self, spec: &ExperimentSpec, bounder: &mut Bounder) -> Option<ScoreBracket> {
+        Some(bounder.bound_spec(spec)?.completion_s)
+    }
 }
 
 /// Number of brownouts (Eq. 2 violations while executing) over the run.
+///
+/// There is no constant DNF score: a design that never completes may
+/// brown out never (it never boots) or hundreds of times (it boots and
+/// dies repeatedly), so [`Objective::dnf_score`] stays `None`. The static
+/// theory lives in [`Objective::static_bracket`] instead: the shared
+/// engine's brownout bracket is *exact* (`[0, 0]`) when the supply
+/// provably never boots the MCU, which lets the evaluator prune
+/// statically-dead candidates even with this objective in play.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BrownoutCount;
 
@@ -95,6 +141,10 @@ impl Objective for BrownoutCount {
 
     fn score(&self, _spec: &ExperimentSpec, report: &SystemReport) -> f64 {
         report.stats.brownouts as f64
+    }
+
+    fn static_bracket(&self, spec: &ExperimentSpec, bounder: &mut Bounder) -> Option<ScoreBracket> {
+        Some(bounder.bound_spec(spec)?.brownouts)
     }
 }
 
@@ -119,6 +169,10 @@ impl Objective for P99Outage {
     fn requires_stats(&self) -> bool {
         true
     }
+
+    fn static_bracket(&self, spec: &ExperimentSpec, bounder: &mut Bounder) -> Option<ScoreBracket> {
+        Some(bounder.bound_spec(spec)?.p99_outage_s)
+    }
 }
 
 /// Total energy drawn per completed task in joules; `INFINITY` when the
@@ -142,6 +196,10 @@ impl Objective for EnergyPerTask {
 
     fn dnf_score(&self) -> Option<f64> {
         Some(f64::INFINITY)
+    }
+
+    fn static_bracket(&self, spec: &ExperimentSpec, bounder: &mut Bounder) -> Option<ScoreBracket> {
+        Some(bounder.bound_spec(spec)?.energy_per_task_j)
     }
 }
 
@@ -199,5 +257,60 @@ mod tests {
         let report = spec.run().expect("spec runs");
         assert_eq!(CompletionTime.score(&spec, &report), f64::INFINITY);
         assert_eq!(EnergyPerTask.score(&spec, &report), f64::INFINITY);
+    }
+
+    #[test]
+    fn static_brackets_contain_simulated_scores() {
+        let (spec, report) = completed(TelemetryKind::Stats);
+        let mut bounder = Bounder::new();
+        let objectives: [&dyn Objective; 4] =
+            [&CompletionTime, &BrownoutCount, &P99Outage, &EnergyPerTask];
+        for o in objectives {
+            let bracket = o
+                .static_bracket(&spec, &mut bounder)
+                .expect("valid spec has a bracket");
+            assert!(
+                bracket.contains(o.score(&spec, &report)),
+                "{} score outside its bracket",
+                o.name()
+            );
+        }
+    }
+
+    #[test]
+    fn never_boot_pins_brownouts_and_outages_exactly() {
+        // 1.5 V can never reach a boot threshold above V_min = 2 V.
+        let dark = ExperimentSpec::new(
+            SourceKind::Dc { volts: 1.5 },
+            StrategyKind::Restart,
+            WorkloadKind::BusyLoop(100),
+        )
+        .deadline(Seconds(0.05));
+        let mut bounder = Bounder::new();
+        let brownouts = BrownoutCount
+            .static_bracket(&dark, &mut bounder)
+            .expect("valid spec");
+        assert!(brownouts.is_exact() && brownouts.lo == 0.0);
+        let p99 = P99Outage
+            .static_bracket(&dark, &mut bounder)
+            .expect("valid spec");
+        assert!(p99.is_exact() && p99.lo == 0.0);
+        let completion = CompletionTime
+            .static_bracket(&dark, &mut bounder)
+            .expect("valid spec");
+        assert!(completion.is_exact() && completion.lo == f64::INFINITY);
+    }
+
+    #[test]
+    fn invalid_specs_have_no_bracket() {
+        let bad = ExperimentSpec::new(
+            SourceKind::Dc { volts: 3.3 },
+            StrategyKind::Restart,
+            WorkloadKind::BusyLoop(100),
+        )
+        .timestep(Seconds(0.0));
+        assert!(CompletionTime
+            .static_bracket(&bad, &mut Bounder::new())
+            .is_none());
     }
 }

@@ -12,10 +12,13 @@
 //! `E`-severity diagnostic (or a malformed file/spec) is found.
 //!
 //! With `--json` the combined reports are emitted as a single JSON object
-//! keyed by file path instead of text lines. With `--metrics PATH` the
-//! process's metrics registry (files linted, diagnostics by severity, the
-//! catalog's registration counters) is written to `PATH` as OpenMetrics
-//! text on exit.
+//! keyed by file path instead of text lines. With `--bounds` each spec's
+//! static score brackets from the shared interval engine are printed next
+//! to its diagnostics (in text mode as extra lines; in JSON mode each
+//! file's value becomes `{"lint": ..., "bounds": {path: ...}}`). With
+//! `--metrics PATH` the process's metrics registry (files linted,
+//! diagnostics by severity, the catalog's registration counters) is
+//! written to `PATH` as OpenMetrics text on exit.
 
 use std::process::ExitCode;
 
@@ -24,16 +27,23 @@ use edc_core::experiment::ExperimentSpec;
 use edc_core::json::Json;
 use edc_lint::{Code, Diagnostic, LintReport, Linter};
 
-const USAGE: &str = "usage: edc_lint [--json] [--metrics PATH] FILE.json [FILE.json ...]";
+const USAGE: &str =
+    "usage: edc_lint [--json] [--bounds] [--metrics PATH] FILE.json [FILE.json ...]";
+
+/// Per-file output: the file path, its lint report, and (with `--bounds`)
+/// the `(spec path, bound-report JSON)` pairs found in it.
+type FileReport = (String, LintReport, Vec<(String, Json)>);
 
 fn main() -> ExitCode {
     let mut json_output = false;
+    let mut bounds_output = false;
     let mut metrics_path: Option<String> = None;
     let mut files = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json_output = true,
+            "--bounds" => bounds_output = true,
             "--metrics" => match args.next() {
                 Some(path) => metrics_path = Some(path),
                 None => {
@@ -81,13 +91,20 @@ fn main() -> ExitCode {
 
     // Pass 2: lint every spec object against the merged catalog.
     let mut linter = Linter::with_catalog(catalog);
-    let mut reports: Vec<(String, LintReport)> = Vec::new();
+    let mut reports: Vec<FileReport> = Vec::new();
     for (file, doc) in &parsed {
         let mut report = LintReport::new();
+        let mut bounds = Vec::new();
         if let Some(doc) = doc {
-            lint_specs(doc, "$", &mut linter, &mut report);
+            lint_specs(
+                doc,
+                "$",
+                &mut linter,
+                &mut report,
+                bounds_output.then_some(&mut bounds),
+            );
         }
-        reports.push((file.clone(), report));
+        reports.push((file.clone(), report, bounds));
     }
 
     let registry = edc_metrics::global();
@@ -100,14 +117,19 @@ fn main() -> ExitCode {
             "Diagnostics emitted, by severity.",
             &[("severity", "error")],
         )
-        .inc_by(reports.iter().map(|(_, r)| r.error_count() as u64).sum());
+        .inc_by(reports.iter().map(|(_, r, _)| r.error_count() as u64).sum());
     registry
         .counter(
             "edc_lint_diagnostics",
             "Diagnostics emitted, by severity.",
             &[("severity", "warning")],
         )
-        .inc_by(reports.iter().map(|(_, r)| r.warning_count() as u64).sum());
+        .inc_by(
+            reports
+                .iter()
+                .map(|(_, r, _)| r.warning_count() as u64)
+                .sum(),
+        );
     if let Some(path) = &metrics_path {
         if let Err(e) = std::fs::write(path, registry.render_text_full()) {
             eprintln!("could not write metrics to {path}: {e}");
@@ -115,20 +137,35 @@ fn main() -> ExitCode {
         }
     }
 
-    let any_errors = io_errors || reports.iter().any(|(_, r)| r.has_errors());
+    let any_errors = io_errors || reports.iter().any(|(_, r, _)| r.has_errors());
     if json_output {
         let obj = Json::Obj(
             reports
                 .into_iter()
-                .map(|(file, r)| (file, r.to_json()))
+                .map(|(file, r, bounds)| {
+                    // The plain shape stays byte-stable unless --bounds
+                    // opts into the nested one.
+                    let value = if bounds_output {
+                        Json::Obj(vec![
+                            ("lint".to_string(), r.to_json()),
+                            ("bounds".to_string(), Json::Obj(bounds)),
+                        ])
+                    } else {
+                        r.to_json()
+                    };
+                    (file, value)
+                })
                 .collect(),
         );
         println!("{obj}");
     } else {
         let mut total = (0usize, 0usize);
-        for (file, report) in &reports {
+        for (file, report, bounds) in &reports {
             for d in report.diagnostics() {
                 println!("{file}: {d}");
+            }
+            for (path, bracket) in bounds {
+                println!("{file}: {path}: bounds {bracket}");
             }
             total.0 += report.error_count();
             total.1 += report.warning_count();
@@ -200,11 +237,27 @@ fn collect_catalogs(json: &Json, catalog: &mut TraceCatalog, file: &str) {
 }
 
 /// Walks `json` linting every spec object, merging diagnostics (prefixed
-/// with the spec's JSON path) into `report`.
-fn lint_specs(json: &Json, path: &str, linter: &mut Linter, report: &mut LintReport) {
+/// with the spec's JSON path) into `report`. When `bounds` is `Some`, each
+/// spec's static score brackets are appended to it, keyed by the same path
+/// (specs the interval engine cannot bound — invalid ones — are skipped;
+/// their `E001` diagnostics already tell the story).
+fn lint_specs(
+    json: &Json,
+    path: &str,
+    linter: &mut Linter,
+    report: &mut LintReport,
+    mut bounds: Option<&mut Vec<(String, Json)>>,
+) {
     if is_spec_object(json) {
         match ExperimentSpec::from_json(json, linter.catalog()) {
-            Ok(spec) => report.merge_prefixed(path, linter.lint_spec(&spec)),
+            Ok(spec) => {
+                report.merge_prefixed(path, linter.lint_spec(&spec));
+                if let Some(bounds) = bounds {
+                    if let Some(bound) = linter.bounder().bound_spec(&spec) {
+                        bounds.push((path.to_string(), bound.to_json()));
+                    }
+                }
+            }
             Err(msg) => report.push(Diagnostic::new(
                 Code::E001,
                 path,
@@ -216,12 +269,24 @@ fn lint_specs(json: &Json, path: &str, linter: &mut Linter, report: &mut LintRep
     match json {
         Json::Arr(items) => {
             for (i, item) in items.iter().enumerate() {
-                lint_specs(item, &format!("{path}[{i}]"), linter, report);
+                lint_specs(
+                    item,
+                    &format!("{path}[{i}]"),
+                    linter,
+                    report,
+                    bounds.as_deref_mut(),
+                );
             }
         }
         Json::Obj(pairs) => {
             for (k, v) in pairs {
-                lint_specs(v, &format!("{path}.{k}"), linter, report);
+                lint_specs(
+                    v,
+                    &format!("{path}.{k}"),
+                    linter,
+                    report,
+                    bounds.as_deref_mut(),
+                );
             }
         }
         _ => {}

@@ -1,67 +1,38 @@
 //! The analyzer: every pass derives its verdict from the spec, the trace
 //! catalog and the platform's closed forms — never from a transient run.
 //!
+//! The quantitative arithmetic behind the `E002`–`E005` codes lives in
+//! [`edc_bound`] (see its module docs for the bound derivations): the
+//! [`Bounder`] propagates interval closed forms through the supply, the
+//! storage RC, the rail thresholds and the workload cycle demand, and
+//! this linter is a thin client that formats the resulting
+//! [`DynamicsFacts`](edc_bound::DynamicsFacts) into diagnostics.
 //! Soundness is the contract that makes the `E` codes safe to act on (the
 //! explore prefilter scores `E`-flagged specs `INFINITY` without
-//! simulating): each bound below is provably on the safe side of the
-//! runner's arithmetic.
-//!
-//! - **Supply upper bound** (`E004`): the supply node integrates charge,
-//!   so one tick's stored-energy gain is `i·dt·v₀ + (i·dt)²/(2C)`. Both
-//!   terms are bounded per sample kind — a Thévenin source by its maximum
-//!   power transfer `v_oc²/(4r)`, a constant-power sample by `p` itself
-//!   (current is clamped at `p / 0.2 V`, so `i·v ≤ p` uniformly), a
-//!   current source by `i·v_compliance` — with the discretisation term
-//!   added explicitly.
-//! - **Rail upper bound** (`E002`): the voltage after one tick is a
-//!   convex combination of `v₀` and the (rectified) open-circuit voltage
-//!   when `η·dt/(rC) ≤ 1`, and bounded by `v_oc·η·dt/(rC)` otherwise;
-//!   current sources cannot exceed compliance plus one tick of charge;
-//!   constant-power samples are unbounded (the bound collapses to the
-//!   clamp and `E002` cannot fire). Booting — from `Off` or `Sleep` —
-//!   requires the rail to reach the strategy's restore threshold, so a
-//!   rail bound below it proves the MCU never executes.
-//! - **Cycle lower bound** (`E003`): `Mcu::run` charges each
-//!   instruction's base cycles independently of frequency and residence,
-//!   so a bare run's cycle count is *the* demand in cycles; the runner
-//!   grants at most `⌊f_max·dt⌋ + 1` cycles per tick (carry included)
-//!   over at most `⌊deadline/dt⌋ + 1` ticks.
+//! simulating): each bound is provably on the safe side of the runner's
+//! arithmetic.
 
 use std::collections::HashMap;
 
+use edc_bound::Bounder;
 use edc_core::catalog::TraceCatalog;
 use edc_core::experiment::{BuildError, ExperimentSpec};
 use edc_core::fleet::{FleetError, FleetSpec};
 use edc_core::scenarios::{FieldEnvelope, SourceKind, StrategyKind};
-use edc_core::system::Topology;
-use edc_harvest::{SourceSample, POWER_SOURCE_COMPLIANCE_FLOOR};
-use edc_mcu::{Mcu, RunExit};
 use edc_power::sizing::try_hibernate_threshold;
-use edc_units::{Farads, Seconds, Volts};
-use edc_workloads::WorkloadKind;
+
+// Preserved re-export paths: these constants moved to the shared engine.
+pub use edc_bound::{CYCLE_FLOOR_CAP, SUPPLY_SCAN_CAP, V_MAX};
 
 use crate::report::{Code, Diagnostic, LintReport};
 
-/// The runner's overvoltage clamp — specs never override it.
-const V_MAX: Volts = Volts(3.6);
-
-/// Cycle budget for the bare demand run. A workload that exhausts it
-/// still yields a sound lower bound (`≥ CYCLE_FLOOR_CAP` cycles).
-pub const CYCLE_FLOOR_CAP: u64 = 1_000_000_000;
-
-/// Ceiling on supply-scan length (ticks). Past this the scan would cost
-/// more than it saves; the supply passes are skipped (no diagnostic is
-/// emitted, which is always sound — lint incompleteness, never
-/// unsoundness).
-pub const SUPPLY_SCAN_CAP: u64 = 4_000_000;
-
-/// The static analyzer. Holds the trace catalog specs resolve against and
-/// a memo of workload cycle counts (the one genuinely expensive input, so
-/// a sweep over 100 specs of the same workload counts cycles once).
+/// The static analyzer. Wraps the shared interval engine ([`Bounder`]),
+/// which holds the trace catalog specs resolve against and a memo of
+/// workload cycle counts (the one genuinely expensive input, so a sweep
+/// over 100 specs of the same workload counts cycles once).
 #[derive(Debug, Default)]
 pub struct Linter {
-    catalog: TraceCatalog,
-    cycle_memo: HashMap<WorkloadKind, u64>,
+    bounder: Bounder,
 }
 
 impl Linter {
@@ -73,14 +44,20 @@ impl Linter {
     /// A linter resolving trace-backed sources through `catalog`.
     pub fn with_catalog(catalog: TraceCatalog) -> Self {
         Self {
-            catalog,
-            cycle_memo: HashMap::new(),
+            bounder: Bounder::with_catalog(catalog),
         }
     }
 
     /// The catalog specs resolve against.
     pub fn catalog(&self) -> &TraceCatalog {
-        &self.catalog
+        self.bounder.catalog()
+    }
+
+    /// The shared interval engine the diagnostics are derived from, for
+    /// callers that want the quantitative brackets next to the boolean
+    /// codes (the `edc_lint --bounds` flag, the `W105` dead-axis upgrade).
+    pub fn bounder(&mut self) -> &mut Bounder {
+        &mut self.bounder
     }
 
     /// Runs every spec pass, in fixed order: `E001` (collect-all
@@ -89,7 +66,7 @@ impl Linter {
     /// same catalog → byte-identical report.
     pub fn lint_spec(&mut self, spec: &ExperimentSpec) -> LintReport {
         let mut report = LintReport::new();
-        let violations = spec.violations_in(&self.catalog);
+        let violations = spec.violations_in(self.bounder.catalog());
         for e in &violations {
             report.push(Diagnostic::new(
                 Code::E001,
@@ -102,58 +79,43 @@ impl Linter {
             // well-formed spec.
             return report;
         }
-
-        // Instantiate exactly what the runner's build step would.
-        let workload = spec.workload.make();
-        let mut strategy = spec.strategy.make();
-        let mut mcu = Mcu::new(workload.program()).with_residence(strategy.residence());
-        if let Some(pm) = strategy.power_model() {
-            mcu = mcu.with_power_model(pm);
-        }
-        let v_min = mcu.power_model().v_min;
-        let (capacitance, efficiency) = match spec.topology {
-            Topology::Direct => (spec.decoupling, 1.0),
-            Topology::Buffered {
-                storage,
-                efficiency,
-            } => (Farads(spec.decoupling.0 + storage.0), efficiency),
+        let facts = match self.bounder.facts(spec) {
+            Some(facts) => facts,
+            // Unreachable (violations were empty), but never panic on input.
+            None => return report,
         };
-        let (_v_low, v_high) = strategy.thresholds(&mcu, capacitance, v_min, V_MAX);
 
         // W101: Eq. (4) floor. Only meaningful for strategies that snapshot.
         if spec.strategy != StrategyKind::Restart {
-            if let Ok(None) =
-                try_hibernate_threshold(mcu.snapshot_energy(), capacitance, v_min, V_MAX, 0.0)
-            {
+            if let Ok(None) = try_hibernate_threshold(
+                facts.snapshot_energy,
+                facts.capacitance,
+                facts.v_min,
+                V_MAX,
+                0.0,
+            ) {
                 report.push(Diagnostic::new(
                     Code::W101,
                     "$.decoupling_f",
                     format!(
                         "{:.3} µF cannot fund a {:.2} µJ snapshot between {:.2} V and {:.2} V \
                          even with zero margin (Eq. 4); every snapshot will tear",
-                        capacitance.as_micro(),
-                        mcu.snapshot_energy().as_micro(),
+                        facts.capacitance.as_micro(),
+                        facts.snapshot_energy.as_micro(),
                         V_MAX.0,
-                        v_min.0,
+                        facts.v_min.0,
                     ),
                 ));
             }
         }
 
-        // Bare execution cycle count: frequency- and residence-independent.
-        let endless = spec.workload == WorkloadKind::Endless;
-        let bare_cycles = if endless {
-            None
-        } else {
-            Some(self.cycle_floor(spec.workload))
-        };
-
-        // W102/W103: recorded-trace coverage hazards.
-        let boot_hz = mcu.clock().frequency().0;
-        let bare_duration = bare_cycles.map(|n| n as f64 / boot_hz);
+        // W102/W103: recorded-trace coverage hazards. The bare execution
+        // duration is frequency- and residence-independent cycles over the
+        // boot clock.
+        let bare_duration = facts.demand_cycles.map(|n| n as f64 / facts.boot_hz);
         self.trace_hazards(spec, bare_duration, &mut report);
 
-        if endless {
+        if facts.endless {
             report.push(Diagnostic::new(
                 Code::E005,
                 "$.workload",
@@ -162,18 +124,13 @@ impl Linter {
             // Demand-based passes are meaningless without a finite demand.
             return report;
         }
-        let demand_cycles = match bare_cycles {
+        let demand_cycles = match facts.demand_cycles {
             Some(n) => n,
             None => return report,
         };
 
         // E003: deadline below the cycle lower bound.
-        let dt = spec.timestep.0;
-        let ticks_ub = (spec.deadline.0 / dt).floor() as u64 + 1;
-        let ladder = mcu.clock().levels().to_vec();
-        let f_max = ladder.iter().map(|f| f.0).fold(0.0f64, f64::max);
-        let per_tick_ub = (f_max * dt).floor() as u64 + 1;
-        if (ticks_ub as u128) * (per_tick_ub as u128) < demand_cycles as u128 {
+        if facts.granted_cycles() < demand_cycles as u128 {
             report.push(Diagnostic::new(
                 Code::E003,
                 "$.deadline_s",
@@ -181,37 +138,48 @@ impl Linter {
                     "deadline {} s grants at most {} ticks × {} cycles at {:.0} MHz = {} cycles, \
                      but the workload needs {} cycles uninterrupted",
                     spec.deadline.0,
-                    ticks_ub,
-                    per_tick_ub,
-                    f_max / 1e6,
-                    (ticks_ub as u128) * (per_tick_ub as u128),
+                    facts.ticks_ub,
+                    facts.per_tick_ub,
+                    facts.f_max / 1e6,
+                    facts.granted_cycles(),
                     demand_cycles,
                 ),
             ));
         }
 
-        // Demand lower bound: cheapest clock level, actual residence and
-        // power model, no boot/restore/checkpoint overhead.
-        let pm = mcu.power_model();
-        let residence = mcu.residence();
-        let demand_lb = ladder
-            .iter()
-            .map(|&f| pm.execution_energy(demand_cycles, f, residence).0)
-            .fold(f64::INFINITY, f64::min);
-
-        // E002/E004: one shared scan over the deadline window, sampling
-        // the actually-constructed source and replicating the runner's
-        // rectifier/efficiency adaptation.
-        if ticks_ub <= SUPPLY_SCAN_CAP {
-            self.supply_scan(
-                spec,
-                ticks_ub,
-                efficiency,
-                capacitance,
-                v_high,
-                demand_lb,
-                &mut report,
-            );
+        // E002/E004: the engine's shared supply scan over the deadline
+        // window. The "never" verdicts require a full scan — an early
+        // feasibility exit means both passes settled feasible.
+        if let Some(supply) = &facts.supply {
+            if supply.scanned_full {
+                if supply.rail_ub + 1e-9 < facts.v_high.0 {
+                    report.push(Diagnostic::new(
+                        Code::E002,
+                        "$.source",
+                        format!(
+                            "the supply can never raise the rail to the boot threshold: \
+                             max achievable ≈ {:.3} V < V_boot {:.3} V ({}); \
+                             the MCU never powers on",
+                            supply.rail_ub,
+                            facts.v_high.0,
+                            spec.strategy.name(),
+                        ),
+                    ));
+                } else if let Some(demand_lb) = facts.demand_lb {
+                    if supply.supply_ub < demand_lb {
+                        report.push(Diagnostic::new(
+                            Code::E004,
+                            "$.source",
+                            format!(
+                                "supply energy upper bound {:.3e} J over the {} s deadline \
+                                 window is below the workload's demand lower bound {:.3e} J \
+                                 (cheapest clock level, zero overhead)",
+                                supply.supply_ub, spec.deadline.0, demand_lb,
+                            ),
+                        ));
+                    }
+                }
+            }
         }
         report
     }
@@ -256,7 +224,7 @@ impl Linter {
         }
 
         // Per-node lint against a catalog the field registers into.
-        let mut catalog = self.catalog.clone();
+        let mut catalog = self.bounder.catalog().clone();
         let specs = match fleet.node_specs_in(&mut catalog) {
             Ok(specs) => specs,
             // `violations` was empty, so registration cannot fail; if it
@@ -271,9 +239,10 @@ impl Linter {
             }
         };
         let mut sub = Linter {
-            catalog,
-            cycle_memo: std::mem::take(&mut self.cycle_memo),
+            bounder: Bounder::with_catalog(catalog),
         };
+        sub.bounder
+            .restore_cycle_memo(self.bounder.take_cycle_memo());
         // Nodes sharing a bucket produce identical reports; lint each
         // bucket once.
         let mut bucket_reports: HashMap<(u64, u64), LintReport> = HashMap::new();
@@ -285,28 +254,9 @@ impl Linter {
                 .clone();
             report.merge_prefixed(&format!("$.nodes[{i}]"), node_report);
         }
-        self.cycle_memo = sub.cycle_memo;
+        self.bounder
+            .restore_cycle_memo(sub.bounder.take_cycle_memo());
         report
-    }
-
-    /// The workload's bare cycle demand (memoized). Sound lower bound even
-    /// when the cap is exhausted.
-    fn cycle_floor(&mut self, kind: WorkloadKind) -> u64 {
-        if let Some(&n) = self.cycle_memo.get(&kind) {
-            return n;
-        }
-        let workload = kind.make();
-        let mut mcu = Mcu::new(workload.program());
-        let run = mcu.run(CYCLE_FLOOR_CAP, false);
-        let n = match run.exit {
-            RunExit::Completed => run.cycles,
-            RunExit::BudgetExhausted => CYCLE_FLOOR_CAP,
-            // A faulting or marker-stopped bare run still consumed its
-            // cycles; use them as a conservative floor.
-            _ => run.cycles,
-        };
-        self.cycle_memo.insert(kind, n);
-        n
     }
 
     /// `W102`/`W103` for recorded traces (standalone or behind a field
@@ -334,7 +284,7 @@ impl Linter {
             } => (id, decimate, looped),
             _ => return,
         };
-        let Some(samples) = self.catalog.samples(id) else {
+        let Some(samples) = self.bounder.catalog().samples(id) else {
             return; // unresolved traces were already E001
         };
         if samples.len() < 2 {
@@ -366,87 +316,6 @@ impl Linter {
                      holds the final sample ({held} W) for the remaining {:.3} s",
                     spec.deadline.0,
                     spec.deadline.0 - duration,
-                ),
-            ));
-        }
-    }
-
-    /// The shared `E002`/`E004` scan (see the module docs for the bound
-    /// derivations). Breaks early once both verdicts are settled feasible.
-    #[allow(clippy::too_many_arguments)]
-    fn supply_scan(
-        &self,
-        spec: &ExperimentSpec,
-        ticks_ub: u64,
-        efficiency: f64,
-        capacitance: Farads,
-        v_high: Volts,
-        demand_lb: f64,
-        report: &mut LintReport,
-    ) {
-        let dt = spec.timestep.0;
-        let c = capacitance.0;
-        let mut source = spec.source.make_in(&self.catalog);
-        let mut supply_ub = 0.0f64;
-        let mut rail_ub = 0.0f64;
-        for tick in 0..ticks_ub {
-            let t = Seconds(tick as f64 * dt);
-            let (e_ub, v_ub) = match source.sample(t) {
-                SourceSample::Thevenin { v_oc, r_s } => {
-                    let v = spec.rectifier.map_or(v_oc, |r| r.rectify(v_oc)).0.max(0.0);
-                    let r = r_s.0;
-                    let i_max = efficiency * v / r;
-                    (
-                        efficiency * v * v / (4.0 * r) * dt + i_max * i_max * dt * dt / (2.0 * c),
-                        v * (efficiency * dt / (r * c)).max(1.0),
-                    )
-                }
-                SourceSample::Power(p) => {
-                    if p.0 > 0.0 {
-                        let i_max = efficiency * p.0 / POWER_SOURCE_COMPLIANCE_FLOOR.0;
-                        (
-                            efficiency * p.0 * dt + i_max * i_max * dt * dt / (2.0 * c),
-                            // A constant-power sample has no open-circuit
-                            // ceiling: the rail bound collapses to the clamp.
-                            f64::INFINITY,
-                        )
-                    } else {
-                        (0.0, 0.0)
-                    }
-                }
-                SourceSample::Current { i, v_compliance } => {
-                    let i = i.0.max(0.0) * efficiency;
-                    let vc = v_compliance.0.max(0.0);
-                    (i * vc * dt + i * i * dt * dt / (2.0 * c), vc + i * dt / c)
-                }
-            };
-            supply_ub += e_ub;
-            rail_ub = rail_ub.max(v_ub.min(V_MAX.0));
-            if supply_ub >= demand_lb && rail_ub + 1e-9 >= v_high.0 {
-                return; // both passes settled feasible
-            }
-        }
-        if rail_ub + 1e-9 < v_high.0 {
-            report.push(Diagnostic::new(
-                Code::E002,
-                "$.source",
-                format!(
-                    "the supply can never raise the rail to the boot threshold: \
-                     max achievable ≈ {rail_ub:.3} V < V_boot {:.3} V ({}); \
-                     the MCU never powers on",
-                    v_high.0,
-                    spec.strategy.name(),
-                ),
-            ));
-        } else if supply_ub < demand_lb {
-            report.push(Diagnostic::new(
-                Code::E004,
-                "$.source",
-                format!(
-                    "supply energy upper bound {supply_ub:.3e} J over the {} s deadline window \
-                     is below the workload's demand lower bound {demand_lb:.3e} J \
-                     (cheapest clock level, zero overhead)",
-                    spec.deadline.0,
                 ),
             ));
         }
@@ -495,6 +364,8 @@ mod tests {
     use super::*;
     use edc_core::fleet::{FieldSpec, Placement};
     use edc_core::scenarios::FieldEnvelope;
+    use edc_units::{Farads, Seconds};
+    use edc_workloads::WorkloadKind;
 
     fn spec(source: SourceKind) -> ExperimentSpec {
         ExperimentSpec::new(source, StrategyKind::Hibernus, WorkloadKind::Crc16(64))
@@ -634,5 +505,14 @@ mod tests {
         let report = Linter::new().lint_fleet(&fleet);
         assert!(report.error_count() >= 3, "{}", report.render_text());
         assert!(report.diagnostics().iter().all(|d| d.code == Code::E001));
+    }
+
+    #[test]
+    fn brackets_are_available_next_to_diagnostics() {
+        let mut linter = Linter::new();
+        let s = spec(SourceKind::Dc { volts: 1.5 });
+        assert!(linter.lint_spec(&s).has_errors());
+        let bracket = linter.bounder().bound_spec(&s).expect("valid spec");
+        assert!(bracket.proven_dnf && bracket.never_boots);
     }
 }

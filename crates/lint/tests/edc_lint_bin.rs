@@ -1,0 +1,112 @@
+//! Exit-code and output contract of the `edc_lint` binary, including the
+//! `--bounds` flag.
+
+// Test-only crate: fixture helpers may panic on harness I/O failures
+// (allow-unwrap-in-tests only covers `#[test]` fns, not their helpers).
+#![allow(clippy::expect_used)]
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use edc_core::experiment::ExperimentSpec;
+use edc_core::scenarios::{SourceKind, StrategyKind};
+use edc_units::Seconds;
+use edc_workloads::WorkloadKind;
+
+fn edc_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_edc_lint"))
+        .args(args)
+        .output()
+        .expect("edc_lint runs")
+}
+
+/// Writes `spec` as JSON into a per-test scratch file and returns its path.
+fn fixture(test: &str, spec: &ExperimentSpec) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("edc_lint_bin_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join(format!("{test}.json"));
+    std::fs::write(&path, spec.to_json().to_string()).expect("fixture write");
+    path
+}
+
+fn healthy() -> ExperimentSpec {
+    ExperimentSpec::new(
+        SourceKind::Dc { volts: 3.3 },
+        StrategyKind::Restart,
+        WorkloadKind::Crc16(64),
+    )
+    .deadline(Seconds(0.5))
+}
+
+fn dark() -> ExperimentSpec {
+    healthy().source(SourceKind::Dc { volts: 1.5 })
+}
+
+#[test]
+fn clean_file_exits_zero() {
+    let file = fixture("clean", &healthy());
+    let out = edc_lint(&[file.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+    assert!(!stdout.contains("bounds"), "no brackets without --bounds");
+}
+
+#[test]
+fn error_diagnostics_exit_nonzero() {
+    let file = fixture("dark", &dark());
+    let out = edc_lint(&[file.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert!(stdout.contains("E002"), "{stdout}");
+}
+
+#[test]
+fn missing_file_exits_nonzero() {
+    let out = edc_lint(&["/nonexistent/edc_lint_fixture.json"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn no_files_and_help_exit_codes() {
+    assert_eq!(edc_lint(&[]).status.code(), Some(1));
+    assert_eq!(edc_lint(&["--help"]).status.code(), Some(0));
+    assert_eq!(edc_lint(&["--metrics"]).status.code(), Some(1));
+}
+
+#[test]
+fn bounds_flag_prints_brackets_and_keeps_exit_codes() {
+    // Brackets are informational: a dark spec still fails, a clean one
+    // still passes, each with its brackets printed next to diagnostics.
+    let file = fixture("bounds_dark", &dark());
+    let out = edc_lint(&["--bounds", file.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert!(stdout.contains("bounds {"), "{stdout}");
+    assert!(stdout.contains("\"never_boots\":true"), "{stdout}");
+
+    let file = fixture("bounds_clean", &healthy());
+    let out = edc_lint(&["--bounds", file.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert!(stdout.contains("\"proven_dnf\":false"), "{stdout}");
+}
+
+#[test]
+fn bounds_json_output_nests_lint_and_bounds_deterministically() {
+    let file = fixture("bounds_json", &healthy());
+    let path = file.to_str().expect("utf-8 path");
+    let a = edc_lint(&["--json", "--bounds", path]);
+    let b = edc_lint(&["--json", "--bounds", path]);
+    assert_eq!(a.status.code(), Some(0), "{a:?}");
+    assert_eq!(a.stdout, b.stdout, "deterministic output");
+    let stdout = String::from_utf8(a.stdout).expect("utf-8 stdout");
+    assert!(stdout.contains("\"lint\""), "{stdout}");
+    assert!(stdout.contains("\"bounds\""), "{stdout}");
+    assert!(stdout.contains("\"completion_s\""), "{stdout}");
+
+    // Without --bounds the JSON shape is the plain per-file report.
+    let plain = edc_lint(&["--json", path]);
+    let plain_stdout = String::from_utf8(plain.stdout).expect("utf-8 stdout");
+    assert!(!plain_stdout.contains("\"bounds\""), "{plain_stdout}");
+}

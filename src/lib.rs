@@ -1,4 +1,5 @@
 //! Facade crate re-exporting the full `energy-driven` workspace API.
+pub use edc_bound as bound;
 pub use edc_core as core;
 pub use edc_explore as explore;
 pub use edc_fleet as fleet;
