@@ -67,6 +67,125 @@ pub fn artifact_path(default: &str) -> String {
         .unwrap_or_else(|| default.to_string())
 }
 
+/// CLI arguments shared by the BENCH binaries that can warm-start from a
+/// persistent evaluation store: the artifact output path (the positional
+/// argument, or the committed-baseline `default` when absent) plus the
+/// optional `--store DIR` flag naming an `edc-store` directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Where the artifact is written.
+    pub path: String,
+    /// Directory of the persistent evaluation store, when `--store` was
+    /// given. Store-backed runs also assert their Pareto fronts against
+    /// the committed cold artifact.
+    pub store: Option<String>,
+}
+
+/// Parses `[path] [--store DIR]` (in either order) from an argument
+/// iterator. The testable core of [`bench_args`].
+///
+/// # Errors
+///
+/// Returns a usage message for a `--store` with no value, an unknown
+/// flag, or a second positional argument.
+///
+/// # Examples
+///
+/// ```
+/// use edc_bench::bench_args_from;
+///
+/// let args = ["--store", "runs/store", "out.json"].map(String::from);
+/// let parsed = bench_args_from(args.into_iter(), "BENCH_example.json").unwrap();
+/// assert_eq!(parsed.path, "out.json");
+/// assert_eq!(parsed.store.as_deref(), Some("runs/store"));
+///
+/// let parsed = bench_args_from(std::iter::empty(), "BENCH_example.json").unwrap();
+/// assert_eq!(parsed.path, "BENCH_example.json");
+/// assert_eq!(parsed.store, None);
+///
+/// assert!(bench_args_from(["--store"].map(String::from).into_iter(), "d").is_err());
+/// ```
+pub fn bench_args_from(
+    mut args: impl Iterator<Item = String>,
+    default: &str,
+) -> Result<BenchArgs, String> {
+    let mut path: Option<String> = None;
+    let mut store: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--store" => match args.next() {
+                Some(dir) => store = Some(dir),
+                None => return Err("--store needs a directory argument".into()),
+            },
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            positional => {
+                if path.is_some() {
+                    return Err(format!("unexpected extra argument {positional}"));
+                }
+                path = Some(positional.to_string());
+            }
+        }
+    }
+    Ok(BenchArgs {
+        path: path.unwrap_or_else(|| default.to_string()),
+        store,
+    })
+}
+
+/// Parses the process arguments as `[path] [--store DIR]` — the
+/// store-aware superset of [`artifact_path`]. Prints usage and exits
+/// with status 2 when the arguments do not parse.
+pub fn bench_args(default: &str) -> BenchArgs {
+    match bench_args_from(std::env::args().skip(1), default) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}\nusage: <bench> [ARTIFACT_PATH] [--store DIR]");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Loads section `section` of the committed artifact at `committed`,
+/// for store-backed BENCH runs that assert warm results byte-identical
+/// to the committed cold ones. Exits with status 1 when the artifact is
+/// missing, unparsable, or lacks the section, so CI cannot mistake a
+/// skipped comparison for a passing one.
+pub fn committed_section(committed: &str, section: &str) -> Json {
+    let text = std::fs::read_to_string(committed).unwrap_or_else(|e| {
+        eprintln!("cannot read committed artifact {committed}: {e}");
+        std::process::exit(1);
+    });
+    let json = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("committed artifact {committed} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    match json.get(section) {
+        Some(value) => value.clone(),
+        None => {
+            eprintln!("committed artifact {committed} has no section {section:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Asserts that `front` is byte-identical to the `front` member of
+/// section `section` in the committed artifact at `committed` — the
+/// warm-start contract of the `--store` flag: a store-backed search must
+/// reproduce the committed cold Pareto front exactly. Logs the check and
+/// exits with status 1 on any mismatch.
+pub fn assert_front_matches(committed: &str, section: &str, front: &Json) {
+    let committed_front = committed_section(committed, section);
+    let committed_front = committed_front.get("front").unwrap_or_else(|| {
+        eprintln!("committed section {section:?} of {committed} has no front");
+        std::process::exit(1);
+    });
+    if committed_front.to_string() != front.to_string() {
+        eprintln!("FAIL: store-backed {section} front differs from committed {committed}");
+        std::process::exit(1);
+    }
+    println!("store: {section} front byte-identical to committed {committed}");
+}
+
 /// Writes a BENCH artifact (the JSON plus a trailing newline) to `path`,
 /// logging the destination. Exits the process with status 1 when the write
 /// fails, so CI never mistakes a missing artifact for success.

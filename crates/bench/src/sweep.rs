@@ -274,6 +274,85 @@ impl SweepRun {
         ])
     }
 
+    /// Writes every row back into a persistent evaluation store, making
+    /// the sweep a **producer** for later searches and serving sessions:
+    /// a subsequent [`edc_store::Store`]-backed search over specs this
+    /// grid covered re-scores the stored reports instead of simulating.
+    /// Sweeps themselves always simulate — rows carry full
+    /// in-memory reports the store's JSON envelope cannot reconstruct.
+    ///
+    /// Each entry is keyed by the row's canonical spec JSON and carries
+    /// the report JSON, no objective scores (searches recompute and merge
+    /// them back on first use), and a full-fidelity cost of `1.0` per
+    /// cell. Returns the number of entries actually appended (rows a
+    /// previous run already stored merge instead), counted by the
+    /// `edc_store_writes` metric under `phase="sweep"`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`edc_store::StoreError`] from the underlying
+    /// [`Store::put`](edc_store::Store::put) — an I/O failure, or a
+    /// conflicting entry already stored under a row's spec.
+    ///
+    /// ```
+    /// use edc_bench::sweep::Sweep;
+    /// use edc_core::experiment::ExperimentSpec;
+    /// use edc_core::scenarios::{SourceKind, StrategyKind};
+    /// use edc_store::Store;
+    /// use edc_units::Seconds;
+    /// use edc_workloads::WorkloadKind;
+    ///
+    /// let dir = std::env::temp_dir().join("edc-sweep-doc-store");
+    /// let _ = std::fs::remove_dir_all(&dir);
+    /// let base = ExperimentSpec::new(
+    ///     SourceKind::Dc { volts: 3.3 },
+    ///     StrategyKind::Restart,
+    ///     WorkloadKind::BusyLoop(120),
+    /// )
+    /// .deadline(Seconds(1.0));
+    /// let run = Sweep::over(base)
+    ///     .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus])
+    ///     .run_timed()?;
+    ///
+    /// let store = Store::open(&dir)?.into_handle();
+    /// let registry = edc_metrics::Registry::new();
+    /// assert_eq!(run.store_into(&store, &registry)?, 2);
+    /// // Storing the same rows again merges instead of appending.
+    /// assert_eq!(run.store_into(&store, &registry)?, 0);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn store_into(
+        &self,
+        store: &edc_store::StoreHandle,
+        metrics: &edc_metrics::Registry,
+    ) -> Result<u64, edc_store::StoreError> {
+        let mut appended = 0;
+        let mut guard = store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for row in &self.rows {
+            if guard.put(
+                &row.spec.to_json(),
+                row.report.to_json(),
+                std::collections::BTreeMap::new(),
+                1.0,
+            )? {
+                appended += 1;
+            }
+        }
+        drop(guard);
+        if appended > 0 {
+            metrics
+                .counter(
+                    "edc_store_writes",
+                    "Simulated evaluations written back to the persistent store, per search phase.",
+                    &[("phase", "sweep")],
+                )
+                .inc_by(appended);
+        }
+        Ok(appended)
+    }
+
     /// The sweep as a per-cell [`ProfileReport`]: one span per grid row,
     /// named `cell{index}/{label}`, carrying deterministic run counters
     /// (boots, brownouts, snapshots, restores, retired cycles) and the

@@ -413,29 +413,7 @@ impl ExperimentSpec {
     pub fn to_json(&self) -> crate::json::Json {
         use crate::json::Json;
         let source = self.source.to_json();
-        let workload = {
-            let mut pairs = vec![("kind", Json::Str(self.workload.name().into()))];
-            match self.workload {
-                WorkloadKind::BusyLoop(n)
-                | WorkloadKind::Crc16(n)
-                | WorkloadKind::DotProduct(n)
-                | WorkloadKind::Fourier(n)
-                | WorkloadKind::InsertionSort(n)
-                | WorkloadKind::PrimeSieve(n)
-                | WorkloadKind::RadixFft(n)
-                | WorkloadKind::RunLength(n) => pairs.push(("n", Json::Uint(n as u64))),
-                WorkloadKind::FirFilter { n, taps } => {
-                    pairs.push(("n", Json::Uint(n as u64)));
-                    pairs.push(("taps", Json::Uint(taps as u64)));
-                }
-                WorkloadKind::SensePipeline { windows, samples } => {
-                    pairs.push(("windows", Json::Uint(windows as u64)));
-                    pairs.push(("samples", Json::Uint(samples as u64)));
-                }
-                WorkloadKind::Endless | WorkloadKind::MatMul => {}
-            }
-            Json::obj(pairs)
-        };
+        let workload = workload_to_json(&self.workload);
         let topology = match self.topology {
             Topology::Direct => Json::obj(vec![("kind", Json::Str("direct".into()))]),
             Topology::Buffered {
@@ -589,8 +567,59 @@ impl ExperimentSpec {
     }
 }
 
-/// Decodes the workload object emitted by [`ExperimentSpec::to_json`].
-fn workload_from_json(json: &crate::json::Json) -> Result<WorkloadKind, &'static str> {
+/// Encodes a workload kind as the `workload` object of
+/// [`ExperimentSpec::to_json`] — kind name plus its size parameters.
+/// Public so axis codecs (e.g. a design-space serialiser) can emit a
+/// single workload value in the canonical spec shape.
+///
+/// ```
+/// use edc_core::experiment::workload_to_json;
+/// use edc_workloads::WorkloadKind;
+///
+/// let json = workload_to_json(&WorkloadKind::Crc16(64));
+/// assert_eq!(json.to_string(), r#"{"kind":"crc16","n":64}"#);
+/// ```
+pub fn workload_to_json(workload: &WorkloadKind) -> crate::json::Json {
+    use crate::json::Json;
+    let mut pairs = vec![("kind", Json::Str(workload.name().into()))];
+    match *workload {
+        WorkloadKind::BusyLoop(n)
+        | WorkloadKind::Crc16(n)
+        | WorkloadKind::DotProduct(n)
+        | WorkloadKind::Fourier(n)
+        | WorkloadKind::InsertionSort(n)
+        | WorkloadKind::PrimeSieve(n)
+        | WorkloadKind::RadixFft(n)
+        | WorkloadKind::RunLength(n) => pairs.push(("n", Json::Uint(n as u64))),
+        WorkloadKind::FirFilter { n, taps } => {
+            pairs.push(("n", Json::Uint(n as u64)));
+            pairs.push(("taps", Json::Uint(taps as u64)));
+        }
+        WorkloadKind::SensePipeline { windows, samples } => {
+            pairs.push(("windows", Json::Uint(windows as u64)));
+            pairs.push(("samples", Json::Uint(samples as u64)));
+        }
+        WorkloadKind::Endless | WorkloadKind::MatMul => {}
+    }
+    Json::obj(pairs)
+}
+
+/// Decodes the workload object emitted by [`workload_to_json`] — the
+/// inverse codec, public for the same axis-serialisation callers.
+///
+/// # Errors
+///
+/// Returns the first shape mismatch or unknown kind name.
+///
+/// ```
+/// use edc_core::experiment::{workload_from_json, workload_to_json};
+/// use edc_workloads::WorkloadKind;
+///
+/// let round = workload_from_json(&workload_to_json(&WorkloadKind::MatMul))?;
+/// assert_eq!(round, WorkloadKind::MatMul);
+/// # Ok::<(), &'static str>(())
+/// ```
+pub fn workload_from_json(json: &crate::json::Json) -> Result<WorkloadKind, &'static str> {
     use crate::json::Json;
     let uint16 = |key: &str| match json.get(key) {
         Some(Json::Uint(u)) if *u <= u16::MAX as u64 => Some(*u as u16),

@@ -23,6 +23,12 @@
 //!
 //! Run: `cargo run --release -p edc-explore --bin bench_bound`
 //! Output path override: `bench_bound <path>` (default `BENCH_bound.json`).
+//!
+//! `--store DIR` runs both searches against a persistent evaluation
+//! store and hard-asserts each front byte-identical to the committed
+//! cold `BENCH_bound.json`. Store hits bypass the interval engine (a
+//! stored score needs no bounding), so the prune-count and
+//! cost-strictness assertions only apply to store-less runs.
 
 use std::time::Instant;
 
@@ -98,19 +104,29 @@ fn space(catalog: &TraceCatalog) -> SpecSpace {
 }
 
 fn main() {
-    let path = edc_bench::artifact_path("BENCH_bound.json");
+    let args = edc_bench::bench_args("BENCH_bound.json");
+    let path = args.path.clone();
     let catalog = catalog();
     let space = space(&catalog);
 
     // The space-level static report, committed alongside the search.
     let space_lint = lint_space(&space, &mut Linter::with_catalog(catalog.clone()));
 
-    let explorer = Explorer::new()
+    let mut explorer = Explorer::new()
         .objective(CompletionTime)
         .objective(EnergyPerTask)
         .objective(BrownoutCount)
         .prefilter(true)
         .catalog(catalog.clone());
+    if let Some(dir) = &args.store {
+        match edc_explore::Store::open(dir) {
+            Ok(store) => explorer = explorer.store(store.into_handle()),
+            Err(e) => {
+                eprintln!("cannot open store at {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let started = Instant::now();
     let lint_only = explorer.run(&space, &ExhaustiveGrid).unwrap_or_else(|e| {
@@ -156,30 +172,41 @@ fn main() {
     // byte-identical, something was bound-pruned, and the simulation cost
     // is strictly lower than the lint prefilter could manage alone.
     let objectives: Vec<String> = lint_only.objectives.clone();
-    let front_a = lint_only.front.to_json(&objectives).to_string();
-    let front_b = bounded.front.to_json(&objectives).to_string();
-    let fronts_identical = front_a == front_b;
+    let front_a_json = lint_only.front.to_json(&objectives);
+    let front_b_json = bounded.front.to_json(&objectives);
+    let fronts_identical = front_a_json.to_string() == front_b_json.to_string();
     if !fronts_identical {
         eprintln!("FAIL: branch-and-bound changed the Pareto front");
         std::process::exit(1);
     }
-    if bounded.bound_pruned == 0 {
-        eprintln!("FAIL: nothing was bound-pruned — the space must contain dominated brackets");
-        std::process::exit(1);
-    }
-    if bounded.cost_units >= lint_only.cost_units {
-        eprintln!(
-            "FAIL: bounded cost {} is not strictly below lint-only {}",
-            bounded.cost_units, lint_only.cost_units
+    if args.store.is_none() {
+        // Store hits bypass the interval engine entirely (a stored score
+        // needs no bounding), so these only hold for store-less runs.
+        if bounded.bound_pruned == 0 {
+            eprintln!("FAIL: nothing was bound-pruned — the space must contain dominated brackets");
+            std::process::exit(1);
+        }
+        if bounded.cost_units >= lint_only.cost_units {
+            eprintln!(
+                "FAIL: bounded cost {} is not strictly below lint-only {}",
+                bounded.cost_units, lint_only.cost_units
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "fronts byte-identical; cost {:.2} → {:.2} units ({:.0}% saved)",
+            lint_only.cost_units,
+            bounded.cost_units,
+            (1.0 - bounded.cost_units / lint_only.cost_units) * 100.0
         );
-        std::process::exit(1);
+    } else {
+        println!(
+            "store: lint-only {} hits, bounded {} hits",
+            lint_only.store_hits, bounded.store_hits
+        );
+        edc_bench::assert_front_matches("BENCH_bound.json", "lint_only", &front_a_json);
+        edc_bench::assert_front_matches("BENCH_bound.json", "bounded", &front_b_json);
     }
-    println!(
-        "fronts byte-identical; cost {:.2} → {:.2} units ({:.0}% saved)",
-        lint_only.cost_units,
-        bounded.cost_units,
-        (1.0 - bounded.cost_units / lint_only.cost_units) * 100.0
-    );
 
     edc_bench::banner("Metrics");
     print!("{}", edc_metrics::global().render_text());

@@ -20,6 +20,12 @@
 //!
 //! Run: `cargo run --release -p edc-explore --bin bench_lint`
 //! Output path override: `bench_lint <path>` (default `BENCH_lint.json`).
+//!
+//! `--store DIR` runs both searches against a persistent evaluation
+//! store and hard-asserts each front byte-identical to the committed
+//! cold `BENCH_lint.json`. Store hits bypass the lint prefilter (a
+//! stored score needs no static analysis), so the prune-count and
+//! cost-strictness assertions only apply to store-less runs.
 
 use std::time::Instant;
 
@@ -95,7 +101,8 @@ fn space(catalog: &TraceCatalog) -> SpecSpace {
 }
 
 fn main() {
-    let path = edc_bench::artifact_path("BENCH_lint.json");
+    let args = edc_bench::bench_args("BENCH_lint.json");
+    let path = args.path.clone();
     let catalog = catalog();
     let space = space(&catalog);
 
@@ -103,10 +110,19 @@ fn main() {
     // designs the analyzer flags, and where.
     let space_lint = lint_space(&space, &mut Linter::with_catalog(catalog.clone()));
 
-    let explorer = Explorer::new()
+    let mut explorer = Explorer::new()
         .objective(CompletionTime)
         .objective(EnergyPerTask)
         .catalog(catalog.clone());
+    if let Some(dir) = &args.store {
+        match edc_explore::Store::open(dir) {
+            Ok(store) => explorer = explorer.store(store.into_handle()),
+            Err(e) => {
+                eprintln!("cannot open store at {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let started = Instant::now();
     let baseline = explorer.run(&space, &ExhaustiveGrid).unwrap_or_else(|e| {
@@ -149,32 +165,43 @@ fn main() {
     // The tentpole's two load-bearing properties, asserted hard: the front
     // is byte-identical and the simulation cost strictly lower.
     let objectives: Vec<String> = baseline.objectives.clone();
-    let front_a = baseline.front.to_json(&objectives).to_string();
-    let front_b = prefiltered.front.to_json(&objectives).to_string();
-    let fronts_identical = front_a == front_b;
+    let front_a_json = baseline.front.to_json(&objectives);
+    let front_b_json = prefiltered.front.to_json(&objectives);
+    let fronts_identical = front_a_json.to_string() == front_b_json.to_string();
     if !fronts_identical {
         eprintln!("FAIL: prefilter changed the Pareto front");
         std::process::exit(1);
     }
-    if prefiltered.lint_pruned == 0 {
-        eprintln!(
-            "FAIL: prefilter pruned nothing — the extended space must contain E-flagged designs"
+    if args.store.is_none() {
+        // Store hits bypass the prefilter entirely (a stored score needs
+        // no static analysis), so these only hold for store-less runs.
+        if prefiltered.lint_pruned == 0 {
+            eprintln!(
+                "FAIL: prefilter pruned nothing — the extended space must contain E-flagged designs"
+            );
+            std::process::exit(1);
+        }
+        if prefiltered.cost_units >= baseline.cost_units {
+            eprintln!(
+                "FAIL: prefiltered cost {} is not strictly below baseline {}",
+                prefiltered.cost_units, baseline.cost_units
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "fronts byte-identical; cost {:.2} → {:.2} units ({:.0}% saved)",
+            baseline.cost_units,
+            prefiltered.cost_units,
+            (1.0 - prefiltered.cost_units / baseline.cost_units) * 100.0
         );
-        std::process::exit(1);
-    }
-    if prefiltered.cost_units >= baseline.cost_units {
-        eprintln!(
-            "FAIL: prefiltered cost {} is not strictly below baseline {}",
-            prefiltered.cost_units, baseline.cost_units
+    } else {
+        println!(
+            "store: baseline {} hits, prefiltered {} hits",
+            baseline.store_hits, prefiltered.store_hits
         );
-        std::process::exit(1);
+        edc_bench::assert_front_matches("BENCH_lint.json", "baseline", &front_a_json);
+        edc_bench::assert_front_matches("BENCH_lint.json", "prefiltered", &front_b_json);
     }
-    println!(
-        "fronts byte-identical; cost {:.2} → {:.2} units ({:.0}% saved)",
-        baseline.cost_units,
-        prefiltered.cost_units,
-        (1.0 - prefiltered.cost_units / baseline.cost_units) * 100.0
-    );
 
     edc_bench::banner("Metrics");
     print!("{}", edc_metrics::global().render_text());

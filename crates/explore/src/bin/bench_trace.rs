@@ -17,6 +17,11 @@
 //! Run: `cargo run --release -p edc-explore --bin bench_trace`
 //! Output path override: `bench_trace <path>` (default `BENCH_trace.json`
 //! in the working directory).
+//!
+//! `--store DIR` runs both searches against a persistent evaluation
+//! store and hard-asserts each front byte-identical to the committed
+//! cold `BENCH_trace.json` — a warm store must change the budget, never
+//! the result.
 
 use std::time::Instant;
 
@@ -132,13 +137,23 @@ fn front_table(report: &ExploreReport) -> String {
 }
 
 fn main() {
-    let path = edc_bench::artifact_path("BENCH_trace.json");
+    let args = edc_bench::bench_args("BENCH_trace.json");
+    let path = args.path.clone();
     let catalog = catalog();
     let space = space(&catalog);
-    let explorer = Explorer::new()
+    let mut explorer = Explorer::new()
         .objective(CompletionTime)
         .objective(EnergyPerTask)
         .catalog(catalog.clone());
+    if let Some(dir) = &args.store {
+        match edc_explore::Store::open(dir) {
+            Ok(store) => explorer = explorer.store(store.into_handle()),
+            Err(e) => {
+                eprintln!("cannot open store at {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let started = Instant::now();
     let grid = explorer.run(&space, &ExhaustiveGrid).unwrap_or_else(|e| {
@@ -191,6 +206,26 @@ fn main() {
         front_overlap,
         halving.front.len()
     );
+
+    // The --store warm-start contract: the store may change the budget,
+    // never the result. Both fronts must match the committed cold run.
+    if args.store.is_some() {
+        println!(
+            "store: grid {} hits, halving {} hits",
+            grid.store_hits, halving.store_hits
+        );
+        let objectives: Vec<String> = grid.objectives.clone();
+        edc_bench::assert_front_matches(
+            "BENCH_trace.json",
+            "exhaustive",
+            &grid.front.to_json(&objectives),
+        );
+        edc_bench::assert_front_matches(
+            "BENCH_trace.json",
+            "halving",
+            &halving.front.to_json(&objectives),
+        );
+    }
 
     banner("Metrics");
     print!("{}", edc_metrics::global().render_text());

@@ -1,0 +1,154 @@
+//! The incremental experiment service: line-delimited JSON requests
+//! (`evaluate` / `search` / `lint` / `fetch` / `metrics`) over stdin or a
+//! TCP socket, backed by the parallel evaluator and an optional
+//! persistent evaluation store. See [`edc_explore::serve`] for the
+//! protocol.
+//!
+//! - Stdin mode (default): requests on stdin, one response per line on
+//!   stdout. Consecutive `evaluate` lines batch until a blank line or a
+//!   different op; end-of-input flushes the last batch and
+//!   deterministically compacts the store, so two servers fed the same
+//!   script leave byte-identical store files.
+//! - TCP mode (`--listen ADDR`): connections are accepted and served one
+//!   at a time over the same session, so every client shares the session
+//!   memo and store. A connection's end flushes its pending batch; the
+//!   store is compacted when the listener terminates (never, under
+//!   normal operation — the store stays durable via its append-only
+//!   log).
+//!
+//! Run: `cargo run --release -p edc-explore --bin edc_serve -- \
+//!       [--store DIR] [--listen ADDR] [--threads N] [--objectives a,b]`
+
+use std::io::{BufRead, BufReader, Write};
+
+use edc_explore::serve::ServeSession;
+use edc_explore::{objective_by_name, Objective, Store};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: edc_serve [--store DIR] [--listen ADDR] [--threads N] [--objectives NAME,NAME]\n\
+         \n\
+         Speaks line-delimited JSON on stdin (default) or ADDR. Objective\n\
+         names: completion_s, brownouts, p99_outage_s, energy_per_task_j\n\
+         (default: completion_s,energy_per_task_j)."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut store_dir: Option<String> = None;
+    let mut listen: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut objective_names: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--store" => store_dir = Some(value()),
+            "--listen" => listen = Some(value()),
+            "--threads" => match value().parse() {
+                Ok(n) => threads = Some(n),
+                Err(_) => usage(),
+            },
+            "--objectives" => objective_names = Some(value()),
+            _ => usage(),
+        }
+    }
+
+    let mut session = ServeSession::new().metrics(edc_metrics::global());
+    if let Some(n) = threads {
+        session = session.threads(n);
+    }
+    if let Some(names) = objective_names {
+        let mut objectives: Vec<Box<dyn Objective>> = Vec::new();
+        for name in names.split(',').filter(|n| !n.is_empty()) {
+            match objective_by_name(name) {
+                Some(o) => objectives.push(o),
+                None => {
+                    eprintln!("unknown objective: {name}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if objectives.is_empty() {
+            usage();
+        }
+        session = session.objectives(objectives);
+    }
+    if let Some(dir) = store_dir {
+        match Store::open(&dir) {
+            Ok(store) => session = session.store(store.into_handle()),
+            Err(e) => {
+                eprintln!("cannot open store at {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    match listen {
+        None => serve_stdin(session),
+        Some(addr) => serve_tcp(session, &addr),
+    }
+}
+
+/// Stdin mode: one response line per request, batches flushed on blank
+/// lines and at end-of-input (which also compacts the store).
+fn serve_stdin(mut session: ServeSession) {
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout().lock();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        for response in session.handle_line(&line) {
+            emit(&mut out, &response);
+        }
+    }
+    for response in session.finish() {
+        emit(&mut out, &response);
+    }
+}
+
+/// TCP mode: connections served one at a time over the shared session,
+/// so every client warms the same memo and store.
+fn serve_tcp(mut session: ServeSession, addr: &str) {
+    let listener = std::net::TcpListener::bind(addr).unwrap_or_else(|e| {
+        eprintln!("cannot listen on {addr}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("edc_serve listening on {addr}");
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => continue,
+        };
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            let mut broken = false;
+            for response in session.handle_line(&line) {
+                if writeln!(writer, "{response}").is_err() {
+                    broken = true;
+                    break;
+                }
+            }
+            if broken || writer.flush().is_err() {
+                break;
+            }
+        }
+        // The connection's end answers its still-pending batch; when the
+        // client is already gone the responses are simply dropped.
+        for response in session.flush() {
+            let _ = writeln!(writer, "{response}");
+        }
+        let _ = writer.flush();
+    }
+}
+
+fn emit(out: &mut impl Write, response: &str) {
+    if writeln!(out, "{response}")
+        .and_then(|()| out.flush())
+        .is_err()
+    {
+        std::process::exit(1);
+    }
+}

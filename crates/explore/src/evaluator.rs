@@ -27,6 +27,7 @@
 //!   which is what makes [`ExploreReport`](crate::ExploreReport) JSON
 //!   byte-identical across repeated and serial-vs-parallel runs.
 
+use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::collections::HashSet;
 use std::time::Instant;
@@ -34,9 +35,11 @@ use std::time::Instant;
 use edc_bench::sweep::run_specs_timed_metered;
 use edc_core::catalog::TraceCatalog;
 use edc_core::experiment::ExperimentSpec;
+use edc_core::SystemReport;
 use edc_core::TelemetryKind;
 use edc_lint::Linter;
 use edc_obs::{ProfileReport, ProfileSpan};
+use edc_store::StoreHandle;
 use edc_units::Seconds;
 
 use crate::objective::Objective;
@@ -77,6 +80,10 @@ pub struct TraceEntry {
     /// incumbent dominates even these, so the true scores cannot reach
     /// the Pareto front).
     pub bound_pruned: bool,
+    /// `true` when the persistent store served the request without
+    /// simulating (first request for the key only; repeats within the
+    /// process hit the memo cache as usual).
+    pub store_hit: bool,
 }
 
 /// The memoised, budgeted, parallel evaluation engine.
@@ -109,6 +116,8 @@ pub struct Evaluator<'a> {
     incumbents: Vec<Vec<f64>>,
     profile: ProfileReport,
     metrics: Option<edc_metrics::Registry>,
+    store: Option<StoreHandle>,
+    store_hits: u64,
 }
 
 /// Histogram bounds for per-miss simulation cost in
@@ -174,6 +183,8 @@ impl<'a> Evaluator<'a> {
             incumbents: Vec::new(),
             profile: ProfileReport::new(),
             metrics: None,
+            store: None,
+            store_hits: 0,
         }
     }
 
@@ -250,6 +261,37 @@ impl<'a> Evaluator<'a> {
         self
     }
 
+    /// Connects a persistent evaluation store. Before simulating, every
+    /// memo-cache miss is looked up by its canonical-spec key; a hit is
+    /// billed at **zero** cost, never simulated, and (in bound mode)
+    /// becomes a dominance incumbent, so searches warm-started from a
+    /// fully-populated store run zero simulations yet produce
+    /// byte-identical Pareto fronts. Scores the stored entry lacks are
+    /// recomputed bit-exactly from its stored report via
+    /// [`Objective::score_json`] and merged back into the store; misses
+    /// that do simulate are written back, so every process enriches the
+    /// store for the next one. Store traffic is counted by the
+    /// `edc_store_hits` / `edc_store_misses` / `edc_store_writes`
+    /// metrics.
+    ///
+    /// ```
+    /// use edc_explore::evaluator::Evaluator;
+    /// use edc_explore::objective::{CompletionTime, Objective};
+    /// use edc_store::Store;
+    /// use edc_units::Seconds;
+    ///
+    /// let dir = std::env::temp_dir().join("edc-eval-doc-store");
+    /// let _ = std::fs::remove_dir_all(&dir);
+    /// let store = Store::open(&dir).unwrap().into_handle();
+    /// let objectives: Vec<Box<dyn Objective>> = vec![Box::new(CompletionTime)];
+    /// let eval = Evaluator::new(&objectives, 1, None, Seconds(20e-6))
+    ///     .with_store(store);
+    /// ```
+    pub fn with_store(mut self, store: StoreHandle) -> Self {
+        self.store = Some(store);
+        self
+    }
+
     /// Sets the full-horizon deadline cost is normalised against: a run
     /// whose spec deadline is `d` charges a further factor `d /
     /// reference_deadline`, so rung-shortened deadlines (see
@@ -320,6 +362,61 @@ impl<'a> Evaluator<'a> {
             if !self.cache.contains_key(key) && queued.insert(key) {
                 missing.push(i);
             }
+        }
+
+        // Persistent store: resolve misses from prior processes' runs
+        // before any lint/bound/simulation work. Hits are billed at zero
+        // cost and (in bound mode) become dominance incumbents; scores
+        // the stored entry lacks are recomputed bit-exactly from its
+        // stored report and merged back for the next reader.
+        let mut store_fresh: HashSet<usize> = HashSet::new();
+        let mut store_misses: u64 = 0;
+        if let Some(store) = self.store.clone() {
+            let mut guard = store
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut survivors = Vec::with_capacity(missing.len());
+            for &i in &missing {
+                let hit = guard.get(&keys[i]).and_then(|entry| {
+                    let resolved: Option<Vec<f64>> = objectives
+                        .iter()
+                        .map(|o| {
+                            o.store_key()
+                                .and_then(|k| entry.scores.get(&k).copied())
+                                .or_else(|| o.score_json(&entry.report))
+                        })
+                        .collect();
+                    resolved.map(|scores| {
+                        let mut recomputed: BTreeMap<String, f64> = BTreeMap::new();
+                        for (o, s) in objectives.iter().zip(&scores) {
+                            if let Some(key) = o.store_key() {
+                                if !entry.scores.contains_key(&key) && !s.is_nan() {
+                                    recomputed.insert(key, *s);
+                                }
+                            }
+                        }
+                        (scores, recomputed, entry.report.clone(), entry.cost)
+                    })
+                });
+                let Some((scores, recomputed, report, cost)) = hit else {
+                    store_misses += 1;
+                    survivors.push(i);
+                    continue;
+                };
+                if !recomputed.is_empty() {
+                    guard
+                        .put(&prepared[i].to_json(), report, recomputed, cost)
+                        .map_err(ExploreError::Store)?;
+                }
+                if self.bound {
+                    // Store hits carry exact scores: valid incumbents.
+                    self.incumbents.push(scores.clone());
+                }
+                self.cache.insert(keys[i].clone(), scores);
+                store_fresh.insert(i);
+                self.store_hits += 1;
+            }
+            missing = survivors;
         }
 
         // Lint prefilter: score statically-infeasible misses without
@@ -459,9 +556,21 @@ impl<'a> Evaluator<'a> {
                             .map(|o| o.score(&prepared[i], &row.report))
                             .collect();
                         self.incumbents.push(scores.clone());
+                        let cost = self.cost_of(&prepared[i]);
+                        if let Some(store) = &self.store {
+                            store_write_back(
+                                store,
+                                objectives,
+                                &prepared[i],
+                                &row.report,
+                                &scores,
+                                cost,
+                                &registry,
+                                phase,
+                            )?;
+                        }
                         self.cache.insert(keys[i].clone(), scores);
                         self.simulations += 1;
-                        let cost = self.cost_of(&prepared[i]);
                         self.cost_units += cost;
                         miss_cost.observe(cost);
                     }
@@ -475,9 +584,21 @@ impl<'a> Evaluator<'a> {
                         .iter()
                         .map(|o| o.score(&prepared[i], &row.report))
                         .collect();
+                    let cost = self.cost_of(&prepared[i]);
+                    if let Some(store) = &self.store {
+                        store_write_back(
+                            store,
+                            objectives,
+                            &prepared[i],
+                            &row.report,
+                            &scores,
+                            cost,
+                            &registry,
+                            phase,
+                        )?;
+                    }
                     self.cache.insert(keys[i].clone(), scores);
                     self.simulations += 1;
-                    let cost = self.cost_of(&prepared[i]);
                     self.cost_units += cost;
                     miss_cost.observe(cost);
                 }
@@ -493,7 +614,8 @@ impl<'a> Evaluator<'a> {
             // as cache hits.
             let pruned = self.pruned.contains(&key);
             let bound_pruned = self.bound_pruned_keys.contains(&key);
-            let cached = !pruned && !bound_pruned && !fresh.contains(&i);
+            let store_hit = store_fresh.contains(&i);
+            let cached = !pruned && !bound_pruned && !store_hit && !fresh.contains(&i);
             if cached {
                 self.cache_hits += 1;
             }
@@ -504,6 +626,7 @@ impl<'a> Evaluator<'a> {
                 cached,
                 pruned,
                 bound_pruned,
+                store_hit,
             });
             evaluations.push(Evaluation { spec, key, scores });
         }
@@ -558,18 +681,37 @@ impl<'a> Evaluator<'a> {
                 &phase_label,
             )
             .inc_by(self.bound_pruned - before.5);
-        self.profile.push(
-            ProfileSpan::new(phase)
-                .counter("requests", evaluations.len() as f64)
-                .counter("misses", missing.len() as f64)
-                .counter("cache_hits", (self.cache_hits - before.0) as f64)
-                .counter("lint_checks", (self.lint_checks - before.1) as f64)
-                .counter("lint_pruned", (self.lint_pruned - before.2) as f64)
-                .counter("bound_checks", (self.bound_checks - before.4) as f64)
-                .counter("bound_pruned", (self.bound_pruned - before.5) as f64)
-                .counter("cost", self.cost_units - before.3)
-                .wall(started.elapsed().as_secs_f64()),
-        );
+        if self.store.is_some() {
+            registry
+                .counter(
+                    "edc_store_hits",
+                    "Memo-cache misses served by the persistent store, per search phase.",
+                    &phase_label,
+                )
+                .inc_by(store_fresh.len() as u64);
+            registry
+                .counter(
+                    "edc_store_misses",
+                    "Memo-cache misses the persistent store could not serve, per search phase.",
+                    &phase_label,
+                )
+                .inc_by(store_misses);
+        }
+        let mut span = ProfileSpan::new(phase)
+            .counter("requests", evaluations.len() as f64)
+            .counter("misses", missing.len() as f64)
+            .counter("cache_hits", (self.cache_hits - before.0) as f64)
+            .counter("lint_checks", (self.lint_checks - before.1) as f64)
+            .counter("lint_pruned", (self.lint_pruned - before.2) as f64)
+            .counter("bound_checks", (self.bound_checks - before.4) as f64)
+            .counter("bound_pruned", (self.bound_pruned - before.5) as f64)
+            .counter("cost", self.cost_units - before.3);
+        if self.store.is_some() {
+            // Appended so store-less profiles keep their exact shape.
+            span = span.counter("store_hits", store_fresh.len() as f64);
+        }
+        self.profile
+            .push(span.wall(started.elapsed().as_secs_f64()));
         Ok(evaluations)
     }
 
@@ -625,6 +767,13 @@ impl<'a> Evaluator<'a> {
         self.bound_pruned
     }
 
+    /// Number of memo-cache misses the persistent store served without
+    /// simulating (each billed at zero cost). Always zero without
+    /// [`Evaluator::with_store`].
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits
+    }
+
     /// The recorded trace, in evaluation-request order.
     pub fn trace(&self) -> &[TraceEntry] {
         &self.trace
@@ -646,6 +795,47 @@ impl<'a> Evaluator<'a> {
     pub fn into_trace(self) -> Vec<TraceEntry> {
         self.trace
     }
+}
+
+/// Writes one simulated evaluation back to the persistent store: the
+/// canonical spec, the full report JSON, every persistable objective
+/// score (by [`Objective::store_key`]; NaN never stored), and the cost
+/// the miss was billed.
+#[allow(clippy::too_many_arguments)]
+fn store_write_back(
+    store: &StoreHandle,
+    objectives: &[Box<dyn Objective>],
+    spec: &ExperimentSpec,
+    report: &SystemReport,
+    scores: &[f64],
+    cost: f64,
+    registry: &edc_metrics::Registry,
+    phase: &str,
+) -> Result<(), ExploreError> {
+    let mut named: BTreeMap<String, f64> = BTreeMap::new();
+    for (o, s) in objectives.iter().zip(scores) {
+        if let Some(key) = o.store_key() {
+            if !s.is_nan() {
+                named.insert(key, *s);
+            }
+        }
+    }
+    let mut guard = store
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let appended = guard
+        .put(&spec.to_json(), report.to_json(), named, cost)
+        .map_err(ExploreError::Store)?;
+    if appended {
+        registry
+            .counter(
+                "edc_store_writes",
+                "Simulated evaluations written back to the persistent store, per search phase.",
+                &[("phase", phase)],
+            )
+            .inc();
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -156,6 +156,27 @@ impl FleetTemplate {
         metrics
     }
 
+    /// A deterministic fingerprint of the template's configuration —
+    /// field, node count, placement, stagger, and duty period — used to
+    /// qualify its objectives' [`Objective::store_key`]s. Two templates
+    /// configured identically fingerprint identically (regardless of
+    /// their memo caches); any config difference changes the
+    /// fingerprint, so differently-configured fleet searches sharing a
+    /// persistent store can never alias each other's scores.
+    pub fn fingerprint(&self) -> String {
+        let config = edc_core::json::Json::obj(vec![
+            ("field", self.field.to_json()),
+            ("nodes", edc_core::json::Json::Uint(self.nodes as u64)),
+            ("placement", self.placement.to_json()),
+            ("stagger_s", edc_core::json::Json::Num(self.stagger.0)),
+            (
+                "duty_period_s",
+                edc_core::json::Json::Num(self.duty_period.0),
+            ),
+        ]);
+        edc_store::hex16(edc_store::key_hash(&config.to_string()))
+    }
+
     /// The design's source is replaced by each node's field view, so two
     /// designs differing only there build identical fleets — normalise it
     /// out of the memo keys or a sources axis would redo the same fleet
@@ -250,6 +271,10 @@ impl Objective for FleetNodesToCover {
     fn cost_multiplier(&self) -> f64 {
         self.0.nodes().max(1) as f64
     }
+
+    fn store_key(&self) -> Option<String> {
+        Some(format!("{}@{}", self.name(), self.0.fingerprint()))
+    }
 }
 
 /// `1 − coverage` of the template fleet built from the candidate design
@@ -283,6 +308,10 @@ impl Objective for FleetCoverageShortfall {
     fn cost_multiplier(&self) -> f64 {
         self.0.nodes().max(1) as f64
     }
+
+    fn store_key(&self) -> Option<String> {
+        Some(format!("{}@{}", self.name(), self.0.fingerprint()))
+    }
 }
 
 /// Fleet energy per completed task, joules; `INFINITY` when no node of
@@ -313,6 +342,10 @@ impl Objective for FleetEnergyPerTask {
 
     fn cost_multiplier(&self) -> f64 {
         self.0.nodes().max(1) as f64
+    }
+
+    fn store_key(&self) -> Option<String> {
+        Some(format!("{}@{}", self.name(), self.0.fingerprint()))
     }
 }
 
@@ -346,6 +379,10 @@ impl Objective for FleetBrownoutShortfall {
 
     fn cost_multiplier(&self) -> f64 {
         self.0.nodes().max(1) as f64
+    }
+
+    fn store_key(&self) -> Option<String> {
+        Some(format!("{}@{}", self.name(), self.0.fingerprint()))
     }
 }
 

@@ -61,17 +61,22 @@ pub mod objective;
 pub mod pareto;
 pub mod search;
 pub mod seed;
+pub mod serve;
 pub mod space;
 
+pub use edc_store::{Store, StoreEntry, StoreError, StoreHandle};
 pub use evaluator::{Evaluation, Evaluator, TraceEntry};
 pub use fleet::{
     FleetBrownoutShortfall, FleetCoverageShortfall, FleetEnergyPerTask, FleetNodesToCover,
     FleetTemplate,
 };
 pub use lint::lint_space;
-pub use objective::{BrownoutCount, CompletionTime, EnergyPerTask, Objective, P99Outage};
+pub use objective::{
+    objective_by_name, BrownoutCount, CompletionTime, EnergyPerTask, Objective, P99Outage,
+};
 pub use pareto::{dominates, FrontPoint, ParetoFront};
 pub use search::{CoordinateDescent, ExhaustiveGrid, RandomSearch, Searcher, SuccessiveHalving};
+pub use serve::ServeSession;
 pub use space::{Point, SpecSpace, AXES, AXIS_NAMES};
 
 use std::fmt;
@@ -113,6 +118,9 @@ pub enum ExploreError {
         /// The space's size.
         size: usize,
     },
+    /// The persistent evaluation store failed (I/O, corruption, or a
+    /// conflicting duplicate entry).
+    Store(edc_store::StoreError),
 }
 
 impl fmt::Display for ExploreError {
@@ -137,11 +145,18 @@ impl fmt::Display for ExploreError {
             ExploreError::StartOutOfRange { start, size } => {
                 write!(f, "start index {start} outside the {size}-point space")
             }
+            ExploreError::Store(e) => write!(f, "evaluation store failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for ExploreError {}
+
+impl From<edc_store::StoreError> for ExploreError {
+    fn from(e: edc_store::StoreError) -> Self {
+        ExploreError::Store(e)
+    }
+}
 
 impl From<BuildError> for ExploreError {
     fn from(e: BuildError) -> Self {
@@ -165,6 +180,7 @@ pub struct Explorer {
     prefilter: bool,
     bound: bool,
     metrics: Option<edc_metrics::Registry>,
+    store: Option<edc_store::StoreHandle>,
 }
 
 impl Explorer {
@@ -178,6 +194,7 @@ impl Explorer {
             prefilter: false,
             bound: false,
             metrics: None,
+            store: None,
         }
     }
 
@@ -274,6 +291,56 @@ impl Explorer {
         self
     }
 
+    /// Connects a persistent evaluation store
+    /// ([`Evaluator::with_store`]): memo-cache misses found in the store
+    /// are served at zero simulation cost, and every simulated miss is
+    /// written back — so repeated searches over overlapping spaces
+    /// warm-start across processes with byte-identical fronts. The
+    /// report gains a `store` JSON section; store-less reports keep
+    /// their exact byte shape.
+    ///
+    /// ```
+    /// use edc_core::experiment::ExperimentSpec;
+    /// use edc_core::scenarios::{SourceKind, StrategyKind};
+    /// use edc_explore::{CompletionTime, ExhaustiveGrid, Explorer, SpecSpace};
+    /// use edc_store::Store;
+    /// use edc_units::{Farads, Seconds};
+    /// use edc_workloads::WorkloadKind;
+    ///
+    /// let dir = std::env::temp_dir().join("edc-explorer-doc-store");
+    /// let _ = std::fs::remove_dir_all(&dir);
+    /// let base = ExperimentSpec::new(
+    ///     SourceKind::Dc { volts: 3.3 },
+    ///     StrategyKind::Restart,
+    ///     WorkloadKind::BusyLoop(120),
+    /// )
+    /// .deadline(Seconds(1.0));
+    /// let space = SpecSpace::over(base)
+    ///     .decoupling(&[Farads::from_micro(4.7), Farads::from_micro(10.0)]);
+    ///
+    /// let cold = Explorer::new()
+    ///     .objective(CompletionTime)
+    ///     .store(Store::open(&dir)?.into_handle())
+    ///     .run(&space, &ExhaustiveGrid)?;
+    /// assert_eq!((cold.evaluations, cold.store_hits), (2, 0));
+    ///
+    /// // A fresh process over the same space simulates nothing.
+    /// let warm = Explorer::new()
+    ///     .objective(CompletionTime)
+    ///     .store(Store::open(&dir)?.into_handle())
+    ///     .run(&space, &ExhaustiveGrid)?;
+    /// assert_eq!((warm.evaluations, warm.store_hits), (0, 2));
+    /// assert_eq!(
+    ///     warm.front.to_json(&warm.objectives).to_string(),
+    ///     cold.front.to_json(&cold.objectives).to_string(),
+    /// );
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn store(mut self, store: edc_store::StoreHandle) -> Self {
+        self.store = Some(store);
+        self
+    }
+
     /// Explores `space` with `searcher` and reports the front.
     ///
     /// # Errors
@@ -306,6 +373,9 @@ impl Explorer {
         if let Some(registry) = &self.metrics {
             eval = eval.with_metrics(registry.clone());
         }
+        if let Some(store) = &self.store {
+            eval = eval.with_store(store.clone());
+        }
         let finals = searcher.search(space, &mut eval)?;
         let front = ParetoFront::from_evaluations(&finals);
         Ok(ExploreReport {
@@ -325,6 +395,8 @@ impl Explorer {
             bound: self.bound,
             bound_checks: eval.bound_checks(),
             bound_pruned: eval.bound_pruned(),
+            store: self.store.is_some(),
+            store_hits: eval.store_hits(),
             front,
             profile: eval.profile().clone(),
             trace: eval.into_trace(),
@@ -371,6 +443,10 @@ pub struct ExploreReport {
     pub bound_checks: u64,
     /// Cache misses branch-and-bound dominance-pruned without simulating.
     pub bound_pruned: u64,
+    /// Whether a persistent evaluation store was connected.
+    pub store: bool,
+    /// Memo-cache misses served by the persistent store at zero cost.
+    pub store_hits: u64,
     /// The non-dominated designs among the searcher's final candidates.
     pub front: ParetoFront,
     /// Per-phase profiling: one span per [`Evaluator::evaluate`] call,
@@ -441,6 +517,12 @@ impl ExploreReport {
                 ]),
             ));
         }
+        if self.store {
+            fields.push((
+                "store",
+                Json::obj(vec![("hits", Json::Uint(self.store_hits))]),
+            ));
+        }
         fields.push(("front", self.front.to_json(&self.objectives)));
         fields.push((
             "trace",
@@ -480,6 +562,9 @@ fn trace_json(t: &TraceEntry, objectives: &[String]) -> Json {
     }
     if t.bound_pruned {
         fields.push(("bound_pruned", Json::Bool(true)));
+    }
+    if t.store_hit {
+        fields.push(("store", Json::Bool(true)));
     }
     Json::obj(fields)
 }

@@ -17,8 +17,18 @@
 
 use edc_bound::{Bounder, ScoreBracket};
 use edc_core::experiment::ExperimentSpec;
+use edc_core::json::Json;
 use edc_core::telemetry::TelemetryReport;
 use edc_core::SystemReport;
+
+/// Reads a JSON number (the parser yields `Uint` for whole numbers).
+fn json_num(value: &Json) -> Option<f64> {
+    match value {
+        Json::Num(x) => Some(*x),
+        Json::Uint(n) => Some(*n as f64),
+        _ => None,
+    }
+}
 
 /// A scalar figure of merit over a candidate; lower is better.
 pub trait Objective {
@@ -81,6 +91,46 @@ pub trait Objective {
         None
     }
 
+    /// Scores the candidate from its **serialized** `SystemReport` JSON —
+    /// the form the persistent store holds. Must return exactly the bits
+    /// [`Objective::score`] would have produced on the live report, or
+    /// `None` when that is impossible (a field is missing, or the score
+    /// depends on state outside the report, as for the fleet adapters):
+    /// `None` sends the candidate back through the simulator, which is
+    /// always sound.
+    ///
+    /// Built-in objectives read the same fields their `score` reads —
+    /// canonical JSON emission uses shortest round-trip formatting, so
+    /// the re-parsed values are bit-identical and warm-started fronts
+    /// match cold ones byte-for-byte.
+    ///
+    /// ```
+    /// use edc_core::json::Json;
+    /// use edc_explore::{CompletionTime, Objective};
+    ///
+    /// let report = Json::parse(
+    ///     r#"{"stats":{"completed_at_s":1.25,"energy_j":0.5,"brownouts":0}}"#,
+    /// )
+    /// .unwrap();
+    /// assert_eq!(CompletionTime.score_json(&report), Some(1.25));
+    /// ```
+    fn score_json(&self, report: &Json) -> Option<f64> {
+        let _ = report;
+        None
+    }
+
+    /// The name this objective's scores are persisted under in a shared
+    /// evaluation store, or `None` to never persist them. The default —
+    /// the objective's [`Objective::name`] — is correct whenever the
+    /// score is a pure function of (spec, report). Objectives whose
+    /// score depends on configuration *outside* the spec must qualify
+    /// the key with that configuration (the fleet adapters append their
+    /// template's fingerprint), so two differently-configured searches
+    /// sharing one store can never alias each other's scores.
+    fn store_key(&self) -> Option<String> {
+        Some(self.name().to_string())
+    }
+
     /// How many full-fidelity-equivalent simulations scoring one *cache
     /// miss* really costs. `1.0` (the default) means the objective only
     /// reads the shared single-node report; objectives that launch extra
@@ -92,6 +142,28 @@ pub trait Objective {
     /// costs overlap rather than add).
     fn cost_multiplier(&self) -> f64 {
         1.0
+    }
+}
+
+/// Looks up one of the four single-node objectives by its
+/// [`Objective::name`] — the registry behind wire protocols (the
+/// `edc_serve` `--objectives` flag and `search` op) that name objectives
+/// as strings. Fleet objectives are not constructible here: they need a
+/// [`FleetTemplate`](crate::FleetTemplate) no name can carry.
+///
+/// ```
+/// use edc_explore::objective_by_name;
+///
+/// assert_eq!(objective_by_name("completion_s").unwrap().name(), "completion_s");
+/// assert!(objective_by_name("fleet_nodes_to_cover").is_none());
+/// ```
+pub fn objective_by_name(name: &str) -> Option<Box<dyn Objective>> {
+    match name {
+        "completion_s" => Some(Box::new(CompletionTime)),
+        "brownouts" => Some(Box::new(BrownoutCount)),
+        "p99_outage_s" => Some(Box::new(P99Outage)),
+        "energy_per_task_j" => Some(Box::new(EnergyPerTask)),
+        _ => None,
     }
 }
 
@@ -120,6 +192,13 @@ impl Objective for CompletionTime {
     fn static_bracket(&self, spec: &ExperimentSpec, bounder: &mut Bounder) -> Option<ScoreBracket> {
         Some(bounder.bound_spec(spec)?.completion_s)
     }
+
+    fn score_json(&self, report: &Json) -> Option<f64> {
+        match report.get("stats")?.get("completed_at_s")? {
+            Json::Null => Some(f64::INFINITY),
+            value => json_num(value),
+        }
+    }
 }
 
 /// Number of brownouts (Eq. 2 violations while executing) over the run.
@@ -145,6 +224,10 @@ impl Objective for BrownoutCount {
 
     fn static_bracket(&self, spec: &ExperimentSpec, bounder: &mut Bounder) -> Option<ScoreBracket> {
         Some(bounder.bound_spec(spec)?.brownouts)
+    }
+
+    fn score_json(&self, report: &Json) -> Option<f64> {
+        json_num(report.get("stats")?.get("brownouts")?)
     }
 }
 
@@ -173,6 +256,17 @@ impl Objective for P99Outage {
     fn static_bracket(&self, spec: &ExperimentSpec, bounder: &mut Bounder) -> Option<ScoreBracket> {
         Some(bounder.bound_spec(spec)?.p99_outage_s)
     }
+
+    fn score_json(&self, report: &Json) -> Option<f64> {
+        // Mirror `score` exactly: a report without a stats telemetry
+        // section scores INFINITY; one with it reads the p99 outage.
+        match report.get("telemetry") {
+            Some(telemetry) if telemetry.get("kind") == Some(&Json::Str("stats".into())) => {
+                json_num(telemetry.get("outage_s")?.get("p99")?)
+            }
+            _ => Some(f64::INFINITY),
+        }
+    }
 }
 
 /// Total energy drawn per completed task in joules; `INFINITY` when the
@@ -200,6 +294,14 @@ impl Objective for EnergyPerTask {
 
     fn static_bracket(&self, spec: &ExperimentSpec, bounder: &mut Bounder) -> Option<ScoreBracket> {
         Some(bounder.bound_spec(spec)?.energy_per_task_j)
+    }
+
+    fn score_json(&self, report: &Json) -> Option<f64> {
+        let stats = report.get("stats")?;
+        match stats.get("completed_at_s")? {
+            Json::Null => Some(f64::INFINITY),
+            _ => json_num(stats.get("energy_j")?),
+        }
     }
 }
 
@@ -299,6 +401,50 @@ mod tests {
             .static_bracket(&dark, &mut bounder)
             .expect("valid spec");
         assert!(completion.is_exact() && completion.lo == f64::INFINITY);
+    }
+
+    #[test]
+    fn score_json_matches_live_score_bit_exactly() {
+        let objectives: [&dyn Objective; 4] =
+            [&CompletionTime, &BrownoutCount, &P99Outage, &EnergyPerTask];
+        // Completed run with stats, completed run without, and a DNF.
+        let mut cases = vec![
+            completed(TelemetryKind::Stats),
+            completed(TelemetryKind::Null),
+        ];
+        let dnf = ExperimentSpec::new(
+            SourceKind::Dc { volts: 3.3 },
+            StrategyKind::Restart,
+            WorkloadKind::Endless,
+        )
+        .deadline(Seconds(0.01))
+        .telemetry(TelemetryKind::Stats);
+        let dnf_report = dnf.run().expect("spec runs");
+        cases.push((dnf, dnf_report));
+        for (spec, report) in &cases {
+            // Round-trip through text, the way the store sees reports.
+            let json = edc_core::json::Json::parse(&report.to_json().to_string()).expect("valid");
+            for o in objectives {
+                let live = o.score(spec, report);
+                let stored = o.score_json(&json).expect("built-ins score from JSON");
+                assert_eq!(
+                    live.to_bits(),
+                    stored.to_bits(),
+                    "{} diverges on stored report",
+                    o.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_json_refuses_unreadable_reports() {
+        let report = edc_core::json::Json::parse(r#"{"outcome":"Completed"}"#).expect("valid");
+        assert_eq!(CompletionTime.score_json(&report), None);
+        assert_eq!(BrownoutCount.score_json(&report), None);
+        assert_eq!(EnergyPerTask.score_json(&report), None);
+        // No telemetry section means no stats sink: INFINITY, as `score`.
+        assert_eq!(P99Outage.score_json(&report), Some(f64::INFINITY));
     }
 
     #[test]

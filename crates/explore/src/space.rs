@@ -270,6 +270,163 @@ impl SpecSpace {
         (0..self.len()).map(|i| self.spec_at(i)).collect()
     }
 
+    /// The space's full axis values as a JSON value. Unlike
+    /// [`SpecSpace::to_json`] — a lossy report header carrying only axis
+    /// *sizes* — this codec is invertible by [`SpecSpace::from_json`], so
+    /// a design space can travel over the wire (the `edc_serve` `search`
+    /// op) or live in a config file.
+    ///
+    /// ```
+    /// use edc_core::catalog::TraceCatalog;
+    /// use edc_core::experiment::ExperimentSpec;
+    /// use edc_core::scenarios::{SourceKind, StrategyKind};
+    /// use edc_explore::SpecSpace;
+    /// use edc_units::Farads;
+    /// use edc_workloads::WorkloadKind;
+    ///
+    /// let base = ExperimentSpec::new(
+    ///     SourceKind::Dc { volts: 3.3 },
+    ///     StrategyKind::Restart,
+    ///     WorkloadKind::Crc16(64),
+    /// );
+    /// let space = SpecSpace::over(base)
+    ///     .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus])
+    ///     .decoupling(&[Farads::from_micro(4.7), Farads::from_micro(10.0)]);
+    /// let round = SpecSpace::from_json(&space.axes_json(), &TraceCatalog::new())?;
+    /// assert_eq!(round.axes_json().to_string(), space.axes_json().to_string());
+    /// assert_eq!(round.len(), 4);
+    /// # Ok::<(), &'static str>(())
+    /// ```
+    pub fn axes_json(&self) -> edc_core::json::Json {
+        use edc_core::json::Json;
+        Json::obj(vec![
+            ("base", self.base.to_json()),
+            (
+                "sources",
+                Json::Arr(self.sources.iter().map(|s| s.to_json()).collect()),
+            ),
+            (
+                "workloads",
+                Json::Arr(
+                    self.workloads
+                        .iter()
+                        .map(edc_core::experiment::workload_to_json)
+                        .collect(),
+                ),
+            ),
+            (
+                "strategies",
+                Json::Arr(
+                    self.strategies
+                        .iter()
+                        .map(|s| Json::Str(s.name().into()))
+                        .collect(),
+                ),
+            ),
+            (
+                "decoupling_f",
+                Json::Arr(self.decoupling.iter().map(|f| Json::Num(f.0)).collect()),
+            ),
+            (
+                "timestep_s",
+                Json::Arr(self.timesteps.iter().map(|t| Json::Num(t.0)).collect()),
+            ),
+            (
+                "leakage_ohm",
+                Json::Arr(
+                    self.leakages
+                        .iter()
+                        .map(|l| Json::option(*l, |r| Json::Num(r.0)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuilds a space from [`SpecSpace::axes_json`] output, resolving
+    /// trace-backed sources through `catalog`. A missing axis key leaves
+    /// that axis at the base spec's own value, exactly like
+    /// [`SpecSpace::over`] — so a request may name only the axes it
+    /// varies. Parsing is shape-only: the result may still fail
+    /// [`SpecSpace::validate_in`], which callers run separately.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shape mismatch, unknown kind name, or trace
+    /// reference the catalog does not hold.
+    pub fn from_json(
+        json: &edc_core::json::Json,
+        catalog: &TraceCatalog,
+    ) -> Result<Self, &'static str> {
+        use edc_core::json::Json;
+        let num = |j: &Json| match j {
+            Json::Num(n) => Some(*n),
+            Json::Uint(u) => Some(*u as f64),
+            _ => None,
+        };
+        let axis = |key: &'static str| match json.get(key) {
+            None => Ok(None),
+            Some(Json::Arr(items)) => Ok(Some(items)),
+            Some(_) => Err("axis is not an array"),
+        };
+        let base =
+            ExperimentSpec::from_json(json.get("base").ok_or("space missing 'base'")?, catalog)?;
+        let mut space = SpecSpace::over(base);
+        if let Some(items) = axis("sources")? {
+            space.sources = items
+                .iter()
+                .map(|j| SourceKind::from_json(j, catalog))
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(items) = axis("workloads")? {
+            space.workloads = items
+                .iter()
+                .map(edc_core::experiment::workload_from_json)
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(items) = axis("strategies")? {
+            space.strategies = items
+                .iter()
+                .map(|j| match j {
+                    Json::Str(name) => StrategyKind::from_name(name).ok_or("unknown strategy name"),
+                    _ => Err("strategy axis value is not a string"),
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(items) = axis("decoupling_f")? {
+            space.decoupling = items
+                .iter()
+                .map(|j| {
+                    num(j)
+                        .map(Farads)
+                        .ok_or("decoupling axis value is not a number")
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(items) = axis("timestep_s")? {
+            space.timesteps = items
+                .iter()
+                .map(|j| {
+                    num(j)
+                        .map(Seconds)
+                        .ok_or("timestep axis value is not a number")
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(items) = axis("leakage_ohm")? {
+            space.leakages = items
+                .iter()
+                .map(|j| match j {
+                    Json::Null => Ok(None),
+                    other => num(other)
+                        .map(|r| Some(Ohms(r)))
+                        .ok_or("leakage axis value is not a number or null"),
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        Ok(space)
+    }
+
     /// The space's axes as a JSON value (sizes plus the base spec), for
     /// [`ExploreReport`](crate::ExploreReport) headers.
     pub fn to_json(&self) -> edc_core::json::Json {
@@ -364,6 +521,49 @@ mod tests {
             ))
         ));
         assert!(SpecSpace::over(base()).validate().is_ok());
+    }
+
+    #[test]
+    fn axes_json_round_trips_and_defaults_missing_axes() {
+        let space = SpecSpace::over(base())
+            .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus])
+            .workloads(&[WorkloadKind::Crc16(32), WorkloadKind::Fourier(64)])
+            .decoupling(&[Farads::from_micro(4.7), Farads::from_micro(10.0)])
+            .timesteps(&[Seconds(20e-6), Seconds(80e-6)])
+            .leakages(&[None, Some(Ohms(100_000.0))]);
+        let catalog = TraceCatalog::new();
+        let round = SpecSpace::from_json(&space.axes_json(), &catalog).expect("round trip");
+        assert_eq!(round.axes_json().to_string(), space.axes_json().to_string());
+        let specs: Vec<String> = space
+            .all_specs()
+            .iter()
+            .map(|s| s.to_json().to_string())
+            .collect();
+        let round_specs: Vec<String> = round
+            .all_specs()
+            .iter()
+            .map(|s| s.to_json().to_string())
+            .collect();
+        assert_eq!(specs, round_specs);
+
+        // Missing axis keys fall back to the base's own value, like over().
+        let sparse = edc_core::json::Json::obj(vec![("base", base().to_json())]);
+        let single = SpecSpace::from_json(&sparse, &catalog).expect("base only");
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.spec_at(0), base());
+
+        assert!(SpecSpace::from_json(&edc_core::json::Json::Null, &catalog).is_err());
+        let bad = edc_core::json::Json::obj(vec![
+            ("base", base().to_json()),
+            (
+                "strategies",
+                edc_core::json::Json::Arr(vec![edc_core::json::Json::Str("warp".into())]),
+            ),
+        ]);
+        assert!(matches!(
+            SpecSpace::from_json(&bad, &catalog),
+            Err("unknown strategy name")
+        ));
     }
 
     #[test]

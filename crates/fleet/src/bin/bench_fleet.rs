@@ -16,16 +16,27 @@
 //! Run: `cargo run --release -p edc-fleet --bin bench_fleet`
 //! Output path override: `bench_fleet <path>` (default `BENCH_fleet.json`
 //! in the working directory).
+//!
+//! `--store DIR` additionally persists every node's `(spec, report)`
+//! pair into an `edc-store` evaluation store — fleets are pure
+//! *producers*: store consumers (the explore evaluator, `edc_serve`) can
+//! then serve these per-node designs without re-simulating. The flag
+//! also hard-asserts both report sections byte-identical to the
+//! committed cold `BENCH_fleet.json`, pinning that persistence never
+//! perturbs the runs themselves.
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use edc_bench::{banner, TextTable};
+use edc_core::catalog::TraceCatalog;
 use edc_core::experiment::ExperimentSpec;
 use edc_core::fleet::{FieldSpec, FleetSpec, Placement};
 use edc_core::json::Json;
 use edc_core::scenarios::{FieldEnvelope, SourceKind, StrategyKind};
 use edc_core::TelemetryKind;
 use edc_fleet::{Fleet, FleetReport};
+use edc_store::Store;
 use edc_units::{Farads, Seconds};
 use edc_workloads::WorkloadKind;
 
@@ -102,7 +113,8 @@ fn run(spec: FleetSpec) -> (FleetReport, f64) {
 }
 
 fn main() {
-    let path = edc_bench::artifact_path("BENCH_fleet.json");
+    let args = edc_bench::bench_args("BENCH_fleet.json");
+    let path = args.path.clone();
 
     let sizes = [1usize, 2, 4, 8, 16];
     let mut scaling: Vec<(usize, FleetReport, f64)> = Vec::new();
@@ -155,21 +167,70 @@ fn main() {
             .unwrap_or_else(|| "never".to_string()),
     );
 
+    let scaling_json = Json::Arr(
+        scaling
+            .iter()
+            .map(|(_, report, _)| report.to_json())
+            .collect(),
+    );
+
+    // --store producer mode: persist every node's (spec, report) pair so
+    // store consumers can serve these designs without re-simulating, and
+    // pin that persistence never perturbs the fleet reports themselves.
+    if let Some(dir) = &args.store {
+        let mut store = Store::open(dir).unwrap_or_else(|e| {
+            eprintln!("cannot open store at {dir}: {e}");
+            std::process::exit(1);
+        });
+        let mut catalog = TraceCatalog::new();
+        let (mut appended, mut total) = (0u64, 0u64);
+        let reports = scaling
+            .iter()
+            .map(|(_, report, _)| report)
+            .chain(std::iter::once(&trace_report));
+        for report in reports {
+            let specs = report.spec.node_specs_in(&mut catalog).unwrap_or_else(|e| {
+                eprintln!("cannot derive node specs: {e}");
+                std::process::exit(1);
+            });
+            for (spec, node) in specs.iter().zip(&report.nodes) {
+                total += 1;
+                match store.put(&spec.to_json(), node.to_json(), BTreeMap::new(), 1.0) {
+                    Ok(true) => appended += 1,
+                    Ok(false) => {}
+                    Err(e) => {
+                        eprintln!("store write failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        if let Err(e) = store.compact() {
+            eprintln!("store compaction failed: {e}");
+            std::process::exit(1);
+        }
+        banner("Store");
+        println!("{appended} of {total} node evaluations appended to {dir}");
+        for (section, current) in [
+            ("scaling", scaling_json.to_string()),
+            ("trace_fleet", trace_report.to_json().to_string()),
+        ] {
+            let committed = edc_bench::committed_section("BENCH_fleet.json", section);
+            if committed.to_string() != current {
+                eprintln!("FAIL: store-backed {section} differs from committed BENCH_fleet.json");
+                std::process::exit(1);
+            }
+            println!("store: {section} byte-identical to committed BENCH_fleet.json");
+        }
+    }
+
     banner("Metrics");
     print!("{}", edc_metrics::global().render_text());
 
     let artifact = edc_bench::artifact(
         "fleet",
         vec![
-            (
-                "scaling",
-                Json::Arr(
-                    scaling
-                        .iter()
-                        .map(|(_, report, _)| report.to_json())
-                        .collect(),
-                ),
-            ),
+            ("scaling", scaling_json),
             ("trace_fleet", trace_report.to_json()),
             // Non-deterministic section, deliberately outside the reports.
             (

@@ -1,0 +1,78 @@
+//! Integration tests for the incremental experiment service
+//! (`edc_serve` / [`ServeSession`]): in-flight deduplication — the
+//! acceptance criterion of the serving loop — and the committed golden
+//! request/response transcript, replayed through the library exactly as
+//! CI replays it through the binary.
+
+use std::path::PathBuf;
+
+use energy_driven::core::experiment::ExperimentSpec;
+use energy_driven::core::scenarios::{SourceKind, StrategyKind};
+use energy_driven::explore::{ServeSession, Store};
+use energy_driven::metrics::Registry;
+use energy_driven::units::Seconds;
+use energy_driven::workloads::WorkloadKind;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("edc-tests-serve-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn golden(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+#[test]
+fn concurrent_identical_requests_simulate_once_and_answer_each() {
+    // The acceptance pin: N identical in-flight requests cost exactly one
+    // simulation, and every client still gets a full response.
+    let spec = ExperimentSpec::new(
+        SourceKind::Dc { volts: 3.3 },
+        StrategyKind::Restart,
+        WorkloadKind::BusyLoop(200),
+    )
+    .deadline(Seconds(1.0));
+    let registry = Registry::new();
+    let mut session = ServeSession::new().threads(2).metrics(registry.clone());
+    let mut input = String::new();
+    for id in 0..5 {
+        input.push_str(&format!(
+            "{{\"op\":\"evaluate\",\"id\":{id},\"spec\":{}}}\n",
+            spec.to_json()
+        ));
+    }
+    let out = session.serve_text(&input);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 5, "one response per request:\n{out}");
+    assert!(lines[0].contains(r#""source":"simulated""#), "{out}");
+    for line in &lines[1..] {
+        assert!(line.contains(r#""source":"inflight""#), "{line}");
+        assert!(line.contains(r#""ok":true"#), "{line}");
+    }
+    let text = registry.render_text();
+    assert!(
+        text.contains("edc_sweep_cells_total 1"),
+        "exactly one cell simulated:\n{text}"
+    );
+}
+
+#[test]
+fn the_committed_golden_transcript_replays_byte_identically() {
+    // The same contract CI pins through the binary: the committed request
+    // script, fed to a fresh session with a fresh store, must reproduce
+    // the committed response stream byte for byte.
+    let requests = golden("serve_requests.txt");
+    let expected = golden("serve_responses.txt");
+    let store = Store::open(temp_dir("golden"))
+        .expect("store opens")
+        .into_handle();
+    let mut session = ServeSession::new()
+        .threads(2)
+        .metrics(Registry::new())
+        .store(store);
+    assert_eq!(session.serve_text(&requests), expected);
+}

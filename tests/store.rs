@@ -1,0 +1,221 @@
+//! Integration tests for the persistent evaluation store (`edc-store`)
+//! threaded through the exploration stack: warm-started searches must be
+//! byte-identical to cold ones while simulating nothing, for every
+//! searcher, with bound pruning, and for fleet-scored objectives; and
+//! the store files themselves must be a pure function of their contents.
+
+use std::path::PathBuf;
+
+use energy_driven::core::experiment::ExperimentSpec;
+use energy_driven::core::fleet::FieldSpec;
+use energy_driven::core::json::Json;
+use energy_driven::core::scenarios::{FieldEnvelope, SourceKind, StrategyKind};
+use energy_driven::explore::{
+    BrownoutCount, CompletionTime, CoordinateDescent, EnergyPerTask, ExhaustiveGrid, ExploreReport,
+    Explorer, FleetNodesToCover, FleetTemplate, RandomSearch, Searcher, SpecSpace, Store,
+    SuccessiveHalving,
+};
+use energy_driven::store::StoreError;
+use energy_driven::units::{Farads, Seconds};
+use energy_driven::workloads::WorkloadKind;
+
+/// A fresh scratch directory per test, so `cargo test`'s parallel test
+/// threads never share a store.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("edc-tests-store-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small, fast space: DC supply, two strategies, two capacitances, two
+/// workload sizes (8 designs).
+fn small_space() -> SpecSpace {
+    let base = ExperimentSpec::new(
+        SourceKind::Dc { volts: 3.3 },
+        StrategyKind::Restart,
+        WorkloadKind::BusyLoop(150),
+    )
+    .deadline(Seconds(1.0));
+    SpecSpace::over(base)
+        .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus])
+        .workloads(&[WorkloadKind::BusyLoop(100), WorkloadKind::Crc16(32)])
+        .decoupling(&[Farads::from_micro(10.0), Farads::from_micro(22.0)])
+}
+
+fn front_bytes(report: &ExploreReport) -> String {
+    report.front.to_json(&report.objectives).to_string()
+}
+
+#[test]
+fn every_searcher_warm_starts_byte_identically_across_processes() {
+    // Simulates the cross-process warm start: the cold run's store handle
+    // is dropped and the directory reopened from disk before the warm
+    // run, so everything flows through the serialized shards.
+    let searchers: Vec<(&str, Box<dyn Searcher>)> = vec![
+        ("exhaustive-grid", Box::new(ExhaustiveGrid)),
+        ("random-search", Box::new(RandomSearch::new(2017, 6))),
+        ("successive-halving", Box::new(SuccessiveHalving::new())),
+        ("coordinate-descent", Box::new(CoordinateDescent::new(2))),
+    ];
+    let space = small_space();
+    for (name, searcher) in searchers {
+        let dir = temp_dir(&format!("searcher-{name}"));
+        let run = |hot: bool| {
+            let store = Store::open(&dir).expect("store opens").into_handle();
+            let report = Explorer::new()
+                .objective(CompletionTime)
+                .objective(EnergyPerTask)
+                .store(store)
+                .run(&space, searcher.as_ref())
+                .expect("explores");
+            assert!(
+                hot || report.store_hits == 0,
+                "{name}: cold run hit the store"
+            );
+            report
+        };
+        let cold = run(false);
+        assert!(cold.evaluations > 0, "{name}: cold run must simulate");
+        let warm = run(true);
+        assert_eq!(
+            warm.evaluations, 0,
+            "{name}: warm run must simulate nothing"
+        );
+        assert!(warm.store_hits > 0, "{name}: warm run must hit the store");
+        assert_eq!(
+            front_bytes(&cold),
+            front_bytes(&warm),
+            "{name}: warm front must be byte-identical to the cold front"
+        );
+    }
+}
+
+#[test]
+fn bound_pruning_composes_with_the_store() {
+    // With branch-and-bound enabled the cold run prunes what it can and
+    // persists what it simulates; the warm run serves every surviving
+    // candidate from disk, never re-entering the interval engine.
+    let dir = temp_dir("bound");
+    let space = small_space();
+    let run = || {
+        let store = Store::open(&dir).expect("store opens").into_handle();
+        Explorer::new()
+            .objective(CompletionTime)
+            .objective(BrownoutCount)
+            .bound(true)
+            .store(store)
+            .run(&space, &ExhaustiveGrid)
+            .expect("explores")
+    };
+    let cold = run();
+    assert!(cold.evaluations > 0);
+    let warm = run();
+    assert_eq!(warm.evaluations, 0, "warm run must simulate nothing");
+    assert_eq!(
+        warm.bound_checks, 0,
+        "store hits must bypass the interval engine"
+    );
+    assert_eq!(front_bytes(&cold), front_bytes(&warm));
+}
+
+#[test]
+fn fleet_objectives_warm_start_without_deploying_fleets() {
+    // Fleet-scored searches persist their scores under a
+    // template-fingerprint-qualified key; a warm search reads them back
+    // and never simulates a node (evaluations stay zero).
+    let dir = temp_dir("fleet");
+    let template = FleetTemplate::new(FieldSpec::Envelope(FieldEnvelope::Dc { volts: 3.3 }), 2)
+        .duty_period(Seconds(0.5))
+        .threads(2);
+    let base = ExperimentSpec::new(
+        SourceKind::Dc { volts: 3.3 },
+        StrategyKind::Restart,
+        WorkloadKind::BusyLoop(150),
+    )
+    .deadline(Seconds(1.0));
+    let space = SpecSpace::over(base)
+        .strategies(&[StrategyKind::Restart, StrategyKind::Hibernus])
+        .decoupling(&[Farads::from_micro(10.0), Farads::from_micro(22.0)]);
+    let run = || {
+        let store = Store::open(&dir).expect("store opens").into_handle();
+        Explorer::new()
+            .objective(CompletionTime)
+            .objective(FleetNodesToCover(template.clone()))
+            .store(store)
+            .run(&space, &ExhaustiveGrid)
+            .expect("explores")
+    };
+    let cold = run();
+    assert_eq!(cold.evaluations, space.len() as u64);
+    let warm = run();
+    assert_eq!(warm.evaluations, 0, "warm fleet search must deploy nothing");
+    assert_eq!(warm.store_hits, space.len() as u64);
+    assert_eq!(front_bytes(&cold), front_bytes(&warm));
+}
+
+#[test]
+fn conflicting_reports_surface_as_typed_errors() {
+    // Same canonical spec, different report: the store must refuse the
+    // write with a typed conflict, never silently overwrite.
+    let dir = temp_dir("conflict");
+    let mut store = Store::open(&dir).expect("store opens");
+    let spec = Json::parse(r#"{"design":"a"}"#).expect("valid JSON");
+    let report_a = Json::parse(r#"{"completed":true}"#).expect("valid JSON");
+    let report_b = Json::parse(r#"{"completed":false}"#).expect("valid JSON");
+    store
+        .put(&spec, report_a, Default::default(), 1.0)
+        .expect("first write appends");
+    let err = store
+        .put(&spec, report_b, Default::default(), 1.0)
+        .expect_err("conflicting report must be rejected");
+    assert!(
+        matches!(err, StoreError::Conflict { .. }),
+        "expected StoreError::Conflict, got {err:?}"
+    );
+}
+
+#[test]
+fn compaction_is_insertion_order_independent() {
+    // Two stores fed the same entries in opposite orders must serialize
+    // byte-identically after compaction.
+    let entries: Vec<(Json, Json)> = (0..6)
+        .map(|i| {
+            (
+                Json::obj(vec![("design", Json::Uint(i))]),
+                Json::obj(vec![("score", Json::Uint(i * 10))]),
+            )
+        })
+        .collect();
+    let fill = |tag: &str, reversed: bool| -> PathBuf {
+        let dir = temp_dir(tag);
+        let mut store = Store::open(&dir).expect("store opens");
+        let ordered: Vec<_> = if reversed {
+            entries.iter().rev().collect()
+        } else {
+            entries.iter().collect()
+        };
+        for (spec, report) in ordered {
+            store
+                .put(spec, report.clone(), Default::default(), 1.0)
+                .expect("append");
+        }
+        store.compact().expect("compaction");
+        dir
+    };
+    let (dir_a, dir_b) = (fill("order-fwd", false), fill("order-rev", true));
+    let read = |dir: &PathBuf| -> Vec<(String, Vec<u8>)> {
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+            .expect("store dir listable")
+            .map(|e| {
+                let e = e.expect("entry");
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).expect("file readable"),
+                )
+            })
+            .collect();
+        files.sort();
+        files
+    };
+    assert_eq!(read(&dir_a), read(&dir_b));
+}
